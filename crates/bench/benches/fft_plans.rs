@@ -1,0 +1,45 @@
+//! Criterion bench for the FFT substrate: planned 2-D transforms at the
+//! sizes multi-level ILT actually uses (N and N/s), plus the spectrum
+//! crop/pad moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilt_fft::{crop_centered, pad_centered, Complex64, Fft2d};
+use std::hint::black_box;
+
+fn fft2d_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d");
+    group.sample_size(20);
+    for n in [128usize, 256, 512] {
+        let fft = Fft2d::new(n, n);
+        let data: Vec<Complex64> =
+            (0..n * n).map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        group.bench_function(BenchmarkId::new("forward", n), |b| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft.forward(&mut buf);
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn spectrum_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum");
+    group.sample_size(30);
+    let n = 512;
+    let p = 57;
+    let spec: Vec<Complex64> =
+        (0..n * n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+    let small = crop_centered(&spec, n, p);
+    group.bench_function("crop_512_to_57", |b| {
+        b.iter(|| black_box(crop_centered(&spec, n, p)))
+    });
+    group.bench_function("pad_57_to_512", |b| {
+        b.iter(|| black_box(pad_centered(&small, p, n)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fft2d_sizes, spectrum_moves);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the Section III-B claim: the relative costs of the
+//! Eq. 3 (full), Eq. 7 (reduced inverse FFTs) and Eq. 8 (all-reduced)
+//! forward lithography simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilt_field::avg_pool_down;
+use ilt_layouts::iccad2013_case;
+use ilt_optics::{LithoSimulator, OpticsConfig};
+use std::hint::black_box;
+
+fn forward_sim(c: &mut Criterion) {
+    let grid = 512;
+    let case = iccad2013_case(1);
+    let cfg = OpticsConfig {
+        grid,
+        nm_per_px: case.nm_per_px(grid),
+        num_kernels: 10,
+        ..OpticsConfig::default()
+    };
+    let sim = LithoSimulator::new(cfg).expect("valid config");
+    let mask = case.rasterize(grid);
+    let s = 4;
+    let mask_s = avg_pool_down(&mask, s);
+
+    let mut group = c.benchmark_group("forward_sim");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("eq3_full", grid), |b| {
+        b.iter(|| black_box(sim.aerial(&mask, false)))
+    });
+    group.bench_function(BenchmarkId::new("eq7_subsampled", s), |b| {
+        b.iter(|| black_box(sim.aerial_subsampled(&mask, s, false)))
+    });
+    group.bench_function(BenchmarkId::new("eq8_reduced", s), |b| {
+        b.iter(|| black_box(sim.aerial(&mask_s, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, forward_sim);
+criterion_main!(benches);

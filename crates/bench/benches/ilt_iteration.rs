@@ -1,0 +1,40 @@
+//! Criterion bench for one ILT gradient iteration at each resolution level
+//! — the per-iteration cost structure behind Table I's TAT column.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilt_core::{IltConfig, MultiLevelIlt, Stage};
+use ilt_layouts::iccad2013_case;
+use ilt_optics::{LithoSimulator, OpticsConfig};
+use std::hint::black_box;
+
+fn ilt_iteration(c: &mut Criterion) {
+    let grid = 256;
+    let case = iccad2013_case(1);
+    let cfg = OpticsConfig {
+        grid,
+        nm_per_px: case.nm_per_px(grid),
+        num_kernels: 8,
+        ..OpticsConfig::default()
+    };
+    let sim = Rc::new(LithoSimulator::new(cfg).expect("valid config"));
+    let target = case.rasterize(grid);
+
+    let mut group = c.benchmark_group("ilt_iteration");
+    group.sample_size(10);
+    for (label, stage) in [
+        ("low_res_s2", Stage::low_res(2, 1)),
+        ("low_res_s1", Stage::low_res(1, 1)),
+        ("high_res_s2", Stage::high_res(2, 1)),
+    ] {
+        let engine = MultiLevelIlt::new(sim.clone(), IltConfig::default());
+        group.bench_function(BenchmarkId::new("step", label), |b| {
+            b.iter(|| black_box(engine.run(&target, &[stage])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ilt_iteration);
+criterion_main!(benches);

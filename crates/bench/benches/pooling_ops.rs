@@ -1,0 +1,28 @@
+//! Criterion bench for the pooling/resampling operators of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilt_field::{avg_pool_down, avg_pool_same, upsample_nearest, Field2D};
+use std::hint::black_box;
+
+fn pooling(c: &mut Criterion) {
+    let n = 512;
+    let f = Field2D::from_fn(n, n, |r, cc| ((r * 31 + cc * 7) % 97) as f64 / 97.0);
+    let small = avg_pool_down(&f, 4);
+
+    let mut group = c.benchmark_group("pooling");
+    group.sample_size(30);
+    group.bench_function("avg_pool_down_s4_512", |b| {
+        b.iter(|| black_box(avg_pool_down(&f, 4)))
+    });
+    group.bench_function("avg_pool_same_3x3_512", |b| {
+        b.iter(|| black_box(avg_pool_same(&f, 3)))
+    });
+    group.bench_function("upsample_nearest_s4_128", |b| {
+        b.iter(|| black_box(upsample_nearest(&small, 4)))
+    });
+    group.bench_function("threshold_512", |b| b.iter(|| black_box(f.threshold(0.5))));
+    group.finish();
+}
+
+criterion_group!(benches, pooling);
+criterion_main!(benches);

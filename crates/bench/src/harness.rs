@@ -1,0 +1,217 @@
+//! Shared machinery for regenerating the paper's tables.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use ilt_baselines::{ConventionalIlt, LevelSetConfig, LevelSetIlt};
+use ilt_core::{schedules, IltConfig, MultiLevelIlt, OptimizeRegion, Stage};
+use ilt_field::Field2D;
+use ilt_layouts::Layout;
+use ilt_metrics::{EpeChecker, EvalReport, TurnaroundTimer};
+use ilt_optics::{LithoSimulator, OpticsConfig};
+
+use crate::published::PublishedRow;
+
+/// Harness-wide options (grid size, kernel count, case subset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HarnessOptions {
+    /// Simulation grid (paper scale: 2048; laptop default: 512).
+    pub grid: usize,
+    /// SOCS kernels per focus condition (paper: 24).
+    pub num_kernels: usize,
+    /// Maximum effective low-resolution pixel pitch in nm. Scale factors
+    /// are clamped so `scale * nm_per_px` never exceeds this (the paper's
+    /// `s = 4` at 1 nm/px is a 4 nm effective pitch; masks quantized much
+    /// coarser than ~8 nm can no longer represent good solutions).
+    pub max_eff_nm: f64,
+    /// Case subset to run (empty = all ten).
+    pub cases: Vec<usize>,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions { grid: 512, num_kernels: 10, max_eff_nm: 8.0, cases: Vec::new() }
+    }
+}
+
+impl HarnessOptions {
+    /// Builds the simulator for a layout's pixel pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optics configuration is invalid.
+    pub fn simulator(&self, layout: &Layout) -> Rc<LithoSimulator> {
+        let cfg = OpticsConfig {
+            grid: self.grid,
+            nm_per_px: layout.nm_per_px(self.grid),
+            num_kernels: self.num_kernels,
+            ..OpticsConfig::default()
+        };
+        Rc::new(LithoSimulator::new(cfg).expect("valid optics configuration"))
+    }
+
+    /// Clamps a schedule so the effective low-res pitch stays within
+    /// `max_eff_nm` and the reduced grid stays above the kernel support.
+    pub fn clamp(&self, schedule: &[Stage], sim: &LithoSimulator) -> Vec<Stage> {
+        let nm = sim.config().nm_per_px;
+        let p = sim.kernels(false).p();
+        let pitch_ok = schedules::clamp_effective_pitch(schedule, nm, self.max_eff_nm);
+        schedules::clamp_scales(&pitch_ok, self.grid, p)
+    }
+
+    /// The ten case ids to run for a suite starting at `first_id`.
+    pub fn case_ids(&self, first_id: usize) -> Vec<usize> {
+        if self.cases.is_empty() {
+            (first_id..first_id + 10).collect()
+        } else {
+            self.cases.clone()
+        }
+    }
+}
+
+/// Evaluates a finished mask with the contest metrics.
+pub fn evaluate(
+    sim: &LithoSimulator,
+    target: &Field2D,
+    mask: &Field2D,
+    tat: Duration,
+) -> EvalReport {
+    let nm = sim.config().nm_per_px;
+    let corners = sim.print_corners(mask);
+    let checker = EpeChecker { nm_per_px: nm, ..EpeChecker::default() };
+    EvalReport::evaluate(
+        target,
+        mask,
+        &corners.nominal,
+        &corners.inner,
+        &corners.outer,
+        &checker,
+        tat,
+    )
+}
+
+/// Named method runners used by the tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Multi-level ILT, "Our-fast" schedule.
+    OurFast,
+    /// Multi-level ILT, "Our-exact" schedule.
+    OurExact,
+    /// Conventional single-level pixel ILT (`T_R = 0`).
+    Conventional,
+    /// GLS-ILT-style level-set baseline.
+    LevelSet,
+}
+
+impl Method {
+    /// Human-readable column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::OurFast => "our-fast",
+            Method::OurExact => "our-exact",
+            Method::Conventional => "conv-ilt",
+            Method::LevelSet => "levelset",
+        }
+    }
+
+    /// Runs the method on a target and returns its evaluated report.
+    pub fn run(
+        &self,
+        opts: &HarnessOptions,
+        sim: &Rc<LithoSimulator>,
+        target: &Field2D,
+        region: OptimizeRegion,
+    ) -> EvalReport {
+        let timer = TurnaroundTimer::start();
+        let mask = match self {
+            Method::OurFast => {
+                let schedule = opts.clamp(&schedules::our_fast(), sim);
+                let cfg = IltConfig { region, ..IltConfig::default() };
+                MultiLevelIlt::new(sim.clone(), cfg).run(target, &schedule).mask
+            }
+            Method::OurExact => {
+                let schedule = opts.clamp(&schedules::our_exact(), sim);
+                let cfg = IltConfig { region, ..IltConfig::default() };
+                MultiLevelIlt::new(sim.clone(), cfg).run(target, &schedule).mask
+            }
+            Method::Conventional => {
+                ConventionalIlt::with_region(sim.clone(), region).run(target, 40).mask
+            }
+            Method::LevelSet => {
+                let cfg = LevelSetConfig { region, ..LevelSetConfig::default() };
+                LevelSetIlt::new(sim.clone(), cfg).run(target, 40).mask
+            }
+        };
+        evaluate(sim, target, &mask, timer.elapsed())
+    }
+}
+
+/// One measured row for the table printers.
+#[derive(Clone, Debug)]
+pub struct MeasuredRow {
+    /// Case id.
+    pub case: usize,
+    /// The evaluated report.
+    pub report: EvalReport,
+}
+
+/// Prints a comparison table: per-case measured rows for several methods,
+/// then averages, then the paper's published averages for reference.
+pub fn print_table(
+    title: &str,
+    methods: &[Method],
+    rows: &[Vec<MeasuredRow>],
+    published: &[(&str, &[PublishedRow; 10])],
+) {
+    println!("\n### {title}\n");
+    print!("| case |");
+    for m in methods {
+        print!(" {} L2 | PVB | EPE | #shots | TAT(s) |", m.label());
+    }
+    println!();
+    print!("|------|");
+    for _ in methods {
+        print!("---|---|---|---|---|");
+    }
+    println!();
+    let cases = rows.first().map_or(0, Vec::len);
+    for i in 0..cases {
+        print!("| {} |", rows[0][i].case);
+        for per_method in rows {
+            let r = &per_method[i].report;
+            print!(
+                " {:.0} | {:.0} | {} | {} | {:.2} |",
+                r.l2_nm2,
+                r.pvband_nm2,
+                r.epe_violations(),
+                r.shots,
+                r.tat_seconds
+            );
+        }
+        println!();
+    }
+    // Averages.
+    print!("| avg |");
+    for per_method in rows {
+        let n = per_method.len().max(1) as f64;
+        let l2: f64 = per_method.iter().map(|r| r.report.l2_nm2).sum::<f64>() / n;
+        let pvb: f64 = per_method.iter().map(|r| r.report.pvband_nm2).sum::<f64>() / n;
+        let epe: f64 =
+            per_method.iter().map(|r| r.report.epe_violations() as f64).sum::<f64>() / n;
+        let shots: f64 = per_method.iter().map(|r| r.report.shots as f64).sum::<f64>() / n;
+        let tat: f64 = per_method.iter().map(|r| r.report.tat_seconds).sum::<f64>() / n;
+        print!(" {l2:.0} | {pvb:.0} | {epe:.1} | {shots:.0} | {tat:.2} |");
+    }
+    println!();
+
+    if !published.is_empty() {
+        println!("\npaper-reported averages (2048 px, RTX 3090; absolute values are not comparable to the reduced-scale run above — compare *ratios*):");
+        for (label, table) in published {
+            let l2 = crate::published::average(table, |r| r.l2);
+            let pvb = crate::published::average(table, |r| r.pvb);
+            let shots = crate::published::average(table, |r| r.shots);
+            let tat = crate::published::average(table, |r| r.tat);
+            println!("  {label:<12} L2 {l2:>9.1}  PVB {pvb:>9.1}  #shots {shots:>6.1}  TAT {tat:>7.2}s");
+        }
+    }
+}

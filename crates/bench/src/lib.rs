@@ -1,0 +1,17 @@
+//! Bench harness for the multi-level ILT reproduction.
+//!
+//! Two consumers:
+//!
+//! * the `tables` binary (`cargo run -p ilt-bench-harness --release --bin
+//!   tables -- --table 2`) regenerates every table and figure of the paper,
+//! * the Criterion benches (`cargo bench`) measure the micro-level claims
+//!   (Eq. 3 vs Eq. 7 vs Eq. 8 forward simulation, per-iteration costs).
+//!
+//! [`published`] holds the paper-reported numbers printed as reference
+//! rows; [`harness`] holds the shared method runners.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod published;

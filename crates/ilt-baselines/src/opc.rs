@@ -1,0 +1,250 @@
+//! Iterative edge-based model OPC.
+//!
+//! The paper's introduction contrasts ILT against model-based OPC ([1] vs
+//! [2]): OPC keeps the mask rectilinear and only bites or extends edge
+//! segments, so it is fast and trivially manufacturable but far less
+//! flexible than pixel ILT (no SRAFs, no curvilinear assists). This
+//! implementation closes the classic loop: simulate, measure signed edge
+//! displacement at EPE sites, and move each mask edge segment against its
+//! error with a damping factor.
+
+use std::rc::Rc;
+
+use ilt_core::LossRecord;
+use ilt_field::Field2D;
+use ilt_metrics::{EdgeOrientation, EpeChecker};
+use ilt_optics::{LithoSimulator, ProcessCondition};
+
+/// Configuration of the OPC baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeOpcConfig {
+    /// Fraction of the measured error corrected per iteration (damping).
+    pub gain: f64,
+    /// Maximum cumulative edge movement in pixels.
+    pub max_bias_px: usize,
+    /// Half-length (pixels) of the edge strip moved around each site.
+    pub strip_half_len: usize,
+    /// EPE measurement settings (spacing controls correction granularity).
+    pub checker: EpeChecker,
+}
+
+impl EdgeOpcConfig {
+    /// Reasonable defaults for a given pixel pitch.
+    pub fn for_pixel_pitch(nm_per_px: f64) -> Self {
+        EdgeOpcConfig {
+            gain: 0.6,
+            max_bias_px: 24,
+            strip_half_len: (20.0 / nm_per_px).ceil() as usize,
+            checker: EpeChecker { nm_per_px, ..EpeChecker::default() },
+        }
+    }
+}
+
+/// Result of an OPC run.
+#[derive(Clone, Debug)]
+pub struct OpcResult {
+    /// Final corrected mask (rectilinear, no SRAFs).
+    pub mask: Field2D,
+    /// Squared-L2 print error per iteration (nominal corner, in pixels).
+    pub loss_history: Vec<LossRecord>,
+}
+
+/// Edge-based model OPC.
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use ilt_baselines::{EdgeOpc, EdgeOpcConfig};
+/// use ilt_field::Field2D;
+/// use ilt_optics::{LithoSimulator, OpticsConfig};
+///
+/// # fn main() -> Result<(), String> {
+/// let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
+/// let sim = Rc::new(LithoSimulator::new(cfg)?);
+/// let target = Field2D::from_fn(64, 64, |r, c| {
+///     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
+/// });
+/// let opc = EdgeOpc::new(sim, EdgeOpcConfig::for_pixel_pitch(8.0));
+/// let result = opc.run(&target, 4);
+/// assert_eq!(result.mask.shape(), (64, 64));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EdgeOpc {
+    sim: Rc<LithoSimulator>,
+    cfg: EdgeOpcConfig,
+}
+
+impl EdgeOpc {
+    /// Creates the baseline.
+    pub fn new(sim: Rc<LithoSimulator>, cfg: EdgeOpcConfig) -> Self {
+        EdgeOpc { sim, cfg }
+    }
+
+    /// Runs `iterations` of correct-and-resimulate on `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target does not match the simulator grid.
+    pub fn run(&self, target: &Field2D, iterations: usize) -> OpcResult {
+        let n = self.sim.config().grid;
+        assert_eq!(target.shape(), (n, n), "target must match simulator grid {n}");
+        let mut mask = target.clone();
+        let mut history = Vec::new();
+
+        for iteration in 0..iterations {
+            let printed = self.sim.print(&mask, ProcessCondition::nominal());
+            history.push(LossRecord {
+                stage: 0,
+                iteration,
+                scale: 1,
+                loss: printed.sq_l2_dist(target),
+            });
+            let epe = self.cfg.checker.check(target, &printed);
+            let mut next = mask.clone();
+            for site in &epe.sites {
+                // Signed error: positive means printed past the target edge,
+                // so bite the mask inward; negative means recede, so extend.
+                let move_px =
+                    (site.displacement_nm / self.cfg.checker.nm_per_px * self.cfg.gain).round();
+                if move_px == 0.0 {
+                    continue;
+                }
+                self.move_edge(&mut next, target, site.row, site.col, site.orientation, site.outward, move_px as isize);
+            }
+            mask = next;
+        }
+        OpcResult { mask, loss_history: history }
+    }
+
+    /// Moves the mask edge near one site by `amount` pixels (negative =
+    /// extend outward, positive = bite inward).
+    #[allow(clippy::too_many_arguments)]
+    fn move_edge(
+        &self,
+        mask: &mut Field2D,
+        target: &Field2D,
+        row: usize,
+        col: usize,
+        orientation: EdgeOrientation,
+        outward: (i8, i8),
+        amount: isize,
+    ) {
+        let (rows, cols) = mask.shape();
+        let half = self.cfg.strip_half_len as isize;
+        let max_bias = self.cfg.max_bias_px as isize;
+        // Tangential direction along the edge.
+        let (tr, tc): (isize, isize) = match orientation {
+            EdgeOrientation::Horizontal => (0, 1),
+            EdgeOrientation::Vertical => (1, 0),
+        };
+        let (nr, nc) = (outward.0 as isize, outward.1 as isize);
+        let depth = amount.unsigned_abs().min(max_bias as usize) as isize;
+        for along in -half..=half {
+            let er = row as isize + along * tr;
+            let ec = col as isize + along * tc;
+            // Only touch strips that are genuinely on this target edge.
+            let on_target = |r: isize, c: isize| {
+                r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols
+                    && target[(r as usize, c as usize)] >= 0.5
+            };
+            if !on_target(er, ec) || on_target(er + nr, ec + nc) {
+                continue;
+            }
+            for d in 0..depth {
+                if amount > 0 {
+                    // Bite inward: clear pixels just inside the edge.
+                    let (r, c) = (er - d * nr, ec - d * nc);
+                    if r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols {
+                        mask[(r as usize, c as usize)] = 0.0;
+                    }
+                } else {
+                    // Extend outward: set pixels just outside the edge.
+                    let (r, c) = (er + (d + 1) * nr, ec + (d + 1) * nc);
+                    if r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols {
+                        mask[(r as usize, c as usize)] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_optics::{OpticsConfig, SourceSpec};
+
+    fn sim() -> Rc<LithoSimulator> {
+        let cfg = OpticsConfig {
+            grid: 64,
+            nm_per_px: 8.0,
+            num_kernels: 4,
+            source: SourceSpec::Annular { sigma_in: 0.5, sigma_out: 0.9 },
+            defocus_nm: 60.0,
+            ..OpticsConfig::default()
+        };
+        Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+    }
+
+    fn target() -> Field2D {
+        Field2D::from_fn(64, 64, |r, c| {
+            if (26..38).contains(&r) && (14..50).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn opc_reduces_print_error() {
+        let t = target();
+        let s = sim();
+        let opc = EdgeOpc::new(s.clone(), EdgeOpcConfig::for_pixel_pitch(8.0));
+        let result = opc.run(&t, 6);
+        let initial = result.loss_history.first().unwrap().loss;
+        let final_print = s.print(&result.mask, ProcessCondition::nominal());
+        let final_err = final_print.sq_l2_dist(&t);
+        assert!(
+            final_err < initial,
+            "OPC must reduce print error: {final_err} vs {initial}"
+        );
+    }
+
+    #[test]
+    fn mask_stays_binary() {
+        let opc = EdgeOpc::new(sim(), EdgeOpcConfig::for_pixel_pitch(8.0));
+        let result = opc.run(&target(), 3);
+        for &v in result.mask.as_slice() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn opc_produces_no_srafs() {
+        // OPC only edits near target edges: no disconnected assists far away.
+        let t = target();
+        let opc = EdgeOpc::new(sim(), EdgeOpcConfig::for_pixel_pitch(8.0));
+        let result = opc.run(&t, 5);
+        let far = ilt_geom::dilate(&t, 8);
+        for r in 0..64 {
+            for c in 0..64 {
+                if far[(r, c)] < 0.5 {
+                    assert_eq!(result.mask[(r, c)], 0.0, "unexpected assist at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_target() {
+        let t = target();
+        let opc = EdgeOpc::new(sim(), EdgeOpcConfig::for_pixel_pitch(8.0));
+        let result = opc.run(&t, 0);
+        assert_eq!(result.mask, t);
+        assert!(result.loss_history.is_empty());
+    }
+}

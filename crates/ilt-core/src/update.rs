@@ -1,0 +1,170 @@
+//! Gradient update rules.
+//!
+//! The paper uses plain gradient descent (`M' -= lr * G`, Algorithm 1
+//! line 15); the A2-ILT baseline it compares against uses Adam. Both are
+//! provided so the ablation harness can quantify what the update rule
+//! contributes independently of the multi-level structure.
+
+use ilt_field::Field2D;
+
+/// First-order update rule for the mask variable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UpdateRule {
+    /// Plain gradient descent (the paper's Algorithm 1).
+    Sgd,
+    /// Heavy-ball momentum: `v = beta v + g; M' -= lr v`.
+    Momentum {
+        /// Momentum coefficient in `[0, 1)`.
+        beta: f64,
+    },
+    /// Adam with bias correction.
+    Adam {
+        /// First-moment decay (typical 0.9).
+        beta1: f64,
+        /// Second-moment decay (typical 0.999).
+        beta2: f64,
+        /// Numerical floor in the denominator.
+        epsilon: f64,
+    },
+}
+
+impl Default for UpdateRule {
+    fn default() -> Self {
+        UpdateRule::Sgd
+    }
+}
+
+impl UpdateRule {
+    /// Adam with the literature-standard constants.
+    pub const fn adam_default() -> Self {
+        UpdateRule::Adam { beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+    }
+}
+
+/// Mutable state carried across iterations of one stage.
+///
+/// Created fresh per stage (the mask shape changes between scales).
+#[derive(Clone, Debug, Default)]
+pub struct UpdateState {
+    velocity: Option<Field2D>,
+    first: Option<Field2D>,
+    second: Option<Field2D>,
+    step: usize,
+}
+
+impl UpdateState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the update step `delta` such that `M' -= delta`, advancing
+    /// the internal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape changes between calls.
+    pub fn step(&mut self, rule: UpdateRule, grad: &Field2D, lr: f64) -> Field2D {
+        self.step += 1;
+        match rule {
+            UpdateRule::Sgd => grad.scale(lr),
+            UpdateRule::Momentum { beta } => {
+                let v = match self.velocity.take() {
+                    Some(prev) => prev.zip_map(grad, |pv, g| beta * pv + g),
+                    None => grad.clone(),
+                };
+                let delta = v.scale(lr);
+                self.velocity = Some(v);
+                delta
+            }
+            UpdateRule::Adam { beta1, beta2, epsilon } => {
+                let m = match self.first.take() {
+                    Some(prev) => prev.zip_map(grad, |pm, g| beta1 * pm + (1.0 - beta1) * g),
+                    None => grad.scale(1.0 - beta1),
+                };
+                let v = match self.second.take() {
+                    Some(prev) => {
+                        prev.zip_map(grad, |pv, g| beta2 * pv + (1.0 - beta2) * g * g)
+                    }
+                    None => grad.map(|g| (1.0 - beta2) * g * g),
+                };
+                let bc1 = 1.0 - beta1.powi(self.step as i32);
+                let bc2 = 1.0 - beta2.powi(self.step as i32);
+                let delta = m.zip_map(&v, |mi, vi| {
+                    lr * (mi / bc1) / ((vi / bc2).sqrt() + epsilon)
+                });
+                self.first = Some(m);
+                self.second = Some(v);
+                delta
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(v: f64) -> Field2D {
+        Field2D::filled(2, 2, v)
+    }
+
+    #[test]
+    fn sgd_is_stateless_scaling() {
+        let mut st = UpdateState::new();
+        let d1 = st.step(UpdateRule::Sgd, &grad(2.0), 0.5);
+        let d2 = st.step(UpdateRule::Sgd, &grad(2.0), 0.5);
+        assert_eq!(d1, d2);
+        assert_eq!(d1[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut st = UpdateState::new();
+        let rule = UpdateRule::Momentum { beta: 0.5 };
+        let d1 = st.step(rule, &grad(1.0), 1.0);
+        let d2 = st.step(rule, &grad(1.0), 1.0);
+        let d3 = st.step(rule, &grad(1.0), 1.0);
+        assert_eq!(d1[(0, 0)], 1.0);
+        assert_eq!(d2[(0, 0)], 1.5); // 0.5*1 + 1
+        assert_eq!(d3[(0, 0)], 1.75);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step is ~lr * sign(g).
+        let mut st = UpdateState::new();
+        let d = st.step(UpdateRule::adam_default(), &grad(0.3), 0.01);
+        assert!((d[(0, 0)] - 0.01).abs() < 1e-6, "{}", d[(0, 0)]);
+        // And scale-invariant in |g|.
+        let mut st2 = UpdateState::new();
+        let d2 = st2.step(UpdateRule::adam_default(), &grad(30.0), 0.01);
+        assert!((d2[(0, 0)] - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimize f(x) = (x - 3)^2 per pixel.
+        let mut x = Field2D::filled(2, 2, 0.0);
+        let mut st = UpdateState::new();
+        for _ in 0..500 {
+            let g = x.map(|v| 2.0 * (v - 3.0));
+            let d = st.step(UpdateRule::adam_default(), &g, 0.05);
+            x -= &d;
+        }
+        for &v in x.as_slice() {
+            assert!((v - 3.0).abs() < 0.05, "{v}");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_yields_zero_step_for_sgd_and_momentum() {
+        let mut st = UpdateState::new();
+        assert_eq!(st.step(UpdateRule::Sgd, &grad(0.0), 1.0).sum(), 0.0);
+        let mut st2 = UpdateState::new();
+        assert_eq!(
+            st2.step(UpdateRule::Momentum { beta: 0.9 }, &grad(0.0), 1.0).sum(),
+            0.0
+        );
+    }
+}

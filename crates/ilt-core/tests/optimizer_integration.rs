@@ -1,0 +1,192 @@
+//! Integration tests of the multi-level optimizer against its substrates:
+//! step-level gradient checks, branch equivalences, and schedule semantics.
+
+use std::rc::Rc;
+
+use ilt_core::{
+    schedules, BinaryFunction, IltConfig, MultiLevelIlt, OptimizeRegion, Smoothing,
+    SmoothingPlacement, Stage,
+};
+use ilt_field::Field2D;
+use ilt_optics::{LithoSimulator, OpticsConfig, SourceSpec};
+
+fn sim(grid: usize) -> Rc<LithoSimulator> {
+    let cfg = OpticsConfig {
+        grid,
+        nm_per_px: 8.0,
+        num_kernels: 4,
+        source: SourceSpec::Annular { sigma_in: 0.5, sigma_out: 0.9 },
+        defocus_nm: 60.0,
+        ..OpticsConfig::default()
+    };
+    Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+}
+
+fn bar(n: usize) -> Field2D {
+    Field2D::from_fn(n, n, |r, c| {
+        if (n * 3 / 8..n * 5 / 8).contains(&r) && (n / 4..n * 3 / 4).contains(&c) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// At scale 1, the high-resolution branch (upsample + pool are identities)
+/// must match the low-resolution branch without smoothing exactly.
+#[test]
+fn high_res_equals_low_res_at_scale_one() {
+    let s = sim(64);
+    let target = bar(64);
+    let cfg = IltConfig { smoothing: None, ..IltConfig::default() };
+    let lo = MultiLevelIlt::new(s.clone(), cfg.clone()).run(&target, &[Stage::low_res(1, 5)]);
+    let hi = MultiLevelIlt::new(s, cfg).run(&target, &[Stage::high_res(1, 5)]);
+    assert_eq!(lo.mask, hi.mask);
+    for (a, b) in lo.loss_history.iter().zip(&hi.loss_history) {
+        assert!((a.loss - b.loss).abs() < 1e-9, "{} vs {}", a.loss, b.loss);
+    }
+}
+
+/// A single gradient step with learning rate `lr` must decrease the loss
+/// for small enough `lr` (the gradient is a true descent direction).
+#[test]
+fn gradient_is_a_descent_direction() {
+    let s = sim(64);
+    let target = bar(64);
+    for lr in [1e-3, 1e-2] {
+        let cfg = IltConfig { learning_rate: lr, ..IltConfig::default() };
+        let result = MultiLevelIlt::new(s.clone(), cfg).run(&target, &[Stage::low_res(2, 2)]);
+        let l0 = result.loss_history[0].loss;
+        let l1 = result.loss_history[1].loss;
+        assert!(
+            l1 <= l0 + 1e-9,
+            "lr {lr}: one small step must not increase loss ({l0} -> {l1})"
+        );
+    }
+}
+
+/// Two half-steps from the same state equal... nothing exact, but the loss
+/// trace must be reproducible across identical configurations even with
+/// the smoothing pool and both corners involved.
+#[test]
+fn loss_trace_is_reproducible() {
+    let s = sim(64);
+    let target = bar(64);
+    let run = || {
+        MultiLevelIlt::new(s.clone(), IltConfig::default())
+            .run(&target, &[Stage::low_res(2, 4), Stage::high_res(2, 2)])
+            .loss_history
+            .iter()
+            .map(|r| r.loss)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The loss recorded by the optimizer matches an independent evaluation of
+/// Eq. 5 on the same mask state (first iteration, before any update).
+#[test]
+fn recorded_loss_matches_manual_eq5() {
+    let s = sim(64);
+    let target = bar(64);
+    let cfg = IltConfig { smoothing: None, ..IltConfig::default() };
+    let result = MultiLevelIlt::new(s.clone(), cfg).run(&target, &[Stage::low_res(1, 1)]);
+    let recorded = result.loss_history[0].loss;
+
+    // Recompute by hand: M' = target, binarized with the paper sigmoid.
+    let m = BinaryFunction::paper_sigmoid().apply_field(&target);
+    let alpha = s.config().resist_steepness;
+    let i_th = s.config().resist_threshold;
+    let soft = |i: &Field2D, dose: f64| {
+        i.map(|v| 1.0 / (1.0 + (-alpha * (dose * v - i_th)).exp()))
+    };
+    let z_out = soft(&s.aerial(&m, false), 1.02);
+    let z_in = soft(&s.aerial(&m, true), 0.98);
+    let manual = z_out.sq_l2_dist(&target) + z_in.sq_l2_dist(&z_out);
+    assert!(
+        (recorded - manual).abs() < 1e-9 * manual.max(1.0),
+        "{recorded} vs {manual}"
+    );
+}
+
+/// Stage transfer: a schedule ending at a coarse scale must hand the
+/// finalizer a mask whose upsampled shape matches the grid, regardless of
+/// the path taken through scales.
+#[test]
+fn scale_transfers_compose() {
+    let s = sim(64);
+    let target = bar(64);
+    for schedule in [
+        vec![Stage::low_res(4, 2), Stage::low_res(2, 2), Stage::low_res(4, 2)],
+        vec![Stage::low_res(1, 2), Stage::low_res(4, 2)],
+        vec![Stage::high_res(2, 2), Stage::low_res(2, 2), Stage::high_res(4, 2)],
+    ] {
+        let result = MultiLevelIlt::new(s.clone(), IltConfig::default()).run(&target, &schedule);
+        assert_eq!(result.mask.shape(), (64, 64));
+        assert_eq!(result.final_scale, schedule.last().unwrap().scale);
+        assert_eq!(
+            result.raw_mask.shape(),
+            (64 / result.final_scale, 64 / result.final_scale)
+        );
+    }
+}
+
+/// Smoothing placement options both run and differ (the DESIGN.md ablation
+/// hinges on them being genuinely distinct code paths).
+#[test]
+fn smoothing_placements_are_distinct() {
+    let s = sim(64);
+    let target = bar(64);
+    let run = |placement| {
+        let cfg = IltConfig {
+            smoothing: Some(Smoothing { kernel: 3, placement }),
+            ..IltConfig::default()
+        };
+        MultiLevelIlt::new(s.clone(), cfg).run(&target, &[Stage::low_res(2, 5)])
+    };
+    let before = run(SmoothingPlacement::BeforeBinarize);
+    let after = run(SmoothingPlacement::AfterBinarize);
+    assert_ne!(before.raw_mask, after.raw_mask);
+}
+
+/// The paper's named schedules survive pitch clamping with structure
+/// intact and run end to end on a small grid.
+#[test]
+fn named_schedules_run_after_clamping() {
+    let s = sim(64);
+    let target = bar(64);
+    for schedule in [schedules::our_fast(), schedules::our_exact(), schedules::via_recipe()] {
+        let clamped = schedules::clamp_effective_pitch(&schedule, 8.0, 8.0);
+        let clamped = schedules::clamp_scales(&clamped, 64, 16);
+        let cfg = IltConfig { early_exit_window: Some(5), ..IltConfig::default() };
+        let result = MultiLevelIlt::new(s.clone(), cfg).run(&target, &clamped);
+        assert!(result.total_iterations > 0);
+        assert_eq!(result.mask.shape(), (64, 64));
+    }
+}
+
+/// Frozen pixels never move: the raw mask outside the region stays at the
+/// frozen value through arbitrary schedules.
+#[test]
+fn frozen_pixels_never_move() {
+    let s = sim(64);
+    let target = bar(64);
+    let cfg = IltConfig {
+        region: OptimizeRegion::Option1 { margin_nm: 24.0 },
+        frozen_value: -3.0,
+        ..IltConfig::default()
+    };
+    let region = cfg.region.region_mask_at_scale(&target, 8.0, 2);
+    let result = MultiLevelIlt::new(s, cfg).run(&target, &[Stage::low_res(2, 6)]);
+    for (i, (&m, &reg)) in result
+        .raw_mask
+        .as_slice()
+        .iter()
+        .zip(region.as_slice())
+        .enumerate()
+    {
+        if reg < 0.5 {
+            assert_eq!(m, -3.0, "frozen pixel {i} moved to {m}");
+        }
+    }
+}

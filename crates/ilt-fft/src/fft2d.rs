@@ -1,0 +1,273 @@
+//! Two-dimensional FFTs over row-major buffers.
+//!
+//! The lithography simulator spends almost all of its time in `N x N`
+//! transforms (Eq. 3 of the paper: one forward FFT of the mask plus `N_k`
+//! inverse FFTs, one per optical kernel), so [`Fft2d`] owns its plans and a
+//! scratch column buffer and is designed to be constructed once per size and
+//! reused across iterations.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::complex::Complex64;
+use crate::plan::{Direction, FftPlan, FftPlanner};
+
+/// A reusable 2-D FFT for a fixed `rows x cols` shape.
+///
+/// Both dimensions must be powers of two. Forward and inverse plans are kept
+/// for both axes; the inverse applies `1/(rows*cols)` normalization in total
+/// (each 1-D inverse pass normalizes by its own length).
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{Complex64, Fft2d};
+///
+/// let fft = Fft2d::new(4, 8);
+/// let mut data = vec![Complex64::ZERO; 4 * 8];
+/// data[0] = Complex64::ONE;
+/// fft.forward(&mut data);
+/// // An impulse has a flat spectrum.
+/// assert!(data.iter().all(|z| (*z - Complex64::ONE).abs() < 1e-12));
+/// fft.inverse(&mut data);
+/// assert!((data[0] - Complex64::ONE).abs() < 1e-12);
+/// ```
+pub struct Fft2d {
+    rows: usize,
+    cols: usize,
+    row_fwd: Arc<FftPlan>,
+    row_inv: Arc<FftPlan>,
+    col_fwd: Arc<FftPlan>,
+    col_inv: Arc<FftPlan>,
+    scratch: RefCell<Vec<Complex64>>,
+}
+
+impl fmt::Debug for Fft2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fft2d")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish()
+    }
+}
+
+impl Fft2d {
+    /// Creates a transform for `rows x cols` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_planner(rows, cols, &mut FftPlanner::new())
+    }
+
+    /// Creates a transform sharing plans from an existing planner cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two.
+    pub fn with_planner(rows: usize, cols: usize, planner: &mut FftPlanner) -> Self {
+        assert!(rows.is_power_of_two() && cols.is_power_of_two());
+        Fft2d {
+            rows,
+            cols,
+            row_fwd: planner.plan(cols, Direction::Forward),
+            row_inv: planner.plan(cols, Direction::Inverse),
+            col_fwd: planner.plan(rows, Direction::Forward),
+            col_inv: planner.plan(rows, Direction::Inverse),
+            scratch: RefCell::new(vec![Complex64::ZERO; rows]),
+        }
+    }
+
+    /// Number of rows transformed.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns transformed.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// In-place forward 2-D transform of a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, &self.row_fwd, &self.col_fwd);
+    }
+
+    /// In-place inverse 2-D transform (normalized) of a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, &self.row_inv, &self.col_inv);
+    }
+
+    fn transform(&self, data: &mut [Complex64], row_plan: &FftPlan, col_plan: &FftPlan) {
+        assert_eq!(
+            data.len(),
+            self.rows * self.cols,
+            "buffer must be rows*cols = {}",
+            self.rows * self.cols
+        );
+
+        for r in 0..self.rows {
+            row_plan.process(&mut data[r * self.cols..(r + 1) * self.cols]);
+        }
+
+        let mut scratch = self.scratch.borrow_mut();
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                scratch[r] = data[r * self.cols + c];
+            }
+            col_plan.process(&mut scratch);
+            for r in 0..self.rows {
+                data[r * self.cols + c] = scratch[r];
+            }
+        }
+    }
+}
+
+/// Computes the forward 2-D FFT of a real-valued row-major image into a new
+/// complex buffer.
+///
+/// Convenience wrapper used at API boundaries where the input is a mask or
+/// wafer image (`f64` pixels).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols` or a dimension is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::fft2_real;
+///
+/// let spec = fft2_real(&[1.0, 0.0, 0.0, 0.0], 2, 2);
+/// assert!(spec.iter().all(|z| (z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12));
+/// ```
+pub fn fft2_real(data: &[f64], rows: usize, cols: usize) -> Vec<Complex64> {
+    assert_eq!(data.len(), rows * cols);
+    let mut buf: Vec<Complex64> = data.iter().map(|&x| Complex64::from_real(x)).collect();
+    Fft2d::new(rows, cols).forward(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft2(input: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; rows * cols];
+        for kr in 0..rows {
+            for kc in 0..cols {
+                let mut acc = Complex64::ZERO;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let theta = -std::f64::consts::TAU
+                            * (kr as f64 * r as f64 / rows as f64
+                                + kc as f64 * c as f64 / cols as f64);
+                        acc += input[r * cols + c] * Complex64::from_polar_angle(theta);
+                    }
+                }
+                out[kr * cols + kc] = acc;
+            }
+        }
+        out
+    }
+
+    fn sample(rows: usize, cols: usize) -> Vec<Complex64> {
+        (0..rows * cols)
+            .map(|i| Complex64::new((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_2d_dft() {
+        for (rows, cols) in [(2, 2), (4, 4), (4, 8), (8, 4), (16, 16)] {
+            let input = sample(rows, cols);
+            let mut data = input.clone();
+            Fft2d::new(rows, cols).forward(&mut data);
+            let want = naive_dft2(&input, rows, cols);
+            for (a, b) in data.iter().zip(&want) {
+                assert!((*a - *b).abs() < 1e-8, "{rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let (rows, cols) = (32, 16);
+        let input = sample(rows, cols);
+        let fft = Fft2d::new(rows, cols);
+        let mut data = input.clone();
+        fft.forward(&mut data);
+        fft.inverse(&mut data);
+        for (a, b) in data.iter().zip(&input) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn separable_product_structure() {
+        // fft2 of an outer product u v^T is the outer product of the 1-D ffts.
+        let rows = 8;
+        let cols = 8;
+        let u: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.9).sin() + 1.0).collect();
+        let v: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.4).cos()).collect();
+        let outer: Vec<Complex64> = (0..rows * cols)
+            .map(|i| Complex64::from_real(u[i / cols] * v[i % cols]))
+            .collect();
+        let mut data = outer;
+        Fft2d::new(rows, cols).forward(&mut data);
+
+        let mut fu: Vec<Complex64> = u.iter().map(|&x| Complex64::from_real(x)).collect();
+        let mut fv: Vec<Complex64> = v.iter().map(|&x| Complex64::from_real(x)).collect();
+        FftPlan::new(rows, Direction::Forward).process(&mut fu);
+        FftPlan::new(cols, Direction::Forward).process(&mut fv);
+
+        for r in 0..rows {
+            for c in 0..cols {
+                assert!((data[r * cols + c] - fu[r] * fv[c]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_term_is_sum() {
+        let (rows, cols) = (8, 8);
+        let input = sample(rows, cols);
+        let total: Complex64 = input.iter().copied().sum();
+        let mut data = input;
+        Fft2d::new(rows, cols).forward(&mut data);
+        assert!((data[0] - total).abs() < 1e-10);
+    }
+
+    #[test]
+    fn real_helper_matches_complex_path() {
+        let (rows, cols) = (8, 16);
+        let img: Vec<f64> = (0..rows * cols).map(|i| (i as f64 * 0.21).sin()).collect();
+        let via_helper = fft2_real(&img, rows, cols);
+        let mut via_complex: Vec<Complex64> =
+            img.iter().map(|&x| Complex64::from_real(x)).collect();
+        Fft2d::new(rows, cols).forward(&mut via_complex);
+        for (a, b) in via_helper.iter().zip(&via_complex) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn wrong_size_panics() {
+        let fft = Fft2d::new(4, 4);
+        let mut data = vec![Complex64::ZERO; 8];
+        fft.forward(&mut data);
+    }
+}

@@ -1,0 +1,43 @@
+//! Planned power-of-two FFTs for multi-resolution lithography simulation.
+//!
+//! This crate is the numerical bedrock of the multi-level ILT stack. It
+//! replaces the `torch.fft` dependency of the original DAC 2023
+//! implementation with:
+//!
+//! * [`Complex64`] — a self-contained complex value type,
+//! * [`FftPlanner`] / [`FftPlan`] — cached 1-D radix-2 plans,
+//! * [`Fft2d`] — reusable 2-D transforms over row-major buffers,
+//! * spectrum utilities ([`crop_centered`], [`pad_centered`], [`fftshift`])
+//!   implementing the frequency-domain size changes of Eqs. 3/7/8 of the
+//!   paper ("discard the high-frequency part of `F(M)`").
+//!
+//! # Example: band-limited downsampling (the Eq. 7 trick)
+//!
+//! ```
+//! use ilt_fft::{fft2_real, crop_centered, Fft2d, Complex64};
+//!
+//! // A 16x16 image; keep only its 8x8 low-frequency block and reconstruct
+//! // at quarter area — the core move of low-resolution lithography.
+//! let img: Vec<f64> = (0..256).map(|i| (i % 16) as f64 / 16.0).collect();
+//! let spec = fft2_real(&img, 16, 16);
+//! let mut small = crop_centered(&spec, 16, 8);
+//! for z in &mut small { *z = z.scale(1.0 / 4.0); } // 1/s^2, s = 2
+//! Fft2d::new(8, 8).inverse(&mut small);
+//! assert_eq!(small.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod complex;
+mod fft2d;
+mod plan;
+mod spectrum;
+
+pub use complex::Complex64;
+pub use fft2d::{fft2_real, Fft2d};
+pub use plan::{Direction, FftPlan, FftPlanner};
+pub use spectrum::{
+    crop_centered, fftshift, freq_index, ifftshift, pad_centered, pad_centered_into,
+    signed_freq,
+};

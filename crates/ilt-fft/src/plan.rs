@@ -1,0 +1,349 @@
+//! FFT plans: precomputed twiddle factors and bit-reversal permutations.
+//!
+//! Multi-level ILT transforms the same handful of sizes (N, N/2, N/4, N/8 and
+//! the kernel support P rounded up) thousands of times, so planning once and
+//! replaying the plan is the dominant-cost-saving structure here, mirroring
+//! FFTW-style planners.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::complex::Complex64;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Forward transform, `X[k] = sum_n x[n] e^{-2 pi i n k / N}`.
+    Forward,
+    /// Inverse transform, `x[n] = (1/N) sum_k X[k] e^{+2 pi i n k / N}`.
+    ///
+    /// The `1/N` normalization is applied by [`FftPlan::process`].
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent used by this direction.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// A reusable radix-2 decimation-in-time plan for a fixed power-of-two size.
+///
+/// Obtain plans through [`FftPlanner`], which caches them per size and
+/// direction.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{Complex64, Direction, FftPlanner};
+///
+/// let mut planner = FftPlanner::new();
+/// let fwd = planner.plan(8, Direction::Forward);
+/// let inv = planner.plan(8, Direction::Inverse);
+///
+/// let mut data: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
+/// let original = data.clone();
+/// fwd.process(&mut data);
+/// inv.process(&mut data);
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+pub struct FftPlan {
+    len: usize,
+    direction: Direction,
+    /// Flattened per-stage twiddles: stage `s` (half-size `m = 2^s`) stores
+    /// `m` twiddles `w^j = e^{sign * 2 pi i j / (2m)}` at offset `m - 1`.
+    twiddles: Vec<Complex64>,
+    /// Bit-reversal swap pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+impl fmt::Debug for FftPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FftPlan")
+            .field("len", &self.len)
+            .field("direction", &self.direction)
+            .finish()
+    }
+}
+
+impl FftPlan {
+    /// Builds a plan for `len` points in the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or not a power of two.
+    pub fn new(len: usize, direction: Direction) -> Self {
+        assert!(len.is_power_of_two(), "FFT length {len} must be a power of two");
+        let sign = direction.sign();
+
+        // Twiddles, laid out stage-major. Total count = len - 1.
+        let mut twiddles = Vec::with_capacity(len.saturating_sub(1));
+        let mut m = 1;
+        while m < len {
+            let step = sign * std::f64::consts::PI / m as f64;
+            for j in 0..m {
+                twiddles.push(Complex64::from_polar_angle(step * j as f64));
+            }
+            m *= 2;
+        }
+
+        // Bit reversal permutation as swap pairs.
+        let bits = len.trailing_zeros();
+        let mut swaps = Vec::new();
+        for i in 0..len as u32 {
+            let j = i.reverse_bits() >> (32 - bits.max(1));
+            let j = if bits == 0 { i } else { j };
+            if i < j {
+                swaps.push((i, j));
+            }
+        }
+
+        FftPlan { len, direction, twiddles, swaps }
+    }
+
+    /// Number of points this plan transforms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the plan is for the degenerate one-point transform.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len <= 1
+    }
+
+    /// Direction of this plan.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Transforms `data` in place.
+    ///
+    /// Inverse plans divide by `len` so that a forward/inverse pair is the
+    /// identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned size.
+    pub fn process(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.len, "buffer length must match plan size");
+        if self.len <= 1 {
+            return;
+        }
+
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+
+        let mut m = 1;
+        let mut toff = 0;
+        while m < self.len {
+            let tw = &self.twiddles[toff..toff + m];
+            let stride = 2 * m;
+            let mut base = 0;
+            while base < self.len {
+                for j in 0..m {
+                    let w = tw[j];
+                    let a = data[base + j];
+                    let b = data[base + j + m] * w;
+                    data[base + j] = a + b;
+                    data[base + j + m] = a - b;
+                }
+                base += stride;
+            }
+            toff += m;
+            m = stride;
+        }
+
+        if self.direction == Direction::Inverse {
+            let scale = 1.0 / self.len as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+}
+
+/// A size-and-direction cache of [`FftPlan`]s.
+///
+/// Plans are shared via [`Arc`], so clones handed out by [`FftPlanner::plan`]
+/// are cheap and can be stored inside simulator structs.
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    plans: HashMap<(usize, Direction), Arc<FftPlan>>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a (possibly cached) plan for `len` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or not a power of two.
+    pub fn plan(&mut self, len: usize, direction: Direction) -> Arc<FftPlan> {
+        self.plans
+            .entry((len, direction))
+            .or_insert_with(|| Arc::new(FftPlan::new(len, direction)))
+            .clone()
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct O(n^2) reference DFT.
+    fn naive_dft(input: &[Complex64], direction: Direction) -> Vec<Complex64> {
+        let n = input.len();
+        let sign = direction.sign();
+        let mut out = vec![Complex64::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, &x) in input.iter().enumerate() {
+                let theta = sign * std::f64::consts::TAU * (j * k) as f64 / n as f64;
+                *o += x * Complex64::from_polar_angle(theta);
+            }
+            if direction == Direction::Inverse {
+                *o = o.scale(1.0 / n as f64);
+            }
+        }
+        out
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_all_small_sizes() {
+        for bits in 0..8 {
+            let n = 1usize << bits;
+            let input = ramp(n);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut data = input.clone();
+                FftPlan::new(n, dir).process(&mut data);
+                let want = naive_dft(&input, dir);
+                for (a, b) in data.iter().zip(&want) {
+                    assert!((*a - *b).abs() < 1e-9, "n={n} dir={dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 256;
+        let input = ramp(n);
+        let mut data = input.clone();
+        FftPlan::new(n, Direction::Forward).process(&mut data);
+        FftPlan::new(n, Direction::Inverse).process(&mut data);
+        for (a, b) in data.iter().zip(&input) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 64;
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        FftPlan::new(n, Direction::Forward).process(&mut data);
+        for v in &data {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 64;
+        let mut data = vec![Complex64::ONE; n];
+        FftPlan::new(n, Direction::Forward).process(&mut data);
+        assert!((data[0] - Complex64::from_real(n as f64)).abs() < 1e-10);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let input = ramp(n);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        FftPlan::new(n, Direction::Forward).process(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let mut data = vec![Complex64::new(2.0, -3.0)];
+        FftPlan::new(1, Direction::Forward).process(&mut data);
+        assert_eq!(data[0], Complex64::new(2.0, -3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = FftPlan::new(12, Direction::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(8, Direction::Forward);
+        let mut data = vec![Complex64::ZERO; 4];
+        plan.process(&mut data);
+    }
+
+    #[test]
+    fn planner_caches_plans() {
+        let mut planner = FftPlanner::new();
+        let a = planner.plan(64, Direction::Forward);
+        let b = planner.plan(64, Direction::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = planner.plan(64, Direction::Inverse);
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn shift_theorem_holds() {
+        // x[n-1] circularly shifted has spectrum X[k] * e^{-2 pi i k / N}.
+        let n = 32;
+        let input = ramp(n);
+        let mut shifted = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            shifted[(i + 1) % n] = input[i];
+        }
+        let plan = FftPlan::new(n, Direction::Forward);
+        let mut fx = input.clone();
+        plan.process(&mut fx);
+        let mut fs = shifted;
+        plan.process(&mut fs);
+        for k in 0..n {
+            let phase =
+                Complex64::from_polar_angle(-std::f64::consts::TAU * k as f64 / n as f64);
+            assert!((fs[k] - fx[k] * phase).abs() < 1e-9);
+        }
+    }
+}

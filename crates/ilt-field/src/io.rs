@@ -1,0 +1,221 @@
+//! Minimal image export for inspecting masks and wafer images.
+//!
+//! The bench harness dumps optimized masks (Figs. 1, 4, 6, 7, 8 of the
+//! paper) as binary PGM, which every common viewer understands and which
+//! needs no external encoder.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::field::Field2D;
+
+/// Reads an 8-bit binary PGM (`P5`) image into a field with values scaled
+/// to `[0, 1]`.
+///
+/// Only the subset written by [`write_pgm`] is supported (single `P5`
+/// raster, maxval <= 255, `#` comments allowed in the header).
+///
+/// # Errors
+///
+/// Returns an I/O error for malformed headers, unsupported formats or a
+/// truncated payload.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> std::io::Result<()> {
+/// use ilt_field::read_pgm;
+/// let mask = read_pgm("mask.pgm")?;
+/// assert!(mask.max() <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<Field2D> {
+    let bytes = std::fs::read(path)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    // Tokenize the header: magic, width, height, maxval; '#' starts a
+    // comment running to end of line.
+    let mut pos = 0usize;
+    let mut tokens: Vec<String> = Vec::new();
+    while tokens.len() < 4 && pos < bytes.len() {
+        match bytes[pos] {
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            c if c.is_ascii_whitespace() => pos += 1,
+            _ => {
+                let start = pos;
+                while pos < bytes.len()
+                    && !bytes[pos].is_ascii_whitespace()
+                    && bytes[pos] != b'#'
+                {
+                    pos += 1;
+                }
+                tokens.push(
+                    std::str::from_utf8(&bytes[start..pos])
+                        .map_err(|_| bad("non-ascii header"))?
+                        .to_string(),
+                );
+            }
+        }
+    }
+    if tokens.len() < 4 {
+        return Err(bad("truncated PGM header"));
+    }
+    if tokens[0] != "P5" {
+        return Err(bad("only binary P5 PGM is supported"));
+    }
+    let cols: usize = tokens[1].parse().map_err(|_| bad("bad width"))?;
+    let rows: usize = tokens[2].parse().map_err(|_| bad("bad height"))?;
+    let maxval: u32 = tokens[3].parse().map_err(|_| bad("bad maxval"))?;
+    if maxval == 0 || maxval > 255 {
+        return Err(bad("only 8-bit PGM is supported"));
+    }
+    // Exactly one whitespace byte separates the header from the raster.
+    pos += 1;
+    let need = rows * cols;
+    if bytes.len() < pos + need {
+        return Err(bad("truncated PGM payload"));
+    }
+    let inv = 1.0 / f64::from(maxval);
+    let data: Vec<f64> =
+        bytes[pos..pos + need].iter().map(|&b| f64::from(b) * inv).collect();
+    Ok(Field2D::from_vec(rows, cols, data))
+}
+
+/// Writes a field as an 8-bit binary PGM (`P5`) image.
+///
+/// Values are linearly mapped from `[lo, hi]` to `[0, 255]` and clamped.
+/// Pass `(0.0, 1.0)` for masks and wafer images.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo`.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> std::io::Result<()> {
+/// use ilt_field::{Field2D, write_pgm};
+/// let mask = Field2D::filled(64, 64, 1.0);
+/// write_pgm(&mask, "mask.pgm", 0.0, 1.0)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_pgm(f: &Field2D, path: impl AsRef<Path>, lo: f64, hi: f64) -> io::Result<()> {
+    assert!(hi > lo, "invalid range [{lo}, {hi}]");
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "P5\n{} {}\n255", f.cols(), f.rows())?;
+    let scale = 255.0 / (hi - lo);
+    let bytes: Vec<u8> = f
+        .as_slice()
+        .iter()
+        .map(|&v| ((v - lo) * scale).clamp(0.0, 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Writes a field as a dense CSV matrix (one row per line).
+///
+/// Used for figure data series (e.g. the Fig. 5 sigmoid curves).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(f: &Field2D, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for r in 0..f.rows() {
+        let row: Vec<String> = f.row(r).iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let dir = std::env::temp_dir().join("ilt_field_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let f = Field2D::from_vec(1, 3, vec![0.0, 0.5, 1.0]);
+        write_pgm(&f, &path, 0.0, 1.0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.windows(4).position(|w| w == b"255\n").unwrap() + 4;
+        assert!(bytes.starts_with(b"P5\n3 1\n255\n"));
+        assert_eq!(&bytes[header_end..], &[0u8, 128, 255]);
+    }
+
+    #[test]
+    fn csv_roundtrip_by_eye() {
+        let dir = std::env::temp_dir().join("ilt_field_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let f = Field2D::from_vec(2, 2, vec![1.0, 2.5, -3.0, 0.0]);
+        write_csv(&f, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "1,2.5\n-3,0\n");
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let dir = std::env::temp_dir().join("ilt_field_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.pgm");
+        let f = Field2D::from_fn(5, 7, |r, c| ((r * 7 + c) as f64) / 34.0);
+        write_pgm(&f, &path, 0.0, 1.0).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.shape(), (5, 7));
+        for (a, b) in f.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn read_pgm_handles_comments() {
+        let dir = std::env::temp_dir().join("ilt_field_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("comment.pgm");
+        let mut bytes = b"P5\n# a comment\n2 2\n255\n".to_vec();
+        bytes.extend_from_slice(&[0u8, 255, 128, 64]);
+        std::fs::write(&path, bytes).unwrap();
+        let f = read_pgm(&path).unwrap();
+        assert_eq!(f.shape(), (2, 2));
+        assert_eq!(f[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn read_pgm_rejects_bad_input() {
+        let dir = std::env::temp_dir().join("ilt_field_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p6 = dir.join("bad.pgm");
+        std::fs::write(&p6, b"P6\n2 2\n255\nxxxxxxxxxxxx").unwrap();
+        assert!(read_pgm(&p6).is_err());
+        let trunc = dir.join("trunc.pgm");
+        std::fs::write(&trunc, b"P5\n4 4\n255\nxy").unwrap();
+        assert!(read_pgm(&trunc).is_err());
+    }
+
+    #[test]
+    fn pgm_clamps_out_of_range() {
+        let dir = std::env::temp_dir().join("ilt_field_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clamp.pgm");
+        let f = Field2D::from_vec(1, 2, vec![-1.0, 2.0]);
+        write_pgm(&f, &path, 0.0, 1.0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        assert_eq!(&bytes[n - 2..], &[0u8, 255]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for field operators.
+
+use ilt_field::{avg_pool_down, avg_pool_same, upsample_bilinear, upsample_nearest, Field2D};
+use proptest::prelude::*;
+
+fn field(rows: usize, cols: usize) -> impl Strategy<Value = Field2D> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Field2D::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Downsampling preserves the global mean exactly.
+    #[test]
+    fn pool_down_preserves_mean(f in field(8, 8), s in prop::sample::select(vec![1usize, 2, 4, 8])) {
+        let p = avg_pool_down(&f, s);
+        prop_assert!((p.mean() - f.mean()).abs() < 1e-10);
+    }
+
+    /// pool(upsample(f, s), s) == f for any field and factor.
+    #[test]
+    fn pool_inverts_upsample(f in field(6, 4), s in 1usize..=4) {
+        let u = upsample_nearest(&f, s);
+        let back = avg_pool_down(&u, s);
+        for (a, b) in back.as_slice().iter().zip(f.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// Smoothing cannot expand the value range (zero padding can only pull
+    /// toward zero, which we account for by extending the range with 0).
+    #[test]
+    fn smoothing_is_range_bounded(f in field(8, 8), n in prop::sample::select(vec![1usize, 3, 5])) {
+        let s = avg_pool_same(&f, n);
+        let lo = f.min().min(0.0) - 1e-12;
+        let hi = f.max().max(0.0) + 1e-12;
+        for &v in s.as_slice() {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Smoothing preserves the sum of interior-heavy fields exactly when the
+    /// border is zero (every window sum is complete).
+    #[test]
+    fn smoothing_preserves_sum_with_zero_border(inner in field(6, 6)) {
+        let mut f = Field2D::zeros(10, 10);
+        f.paste(&inner, 2, 2);
+        let s = avg_pool_same(&f, 3);
+        prop_assert!((s.sum() - f.sum()).abs() < 1e-9);
+    }
+
+    /// Bilinear upsampling stays within the source value range.
+    #[test]
+    fn bilinear_range_bounded(f in field(5, 5), s in 1usize..=4) {
+        let u = upsample_bilinear(&f, s);
+        prop_assert!(u.min() >= f.min() - 1e-12);
+        prop_assert!(u.max() <= f.max() + 1e-12);
+    }
+
+    /// Thresholding is idempotent.
+    #[test]
+    fn threshold_idempotent(f in field(6, 6), t in -5.0f64..5.0) {
+        let b = f.threshold(t);
+        prop_assert_eq!(b.threshold(0.5), b.clone());
+        for &v in b.as_slice() {
+            prop_assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    /// XOR count is symmetric and zero against self.
+    #[test]
+    fn xor_symmetry(a in field(5, 5), b in field(5, 5)) {
+        prop_assert_eq!(a.xor_count(&b), b.xor_count(&a));
+        prop_assert_eq!(a.xor_count(&a), 0);
+    }
+
+    /// crop is a partial inverse of paste.
+    #[test]
+    fn crop_inverts_paste(inner in field(3, 4), r0 in 0usize..5, c0 in 0usize..4) {
+        let mut big = Field2D::zeros(8, 8);
+        big.paste(&inner, r0, c0);
+        prop_assert_eq!(big.crop(r0, c0, 3, 4), inner);
+    }
+}

@@ -1,0 +1,208 @@
+//! Connected-component labelling of binary masks.
+//!
+//! Components are the unit of the paper's shape-level reasoning: SRAFs are
+//! the non-target components of an optimized mask, the Section III-D
+//! post-processing removes/rectangularizes small components, and mask
+//! complexity correlates with the component census.
+
+use ilt_field::Field2D;
+
+use crate::rect::Rect;
+
+/// Statistics of one 4-connected component of a binary mask.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Label index (0-based, in discovery order).
+    pub label: usize,
+    /// Number of pixels in the component.
+    pub area: usize,
+    /// Tight bounding box.
+    pub bbox: Rect,
+    /// All pixels `(row, col)` of the component, in scan order.
+    pub pixels: Vec<(usize, usize)>,
+}
+
+impl Component {
+    /// Ratio of component area to bounding-box area, in `(0, 1]`.
+    ///
+    /// Perfect rectangles have solidity 1; ragged or L-shaped SRAFs score
+    /// lower. Used by the post-processing rectangularization rule.
+    pub fn solidity(&self) -> f64 {
+        self.area as f64 / self.bbox.area().max(1) as f64
+    }
+}
+
+/// Labels all 4-connected components of `mask` (a pixel is foreground when
+/// `>= 0.5`).
+///
+/// Returns components in scan order of their first pixel.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_field::Field2D;
+/// use ilt_geom::label_components;
+///
+/// let mut f = Field2D::zeros(4, 4);
+/// f[(0, 0)] = 1.0;
+/// f[(0, 1)] = 1.0;
+/// f[(3, 3)] = 1.0; // diagonal from nothing: its own component
+/// let comps = label_components(&f);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0].area, 2);
+/// ```
+pub fn label_components(mask: &Field2D) -> Vec<Component> {
+    let (rows, cols) = mask.shape();
+    let src = mask.as_slice();
+    let mut visited = vec![false; rows * cols];
+    let mut comps = Vec::new();
+    let mut stack = Vec::new();
+
+    for start in 0..rows * cols {
+        if visited[start] || src[start] < 0.5 {
+            continue;
+        }
+        let label = comps.len();
+        let mut pixels = Vec::new();
+        let mut bbox = Rect::new(start / cols, start % cols, start / cols, start % cols);
+        bbox.r1 = bbox.r0; // start with an empty bbox at the seed
+        bbox.c1 = bbox.c0;
+
+        visited[start] = true;
+        stack.push(start);
+        while let Some(idx) = stack.pop() {
+            let (r, c) = (idx / cols, idx % cols);
+            pixels.push((r, c));
+            bbox = bbox.union_bbox(&Rect::new(r, c, r + 1, c + 1));
+            if r > 0 && !visited[idx - cols] && src[idx - cols] >= 0.5 {
+                visited[idx - cols] = true;
+                stack.push(idx - cols);
+            }
+            if r + 1 < rows && !visited[idx + cols] && src[idx + cols] >= 0.5 {
+                visited[idx + cols] = true;
+                stack.push(idx + cols);
+            }
+            if c > 0 && !visited[idx - 1] && src[idx - 1] >= 0.5 {
+                visited[idx - 1] = true;
+                stack.push(idx - 1);
+            }
+            if c + 1 < cols && !visited[idx + 1] && src[idx + 1] >= 0.5 {
+                visited[idx + 1] = true;
+                stack.push(idx + 1);
+            }
+        }
+        pixels.sort_unstable();
+        comps.push(Component { label, area: pixels.len(), bbox, pixels });
+    }
+    comps
+}
+
+/// Number of 4-connected components (cheaper than [`label_components`] when
+/// only the count is needed — no pixel lists are materialized).
+pub fn component_count(mask: &Field2D) -> usize {
+    let (rows, cols) = mask.shape();
+    let src = mask.as_slice();
+    let mut visited = vec![false; rows * cols];
+    let mut stack = Vec::new();
+    let mut count = 0;
+    for start in 0..rows * cols {
+        if visited[start] || src[start] < 0.5 {
+            continue;
+        }
+        count += 1;
+        visited[start] = true;
+        stack.push(start);
+        while let Some(idx) = stack.pop() {
+            let (r, c) = (idx / cols, idx % cols);
+            if r > 0 && !visited[idx - cols] && src[idx - cols] >= 0.5 {
+                visited[idx - cols] = true;
+                stack.push(idx - cols);
+            }
+            if r + 1 < rows && !visited[idx + cols] && src[idx + cols] >= 0.5 {
+                visited[idx + cols] = true;
+                stack.push(idx + cols);
+            }
+            if c > 0 && !visited[idx - 1] && src[idx - 1] >= 0.5 {
+                visited[idx - 1] = true;
+                stack.push(idx - 1);
+            }
+            if c + 1 < cols && !visited[idx + 1] && src[idx + 1] >= 0.5 {
+                visited[idx + 1] = true;
+                stack.push(idx + 1);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::rasterize_rects;
+
+    #[test]
+    fn empty_mask_has_no_components() {
+        assert!(label_components(&Field2D::zeros(8, 8)).is_empty());
+        assert_eq!(component_count(&Field2D::zeros(8, 8)), 0);
+    }
+
+    #[test]
+    fn full_mask_is_one_component() {
+        let f = Field2D::filled(5, 7, 1.0);
+        let comps = label_components(&f);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 35);
+        assert_eq!(comps[0].bbox, Rect::new(0, 0, 5, 7));
+        assert_eq!(comps[0].solidity(), 1.0);
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_under_4_connectivity() {
+        let mut f = Field2D::zeros(3, 3);
+        f[(0, 0)] = 1.0;
+        f[(1, 1)] = 1.0;
+        f[(2, 2)] = 1.0;
+        assert_eq!(component_count(&f), 3);
+    }
+
+    #[test]
+    fn l_shape_solidity() {
+        // 3x3 L: 5 pixels in a 3x3 bbox.
+        let mut f = Field2D::zeros(5, 5);
+        for r in 0..3 {
+            f[(r, 0)] = 1.0;
+        }
+        f[(2, 1)] = 1.0;
+        f[(2, 2)] = 1.0;
+        let comps = label_components(&f);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 5);
+        assert!((comps[0].solidity() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_rects_two_components() {
+        let f = rasterize_rects(&[Rect::new(0, 0, 2, 2), Rect::new(4, 4, 6, 6)], 8, 8);
+        let comps = label_components(&f);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].bbox, Rect::new(0, 0, 2, 2));
+        assert_eq!(comps[1].bbox, Rect::new(4, 4, 6, 6));
+        assert_eq!(component_count(&f), 2);
+    }
+
+    #[test]
+    fn touching_rects_merge() {
+        let f = rasterize_rects(&[Rect::new(0, 0, 2, 2), Rect::new(0, 2, 2, 4)], 4, 4);
+        assert_eq!(component_count(&f), 1);
+    }
+
+    #[test]
+    fn pixels_are_sorted_and_complete() {
+        let f = rasterize_rects(&[Rect::new(1, 1, 3, 3)], 4, 4);
+        let comps = label_components(&f);
+        assert_eq!(
+            comps[0].pixels,
+            vec![(1, 1), (1, 2), (2, 1), (2, 2)]
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: fracturing must always produce an exact disjoint
+//! tiling, and component labelling must partition the foreground.
+
+use ilt_field::Field2D;
+use ilt_geom::{
+    component_count, dilate, erode, fracture, label_components, rasterize_rects, Rect,
+};
+use proptest::prelude::*;
+
+fn random_mask(rows: usize, cols: usize) -> impl Strategy<Value = Field2D> {
+    proptest::collection::vec(prop::bool::weighted(0.4), rows * cols).prop_map(move |bits| {
+        Field2D::from_vec(
+            rows,
+            cols,
+            bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+        )
+    })
+}
+
+fn random_rects(max: usize) -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec((0usize..12, 0usize..12, 1usize..6, 1usize..6), 0..max)
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(r0, c0, h, w)| Rect::new(r0, c0, (r0 + h).min(16), (c0 + w).min(16)))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fracture rectangles are disjoint and cover the mask exactly.
+    #[test]
+    fn fracture_is_exact_tiling(mask in random_mask(12, 12)) {
+        let rects = fracture(&mask);
+        let area: usize = rects.iter().map(Rect::area).sum();
+        prop_assert_eq!(area, mask.count_on());
+        prop_assert_eq!(rasterize_rects(&rects, 12, 12), mask);
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                prop_assert!(!rects[i].intersects(&rects[j]));
+            }
+        }
+    }
+
+    /// Component areas sum to the foreground area, and every component's
+    /// bounding box is tight.
+    #[test]
+    fn components_partition_foreground(mask in random_mask(10, 10)) {
+        let comps = label_components(&mask);
+        let total: usize = comps.iter().map(|c| c.area).sum();
+        prop_assert_eq!(total, mask.count_on());
+        prop_assert_eq!(comps.len(), component_count(&mask));
+        for comp in &comps {
+            let mut rmin = usize::MAX;
+            let mut rmax = 0;
+            let mut cmin = usize::MAX;
+            let mut cmax = 0;
+            for &(r, c) in &comp.pixels {
+                rmin = rmin.min(r);
+                rmax = rmax.max(r);
+                cmin = cmin.min(c);
+                cmax = cmax.max(c);
+            }
+            prop_assert_eq!(comp.bbox, Rect::new(rmin, cmin, rmax + 1, cmax + 1));
+            prop_assert!(comp.solidity() > 0.0 && comp.solidity() <= 1.0);
+        }
+    }
+
+    /// Rasterizing rectangles then fracturing never produces more shots than
+    /// input rectangles would suggest per row-slab bound, and reproduces the mask.
+    #[test]
+    fn fracture_of_rect_unions(rects in random_rects(6)) {
+        let mask = rasterize_rects(&rects, 16, 16);
+        let shots = fracture(&mask);
+        prop_assert_eq!(rasterize_rects(&shots, 16, 16), mask);
+    }
+
+    /// Erosion shrinks, dilation grows, and both are monotone.
+    #[test]
+    fn morphology_monotone(mask in random_mask(10, 10), radius in 0usize..3) {
+        let e = erode(&mask, radius);
+        let d = dilate(&mask, radius);
+        for i in 0..100 {
+            let m = mask.as_slice()[i] >= 0.5;
+            let ev = e.as_slice()[i] >= 0.5;
+            let dv = d.as_slice()[i] >= 0.5;
+            prop_assert!(!ev || m, "erosion must be a subset");
+            prop_assert!(!m || dv, "dilation must be a superset");
+        }
+    }
+
+    /// Duality: erode(mask) == !dilate(!mask) away from the border.
+    #[test]
+    fn erosion_dilation_duality(mask in random_mask(10, 10)) {
+        let e = erode(&mask, 1);
+        let inv = mask.map(|x| 1.0 - x);
+        let d = dilate(&inv, 1);
+        for r in 1..9 {
+            for c in 1..9 {
+                prop_assert_eq!(e[(r, c)] >= 0.5, d[(r, c)] < 0.5, "({}, {})", r, c);
+            }
+        }
+    }
+}

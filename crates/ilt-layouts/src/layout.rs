@@ -1,0 +1,191 @@
+//! Layouts as rectangle lists in physical (nm) coordinates.
+
+use ilt_field::Field2D;
+
+/// An axis-aligned rectangle in nm, `[x0, x1) x [y0, y1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NmRect {
+    /// Left edge (nm).
+    pub x0: u32,
+    /// Bottom edge (nm).
+    pub y0: u32,
+    /// Right edge (nm, exclusive).
+    pub x1: u32,
+    /// Top edge (nm, exclusive).
+    pub y1: u32,
+}
+
+impl NmRect {
+    /// Creates a rectangle; coordinates must be ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 < x0` or `y1 < y0`.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "inverted rect ({x0},{y0})..({x1},{y1})");
+        NmRect { x0, y0, x1, y1 }
+    }
+
+    /// Area in nm^2.
+    pub fn area(&self) -> u64 {
+        u64::from(self.x1 - self.x0) * u64::from(self.y1 - self.y0)
+    }
+
+    /// Returns `true` if the rectangles share interior area.
+    pub fn overlaps(&self, other: &NmRect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+}
+
+/// A benchmark layout: disjoint rectangles inside a square clip.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_layouts::{Layout, NmRect};
+///
+/// let layout = Layout::new("demo", 2048, vec![NmRect::new(864, 864, 1184, 1184)]);
+/// assert_eq!(layout.area_nm2(), 320 * 320);
+/// let img = layout.rasterize(256);
+/// assert!(img.count_on() > 0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layout {
+    name: String,
+    clip_nm: u32,
+    rects: Vec<NmRect>,
+}
+
+impl Layout {
+    /// Builds a layout from disjoint rectangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rectangle leaves the clip or overlaps another (the
+    /// generators rely on disjointness for exact area accounting).
+    pub fn new(name: impl Into<String>, clip_nm: u32, rects: Vec<NmRect>) -> Self {
+        for (i, r) in rects.iter().enumerate() {
+            assert!(
+                r.x1 <= clip_nm && r.y1 <= clip_nm,
+                "rect {i} {r:?} exceeds the {clip_nm} nm clip"
+            );
+            for (j, other) in rects.iter().enumerate().skip(i + 1) {
+                assert!(!r.overlaps(other), "rects {i} and {j} overlap: {r:?} vs {other:?}");
+            }
+        }
+        Layout { name: name.into(), clip_nm, rects }
+    }
+
+    /// Human-readable case name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clip side length in nm.
+    pub fn clip_nm(&self) -> u32 {
+        self.clip_nm
+    }
+
+    /// The layout's rectangles.
+    pub fn rects(&self) -> &[NmRect] {
+        &self.rects
+    }
+
+    /// Exact polygon area in nm^2 (rectangles are disjoint).
+    pub fn area_nm2(&self) -> u64 {
+        self.rects.iter().map(NmRect::area).sum()
+    }
+
+    /// Physical pixel pitch when rasterized onto a `grid x grid` image.
+    pub fn nm_per_px(&self, grid: usize) -> f64 {
+        f64::from(self.clip_nm) / grid as f64
+    }
+
+    /// Rasterizes onto a `grid x grid` binary image (row 0 = bottom edge).
+    ///
+    /// A pixel is foreground when its center falls inside a rectangle, so
+    /// coarse grids sample the geometry rather than smearing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is zero.
+    pub fn rasterize(&self, grid: usize) -> Field2D {
+        assert!(grid > 0, "grid must be positive");
+        let scale = f64::from(self.clip_nm) / grid as f64;
+        let mut img = Field2D::zeros(grid, grid);
+        for r in &self.rects {
+            // Pixel centers at (i + 0.5) * scale; center-in-rect test gives
+            // the index ranges below.
+            let px0 = ((f64::from(r.x0) / scale - 0.5).ceil().max(0.0)) as usize;
+            let px1 = (((f64::from(r.x1) / scale - 0.5).floor()) as isize + 1).max(0) as usize;
+            let py0 = ((f64::from(r.y0) / scale - 0.5).ceil().max(0.0)) as usize;
+            let py1 = (((f64::from(r.y1) / scale - 0.5).floor()) as isize + 1).max(0) as usize;
+            for y in py0..py1.min(grid) {
+                for x in px0..px1.min(grid) {
+                    img[(y, x)] = 1.0;
+                }
+            }
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_accounting_is_exact_for_disjoint_rects() {
+        let l = Layout::new(
+            "t",
+            1000,
+            vec![NmRect::new(0, 0, 100, 50), NmRect::new(200, 200, 260, 400)],
+        );
+        assert_eq!(l.area_nm2(), 100 * 50 + 60 * 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_rects_panic() {
+        let _ = Layout::new(
+            "t",
+            1000,
+            vec![NmRect::new(0, 0, 100, 100), NmRect::new(50, 50, 150, 150)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_clip_panics() {
+        let _ = Layout::new("t", 100, vec![NmRect::new(0, 0, 101, 10)]);
+    }
+
+    #[test]
+    fn rasterized_area_tracks_polygon_area() {
+        let l = Layout::new("t", 2048, vec![NmRect::new(512, 512, 1536, 1536)]);
+        for grid in [256usize, 512, 1024] {
+            let img = l.rasterize(grid);
+            let px_area = img.count_on() as f64 * l.nm_per_px(grid).powi(2);
+            let rel = (px_area - l.area_nm2() as f64).abs() / l.area_nm2() as f64;
+            assert!(rel < 0.02, "grid {grid}: {rel}");
+        }
+    }
+
+    #[test]
+    fn rasterization_at_native_resolution_is_exact() {
+        let l = Layout::new("t", 256, vec![NmRect::new(10, 20, 60, 70)]);
+        let img = l.rasterize(256);
+        assert_eq!(img.count_on() as u64, l.area_nm2());
+        assert_eq!(img[(20, 10)], 1.0);
+        assert_eq!(img[(69, 59)], 1.0);
+        assert_eq!(img[(70, 60)], 0.0);
+    }
+
+    #[test]
+    fn nm_rect_geometry() {
+        let r = NmRect::new(0, 0, 10, 20);
+        assert_eq!(r.area(), 200);
+        assert!(r.overlaps(&NmRect::new(5, 5, 15, 15)));
+        assert!(!r.overlaps(&NmRect::new(10, 0, 20, 20))); // touching edges
+    }
+}

@@ -1,0 +1,37 @@
+//! Benchmark layouts for multi-level ILT.
+//!
+//! Three families, mirroring the paper's evaluation (Section IV):
+//!
+//! * [`iccad2013_case`] — stand-ins for the ten ICCAD 2013 M1 contest
+//!   clips, calibrated to the published areas of Table II,
+//! * [`extended_case`] — stand-ins for the ten denser Neural-ILT cases of
+//!   Table IV,
+//! * [`via_pattern`] — random via clips for the Section IV-C study.
+//!
+//! Layouts are rectangle lists in nm ([`Layout`]) rasterizable onto any
+//! grid size, so the same case can be run at the paper's full 2048-pixel
+//! resolution or at reduced scale on small machines.
+//!
+//! # Example
+//!
+//! ```
+//! use ilt_layouts::iccad2013_case;
+//!
+//! let case1 = iccad2013_case(1);
+//! let target = case1.rasterize(512);           // 4 nm pixels
+//! assert_eq!(target.shape(), (512, 512));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod layout;
+mod m1;
+mod via;
+
+pub use layout::{Layout, NmRect};
+pub use m1::{
+    extended_case, extended_suite, iccad2013_case, iccad2013_suite, CLIP_NM, EXTENDED_AREAS,
+    ICCAD2013_AREAS,
+};
+pub use via::{via_pattern, via_pattern_with, via_suite, ViaPatternConfig};

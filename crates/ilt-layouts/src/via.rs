@@ -1,0 +1,169 @@
+//! Random via-layer patterns (Section IV-C of the paper).
+//!
+//! The paper evaluates on fifteen 2048 x 2048 via clips drawn from the
+//! dataset of [14] (attention-based hotspot detection). That dataset is not
+//! redistributable, so we sample synthetic via arrays with the same
+//! character: small square contacts (~70 nm) scattered with a minimum
+//! center-to-center spacing, some in dense clusters, some isolated —
+//! exactly the regime where "via shapes are smaller than shapes on the M1
+//! layer and require finer adjustments".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layout::{Layout, NmRect};
+use crate::m1::CLIP_NM;
+
+/// Configuration for the via-pattern sampler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViaPatternConfig {
+    /// Side of each (square) via in nm.
+    pub via_nm: u32,
+    /// Number of vias to place.
+    pub count: usize,
+    /// Minimum center-to-center spacing in nm.
+    pub min_spacing_nm: u32,
+    /// Margin kept free at the clip border, in nm.
+    pub margin_nm: u32,
+}
+
+impl Default for ViaPatternConfig {
+    /// ~70 nm contacts, 25 per clip, 250 nm spacing — dense enough for
+    /// optical interaction between neighbors.
+    fn default() -> Self {
+        ViaPatternConfig { via_nm: 70, count: 25, min_spacing_nm: 250, margin_nm: 300 }
+    }
+}
+
+/// Samples a random via clip with the default configuration.
+///
+/// Deterministic per seed.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_layouts::via_pattern;
+///
+/// let clip = via_pattern(3);
+/// assert_eq!(clip.rects().len(), 25);
+/// assert_eq!(clip, via_pattern(3)); // deterministic
+/// ```
+pub fn via_pattern(seed: u64) -> Layout {
+    via_pattern_with(seed, ViaPatternConfig::default())
+}
+
+/// Samples a random via clip with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration cannot be satisfied (too many vias for the
+/// spacing) after a generous rejection-sampling budget.
+pub fn via_pattern_with(seed: u64, cfg: ViaPatternConfig) -> Layout {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+    let lo = cfg.margin_nm;
+    let hi = CLIP_NM - cfg.margin_nm - cfg.via_nm;
+    assert!(hi > lo, "margins leave no room for vias");
+
+    let mut centers: Vec<(i64, i64)> = Vec::with_capacity(cfg.count);
+    let mut rects = Vec::with_capacity(cfg.count);
+    let mut attempts = 0usize;
+    while rects.len() < cfg.count {
+        attempts += 1;
+        assert!(
+            attempts < 100_000,
+            "could not place {} vias with {} nm spacing",
+            cfg.count,
+            cfg.min_spacing_nm
+        );
+        let x0 = rng.gen_range(lo..=hi);
+        let y0 = rng.gen_range(lo..=hi);
+        let cx = i64::from(x0) + i64::from(cfg.via_nm) / 2;
+        let cy = i64::from(y0) + i64::from(cfg.via_nm) / 2;
+        let min_d2 = i64::from(cfg.min_spacing_nm) * i64::from(cfg.min_spacing_nm);
+        if centers
+            .iter()
+            .all(|&(px, py)| (px - cx).pow(2) + (py - cy).pow(2) >= min_d2)
+        {
+            centers.push((cx, cy));
+            rects.push(NmRect::new(x0, y0, x0 + cfg.via_nm, y0 + cfg.via_nm));
+        }
+    }
+    rects.sort();
+    Layout::new(format!("via{seed}"), CLIP_NM, rects)
+}
+
+/// The fifteen-clip via suite used by Section IV-C.
+pub fn via_suite() -> Vec<Layout> {
+    (0..15).map(via_pattern).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_constraint_is_respected() {
+        let cfg = ViaPatternConfig::default();
+        let clip = via_pattern(7);
+        let centers: Vec<(i64, i64)> = clip
+            .rects()
+            .iter()
+            .map(|r| {
+                (
+                    i64::from(r.x0) + i64::from(cfg.via_nm) / 2,
+                    i64::from(r.y0) + i64::from(cfg.via_nm) / 2,
+                )
+            })
+            .collect();
+        for i in 0..centers.len() {
+            for j in i + 1..centers.len() {
+                let d2 = (centers[i].0 - centers[j].0).pow(2)
+                    + (centers[i].1 - centers[j].1).pow(2);
+                assert!(
+                    d2 >= i64::from(cfg.min_spacing_nm).pow(2),
+                    "vias {i} and {j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_vias_have_requested_size() {
+        let clip = via_pattern(1);
+        for r in clip.rects() {
+            assert_eq!(r.x1 - r.x0, 70);
+            assert_eq!(r.y1 - r.y0, 70);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(via_pattern(1), via_pattern(2));
+    }
+
+    #[test]
+    fn suite_has_fifteen_clips() {
+        let suite = via_suite();
+        assert_eq!(suite.len(), 15);
+        for clip in &suite {
+            assert_eq!(clip.rects().len(), 25);
+        }
+    }
+
+    #[test]
+    fn custom_config_is_honored() {
+        let cfg = ViaPatternConfig { via_nm: 90, count: 9, min_spacing_nm: 400, margin_nm: 200 };
+        let clip = via_pattern_with(11, cfg);
+        assert_eq!(clip.rects().len(), 9);
+        assert_eq!(clip.rects()[0].x1 - clip.rects()[0].x0, 90);
+    }
+
+    #[test]
+    fn margin_is_respected() {
+        let clip = via_pattern(5);
+        for r in clip.rects() {
+            assert!(r.x0 >= 300 && r.y0 >= 300);
+            assert!(r.x1 <= CLIP_NM - 300 && r.y1 <= CLIP_NM - 300);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Evaluation metrics of the ICCAD 2013 mask-optimization contest.
+//!
+//! The DAC 2023 multi-level ILT paper reports five quantities per benchmark
+//! case, all implemented here:
+//!
+//! * **L2** — [`squared_l2`], Definition 1 (nominal print vs target),
+//! * **PVB** — [`pvband`], Definition 2 (inner/outer corner XOR area),
+//! * **EPE** — [`EpeChecker`], Definition 3 (15 nm threshold, 40 nm spacing),
+//! * **#shots** — Definition 4, via `ilt_geom::shot_count`,
+//! * **TAT** — [`TurnaroundTimer`].
+//!
+//! [`EvalReport`] bundles all five for one optimized mask.
+//!
+//! # Example
+//!
+//! ```
+//! use ilt_field::Field2D;
+//! use ilt_metrics::{pvband, squared_l2};
+//!
+//! let target = Field2D::filled(8, 8, 1.0);
+//! let print = Field2D::filled(8, 8, 1.0);
+//! assert_eq!(squared_l2(&print, &target, 1.0), 0.0);
+//! assert_eq!(pvband(&print, &target, 1.0), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod epe;
+mod report;
+
+pub use epe::{EdgeOrientation, EpeChecker, EpeResult, EpeSite};
+pub use report::{pvband, squared_l2, EvalReport, TurnaroundTimer};

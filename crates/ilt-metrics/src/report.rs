@@ -1,0 +1,191 @@
+//! Scalar metrics and the per-case evaluation report.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use ilt_field::Field2D;
+use ilt_geom::shot_count;
+
+use crate::epe::{EpeChecker, EpeResult};
+
+/// Squared L2 loss between a wafer image and the target (Definition 1), in
+/// nm^2.
+///
+/// For binary images this is the differing-pixel count scaled by the pixel
+/// area; the wafer image should be the nominal-condition print `Z_norm`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_field::Field2D;
+/// use ilt_metrics::squared_l2;
+///
+/// let a = Field2D::filled(4, 4, 1.0);
+/// let b = Field2D::zeros(4, 4);
+/// assert_eq!(squared_l2(&a, &b, 2.0), 64.0); // 16 px * 4 nm^2
+/// ```
+pub fn squared_l2(wafer: &Field2D, target: &Field2D, nm_per_px: f64) -> f64 {
+    wafer.sq_l2_dist(target) * nm_per_px * nm_per_px
+}
+
+/// Process variation band (Definition 2): XOR area between the inner and
+/// outer corner prints, in nm^2.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn pvband(inner: &Field2D, outer: &Field2D, nm_per_px: f64) -> f64 {
+    inner.xor_count(outer) as f64 * nm_per_px * nm_per_px
+}
+
+/// Wall-clock turnaround timer for the "TAT" column.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_metrics::TurnaroundTimer;
+/// let timer = TurnaroundTimer::start();
+/// let elapsed = timer.elapsed();
+/// assert!(elapsed.as_secs_f64() >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct TurnaroundTimer {
+    start: Instant,
+}
+
+impl TurnaroundTimer {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        TurnaroundTimer { start: Instant::now() }
+    }
+
+    /// Time since [`TurnaroundTimer::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Full per-case evaluation: the five columns of the paper's tables.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Squared L2 loss in nm^2 ("L2").
+    pub l2_nm2: f64,
+    /// Process variation band in nm^2 ("PVB").
+    pub pvband_nm2: f64,
+    /// EPE evaluation ("EPE" is [`EpeResult::violations`]).
+    pub epe: EpeResult,
+    /// Mask fracturing shot count ("#shots").
+    pub shots: usize,
+    /// Turnaround time in seconds ("TAT").
+    pub tat_seconds: f64,
+}
+
+impl EvalReport {
+    /// Evaluates a finished mask against a target.
+    ///
+    /// `prints` are the three corner wafer images; `mask` the final binary
+    /// mask. `tat` is the measured optimization wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if image shapes disagree.
+    pub fn evaluate(
+        target: &Field2D,
+        mask: &Field2D,
+        nominal: &Field2D,
+        inner: &Field2D,
+        outer: &Field2D,
+        checker: &EpeChecker,
+        tat: Duration,
+    ) -> Self {
+        let nm = checker.nm_per_px;
+        EvalReport {
+            l2_nm2: squared_l2(nominal, target, nm),
+            pvband_nm2: pvband(inner, outer, nm),
+            epe: checker.check(target, nominal),
+            shots: shot_count(mask),
+            tat_seconds: tat.as_secs_f64(),
+        }
+    }
+
+    /// EPE violation count.
+    pub fn epe_violations(&self) -> usize {
+        self.epe.violations()
+    }
+}
+
+impl fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L2 {:>10.0} nm^2 | PVB {:>10.0} nm^2 | EPE {:>3} | #shots {:>5} | TAT {:>7.2} s",
+            self.l2_nm2,
+            self.pvband_nm2,
+            self.epe_violations(),
+            self.shots,
+            self.tat_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_geom::{rasterize_rects, Rect};
+
+    #[test]
+    fn squared_l2_counts_differences() {
+        let a = Field2D::from_vec(1, 4, vec![1.0, 1.0, 0.0, 0.0]);
+        let b = Field2D::from_vec(1, 4, vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(squared_l2(&a, &b, 1.0), 2.0);
+        assert_eq!(squared_l2(&a, &a, 1.0), 0.0);
+    }
+
+    #[test]
+    fn pvband_is_symmetric_xor_area() {
+        let a = rasterize_rects(&[Rect::new(0, 0, 4, 4)], 8, 8);
+        let b = rasterize_rects(&[Rect::new(2, 2, 6, 6)], 8, 8);
+        let band = pvband(&a, &b, 1.0);
+        assert_eq!(band, pvband(&b, &a, 1.0));
+        // XOR of two offset 4x4 squares: 16 + 16 - 2 * 4 = 24.
+        assert_eq!(band, 24.0);
+    }
+
+    #[test]
+    fn eval_report_aggregates_all_metrics() {
+        let target = rasterize_rects(&[Rect::new(20, 20, 60, 60)], 128, 128);
+        let mask = target.clone();
+        let nominal = target.clone();
+        let inner = rasterize_rects(&[Rect::new(21, 21, 59, 59)], 128, 128);
+        let outer = rasterize_rects(&[Rect::new(19, 19, 61, 61)], 128, 128);
+        let report = EvalReport::evaluate(
+            &target,
+            &mask,
+            &nominal,
+            &inner,
+            &outer,
+            &EpeChecker::default(),
+            Duration::from_millis(1500),
+        );
+        assert_eq!(report.l2_nm2, 0.0);
+        assert!(report.pvband_nm2 > 0.0);
+        assert_eq!(report.epe_violations(), 0);
+        assert_eq!(report.shots, 1);
+        assert!((report.tat_seconds - 1.5).abs() < 1e-9);
+        let line = report.to_string();
+        assert!(line.contains("L2") && line.contains("#shots"));
+    }
+
+    #[test]
+    fn pixel_pitch_scales_areas_quadratically() {
+        let a = Field2D::filled(2, 2, 1.0);
+        let b = Field2D::zeros(2, 2);
+        assert_eq!(squared_l2(&a, &b, 1.0), 4.0);
+        assert_eq!(squared_l2(&a, &b, 4.0), 64.0);
+        assert_eq!(pvband(&a, &b, 4.0), 64.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Hermitian eigensolvers for the SOCS decomposition.
+//!
+//! Two pieces:
+//!
+//! * a classic cyclic **Jacobi** solver for small dense real-symmetric
+//!   matrices (the Rayleigh–Ritz projections, at most `2k x 2k`), and
+//! * blocked **subspace iteration** with Rayleigh–Ritz extraction for the
+//!   leading eigenpairs of a large Hermitian operator given only by its
+//!   matvec ([`HermitianOp`]), which is how the `P^2 x P^2` TCC is
+//!   decomposed without ever being materialized.
+//!
+//! Complex Hermitian Ritz blocks are handled through the standard real
+//! embedding `X + iY -> [[X, -Y], [Y, X]]`, whose spectrum duplicates each
+//! complex eigenvalue; duplicates are collapsed by complex Gram–Schmidt.
+
+use ilt_fft::Complex64;
+
+/// A Hermitian linear operator exposed through its matrix–vector product.
+pub trait HermitianOp {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+    /// Computes `out = A v`.
+    ///
+    /// Implementations may assume `v.len() == out.len() == self.dim()`.
+    fn apply(&self, v: &[Complex64], out: &mut [Complex64]);
+}
+
+/// One eigenpair of a Hermitian operator.
+#[derive(Clone, Debug)]
+pub struct EigPair {
+    /// Eigenvalue (real for Hermitian operators).
+    pub value: f64,
+    /// Unit-norm eigenvector.
+    pub vector: Vec<Complex64>,
+}
+
+/// Eigendecomposition of a small dense real-symmetric matrix by cyclic
+/// Jacobi rotations.
+///
+/// `a` is row-major `n x n`; returns `(values, vectors)` with `vectors`
+/// column-major (`vectors[j * n + i]` is component `i` of eigenvector `j`),
+/// sorted by descending eigenvalue.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+pub fn sym_eig_jacobi(a: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    let mut m = a.to_vec();
+    // v starts as identity; accumulates rotations column-wise
+    // (v[i * n + j] = component i of eigenvector j while iterating).
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in p + 1..n {
+                off += m[p * n + q] * m[p * n + q];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for i in 0..n {
+                    let aip = m[i * n + p];
+                    let aiq = m[i * n + q];
+                    m[i * n + p] = c * aip - s * aiq;
+                    m[i * n + q] = s * aip + c * aiq;
+                }
+                for j in 0..n {
+                    let apj = m[p * n + j];
+                    let aqj = m[q * n + j];
+                    m[p * n + j] = c * apj - s * aqj;
+                    m[q * n + j] = s * apj + c * aqj;
+                }
+                for i in 0..n {
+                    let vip = v[i * n + p];
+                    let viq = v[i * n + q];
+                    v[i * n + p] = c * vip - s * viq;
+                    v[i * n + q] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[j * n + j].partial_cmp(&m[i * n + i]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| m[i * n + i]).collect();
+    let mut vectors = vec![0.0; n * n];
+    for (col, &src) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[col * n + i] = v[i * n + src];
+        }
+    }
+    (values, vectors)
+}
+
+/// Computes the `k` leading eigenpairs of a Hermitian PSD operator by
+/// blocked subspace iteration with Rayleigh–Ritz extraction.
+///
+/// `oversample` extra directions improve convergence of the trailing kept
+/// eigenpairs; iteration stops when every kept Ritz value is stable to
+/// relative `tol` or after `max_iters` block multiplications.
+///
+/// Results are sorted by descending eigenvalue; eigenvectors are unit norm
+/// and mutually orthogonal.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > op.dim()`.
+pub fn top_eigenpairs(
+    op: &impl HermitianOp,
+    k: usize,
+    oversample: usize,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> Vec<EigPair> {
+    let n = op.dim();
+    assert!(k > 0 && k <= n, "need 0 < k <= dim (k = {k}, dim = {n})");
+    let b = (k + oversample).min(n);
+
+    // Deterministic pseudo-random start block.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut rand_unit = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let mut q: Vec<Vec<Complex64>> = (0..b)
+        .map(|_| (0..n).map(|_| Complex64::new(rand_unit(), rand_unit())).collect())
+        .collect();
+    orthonormalize(&mut q);
+
+    let mut prev_ritz: Vec<f64> = vec![f64::INFINITY; k];
+    let mut ritz_values: Vec<f64> = vec![0.0; b];
+
+    for iter in 0..max_iters {
+        // Z = A Q
+        let mut z: Vec<Vec<Complex64>> = q
+            .iter()
+            .map(|col| {
+                let mut out = vec![Complex64::ZERO; n];
+                op.apply(col, &mut out);
+                out
+            })
+            .collect();
+
+        // Rayleigh–Ritz on the block: S = Q^H Z (Hermitian b x b).
+        let mut s = vec![Complex64::ZERO; b * b];
+        for i in 0..b {
+            for j in 0..b {
+                s[i * b + j] = dot(&q[i], &z[j]);
+            }
+        }
+        let (vals, vecs) = hermitian_small_eig(&s, b);
+        ritz_values.copy_from_slice(&vals);
+
+        // Rotate the multiplied block by the Ritz vectors, so the columns of
+        // Z approximate eigenvector directions, then re-orthonormalize for
+        // the next power step.
+        let mut rotated: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; n]; b];
+        for (col, rot) in rotated.iter_mut().enumerate() {
+            for (src, zc) in z.iter().enumerate() {
+                let coef = vecs[col * b + src];
+                if coef == Complex64::ZERO {
+                    continue;
+                }
+                for (r, &zv) in rot.iter_mut().zip(zc) {
+                    *r += zv * coef;
+                }
+            }
+        }
+        z = rotated;
+        orthonormalize(&mut z);
+        q = z;
+
+        let converged = ritz_values[..k]
+            .iter()
+            .zip(&prev_ritz)
+            .all(|(&now, &before)| (now - before).abs() <= tol * now.abs().max(1e-30));
+        prev_ritz.copy_from_slice(&ritz_values[..k]);
+        if converged && iter >= 2 {
+            break;
+        }
+    }
+
+    // Final Ritz extraction on the converged subspace.
+    let mut z: Vec<Vec<Complex64>> = q
+        .iter()
+        .map(|col| {
+            let mut out = vec![Complex64::ZERO; n];
+            op.apply(col, &mut out);
+            out
+        })
+        .collect();
+    let mut s = vec![Complex64::ZERO; b * b];
+    for i in 0..b {
+        for j in 0..b {
+            s[i * b + j] = dot(&q[i], &z[j]);
+        }
+    }
+    let (vals, vecs) = hermitian_small_eig(&s, b);
+    let mut pairs = Vec::with_capacity(k);
+    for col in 0..k {
+        let mut vector = vec![Complex64::ZERO; n];
+        for (src, qc) in q.iter().enumerate() {
+            let coef = vecs[col * b + src];
+            for (v, &qv) in vector.iter_mut().zip(qc) {
+                *v += qv * coef;
+            }
+        }
+        normalize(&mut vector);
+        pairs.push(EigPair { value: vals[col], vector });
+    }
+    drop(z.drain(..));
+    pairs
+}
+
+/// Hermitian inner product `<a, b> = a^H b`.
+fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    a.iter().zip(b).map(|(&x, &y)| x.conj() * y).sum()
+}
+
+fn normalize(v: &mut [Complex64]) {
+    let norm = dot(v, v).re.sqrt();
+    if norm > 0.0 {
+        let inv = 1.0 / norm;
+        for x in v.iter_mut() {
+            *x = x.scale(inv);
+        }
+    }
+}
+
+/// Modified Gram–Schmidt with one re-orthogonalization pass. Columns that
+/// collapse (linearly dependent) are replaced by deterministic fresh
+/// directions and re-processed.
+fn orthonormalize(cols: &mut [Vec<Complex64>]) {
+    let n = cols.first().map_or(0, Vec::len);
+    for i in 0..cols.len() {
+        for _attempt in 0..3 {
+            for _pass in 0..2 {
+                for j in 0..i {
+                    let (left, right) = cols.split_at_mut(i);
+                    let proj = dot(&left[j], &right[0]);
+                    for (x, &b) in right[0].iter_mut().zip(&left[j]) {
+                        *x -= b * proj;
+                    }
+                }
+            }
+            let norm = dot(&cols[i], &cols[i]).re.sqrt();
+            if norm > 1e-12 {
+                let inv = 1.0 / norm;
+                for x in cols[i].iter_mut() {
+                    *x = x.scale(inv);
+                }
+                break;
+            }
+            // Degenerate column: reseed deterministically from its index.
+            for (t, x) in cols[i].iter_mut().enumerate() {
+                let h = ((t as u64 + 1).wrapping_mul(i as u64 + 7)).wrapping_mul(0x2545F4914F6CDD1D);
+                *x = Complex64::new(((h >> 16) % 1000) as f64 / 500.0 - 1.0, ((h >> 40) % 1000) as f64 / 500.0 - 1.0);
+            }
+            let _ = n;
+        }
+    }
+}
+
+/// Eigendecomposition of a small dense complex Hermitian matrix via the real
+/// symmetric embedding. Returns `(values, vectors)` with column-major complex
+/// eigenvectors sorted by descending eigenvalue.
+fn hermitian_small_eig(s: &[Complex64], b: usize) -> (Vec<f64>, Vec<Complex64>) {
+    // Embed X + iY as [[X, -Y], [Y, X]] (2b x 2b real symmetric).
+    let m = 2 * b;
+    let mut real = vec![0.0; m * m];
+    for i in 0..b {
+        for j in 0..b {
+            let z = s[i * b + j];
+            real[i * m + j] = z.re;
+            real[(i + b) * m + (j + b)] = z.re;
+            real[i * m + (j + b)] = -z.im;
+            real[(i + b) * m + j] = z.im;
+        }
+    }
+    let (vals, vecs) = sym_eig_jacobi(&real, m);
+
+    // Each complex eigenpair appears twice; collapse duplicates by
+    // Gram–Schmidt in complex space.
+    let mut out_vals = Vec::with_capacity(b);
+    let mut out_vecs: Vec<Vec<Complex64>> = Vec::with_capacity(b);
+    for col in 0..m {
+        if out_vals.len() == b {
+            break;
+        }
+        let mut cv: Vec<Complex64> = (0..b)
+            .map(|i| Complex64::new(vecs[col * m + i], vecs[col * m + (i + b)]))
+            .collect();
+        for prev in &out_vecs {
+            let proj = dot(prev, &cv);
+            for (x, &p) in cv.iter_mut().zip(prev) {
+                *x -= p * proj;
+            }
+        }
+        let norm = dot(&cv, &cv).re.sqrt();
+        if norm < 1e-8 {
+            continue; // duplicate of an already-kept eigenvector
+        }
+        let inv = 1.0 / norm;
+        for x in cv.iter_mut() {
+            *x = x.scale(inv);
+        }
+        out_vals.push(vals[col]);
+        out_vecs.push(cv);
+    }
+    debug_assert_eq!(out_vals.len(), b, "embedding must yield b distinct eigenpairs");
+
+    let mut flat = vec![Complex64::ZERO; b * b];
+    for (col, cv) in out_vecs.iter().enumerate() {
+        flat[col * b..(col + 1) * b].copy_from_slice(cv);
+    }
+    (out_vals, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct DenseH {
+        n: usize,
+        m: Vec<Complex64>,
+    }
+
+    impl HermitianOp for DenseH {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn apply(&self, v: &[Complex64], out: &mut [Complex64]) {
+            for i in 0..self.n {
+                let mut acc = Complex64::ZERO;
+                for j in 0..self.n {
+                    acc += self.m[i * self.n + j] * v[j];
+                }
+                out[i] = acc;
+            }
+        }
+    }
+
+    /// Builds A = U diag(vals) U^H for a deterministic unitary-ish U.
+    fn with_spectrum(vals: &[f64]) -> DenseH {
+        let n = vals.len();
+        let mut cols: Vec<Vec<Complex64>> = (0..n)
+            .map(|j| {
+                (0..n)
+                    .map(|i| {
+                        let t = (i * n + j) as f64;
+                        Complex64::new((t * 0.7).sin() + 0.1, (t * 1.3).cos())
+                    })
+                    .collect()
+            })
+            .collect();
+        orthonormalize(&mut cols);
+        let mut m = vec![Complex64::ZERO; n * n];
+        for (j, col) in cols.iter().enumerate() {
+            for a in 0..n {
+                for b in 0..n {
+                    m[a * n + b] += col[a] * col[b].conj() * vals[j];
+                }
+            }
+        }
+        DenseH { n, m }
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 3, 1.
+        let (vals, vecs) = sym_eig_jacobi(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        // First eigenvector ~ (1,1)/sqrt(2)
+        assert!((vecs[0].abs() - vecs[1].abs()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+                a[i * n + j] += v;
+                a[j * n + i] += v;
+            }
+        }
+        let (vals, vecs) = sym_eig_jacobi(&a, n);
+        // A = V diag V^T
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += vecs[k * n + i] * vals[k] * vecs[k * n + j];
+                }
+                assert!((acc - a[i * n + j]).abs() < 1e-8, "({i},{j})");
+            }
+        }
+        // Eigenvalues sorted descending.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn subspace_iteration_finds_leading_pairs() {
+        let spectrum = [10.0, 6.0, 3.0, 1.0, 0.5, 0.1, 0.05, 0.01];
+        let op = with_spectrum(&spectrum);
+        let pairs = top_eigenpairs(&op, 4, 3, 200, 1e-12, 42);
+        for (pair, &want) in pairs.iter().zip(&spectrum) {
+            assert!((pair.value - want).abs() < 1e-6, "{} vs {want}", pair.value);
+            // Residual || A v - lambda v ||.
+            let mut av = vec![Complex64::ZERO; op.dim()];
+            op.apply(&pair.vector, &mut av);
+            let res: f64 = av
+                .iter()
+                .zip(&pair.vector)
+                .map(|(&a, &v)| (a - v.scale(pair.value)).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-5, "residual {res}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let op = with_spectrum(&[5.0, 4.0, 3.0, 2.0, 1.0, 0.5]);
+        let pairs = top_eigenpairs(&op, 4, 2, 200, 1e-12, 7);
+        for i in 0..pairs.len() {
+            for j in 0..pairs.len() {
+                let d = dot(&pairs[i].vector, &pairs[j].vector);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d.re - want).abs() < 1e-6 && d.im.abs() < 1e-6, "({i},{j}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_eigenvalues() {
+        let op = with_spectrum(&[4.0, 4.0, 2.0, 1.0, 0.2]);
+        let pairs = top_eigenpairs(&op, 3, 2, 300, 1e-12, 3);
+        assert!((pairs[0].value - 4.0).abs() < 1e-6);
+        assert!((pairs[1].value - 4.0).abs() < 1e-6);
+        assert!((pairs[2].value - 2.0).abs() < 1e-6);
+        let d = dot(&pairs[0].vector, &pairs[1].vector);
+        assert!(d.abs() < 1e-5, "degenerate eigenvectors must stay orthogonal");
+    }
+
+    #[test]
+    fn rank_deficient_operator() {
+        let op = with_spectrum(&[3.0, 0.0, 0.0, 0.0]);
+        let pairs = top_eigenpairs(&op, 2, 1, 100, 1e-10, 11);
+        assert!((pairs[0].value - 3.0).abs() < 1e-7);
+        assert!(pairs[1].value.abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k <= dim")]
+    fn k_zero_panics() {
+        let op = with_spectrum(&[1.0, 0.5]);
+        let _ = top_eigenpairs(&op, 0, 0, 10, 1e-8, 1);
+    }
+}

@@ -1,0 +1,580 @@
+//! The forward lithography engine (Eqs. 1, 3, 7, 8 and 9 of the paper).
+//!
+//! One [`LithoSimulator`] owns a nominal and a defocused [`KernelSet`] and
+//! computes aerial images at **any** power-of-two resolution with the same
+//! `P x P` kernel block:
+//!
+//! * full resolution (Eq. 3): `I = sum_k w_k |F_N^-1(pad(H_k . crop(F_N M)))|^2`,
+//! * reduced output (Eq. 7): inverse transforms at `N/s` with a `1/s^2`
+//!   amplitude bridge — exact subsampling for band-limited spectra,
+//! * reduced everything (Eq. 8): the low-resolution ILT path, where the
+//!   already-downsampled mask is transformed at `N/s` directly.
+//!
+//! The engine also exposes the *adjoint* of the aerial-image map
+//! ([`LithoSimulator::aerial_vjp`]), which is the gradient kernel every ILT
+//! iteration needs — this replaces PyTorch autograd in the original
+//! implementation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use ilt_fft::{crop_centered, pad_centered_into, Complex64, Fft2d};
+use ilt_field::Field2D;
+
+use crate::config::OpticsConfig;
+use crate::kernels::KernelSet;
+
+/// A process-window corner: focus state plus dose factor.
+///
+/// Dose multiplies the aerial intensity (`I_dose = dose * I`), the standard
+/// exposure-latitude model; defocus swaps in the defocused kernel set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessCondition {
+    /// Use the defocused kernel set.
+    pub defocus: bool,
+    /// Dose factor (1.0 = nominal; the contest corners are 0.98 / 1.02).
+    pub dose: f64,
+}
+
+impl ProcessCondition {
+    /// Nominal focus, nominal dose — the `Z_norm` condition (Definition 1).
+    pub const fn nominal() -> Self {
+        ProcessCondition { defocus: false, dose: 1.0 }
+    }
+
+    /// Defocus and -2% dose — the `Z_in` corner (Definition 2).
+    pub const fn inner() -> Self {
+        ProcessCondition { defocus: true, dose: 0.98 }
+    }
+
+    /// Nominal focus and +2% dose — the `Z_out` corner (Definition 2).
+    pub const fn outer() -> Self {
+        ProcessCondition { defocus: false, dose: 1.02 }
+    }
+}
+
+impl Default for ProcessCondition {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// Wafer prints at the three process corners.
+#[derive(Clone, Debug)]
+pub struct CornerPrints {
+    /// Print under [`ProcessCondition::nominal`].
+    pub nominal: Field2D,
+    /// Print under [`ProcessCondition::inner`].
+    pub inner: Field2D,
+    /// Print under [`ProcessCondition::outer`].
+    pub outer: Field2D,
+}
+
+/// Saved forward state allowing a cheap adjoint pass.
+///
+/// Holds only the `N_k` cropped per-kernel spectra (`P^2` complex values
+/// each), not the full-size convolution fields, so caching a 2048-pixel
+/// forward pass costs kilobytes instead of gigabytes.
+pub struct AerialCache {
+    m: usize,
+    defocus: bool,
+    /// `S_k = H_k . crop(F(M))`, one `P^2` block per kernel.
+    spectra: Vec<Vec<Complex64>>,
+}
+
+impl fmt::Debug for AerialCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AerialCache")
+            .field("m", &self.m)
+            .field("defocus", &self.defocus)
+            .field("kernels", &self.spectra.len())
+            .finish()
+    }
+}
+
+impl AerialCache {
+    /// Resolution of the cached forward pass.
+    pub fn size(&self) -> usize {
+        self.m
+    }
+}
+
+/// The forward lithography simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_field::Field2D;
+/// use ilt_optics::{LithoSimulator, OpticsConfig, ProcessCondition};
+///
+/// # fn main() -> Result<(), String> {
+/// let cfg = OpticsConfig { grid: 128, nm_per_px: 4.0, num_kernels: 4, ..OpticsConfig::default() };
+/// let sim = LithoSimulator::new(cfg)?;
+/// let mask = Field2D::from_fn(128, 128, |r, c| {
+///     if (40..88).contains(&r) && (40..88).contains(&c) { 1.0 } else { 0.0 }
+/// });
+/// let wafer = sim.print(&mask, ProcessCondition::nominal());
+/// assert!(wafer.count_on() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct LithoSimulator {
+    cfg: OpticsConfig,
+    nominal: KernelSet,
+    defocused: KernelSet,
+    ffts: RefCell<HashMap<usize, Rc<Fft2d>>>,
+}
+
+impl fmt::Debug for LithoSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LithoSimulator")
+            .field("grid", &self.cfg.grid)
+            .field("kernels", &self.nominal.num_kernels())
+            .field("p", &self.nominal.p())
+            .finish()
+    }
+}
+
+impl LithoSimulator {
+    /// Builds the simulator: validates the configuration and derives both
+    /// focus-condition kernel sets (the expensive, once-per-config step).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent configuration.
+    pub fn new(cfg: OpticsConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let (nominal, defocused) = KernelSet::focus_pair(&cfg);
+        Ok(LithoSimulator { cfg, nominal, defocused, ffts: RefCell::new(HashMap::new()) })
+    }
+
+    /// Builds a simulator from pre-computed kernel sets (for tests and for
+    /// replaying externally calibrated kernels).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the kernel
+    /// supports disagree with it.
+    pub fn with_kernels(
+        cfg: OpticsConfig,
+        nominal: KernelSet,
+        defocused: KernelSet,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if nominal.p() != cfg.kernel_size() || defocused.p() != cfg.kernel_size() {
+            return Err(format!(
+                "kernel support {} does not match configured size {}",
+                nominal.p(),
+                cfg.kernel_size()
+            ));
+        }
+        Ok(LithoSimulator { cfg, nominal, defocused, ffts: RefCell::new(HashMap::new()) })
+    }
+
+    /// The configuration this simulator was built from.
+    pub fn config(&self) -> &OpticsConfig {
+        &self.cfg
+    }
+
+    /// The kernel set for a focus state.
+    pub fn kernels(&self, defocus: bool) -> &KernelSet {
+        if defocus {
+            &self.defocused
+        } else {
+            &self.nominal
+        }
+    }
+
+    fn fft(&self, m: usize) -> Rc<Fft2d> {
+        self.ffts
+            .borrow_mut()
+            .entry(m)
+            .or_insert_with(|| Rc::new(Fft2d::new(m, m)))
+            .clone()
+    }
+
+    fn check_mask(&self, mask: &Field2D) -> usize {
+        let (rows, cols) = mask.shape();
+        assert_eq!(rows, cols, "mask must be square, got {rows}x{cols}");
+        assert!(rows.is_power_of_two(), "mask size {rows} must be a power of two");
+        assert!(
+            rows >= self.nominal.p(),
+            "mask size {rows} smaller than kernel support {}",
+            self.nominal.p()
+        );
+        rows
+    }
+
+    /// Aerial image of `mask` at the mask's own resolution.
+    ///
+    /// At full grid size this is Eq. 3; at a reduced size it is Eq. 8 (the
+    /// caller supplies the already-downsampled mask `M_s`). The two share
+    /// one code path because the kernel block is resolution-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is not square/power-of-two or smaller than `P`.
+    pub fn aerial(&self, mask: &Field2D, defocus: bool) -> Field2D {
+        self.aerial_with_cache(mask, defocus).0
+    }
+
+    /// Like [`LithoSimulator::aerial`], returning the adjoint cache as well.
+    pub fn aerial_with_cache(&self, mask: &Field2D, defocus: bool) -> (Field2D, AerialCache) {
+        let m = self.check_mask(mask);
+        let kernels = self.kernels(defocus);
+        let p = kernels.p();
+        let fft = self.fft(m);
+
+        let mut spec: Vec<Complex64> =
+            mask.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
+        fft.forward(&mut spec);
+        let low = crop_centered(&spec, m, p);
+
+        let mut intensity = vec![0.0; m * m];
+        let mut buf = vec![Complex64::ZERO; m * m];
+        let mut cached = Vec::with_capacity(kernels.num_kernels());
+        for k in 0..kernels.num_kernels() {
+            let w = kernels.weights()[k];
+            let hk = kernels.spectrum(k);
+            let sk: Vec<Complex64> = hk.iter().zip(&low).map(|(&h, &f)| h * f).collect();
+            pad_centered_into(&sk, p, &mut buf, m);
+            fft.inverse(&mut buf);
+            for (i, z) in buf.iter().enumerate() {
+                intensity[i] += w * z.norm_sqr();
+            }
+            cached.push(sk);
+        }
+        (
+            Field2D::from_vec(m, m, intensity),
+            AerialCache { m, defocus, spectra: cached },
+        )
+    }
+
+    /// Vector–Jacobian product of the aerial-image map: given
+    /// `g = dL/dI`, returns `dL/dM` at the cached resolution.
+    ///
+    /// Derivation: with `z_k = C_k M` (linear), `I = sum_k w_k |z_k|^2`, so
+    /// `dL/dM = sum_k 2 w_k Re[C_k^H (g . z_k)]`, and `C_k^H` has the same
+    /// crop/pad structure with `conj(H_k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` is not the cache's resolution.
+    pub fn aerial_vjp(&self, cache: &AerialCache, grad: &Field2D) -> Field2D {
+        let m = cache.m;
+        assert_eq!(grad.shape(), (m, m), "gradient must match cached resolution {m}");
+        let kernels = self.kernels(cache.defocus);
+        let p = kernels.p();
+        let fft = self.fft(m);
+
+        let g = grad.as_slice();
+        let mut acc = vec![Complex64::ZERO; p * p];
+        let mut buf = vec![Complex64::ZERO; m * m];
+        for (k, sk) in cache.spectra.iter().enumerate() {
+            let w = kernels.weights()[k];
+            let hk = kernels.spectrum(k);
+            // Recompute z_k from the tiny cached spectrum.
+            pad_centered_into(sk, p, &mut buf, m);
+            fft.inverse(&mut buf);
+            // u = g .* z_k, then back through the adjoint convolution.
+            for (z, &gi) in buf.iter_mut().zip(g) {
+                *z = z.scale(gi);
+            }
+            fft.forward(&mut buf);
+            let cropped = crop_centered(&buf, m, p);
+            let scale = 2.0 * w;
+            for ((a, &h), &c) in acc.iter_mut().zip(hk).zip(&cropped) {
+                *a += (h.conj() * c).scale(scale);
+            }
+        }
+        pad_centered_into(&acc, p, &mut buf, m);
+        fft.inverse(&mut buf);
+        Field2D::from_vec(m, m, buf.iter().map(|z| z.re).collect())
+    }
+
+    /// Eq. 7: aerial image of a **full-resolution** mask, evaluated only at
+    /// every `s`-th pixel, via `N/s`-point inverse transforms.
+    ///
+    /// Exact (not approximate) because the kernel spectra vanish outside the
+    /// retained band. Used by the forward-simulation timing study; the
+    /// low-resolution ILT path uses Eq. 8 via [`LithoSimulator::aerial`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not divide the mask size or `N/s < P`.
+    pub fn aerial_subsampled(&self, mask: &Field2D, s: usize, defocus: bool) -> Field2D {
+        let n = self.check_mask(mask);
+        assert!(s > 0 && n % s == 0, "scale {s} must divide mask size {n}");
+        let m = n / s;
+        let kernels = self.kernels(defocus);
+        let p = kernels.p();
+        assert!(m >= p, "reduced size {m} smaller than kernel support {p}");
+        assert!(m.is_power_of_two(), "reduced size {m} must be a power of two");
+
+        let fft_n = self.fft(n);
+        let fft_m = self.fft(m);
+        let mut spec: Vec<Complex64> =
+            mask.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
+        fft_n.forward(&mut spec);
+        let low = crop_centered(&spec, n, p);
+        let bridge = 1.0 / (s * s) as f64; // normalization change N -> N/s
+
+        let mut intensity = vec![0.0; m * m];
+        let mut buf = vec![Complex64::ZERO; m * m];
+        for k in 0..kernels.num_kernels() {
+            let w = kernels.weights()[k];
+            let hk = kernels.spectrum(k);
+            let sk: Vec<Complex64> =
+                hk.iter().zip(&low).map(|(&h, &f)| (h * f).scale(bridge)).collect();
+            pad_centered_into(&sk, p, &mut buf, m);
+            fft_m.inverse(&mut buf);
+            for (i, z) in buf.iter().enumerate() {
+                intensity[i] += w * z.norm_sqr();
+            }
+        }
+        Field2D::from_vec(m, m, intensity)
+    }
+
+    /// Constant-threshold resist (Eq. 1) with dose: `Z = [dose * I >= I_th]`.
+    pub fn resist_hard(&self, intensity: &Field2D, dose: f64) -> Field2D {
+        let th = self.cfg.resist_threshold / dose;
+        intensity.threshold(th)
+    }
+
+    /// Sigmoid resist (Eq. 9) with dose:
+    /// `Z = 1 / (1 + exp(-alpha (dose * I - I_th)))`.
+    pub fn resist_sigmoid(&self, intensity: &Field2D, dose: f64) -> Field2D {
+        let alpha = self.cfg.resist_steepness;
+        let th = self.cfg.resist_threshold;
+        intensity.map(|i| 1.0 / (1.0 + (-alpha * (dose * i - th)).exp()))
+    }
+
+    /// Full print: aerial image + hard resist under `cond`.
+    pub fn print(&self, mask: &Field2D, cond: ProcessCondition) -> Field2D {
+        let intensity = self.aerial(mask, cond.defocus);
+        self.resist_hard(&intensity, cond.dose)
+    }
+
+    /// Prints at the three process corners (Definitions 1 and 2).
+    pub fn print_corners(&self, mask: &Field2D) -> CornerPrints {
+        // Nominal and outer share the focused aerial image; inner needs the
+        // defocused one. Two aerial evaluations, three prints.
+        let focused = self.aerial(mask, false);
+        let defocused = self.aerial(mask, true);
+        CornerPrints {
+            nominal: self.resist_hard(&focused, ProcessCondition::nominal().dose),
+            inner: self.resist_hard(&defocused, ProcessCondition::inner().dose),
+            outer: self.resist_hard(&focused, ProcessCondition::outer().dose),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceSpec;
+
+    fn sim(grid: usize) -> LithoSimulator {
+        // 4 nm pixels keep the clip physically meaningful at small grids
+        // (grid 128 -> a 512 nm clip) so the pupil is actually resolved.
+        let cfg = OpticsConfig {
+            grid,
+            nm_per_px: 4.0,
+            num_kernels: 6,
+            source: SourceSpec::Annular { sigma_in: 0.5, sigma_out: 0.9 },
+            defocus_nm: 60.0,
+            ..OpticsConfig::default()
+        };
+        LithoSimulator::new(cfg).expect("valid config")
+    }
+
+    fn square_mask(n: usize, lo: usize, hi: usize) -> Field2D {
+        Field2D::from_fn(n, n, |r, c| {
+            if (lo..hi).contains(&r) && (lo..hi).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn open_frame_intensity_is_one() {
+        let sim = sim(64);
+        let i = sim.aerial(&Field2D::filled(64, 64, 1.0), false);
+        for &v in i.as_slice() {
+            assert!((v - 1.0).abs() < 1e-9, "open frame intensity {v}");
+        }
+    }
+
+    #[test]
+    fn dark_frame_intensity_is_zero() {
+        let sim = sim(64);
+        let i = sim.aerial(&Field2D::zeros(64, 64), false);
+        assert!(i.max() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_is_nonnegative_and_finite() {
+        let sim = sim(64);
+        let mask = square_mask(64, 20, 44);
+        let i = sim.aerial(&mask, true);
+        assert!(i.min() >= 0.0);
+        assert!(i.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn large_feature_prints_small_feature_fades() {
+        let sim = sim(128);
+        // 240 nm square (60 px at 4 nm): clears the threshold in its center.
+        let big = square_mask(128, 34, 94);
+        let z = sim.print(&big, ProcessCondition::nominal());
+        assert_eq!(z[(64, 64)], 1.0, "large feature center must print");
+        // 24 nm square: below the ~36 nm half-pitch resolution, must fade.
+        let tiny = square_mask(128, 61, 67);
+        let zt = sim.print(&tiny, ProcessCondition::nominal());
+        assert_eq!(zt.count_on(), 0, "sub-resolution speck must not print");
+    }
+
+    #[test]
+    fn dose_ordering_monotone() {
+        // Higher dose can only grow the printed area (for positive masks).
+        let sim = sim(128);
+        let mask = square_mask(128, 40, 88);
+        let i = sim.aerial(&mask, false);
+        let lo = sim.resist_hard(&i, 0.98);
+        let hi = sim.resist_hard(&i, 1.02);
+        for (a, b) in lo.as_slice().iter().zip(hi.as_slice()) {
+            assert!(b >= a, "dose monotonicity violated");
+        }
+        assert!(hi.count_on() > lo.count_on());
+    }
+
+    #[test]
+    fn corners_generate_nonzero_pvband() {
+        let sim = sim(128);
+        let mask = square_mask(128, 40, 88);
+        let corners = sim.print_corners(&mask);
+        let pvb = corners.inner.xor_count(&corners.outer);
+        assert!(pvb > 0, "process corners must differ");
+        // The nominal print sits between the corners in area.
+        let (ai, an, ao) = (
+            corners.inner.count_on(),
+            corners.nominal.count_on(),
+            corners.outer.count_on(),
+        );
+        assert!(ai <= an && an <= ao, "corner areas not ordered: {ai} {an} {ao}");
+    }
+
+    #[test]
+    fn eq8_low_res_approximates_pooled_full_res() {
+        // The paper's central approximation: simulate the avg-pooled mask at
+        // N/s and compare against the avg-pooled full-resolution image.
+        let sim = sim(128);
+        let mask = square_mask(128, 32, 96);
+        let full = sim.aerial(&mask, false);
+        let pooled_full = ilt_field::avg_pool_down(&full, 4);
+        let mask_s = ilt_field::avg_pool_down(&mask, 4);
+        let low = sim.aerial(&mask_s, false);
+        // Relative RMS error between the two must be small.
+        let err = (low.sq_l2_dist(&pooled_full) / pooled_full.as_slice().len() as f64).sqrt();
+        assert!(err < 0.05, "Eq. 8 approximation error too large: {err}");
+    }
+
+    #[test]
+    fn eq7_subsampling_is_exact() {
+        // Eq. 7 must match the full-resolution image sampled every s pixels
+        // to machine precision (the kernels are band-limited).
+        let sim = sim(128);
+        let mask = square_mask(128, 30, 90);
+        let full = sim.aerial(&mask, false);
+        for s in [2usize, 4] {
+            let sub = sim.aerial_subsampled(&mask, s, false);
+            let m = 128 / s;
+            for r in 0..m {
+                for c in 0..m {
+                    let want = full[(r * s, c * s)];
+                    let got = sub[(r, c)];
+                    assert!(
+                        (want - got).abs() < 1e-10,
+                        "s={s} ({r},{c}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vjp_matches_finite_differences() {
+        let sim = sim(32);
+        let mask = Field2D::from_fn(32, 32, |r, c| {
+            0.5 + 0.4 * ((r as f64 * 0.5).sin() * (c as f64 * 0.3).cos())
+        });
+        // Loss L = sum(I .* W) for a fixed weight field W.
+        let wfield = Field2D::from_fn(32, 32, |r, c| ((r + 2 * c) % 5) as f64 / 5.0 - 0.4);
+        let (_, cache) = sim.aerial_with_cache(&mask, false);
+        let grad = sim.aerial_vjp(&cache, &wfield);
+
+        let eps = 1e-5;
+        for &(r, c) in &[(0usize, 0usize), (5, 7), (16, 16), (31, 2), (12, 25)] {
+            let mut mp = mask.clone();
+            mp[(r, c)] += eps;
+            let mut mm = mask.clone();
+            mm[(r, c)] -= eps;
+            let lp = sim.aerial(&mp, false).hadamard(&wfield).sum();
+            let lm = sim.aerial(&mm, false).hadamard(&wfield).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad[(r, c)] - fd).abs() < 1e-5 * fd.abs().max(1.0),
+                "({r},{c}): vjp {} vs fd {fd}",
+                grad[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn vjp_defocus_uses_defocused_kernels() {
+        let sim = sim(32);
+        let mask = Field2D::from_fn(32, 32, |r, c| ((r * c) % 7) as f64 / 7.0);
+        let g = Field2D::filled(32, 32, 1.0);
+        let (_, cache_f) = sim.aerial_with_cache(&mask, false);
+        let (_, cache_d) = sim.aerial_with_cache(&mask, true);
+        let gf = sim.aerial_vjp(&cache_f, &g);
+        let gd = sim.aerial_vjp(&cache_d, &g);
+        assert!(gf.sq_l2_dist(&gd) > 1e-12, "focus state must affect the gradient");
+    }
+
+    #[test]
+    fn sigmoid_resist_brackets_hard_resist() {
+        let sim = sim(64);
+        let mask = square_mask(64, 16, 48);
+        let i = sim.aerial(&mask, false);
+        let soft = sim.resist_sigmoid(&i, 1.0);
+        let hard = sim.resist_hard(&i, 1.0);
+        assert!(soft.min() >= 0.0 && soft.max() <= 1.0);
+        // Soft and hard agree where intensity is far from threshold.
+        for (idx, (&s, &h)) in soft.as_slice().iter().zip(hard.as_slice()).enumerate() {
+            let iv = i.as_slice()[idx];
+            if (iv - sim.config().resist_threshold).abs() > 0.1 {
+                assert!((s - h).abs() < 0.01, "idx {idx}: sigmoid {s} vs hard {h} at I={iv}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_mask_panics() {
+        let sim = sim(64);
+        let _ = sim.aerial(&Field2D::zeros(48, 48), false);
+    }
+
+    #[test]
+    fn with_kernels_rejects_mismatched_support() {
+        let cfg64 = OpticsConfig { grid: 64, num_kernels: 4, ..OpticsConfig::default() };
+        let cfg128 = OpticsConfig { grid: 128, num_kernels: 4, ..OpticsConfig::default() };
+        let (n, d) = KernelSet::focus_pair(&cfg64);
+        assert!(LithoSimulator::with_kernels(cfg128, n, d).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Hopkins transmission cross coefficients (TCC).
+//!
+//! For Köhler illumination with source intensity `J` and pupil `P`, the TCC
+//! is `T(f1, f2) = sum_s J(s) P(s + f1) conj(P(s + f2))` — a Hermitian
+//! positive-semidefinite operator on the band-limited frequency grid. Its
+//! leading eigenpairs are the SOCS kernels of Eq. 2/3 in the paper.
+//!
+//! The matrix is never materialized in the hot path: `T = A^H W A` with one
+//! row of `A` per source point, so a matvec costs `O(n_src * P^2)` instead
+//! of `O(P^4)`. A dense materialization is provided for tests.
+
+use ilt_fft::{signed_freq, Complex64};
+
+use crate::eig::HermitianOp;
+use crate::pupil::Pupil;
+use crate::source::SourcePoint;
+
+/// The TCC operator in factored form.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_optics::{Pupil, SourceSpec, Tcc};
+///
+/// let pupil = Pupil::new(1.35, 193.0, 0.0);
+/// let pts = SourceSpec::Circular { sigma: 0.5 }.sample(9);
+/// let tcc = Tcc::build(&pupil, &pts, 9, 1.0 / 256.0);
+/// assert_eq!(tcc.p(), 9);
+/// assert!(tcc.trace() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tcc {
+    p: usize,
+    /// `rows[s][a] = P(f_s + f_a)` — the pupil shifted by source point `s`,
+    /// sampled on the `p x p` signed-frequency grid (bin `a`).
+    rows: Vec<Vec<Complex64>>,
+    weights: Vec<f64>,
+}
+
+impl Tcc {
+    /// Builds the factored TCC for `pupil` under the discretized `source`.
+    ///
+    /// `p` is the frequency-domain kernel support (odd) and `freq_step` the
+    /// grid's frequency spacing in 1/nm; source points are given in sigma
+    /// units and mapped to absolute frequency via the pupil cutoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even or `source` is empty.
+    pub fn build(pupil: &Pupil, source: &[SourcePoint], p: usize, freq_step: f64) -> Self {
+        assert!(p % 2 == 1, "kernel support must be odd");
+        assert!(!source.is_empty(), "source must contain at least one point");
+        let cutoff = pupil.cutoff();
+        let n = p * p;
+        let mut rows = Vec::with_capacity(source.len());
+        let mut weights = Vec::with_capacity(source.len());
+        for sp in source {
+            let (sx, sy) = (sp.sx * cutoff, sp.sy * cutoff);
+            let mut row = Vec::with_capacity(n);
+            for a in 0..n {
+                let fy = signed_freq(a / p, p) as f64 * freq_step;
+                let fx = signed_freq(a % p, p) as f64 * freq_step;
+                row.push(pupil.eval(sx + fx, sy + fy));
+            }
+            rows.push(row);
+            weights.push(sp.weight);
+        }
+        Tcc { p, rows, weights }
+    }
+
+    /// Kernel support `P`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Trace of the TCC (sum of all eigenvalues). Used to report how much
+    /// optical energy the truncated SOCS expansion captures.
+    pub fn trace(&self) -> f64 {
+        self.rows
+            .iter()
+            .zip(&self.weights)
+            .map(|(row, &w)| w * row.iter().map(|z| z.norm_sqr()).sum::<f64>())
+            .sum()
+    }
+
+    /// Materializes the dense `(P^2) x (P^2)` Hermitian matrix. Test-only
+    /// scale: O(P^4) memory.
+    pub fn dense(&self) -> Vec<Complex64> {
+        let n = self.p * self.p;
+        let mut m = vec![Complex64::ZERO; n * n];
+        for (row, &w) in self.rows.iter().zip(&self.weights) {
+            for a in 0..n {
+                if row[a] == Complex64::ZERO {
+                    continue;
+                }
+                let wa = row[a].scale(w);
+                for b in 0..n {
+                    m[a * n + b] += wa * row[b].conj();
+                }
+            }
+        }
+        m
+    }
+}
+
+impl HermitianOp for Tcc {
+    fn dim(&self) -> usize {
+        self.p * self.p
+    }
+
+    /// `out = T v = sum_s w_s a_s (a_s^H v)`.
+    fn apply(&self, v: &[Complex64], out: &mut [Complex64]) {
+        out.fill(Complex64::ZERO);
+        for (row, &w) in self.rows.iter().zip(&self.weights) {
+            let mut dot = Complex64::ZERO;
+            for (a, &x) in row.iter().zip(v) {
+                dot += a.conj() * x;
+            }
+            let dot = dot.scale(w);
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * dot;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceSpec;
+
+    fn small_tcc(defocus: f64) -> Tcc {
+        let pupil = Pupil::new(1.35, 193.0, defocus);
+        let pts = SourceSpec::Annular { sigma_in: 0.5, sigma_out: 0.9 }.sample(9);
+        Tcc::build(&pupil, &pts, 7, 1.0 / 512.0)
+    }
+
+    #[test]
+    fn dense_matches_operator_apply() {
+        let tcc = small_tcc(40.0);
+        let n = tcc.dim();
+        let dense = tcc.dense();
+        let v: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut fast = vec![Complex64::ZERO; n];
+        tcc.apply(&v, &mut fast);
+        for a in 0..n {
+            let mut slow = Complex64::ZERO;
+            for b in 0..n {
+                slow += dense[a * n + b] * v[b];
+            }
+            assert!((fast[a] - slow).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dense_is_hermitian() {
+        let tcc = small_tcc(40.0);
+        let n = tcc.dim();
+        let dense = tcc.dense();
+        for a in 0..n {
+            for b in 0..n {
+                assert!((dense[a * n + b] - dense[b * n + a].conj()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn operator_is_positive_semidefinite() {
+        let tcc = small_tcc(0.0);
+        let n = tcc.dim();
+        for seed in 0..5u64 {
+            let v: Vec<Complex64> = (0..n)
+                .map(|i| {
+                    let x = (i as u64).wrapping_mul(seed.wrapping_add(1)).wrapping_mul(2654435761);
+                    Complex64::new((x % 100) as f64 / 50.0 - 1.0, ((x / 100) % 100) as f64 / 50.0 - 1.0)
+                })
+                .collect();
+            let mut tv = vec![Complex64::ZERO; n];
+            tcc.apply(&v, &mut tv);
+            let quad: f64 = v.iter().zip(&tv).map(|(a, b)| (a.conj() * *b).re).sum();
+            assert!(quad >= -1e-10, "v^H T v = {quad}");
+        }
+    }
+
+    #[test]
+    fn trace_equals_dense_trace() {
+        let tcc = small_tcc(25.0);
+        let n = tcc.dim();
+        let dense = tcc.dense();
+        let dense_trace: f64 = (0..n).map(|a| dense[a * n + a].re).sum();
+        assert!((tcc.trace() - dense_trace).abs() < 1e-10);
+    }
+
+    #[test]
+    fn focused_tcc_is_real_symmetric() {
+        let tcc = small_tcc(0.0);
+        let n = tcc.dim();
+        let dense = tcc.dense();
+        for z in &dense {
+            assert!(z.im.abs() < 1e-14, "focused TCC must be real");
+        }
+        for a in 0..n {
+            for b in 0..n {
+                assert!((dense[a * n + b].re - dense[b * n + a].re).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_source_gives_rank_one_tcc() {
+        let pupil = Pupil::new(1.35, 193.0, 0.0);
+        let pts = SourceSpec::Coherent.sample(1);
+        let tcc = Tcc::build(&pupil, &pts, 5, 1.0 / 512.0);
+        // Rank-1: T = a a^H, so T^2 = (a^H a) T.
+        let n = tcc.dim();
+        let dense = tcc.dense();
+        let norm = tcc.trace();
+        for a in 0..n {
+            for b in 0..n {
+                let mut t2 = Complex64::ZERO;
+                for c in 0..n {
+                    t2 += dense[a * n + c] * dense[c * n + b];
+                }
+                assert!((t2 - dense[a * n + b].scale(norm)).abs() < 1e-10);
+            }
+        }
+    }
+}

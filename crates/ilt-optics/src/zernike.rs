@@ -1,0 +1,215 @@
+//! Zernike pupil aberrations.
+//!
+//! The paper's process window only needs defocus, but a production litho
+//! model exposes general wavefront error. This module implements the
+//! low-order Zernike polynomials (Noll indexing) on the unit pupil disc,
+//! letting [`crate::Pupil`] carry arbitrary aberration cocktails —
+//! astigmatism, coma and spherical are the terms scanner matching actually
+//! fights. Coefficients are in waves (multiples of the wavelength), the
+//! lithography convention.
+
+use ilt_fft::Complex64;
+
+/// A low-order Zernike term (Noll index), evaluated on the unit disc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ZernikeTerm {
+    /// Z1 — piston (constant phase; harmless but included for completeness).
+    Piston,
+    /// Z2 — x tilt (pattern shift).
+    TiltX,
+    /// Z3 — y tilt.
+    TiltY,
+    /// Z4 — defocus, `sqrt(3) (2 rho^2 - 1)`.
+    Defocus,
+    /// Z5 — oblique astigmatism, `sqrt(6) rho^2 sin 2theta`.
+    Astig45,
+    /// Z6 — vertical astigmatism, `sqrt(6) rho^2 cos 2theta`.
+    Astig0,
+    /// Z7 — vertical coma, `sqrt(8) (3 rho^3 - 2 rho) sin theta`.
+    ComaY,
+    /// Z8 — horizontal coma, `sqrt(8) (3 rho^3 - 2 rho) cos theta`.
+    ComaX,
+    /// Z9 — primary spherical, `sqrt(5) (6 rho^4 - 6 rho^2 + 1)`.
+    Spherical,
+}
+
+impl ZernikeTerm {
+    /// Evaluates the (Noll-normalized) polynomial at polar pupil
+    /// coordinates `(rho, theta)`, `rho` in `[0, 1]`.
+    pub fn eval(&self, rho: f64, theta: f64) -> f64 {
+        let r2 = rho * rho;
+        match self {
+            ZernikeTerm::Piston => 1.0,
+            ZernikeTerm::TiltX => 2.0 * rho * theta.cos(),
+            ZernikeTerm::TiltY => 2.0 * rho * theta.sin(),
+            ZernikeTerm::Defocus => 3f64.sqrt() * (2.0 * r2 - 1.0),
+            ZernikeTerm::Astig45 => 6f64.sqrt() * r2 * (2.0 * theta).sin(),
+            ZernikeTerm::Astig0 => 6f64.sqrt() * r2 * (2.0 * theta).cos(),
+            ZernikeTerm::ComaY => 8f64.sqrt() * (3.0 * r2 - 2.0) * rho * theta.sin(),
+            ZernikeTerm::ComaX => 8f64.sqrt() * (3.0 * r2 - 2.0) * rho * theta.cos(),
+            ZernikeTerm::Spherical => 5f64.sqrt() * (6.0 * r2 * r2 - 6.0 * r2 + 1.0),
+        }
+    }
+}
+
+/// A wavefront: a weighted sum of Zernike terms, coefficients in waves.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_optics::{Wavefront, ZernikeTerm};
+///
+/// let wf = Wavefront::new()
+///     .with(ZernikeTerm::Astig0, 0.05)
+///     .with(ZernikeTerm::ComaX, 0.02);
+/// assert_eq!(wf.terms().len(), 2);
+/// // RMS wavefront error in waves (Noll terms are orthonormal):
+/// assert!((wf.rms_waves() - (0.05f64.powi(2) + 0.02f64.powi(2)).sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Wavefront {
+    terms: Vec<(ZernikeTerm, f64)>,
+}
+
+impl Wavefront {
+    /// An unaberrated wavefront.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or accumulates onto) a term, in waves.
+    #[must_use]
+    pub fn with(mut self, term: ZernikeTerm, waves: f64) -> Self {
+        if let Some(entry) = self.terms.iter_mut().find(|(t, _)| *t == term) {
+            entry.1 += waves;
+        } else {
+            self.terms.push((term, waves));
+        }
+        self
+    }
+
+    /// The terms and their coefficients.
+    pub fn terms(&self) -> &[(ZernikeTerm, f64)] {
+        &self.terms
+    }
+
+    /// Returns `true` for a perfect (empty) wavefront.
+    pub fn is_empty(&self) -> bool {
+        self.terms.iter().all(|(_, w)| *w == 0.0)
+    }
+
+    /// RMS wavefront error in waves. Noll-normalized terms are orthonormal
+    /// over the disc, so the RMS is the coefficient-vector norm (piston
+    /// excluded, as it does not distort the image).
+    pub fn rms_waves(&self) -> f64 {
+        self.terms
+            .iter()
+            .filter(|(t, _)| *t != ZernikeTerm::Piston)
+            .map(|(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Total wavefront error at pupil coordinates, in waves.
+    pub fn opd_waves(&self, rho: f64, theta: f64) -> f64 {
+        self.terms.iter().map(|(t, w)| w * t.eval(rho, theta)).sum()
+    }
+
+    /// Complex pupil factor `exp(2 pi i W(rho, theta))` at the given pupil
+    /// position.
+    pub fn phase_factor(&self, rho: f64, theta: f64) -> Complex64 {
+        if self.terms.is_empty() {
+            return Complex64::ONE;
+        }
+        Complex64::from_polar_angle(std::f64::consts::TAU * self.opd_waves(rho, theta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically integrates `f` over the unit disc.
+    fn disc_integral(f: impl Fn(f64, f64) -> f64) -> f64 {
+        let n = 200;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let rho = (i as f64 + 0.5) / n as f64;
+            for j in 0..n {
+                let theta = std::f64::consts::TAU * (j as f64 + 0.5) / n as f64;
+                acc += f(rho, theta) * rho;
+            }
+        }
+        acc * (1.0 / n as f64) * (std::f64::consts::TAU / n as f64)
+    }
+
+    #[test]
+    fn noll_terms_are_orthonormal() {
+        use ZernikeTerm::*;
+        let terms = [Piston, TiltX, TiltY, Defocus, Astig45, Astig0, ComaY, ComaX, Spherical];
+        let area = std::f64::consts::PI;
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                let inner =
+                    disc_integral(|r, t| a.eval(r, t) * b.eval(r, t)) / area;
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (inner - want).abs() < 2e-2,
+                    "<{a:?}, {b:?}> = {inner} (want {want})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn defocus_term_matches_paraxial_phase_shape() {
+        // Z4 is quadratic in rho (up to the constant): its rho^2 content
+        // matches the paraxial defocus profile used by `Pupil`.
+        let z4 = ZernikeTerm::Defocus;
+        let at = |r: f64| z4.eval(r, 0.3);
+        let quad = |r: f64| 2.0 * 3f64.sqrt() * r * r - 3f64.sqrt();
+        for r in [0.0, 0.3, 0.7, 1.0] {
+            assert!((at(r) - quad(r)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wavefront_accumulates_coefficients() {
+        let wf = Wavefront::new()
+            .with(ZernikeTerm::ComaX, 0.02)
+            .with(ZernikeTerm::ComaX, 0.03);
+        assert_eq!(wf.terms().len(), 1);
+        assert!((wf.terms()[0].1 - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phase_factor_is_unit_magnitude() {
+        let wf = Wavefront::new()
+            .with(ZernikeTerm::Astig0, 0.08)
+            .with(ZernikeTerm::Spherical, 0.03);
+        for (r, t) in [(0.0, 0.0), (0.5, 1.0), (1.0, 2.5)] {
+            let z = wf.phase_factor(r, t);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(Wavefront::new().phase_factor(0.7, 0.2), Complex64::ONE);
+    }
+
+    #[test]
+    fn rms_excludes_piston() {
+        let wf = Wavefront::new()
+            .with(ZernikeTerm::Piston, 10.0)
+            .with(ZernikeTerm::Defocus, 0.1);
+        assert!((wf.rms_waves() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coma_is_odd_astig_is_even() {
+        let coma = ZernikeTerm::ComaX;
+        let astig = ZernikeTerm::Astig0;
+        // Coma flips sign under 180-degree rotation; astigmatism does not.
+        let r = 0.8;
+        let t = 0.7;
+        assert!((coma.eval(r, t) + coma.eval(r, t + std::f64::consts::PI)).abs() < 1e-12);
+        assert!((astig.eval(r, t) - astig.eval(r, t + std::f64::consts::PI)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based invariants of the lithography engine on random
+//! rectangle masks: physical sanity (non-negativity, bounds, monotone
+//! dose), multi-resolution consistency (Eq. 7 exactness), and adjoint
+//! correctness of the Hopkins VJP.
+
+use ilt_field::Field2D;
+use ilt_optics::{LithoSimulator, OpticsConfig, SourceSpec};
+use proptest::prelude::*;
+
+fn sim() -> std::rc::Rc<LithoSimulator> {
+    // The simulator holds per-size FFT caches behind `Rc`/`RefCell`, so it
+    // is deliberately not `Sync`; cache one instance per test thread.
+    thread_local! {
+        static SIM: std::rc::Rc<LithoSimulator> = std::rc::Rc::new({
+            let cfg = OpticsConfig {
+                grid: 64,
+                nm_per_px: 8.0,
+                num_kernels: 4,
+                source: SourceSpec::Annular { sigma_in: 0.5, sigma_out: 0.9 },
+                defocus_nm: 60.0,
+                ..OpticsConfig::default()
+            };
+            LithoSimulator::new(cfg).expect("valid config")
+        });
+    }
+    SIM.with(std::rc::Rc::clone)
+}
+
+fn random_rect_mask() -> impl Strategy<Value = Field2D> {
+    proptest::collection::vec((0usize..48, 0usize..48, 4usize..24, 4usize..24), 1..5).prop_map(
+        |rects| {
+            let mut f = Field2D::zeros(64, 64);
+            for (r0, c0, h, w) in rects {
+                for r in r0..(r0 + h).min(64) {
+                    for c in c0..(c0 + w).min(64) {
+                        f[(r, c)] = 1.0;
+                    }
+                }
+            }
+            f
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Aerial intensity is non-negative, finite, and bounded by the open
+    /// frame (transmission <= 1 everywhere implies I <= ~1 plus ringing).
+    #[test]
+    fn intensity_is_physical(mask in random_rect_mask(), defocus in any::<bool>()) {
+        let i = sim().aerial(&mask, defocus);
+        prop_assert!(i.min() >= 0.0);
+        prop_assert!(i.max() <= 1.5, "intensity {} beyond plausible ringing", i.max());
+        prop_assert!(i.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// An empty mask produces exactly zero intensity.
+    #[test]
+    fn dark_field_is_dark(defocus in any::<bool>()) {
+        let i = sim().aerial(&Field2D::zeros(64, 64), defocus);
+        prop_assert!(i.max() < 1e-12);
+    }
+
+    /// Dose monotonicity: higher dose prints a superset of pixels.
+    #[test]
+    fn dose_monotonicity(mask in random_rect_mask()) {
+        let i = sim().aerial(&mask, false);
+        let lo = sim().resist_hard(&i, 0.95);
+        let hi = sim().resist_hard(&i, 1.05);
+        for (a, b) in lo.as_slice().iter().zip(hi.as_slice()) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Process corners are ordered by area for any mask: inner (defocus,
+    /// -2% dose) prints no more than outer (+2% dose) on average.
+    #[test]
+    fn corner_area_ordering(mask in random_rect_mask()) {
+        let corners = sim().print_corners(&mask);
+        // Inner can locally exceed nominal through defocus ringing, but the
+        // dose-only pair is strictly ordered.
+        prop_assert!(corners.nominal.count_on() <= corners.outer.count_on());
+    }
+
+    /// Eq. 7 subsampling equals the full simulation at the sample points.
+    #[test]
+    fn eq7_exact_subsampling(mask in random_rect_mask()) {
+        let full = sim().aerial(&mask, false);
+        let sub = sim().aerial_subsampled(&mask, 2, false);
+        for r in 0..32 {
+            for c in 0..32 {
+                prop_assert!((full[(r * 2, c * 2)] - sub[(r, c)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The VJP is the true adjoint: <J v, w> == <v, J^T w> tested through
+    /// directional derivatives (Jv via forward differencing).
+    #[test]
+    fn vjp_is_adjoint(mask in random_rect_mask(), seed in any::<u32>()) {
+        let m0 = mask.map(|v| 0.2 + 0.6 * v); // interior point, not binary
+        let (_, cache) = sim().aerial_with_cache(&m0, false);
+
+        // Random direction v and weight w.
+        let mut state = seed as u64 | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let v = Field2D::from_fn(64, 64, |_, _| rnd());
+        let w = Field2D::from_fn(64, 64, |_, _| rnd());
+
+        // <J v, w> by central differences along v.
+        let eps = 1e-5;
+        let mp = m0.zip_map(&v, |m, d| m + eps * d);
+        let mm = m0.zip_map(&v, |m, d| m - eps * d);
+        let ip = sim().aerial(&mp, false);
+        let im = sim().aerial(&mm, false);
+        let jv_dot_w: f64 = ip
+            .zip_map(&im, |a, b| (a - b) / (2.0 * eps))
+            .hadamard(&w)
+            .sum();
+
+        // <v, J^T w> via the VJP.
+        let jt_w = sim().aerial_vjp(&cache, &w);
+        let v_dot_jtw = v.hadamard(&jt_w).sum();
+
+        let scale = jv_dot_w.abs().max(v_dot_jtw.abs()).max(1.0);
+        prop_assert!(
+            (jv_dot_w - v_dot_jtw).abs() < 1e-4 * scale,
+            "adjoint identity violated: {jv_dot_w} vs {v_dot_jtw}"
+        );
+    }
+
+    /// Linearity of the underlying amplitude model: scaling the mask by c
+    /// scales intensity by c^2.
+    #[test]
+    fn intensity_is_quadratic_in_mask(mask in random_rect_mask(), c in 0.1f64..2.0) {
+        let i1 = sim().aerial(&mask, false);
+        let i2 = sim().aerial(&mask.scale(c), false);
+        for (a, b) in i1.as_slice().iter().zip(i2.as_slice()) {
+            prop_assert!((b - c * c * a).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Shift covariance: translating the mask translates the aerial image
+    /// (circularly), because the imaging system is space-invariant.
+    #[test]
+    fn shift_covariance(mask in random_rect_mask(), dr in 0usize..8, dc in 0usize..8) {
+        let shifted = Field2D::from_fn(64, 64, |r, c| {
+            mask[((r + 64 - dr) % 64, (c + 64 - dc) % 64)]
+        });
+        let i0 = sim().aerial(&mask, false);
+        let i1 = sim().aerial(&shifted, false);
+        for r in 0..64 {
+            for c in 0..64 {
+                let want = i0[((r + 64 - dr) % 64, (c + 64 - dc) % 64)];
+                prop_assert!((i1[(r, c)] - want).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Inspect the derived SOCS optics: eigenvalue spectrum, captured energy,
+//! and spatial kernel shapes for the nominal and defocused conditions.
+//!
+//! ```text
+//! cargo run --release --example kernel_gallery -- [grid]
+//! ```
+
+use std::error::Error;
+
+use multilevel_ilt::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let grid: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(256);
+
+    let optics = OpticsConfig {
+        grid,
+        nm_per_px: 2048.0 / grid as f64,
+        num_kernels: 12,
+        ..OpticsConfig::default()
+    };
+    println!(
+        "== SOCS kernels: grid {grid}, P = {}, N_k = {}, source {:?} ==",
+        optics.kernel_size(),
+        optics.num_kernels,
+        optics.source
+    );
+
+    let (nominal, defocused) = KernelSet::focus_pair(&optics);
+    println!(
+        "captured TCC energy: nominal {:.2}%, defocused ({} nm) {:.2}%",
+        nominal.captured_energy() * 100.0,
+        optics.defocus_nm,
+        defocused.captured_energy() * 100.0
+    );
+
+    println!("\n  k |  weight (nominal) | weight (defocused)");
+    println!("----+-------------------+-------------------");
+    for k in 0..nominal.num_kernels() {
+        println!(
+            " {k:>2} | {:>17.6} | {:>17.6}",
+            nominal.weights()[k],
+            defocused.weights()[k]
+        );
+    }
+
+    // Dump the dominant kernels' spatial magnitudes for inspection.
+    let render = grid.min(256);
+    for (label, set) in [("nominal", &nominal), ("defocus", &defocused)] {
+        for k in 0..3.min(set.num_kernels()) {
+            let img = set.spatial_magnitude(k, render);
+            let peak = img.max();
+            let path = format!("kernel_{label}_{k}.pgm");
+            write_pgm(&img, &path, 0.0, peak)?;
+            println!("wrote {path} (peak magnitude {peak:.3e})");
+        }
+    }
+    Ok(())
+}

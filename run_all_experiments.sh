@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every table and figure; used to populate EXPERIMENTS.md.
+set -e
+BIN=./target/release/tables
+OUT=bench-out
+mkdir -p $OUT
+$BIN --table 2 --grid 512 2>&1 | tee $OUT/table2.log
+$BIN --table 3 --grid 512 2>&1 | tee $OUT/table3.log
+$BIN --table 4 --grid 512 2>&1 | tee $OUT/table4.log
+$BIN --figure 1 --grid 512 2>&1 | tee $OUT/fig1.log
+$BIN --figure 4 --grid 512 2>&1 | tee $OUT/fig4.log
+$BIN --figure 5 --grid 512 2>&1 | tee $OUT/fig5.log
+$BIN --figure 6 --grid 512 2>&1 | tee $OUT/fig6.log
+$BIN --figure 7 --grid 512 2>&1 | tee $OUT/fig7.log
+$BIN --figure 8 --grid 512 2>&1 | tee $OUT/fig8.log
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,255 @@
+//! `ilt` — command-line front end for the multi-level ILT stack.
+//!
+//! ```text
+//! ilt run      --case 1 [--grid 512] [--schedule fast|exact|via] [--out prefix]
+//! ilt run      --via 3  [--grid 256] ...
+//! ilt run      --target design.pgm --clip-nm 2048 ...
+//! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
+//! ilt fracture --mask mask.pgm
+//! ilt kernels  [--grid 512] [--kernels 10]
+//! ```
+//!
+//! Targets may come from the built-in benchmark generators (`--case`,
+//! `--via`) or from a PGM file (`--target`); masks are written/read as
+//! binary PGM so the tool round-trips with itself.
+
+use std::error::Error;
+use std::rc::Rc;
+
+use multilevel_ilt::geom::fracture;
+use multilevel_ilt::prelude::*;
+
+struct Cli {
+    grid: usize,
+    kernels: usize,
+    clip_nm: f64,
+    schedule: String,
+    case: Option<usize>,
+    via: Option<u64>,
+    target: Option<String>,
+    mask: Option<String>,
+    out: String,
+    max_eff_nm: f64,
+}
+
+impl Cli {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Cli), Box<dyn Error>> {
+        let command = args.next().ok_or("usage: ilt <run|evaluate|fracture|kernels> ...")?;
+        let mut cli = Cli {
+            grid: 512,
+            kernels: 10,
+            clip_nm: 2048.0,
+            schedule: "fast".into(),
+            case: None,
+            via: None,
+            target: None,
+            mask: None,
+            out: "ilt".into(),
+            max_eff_nm: 8.0,
+        };
+        while let Some(flag) = args.next() {
+            let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match flag.as_str() {
+                "--grid" => cli.grid = value()?.parse()?,
+                "--kernels" => cli.kernels = value()?.parse()?,
+                "--clip-nm" => cli.clip_nm = value()?.parse()?,
+                "--schedule" => cli.schedule = value()?,
+                "--case" => cli.case = Some(value()?.parse()?),
+                "--via" => cli.via = Some(value()?.parse()?),
+                "--target" => cli.target = Some(value()?),
+                "--mask" => cli.mask = Some(value()?),
+                "--out" => cli.out = value()?,
+                "--max-eff-nm" => cli.max_eff_nm = value()?.parse()?,
+                other => return Err(format!("unknown flag {other}").into()),
+            }
+        }
+        Ok((command, cli))
+    }
+
+    fn load_target(&self) -> Result<(Field2D, f64), Box<dyn Error>> {
+        if let Some(id) = self.case {
+            let layout = if id <= 10 {
+                iccad2013_case(id)
+            } else {
+                extended_case(id)
+            };
+            return Ok((layout.rasterize(self.grid), layout.nm_per_px(self.grid)));
+        }
+        if let Some(seed) = self.via {
+            let layout = via_pattern(seed);
+            return Ok((layout.rasterize(self.grid), layout.nm_per_px(self.grid)));
+        }
+        if let Some(path) = &self.target {
+            let img = multilevel_ilt::field::read_pgm(path)?.threshold(0.5);
+            let (rows, cols) = img.shape();
+            if rows != cols || !rows.is_power_of_two() {
+                return Err(format!("target must be square power-of-two, got {rows}x{cols}").into());
+            }
+            let nm = self.clip_nm / rows as f64;
+            return Ok((img, nm));
+        }
+        Err("pass one of --case N, --via SEED or --target file.pgm".into())
+    }
+
+    fn simulator(&self, nm_per_px: f64) -> Result<Rc<LithoSimulator>, Box<dyn Error>> {
+        let cfg = OpticsConfig {
+            grid: self.grid,
+            nm_per_px,
+            num_kernels: self.kernels,
+            ..OpticsConfig::default()
+        };
+        Ok(Rc::new(LithoSimulator::new(cfg)?))
+    }
+
+    fn schedule(&self, nm_per_px: f64) -> Result<Vec<Stage>, Box<dyn Error>> {
+        let base = match self.schedule.as_str() {
+            "fast" => schedules::our_fast(),
+            "exact" => schedules::our_exact(),
+            "via" => schedules::via_recipe(),
+            other => return Err(format!("unknown schedule {other} (fast|exact|via)").into()),
+        };
+        let s = schedules::clamp_effective_pitch(&base, nm_per_px, self.max_eff_nm);
+        Ok(schedules::clamp_scales(&s, self.grid, 32))
+    }
+}
+
+fn evaluate_and_print(
+    sim: &LithoSimulator,
+    target: &Field2D,
+    mask: &Field2D,
+    tat: std::time::Duration,
+) {
+    let nm = sim.config().nm_per_px;
+    let corners = sim.print_corners(mask);
+    let checker = EpeChecker { nm_per_px: nm, ..EpeChecker::default() };
+    let report = EvalReport::evaluate(
+        target,
+        mask,
+        &corners.nominal,
+        &corners.inner,
+        &corners.outer,
+        &checker,
+        tat,
+    );
+    println!("{report}");
+}
+
+fn cmd_run(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let (target, nm) = cli.load_target()?;
+    let sim = cli.simulator(nm)?;
+    let schedule = cli.schedule(nm)?;
+    println!(
+        "optimizing {} px clip at {nm} nm/px with schedule {:?}",
+        cli.grid, schedule
+    );
+    let timer = TurnaroundTimer::start();
+    let cfg = IltConfig { early_exit_window: Some(15), ..IltConfig::default() };
+    let result = MultiLevelIlt::new(sim.clone(), cfg).run(&target, &schedule);
+    let tat = timer.elapsed();
+    println!("ran {} iterations in {:.2} s", result.total_iterations, tat.as_secs_f64());
+    evaluate_and_print(&sim, &target, &result.mask, tat);
+
+    let mask_path = format!("{}_mask.pgm", cli.out);
+    let wafer_path = format!("{}_wafer.pgm", cli.out);
+    write_pgm(&result.mask, &mask_path, 0.0, 1.0)?;
+    write_pgm(
+        &sim.print(&result.mask, ProcessCondition::nominal()),
+        &wafer_path,
+        0.0,
+        1.0,
+    )?;
+    println!("wrote {mask_path} and {wafer_path}");
+    Ok(())
+}
+
+fn cmd_evaluate(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let (target, nm) = cli.load_target()?;
+    let mask_path = cli.mask.as_ref().ok_or("evaluate needs --mask file.pgm")?;
+    let mask = multilevel_ilt::field::read_pgm(mask_path)?.threshold(0.5);
+    if mask.shape() != target.shape() {
+        return Err(format!(
+            "mask {:?} does not match target {:?}",
+            mask.shape(),
+            target.shape()
+        )
+        .into());
+    }
+    let sim = cli.simulator(nm)?;
+    evaluate_and_print(&sim, &target, &mask, std::time::Duration::ZERO);
+    Ok(())
+}
+
+fn cmd_fracture(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let mask_path = cli.mask.as_ref().ok_or("fracture needs --mask file.pgm")?;
+    let mask = multilevel_ilt::field::read_pgm(mask_path)?.threshold(0.5);
+    let rects = fracture(&mask);
+    // Write through a buffered handle and treat a broken pipe (e.g.
+    // `ilt fracture ... | head`) as a clean exit.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let result: std::io::Result<()> = (|| {
+        writeln!(out, "#shots: {}", rects.len())?;
+        writeln!(out, "# row0 col0 row1 col1 (half-open pixel coordinates)")?;
+        for r in &rects {
+            writeln!(out, "{} {} {} {}", r.r0, r.c0, r.r1, r.c1)?;
+        }
+        out.flush()
+    })();
+    match result {
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        other => other.map_err(Into::into),
+    }
+}
+
+fn cmd_kernels(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let nm = cli.clip_nm / cli.grid as f64;
+    let cfg = OpticsConfig {
+        grid: cli.grid,
+        nm_per_px: nm,
+        num_kernels: cli.kernels,
+        ..OpticsConfig::default()
+    };
+    println!(
+        "grid {} ({} nm/px), P = {}, N_k = {}",
+        cli.grid,
+        nm,
+        cfg.kernel_size(),
+        cfg.num_kernels
+    );
+    let (nominal, defocused) = KernelSet::focus_pair(&cfg);
+    println!(
+        "captured energy: nominal {:.2}%, defocused {:.2}%",
+        nominal.captured_energy() * 100.0,
+        defocused.captured_energy() * 100.0
+    );
+    for k in 0..nominal.num_kernels() {
+        println!(
+            "kernel {k:>2}: w_nominal = {:.6}, w_defocus = {:.6}",
+            nominal.weights()[k],
+            defocused.weights()[k]
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let (command, cli) = match Cli::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&cli),
+        "evaluate" => cmd_evaluate(&cli),
+        "fracture" => cmd_fracture(&cli),
+        "kernels" => cmd_kernels(&cli),
+        other => Err(format!("unknown command {other} (run|evaluate|fracture|kernels)").into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
