@@ -1,7 +1,7 @@
 //! Criterion bench for one ILT gradient iteration at each resolution level
 //! — the per-iteration cost structure behind Table I's TAT column.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ilt_core::{IltConfig, MultiLevelIlt, Stage};
@@ -18,7 +18,7 @@ fn ilt_iteration(c: &mut Criterion) {
         num_kernels: 8,
         ..OpticsConfig::default()
     };
-    let sim = Rc::new(LithoSimulator::new(cfg).expect("valid config"));
+    let sim = Arc::new(LithoSimulator::new(cfg).expect("valid config"));
     let target = case.rasterize(grid);
 
     let mut group = c.benchmark_group("ilt_iteration");

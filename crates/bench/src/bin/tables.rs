@@ -14,7 +14,7 @@
 
 use std::error::Error;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_bench_harness::harness::{evaluate, HarnessOptions, MeasuredRow, Method};
 use ilt_bench_harness::published;
@@ -252,7 +252,7 @@ fn ablation(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn simulator_for(args: &Args, layout: &Layout) -> Rc<LithoSimulator> {
+fn simulator_for(args: &Args, layout: &Layout) -> Arc<LithoSimulator> {
     args.opts.simulator(layout)
 }
 

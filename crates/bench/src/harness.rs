@@ -1,6 +1,6 @@
 //! Shared machinery for regenerating the paper's tables.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ilt_baselines::{ConventionalIlt, LevelSetConfig, LevelSetIlt};
@@ -40,14 +40,14 @@ impl HarnessOptions {
     /// # Panics
     ///
     /// Panics if the optics configuration is invalid.
-    pub fn simulator(&self, layout: &Layout) -> Rc<LithoSimulator> {
+    pub fn simulator(&self, layout: &Layout) -> Arc<LithoSimulator> {
         let cfg = OpticsConfig {
             grid: self.grid,
             nm_per_px: layout.nm_per_px(self.grid),
             num_kernels: self.num_kernels,
             ..OpticsConfig::default()
         };
-        Rc::new(LithoSimulator::new(cfg).expect("valid optics configuration"))
+        Arc::new(LithoSimulator::new(cfg).expect("valid optics configuration"))
     }
 
     /// Clamps a schedule so the effective low-res pitch stays within
@@ -118,7 +118,7 @@ impl Method {
     pub fn run(
         &self,
         opts: &HarnessOptions,
-        sim: &Rc<LithoSimulator>,
+        sim: &Arc<LithoSimulator>,
         target: &Field2D,
         region: OptimizeRegion,
     ) -> EvalReport {

@@ -7,7 +7,7 @@
 //! rule small, hand-derivable and testable against finite differences.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_field::{avg_pool_down, avg_pool_same, upsample_nearest, Field2D};
 use ilt_optics::{AerialCache, LithoSimulator};
@@ -65,7 +65,7 @@ struct Node {
 /// ```
 pub struct Graph {
     nodes: Vec<Node>,
-    sim: Option<Rc<LithoSimulator>>,
+    sim: Option<Arc<LithoSimulator>>,
 }
 
 impl fmt::Debug for Graph {
@@ -79,7 +79,7 @@ impl fmt::Debug for Graph {
 
 impl Graph {
     /// Creates a graph able to record Hopkins imaging nodes through `sim`.
-    pub fn new(sim: Rc<LithoSimulator>) -> Self {
+    pub fn new(sim: Arc<LithoSimulator>) -> Self {
         Graph { nodes: Vec::new(), sim: Some(sim) }
     }
 

@@ -11,14 +11,14 @@
 //! # Example: one differentiable ILT step
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use ilt_autodiff::Graph;
 //! use ilt_field::Field2D;
 //! use ilt_optics::{LithoSimulator, OpticsConfig};
 //!
 //! # fn main() -> Result<(), String> {
 //! let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-//! let sim = Rc::new(LithoSimulator::new(cfg)?);
+//! let sim = Arc::new(LithoSimulator::new(cfg)?);
 //! let target = Field2D::from_fn(64, 64, |r, c| {
 //!     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
 //! });

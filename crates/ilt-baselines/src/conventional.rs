@@ -7,7 +7,7 @@
 //! attributable to the paper's three ideas rather than implementation
 //! drift.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_core::{BinaryFunction, IltConfig, IltResult, MultiLevelIlt, OptimizeRegion, Stage};
 use ilt_field::Field2D;
@@ -18,14 +18,14 @@ use ilt_optics::LithoSimulator;
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ilt_baselines::ConventionalIlt;
 /// use ilt_field::Field2D;
 /// use ilt_optics::{LithoSimulator, OpticsConfig};
 ///
 /// # fn main() -> Result<(), String> {
 /// let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-/// let sim = Rc::new(LithoSimulator::new(cfg)?);
+/// let sim = Arc::new(LithoSimulator::new(cfg)?);
 /// let target = Field2D::from_fn(64, 64, |r, c| {
 ///     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
 /// });
@@ -43,13 +43,13 @@ impl ConventionalIlt {
     /// Creates the baseline with the legacy configuration: sigmoid
     /// `T_R = 0` for optimization *and* output, no smoothing pool, no
     /// post-processing, full-resolution only.
-    pub fn new(sim: Rc<LithoSimulator>) -> Self {
+    pub fn new(sim: Arc<LithoSimulator>) -> Self {
         Self::with_region(sim, OptimizeRegion::option2_default())
     }
 
     /// Same, but with an explicit writable-region policy (for like-for-like
     /// table comparisons).
-    pub fn with_region(sim: Rc<LithoSimulator>, region: OptimizeRegion) -> Self {
+    pub fn with_region(sim: Arc<LithoSimulator>, region: OptimizeRegion) -> Self {
         let cfg = IltConfig {
             binary: BinaryFunction::legacy_sigmoid(),
             output_binary: BinaryFunction::legacy_sigmoid(),
@@ -81,7 +81,7 @@ mod tests {
     use super::*;
     use ilt_optics::{OpticsConfig, SourceSpec};
 
-    fn sim() -> Rc<LithoSimulator> {
+    fn sim() -> Arc<LithoSimulator> {
         let cfg = OpticsConfig {
             grid: 64,
             nm_per_px: 8.0,
@@ -90,7 +90,7 @@ mod tests {
             defocus_nm: 60.0,
             ..OpticsConfig::default()
         };
-        Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+        Arc::new(LithoSimulator::new(cfg).expect("valid config"))
     }
 
     fn target() -> Field2D {

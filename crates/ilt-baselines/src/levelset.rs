@@ -12,7 +12,7 @@
 //!    hole-free — and also what prevents SRAFs from nucleating far from
 //!    existing contours, the behaviour the paper contrasts against.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_autodiff::Graph;
 use ilt_core::{LossRecord, OptimizeRegion};
@@ -63,14 +63,14 @@ pub struct LevelSetResult {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ilt_baselines::{LevelSetConfig, LevelSetIlt};
 /// use ilt_field::Field2D;
 /// use ilt_optics::{LithoSimulator, OpticsConfig};
 ///
 /// # fn main() -> Result<(), String> {
 /// let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-/// let sim = Rc::new(LithoSimulator::new(cfg)?);
+/// let sim = Arc::new(LithoSimulator::new(cfg)?);
 /// let target = Field2D::from_fn(64, 64, |r, c| {
 ///     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
 /// });
@@ -82,13 +82,13 @@ pub struct LevelSetResult {
 /// ```
 #[derive(Debug)]
 pub struct LevelSetIlt {
-    sim: Rc<LithoSimulator>,
+    sim: Arc<LithoSimulator>,
     cfg: LevelSetConfig,
 }
 
 impl LevelSetIlt {
     /// Creates the baseline.
-    pub fn new(sim: Rc<LithoSimulator>, cfg: LevelSetConfig) -> Self {
+    pub fn new(sim: Arc<LithoSimulator>, cfg: LevelSetConfig) -> Self {
         LevelSetIlt { sim, cfg }
     }
 
@@ -232,7 +232,7 @@ mod tests {
     use super::*;
     use ilt_optics::{OpticsConfig, SourceSpec};
 
-    fn sim() -> Rc<LithoSimulator> {
+    fn sim() -> Arc<LithoSimulator> {
         let cfg = OpticsConfig {
             grid: 64,
             nm_per_px: 8.0,
@@ -241,7 +241,7 @@ mod tests {
             defocus_nm: 60.0,
             ..OpticsConfig::default()
         };
-        Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+        Arc::new(LithoSimulator::new(cfg).expect("valid config"))
     }
 
     fn target() -> Field2D {

@@ -8,7 +8,7 @@
 //! displacement at EPE sites, and move each mask edge segment against its
 //! error with a damping factor.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_core::LossRecord;
 use ilt_field::Field2D;
@@ -54,14 +54,14 @@ pub struct OpcResult {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ilt_baselines::{EdgeOpc, EdgeOpcConfig};
 /// use ilt_field::Field2D;
 /// use ilt_optics::{LithoSimulator, OpticsConfig};
 ///
 /// # fn main() -> Result<(), String> {
 /// let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-/// let sim = Rc::new(LithoSimulator::new(cfg)?);
+/// let sim = Arc::new(LithoSimulator::new(cfg)?);
 /// let target = Field2D::from_fn(64, 64, |r, c| {
 ///     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
 /// });
@@ -73,13 +73,13 @@ pub struct OpcResult {
 /// ```
 #[derive(Debug)]
 pub struct EdgeOpc {
-    sim: Rc<LithoSimulator>,
+    sim: Arc<LithoSimulator>,
     cfg: EdgeOpcConfig,
 }
 
 impl EdgeOpc {
     /// Creates the baseline.
-    pub fn new(sim: Rc<LithoSimulator>, cfg: EdgeOpcConfig) -> Self {
+    pub fn new(sim: Arc<LithoSimulator>, cfg: EdgeOpcConfig) -> Self {
         EdgeOpc { sim, cfg }
     }
 
@@ -177,7 +177,7 @@ mod tests {
     use super::*;
     use ilt_optics::{OpticsConfig, SourceSpec};
 
-    fn sim() -> Rc<LithoSimulator> {
+    fn sim() -> Arc<LithoSimulator> {
         let cfg = OpticsConfig {
             grid: 64,
             nm_per_px: 8.0,
@@ -186,7 +186,7 @@ mod tests {
             defocus_nm: 60.0,
             ..OpticsConfig::default()
         };
-        Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+        Arc::new(LithoSimulator::new(cfg).expect("valid config"))
     }
 
     fn target() -> Field2D {

@@ -15,14 +15,14 @@
 //! # Example
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use ilt_core::{schedules, IltConfig, MultiLevelIlt};
 //! use ilt_field::Field2D;
 //! use ilt_optics::{LithoSimulator, OpticsConfig};
 //!
 //! # fn main() -> Result<(), String> {
 //! let optics = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-//! let sim = Rc::new(LithoSimulator::new(optics)?);
+//! let sim = Arc::new(LithoSimulator::new(optics)?);
 //! let target = Field2D::from_fn(64, 64, |r, c| {
 //!     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
 //! });

@@ -16,7 +16,7 @@
 //! appears within a configurable window (the paper uses 15 iterations for
 //! via layers).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_autodiff::Graph;
 use ilt_field::{avg_pool_down, upsample_nearest, Field2D};
@@ -180,14 +180,14 @@ impl IltResult {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ilt_core::{IltConfig, MultiLevelIlt, Stage};
 /// use ilt_field::Field2D;
 /// use ilt_optics::{LithoSimulator, OpticsConfig};
 ///
 /// # fn main() -> Result<(), String> {
 /// let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-/// let sim = Rc::new(LithoSimulator::new(cfg)?);
+/// let sim = Arc::new(LithoSimulator::new(cfg)?);
 /// let target = Field2D::from_fn(64, 64, |r, c| {
 ///     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
 /// });
@@ -199,13 +199,13 @@ impl IltResult {
 /// ```
 #[derive(Debug)]
 pub struct MultiLevelIlt {
-    sim: Rc<LithoSimulator>,
+    sim: Arc<LithoSimulator>,
     cfg: IltConfig,
 }
 
 impl MultiLevelIlt {
     /// Creates an optimizer bound to a simulator and hyper-parameters.
-    pub fn new(sim: Rc<LithoSimulator>, cfg: IltConfig) -> Self {
+    pub fn new(sim: Arc<LithoSimulator>, cfg: IltConfig) -> Self {
         MultiLevelIlt { sim, cfg }
     }
 
@@ -215,7 +215,7 @@ impl MultiLevelIlt {
     }
 
     /// The simulator in use.
-    pub fn simulator(&self) -> &Rc<LithoSimulator> {
+    pub fn simulator(&self) -> &Arc<LithoSimulator> {
         &self.sim
     }
 
@@ -422,7 +422,7 @@ mod tests {
     use super::*;
     use ilt_optics::{OpticsConfig, SourceSpec};
 
-    fn test_sim(grid: usize) -> Rc<LithoSimulator> {
+    fn test_sim(grid: usize) -> Arc<LithoSimulator> {
         let cfg = OpticsConfig {
             grid,
             nm_per_px: 8.0,
@@ -431,7 +431,7 @@ mod tests {
             defocus_nm: 60.0,
             ..OpticsConfig::default()
         };
-        Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+        Arc::new(LithoSimulator::new(cfg).expect("valid config"))
     }
 
     fn bar_target(n: usize) -> Field2D {

@@ -1,7 +1,7 @@
 //! Integration tests of the multi-level optimizer against its substrates:
 //! step-level gradient checks, branch equivalences, and schedule semantics.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ilt_core::{
     schedules, BinaryFunction, IltConfig, MultiLevelIlt, OptimizeRegion, Smoothing,
@@ -10,7 +10,7 @@ use ilt_core::{
 use ilt_field::Field2D;
 use ilt_optics::{LithoSimulator, OpticsConfig, SourceSpec};
 
-fn sim(grid: usize) -> Rc<LithoSimulator> {
+fn sim(grid: usize) -> Arc<LithoSimulator> {
     let cfg = OpticsConfig {
         grid,
         nm_per_px: 8.0,
@@ -19,7 +19,7 @@ fn sim(grid: usize) -> Rc<LithoSimulator> {
         defocus_nm: 60.0,
         ..OpticsConfig::default()
     };
-    Rc::new(LithoSimulator::new(cfg).expect("valid config"))
+    Arc::new(LithoSimulator::new(cfg).expect("valid config"))
 }
 
 fn bar(n: usize) -> Field2D {

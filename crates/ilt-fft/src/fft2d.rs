@@ -2,11 +2,11 @@
 //!
 //! The lithography simulator spends almost all of its time in `N x N`
 //! transforms (Eq. 3 of the paper: one forward FFT of the mask plus `N_k`
-//! inverse FFTs, one per optical kernel), so [`Fft2d`] owns its plans and a
-//! scratch column buffer and is designed to be constructed once per size and
-//! reused across iterations.
+//! inverse FFTs, one per optical kernel), so [`Fft2d`] owns its plans and is
+//! designed to be constructed once per size and reused across iterations.
+//! The type is `Send + Sync`: plans are immutable after construction, so one
+//! instance can serve every worker thread of the batch runtime.
 
-use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
@@ -40,7 +40,6 @@ pub struct Fft2d {
     row_inv: Arc<FftPlan>,
     col_fwd: Arc<FftPlan>,
     col_inv: Arc<FftPlan>,
-    scratch: RefCell<Vec<Complex64>>,
 }
 
 impl fmt::Debug for Fft2d {
@@ -76,7 +75,6 @@ impl Fft2d {
             row_inv: planner.plan(cols, Direction::Inverse),
             col_fwd: planner.plan(rows, Direction::Forward),
             col_inv: planner.plan(rows, Direction::Inverse),
-            scratch: RefCell::new(vec![Complex64::ZERO; rows]),
         }
     }
 
@@ -122,7 +120,10 @@ impl Fft2d {
             row_plan.process(&mut data[r * self.cols..(r + 1) * self.cols]);
         }
 
-        let mut scratch = self.scratch.borrow_mut();
+        // A per-call column buffer (rows complex values) keeps the type
+        // shareable across threads; its cost is noise next to the
+        // O(rows log rows) transform it feeds.
+        let mut scratch = vec![Complex64::ZERO; self.rows];
         for c in 0..self.cols {
             for r in 0..self.rows {
                 scratch[r] = data[r * self.cols + c];

@@ -1,0 +1,207 @@
+//! Weighted-accumulation helpers for stitching overlapping tiles.
+//!
+//! The batch runtime partitions a large field into overlapping tiles, runs
+//! ILT per tile, and reassembles the results. Seam handling needs two
+//! primitives beyond [`Field2D::crop`] / [`Field2D::paste`]: accumulating a
+//! weighted tile contribution into a running sum, and normalizing the sum by
+//! the accumulated weights. Keeping them here (shape-generic, no tiling
+//! policy) lets any stitching scheme — hard crop, linear seam ramps, or
+//! future windowed blends — be expressed on top.
+
+use crate::field::Field2D;
+
+/// Adds `src .* weight` into `acc` and `weight` into `wacc`, both placed at
+/// top-left corner `(r0, c0)`.
+///
+/// `acc` and `wacc` must have identical shapes; `src` and `weight` must have
+/// identical shapes and fit inside `acc` at the given offset.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch or out-of-bounds placement.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_field::{accumulate_weighted, normalize_weighted, Field2D};
+///
+/// let mut acc = Field2D::zeros(4, 4);
+/// let mut wacc = Field2D::zeros(4, 4);
+/// let tile = Field2D::filled(2, 2, 3.0);
+/// let w = Field2D::filled(2, 2, 0.5);
+/// accumulate_weighted(&mut acc, &mut wacc, &tile, &w, 1, 1);
+/// accumulate_weighted(&mut acc, &mut wacc, &tile, &w, 1, 1);
+/// let out = normalize_weighted(&acc, &wacc, 0.0);
+/// assert_eq!(out[(1, 1)], 3.0); // (0.5*3 + 0.5*3) / (0.5 + 0.5)
+/// assert_eq!(out[(0, 0)], 0.0); // uncovered pixels fall back
+/// ```
+pub fn accumulate_weighted(
+    acc: &mut Field2D,
+    wacc: &mut Field2D,
+    src: &Field2D,
+    weight: &Field2D,
+    r0: usize,
+    c0: usize,
+) {
+    assert_eq!(acc.shape(), wacc.shape(), "accumulator shapes differ");
+    assert_eq!(src.shape(), weight.shape(), "tile and weight shapes differ");
+    let (rows, cols) = src.shape();
+    let (arows, acols) = acc.shape();
+    assert!(
+        r0 + rows <= arows && c0 + cols <= acols,
+        "weighted paste window out of bounds"
+    );
+    let s = src.as_slice();
+    let w = weight.as_slice();
+    let a = acc.as_mut_slice();
+    let wa = wacc.as_mut_slice();
+    for r in 0..rows {
+        let dst = (r0 + r) * acols + c0;
+        let srco = r * cols;
+        for c in 0..cols {
+            a[dst + c] += s[srco + c] * w[srco + c];
+            wa[dst + c] += w[srco + c];
+        }
+    }
+}
+
+/// Divides `acc` by `wacc` pixel-wise, yielding the blended field; pixels
+/// with (numerically) zero accumulated weight take `fallback`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn normalize_weighted(acc: &Field2D, wacc: &Field2D, fallback: f64) -> Field2D {
+    assert_eq!(acc.shape(), wacc.shape(), "accumulator shapes differ");
+    acc.zip_map(wacc, |a, w| if w > 1e-12 { a / w } else { fallback })
+}
+
+/// A separable seam-ramp weight profile along one axis of a tile window.
+///
+/// Returns `len` weights that are 1 in the interior and ramp linearly down
+/// to `1/(2*band)`-steps across a `2*band`-pixel seam at each side flagged
+/// as having a neighbor. Two adjacent tiles whose ramps overlap by exactly
+/// `2*band` pixels produce weights that sum to 1 at every seam pixel, so
+/// blending is a convex combination and exact where the tiles agree.
+///
+/// With `band == 0` (or no neighbor) the profile is all ones, which makes
+/// stitching a hard crop.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_field::seam_ramp;
+///
+/// let w = seam_ramp(6, 1, false, true);
+/// assert_eq!(w[0], 1.0);              // interior side: full weight
+/// assert!(w[5] < w[4] && w[4] < 1.0); // ramp toward the seam side
+/// // A neighbor overlapping the last two pixels carries the complement:
+/// let other = seam_ramp(6, 1, true, false);
+/// assert!((w[4] + other[0] - 1.0).abs() < 1e-12);
+/// assert!((w[5] + other[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn seam_ramp(len: usize, band: usize, ramp_lo: bool, ramp_hi: bool) -> Vec<f64> {
+    let mut w = vec![1.0; len];
+    if band == 0 {
+        return w;
+    }
+    let span = (2 * band) as f64;
+    for i in 0..(2 * band).min(len) {
+        // Weight at distance i from the edge: (i + 0.5) / (2*band); the
+        // mirrored profile of the neighboring tile contributes the
+        // complement, so the pair sums to exactly 1.
+        let v = (i as f64 + 0.5) / span;
+        if ramp_lo {
+            w[i] = w[i].min(v);
+        }
+        if ramp_hi {
+            w[len - 1 - i] = w[len - 1 - i].min(v);
+        }
+    }
+    w
+}
+
+/// Builds a 2-D tile weight field as the outer product of two seam profiles.
+///
+/// # Panics
+///
+/// Panics if `rows * cols` overflows the field size invariants (never in
+/// practice).
+pub fn seam_weights(
+    rows: usize,
+    cols: usize,
+    band: usize,
+    neighbors: [bool; 4],
+) -> Field2D {
+    let [up, down, left, right] = neighbors;
+    let wr = seam_ramp(rows, band, up, down);
+    let wc = seam_ramp(cols, band, left, right);
+    Field2D::from_fn(rows, cols, |r, c| wr[r] * wc[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_ramps_sum_to_one() {
+        // Two tiles overlapping by 2*band px: complements must sum to 1.
+        let band = 3;
+        let a = seam_ramp(16, band, false, true); // ramps at its high end
+        let b = seam_ramp(16, band, true, false); // ramps at its low end
+        for i in 0..2 * band {
+            // a's last 2*band pixels overlap b's first 2*band pixels.
+            let sum = a[16 - 2 * band + i] + b[i];
+            assert!((sum - 1.0).abs() < 1e-12, "seam weight sum {sum} at {i}");
+        }
+    }
+
+    #[test]
+    fn zero_band_is_hard_crop() {
+        assert!(seam_ramp(8, 0, true, true).iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn interior_weight_is_one() {
+        let w = seam_ramp(32, 4, true, true);
+        for &v in &w[8..24] {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn weighted_accumulate_round_trips_constant_fields() {
+        let mut acc = Field2D::zeros(8, 8);
+        let mut wacc = Field2D::zeros(8, 8);
+        // Two half-overlapping tiles with complementary ramps reproduce a
+        // constant field exactly.
+        let left = Field2D::filled(8, 6, 2.5);
+        let right = Field2D::filled(8, 6, 2.5);
+        let wl = seam_weights(8, 6, 1, [false, false, false, true]);
+        let wr = seam_weights(8, 6, 1, [false, false, true, false]);
+        accumulate_weighted(&mut acc, &mut wacc, &left, &wl, 0, 0);
+        accumulate_weighted(&mut acc, &mut wacc, &right, &wr, 0, 2);
+        let out = normalize_weighted(&acc, &wacc, -1.0);
+        for &v in out.as_slice() {
+            assert!((v - 2.5).abs() < 1e-12, "blended value {v}");
+        }
+    }
+
+    #[test]
+    fn uncovered_pixels_take_fallback() {
+        let acc = Field2D::zeros(4, 4);
+        let wacc = Field2D::zeros(4, 4);
+        let out = normalize_weighted(&acc, &wacc, 7.0);
+        assert!(out.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_paste_panics() {
+        let mut acc = Field2D::zeros(4, 4);
+        let mut wacc = Field2D::zeros(4, 4);
+        let t = Field2D::zeros(3, 3);
+        let w = Field2D::filled(3, 3, 1.0);
+        accumulate_weighted(&mut acc, &mut wacc, &t, &w, 2, 2);
+    }
+}

@@ -1,3 +1,8 @@
+// Gated behind `slow-tests`: proptest comes from the registry, which the
+// hermetic tier-1 build never touches. To run these, restore the `proptest`
+// dev-dependency in Cargo.toml and pass `--features slow-tests`.
+#![cfg(feature = "slow-tests")]
+
 //! Property-based tests for field operators.
 
 use ilt_field::{avg_pool_down, avg_pool_same, upsample_bilinear, upsample_nearest, Field2D};

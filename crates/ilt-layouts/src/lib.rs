@@ -27,9 +27,11 @@
 
 mod layout;
 mod m1;
+mod rng;
 mod via;
 
 pub use layout::{Layout, NmRect};
+pub use rng::Xorshift64Star;
 pub use m1::{
     extended_case, extended_suite, iccad2013_case, iccad2013_suite, CLIP_NM, EXTENDED_AREAS,
     ICCAD2013_AREAS,

@@ -1,0 +1,130 @@
+//! A tiny deterministic PRNG for layout sampling.
+//!
+//! The via-pattern sampler only needs reproducible uniform integers, not
+//! cryptographic quality, so an xorshift64* generator (Vigna, "An
+//! experimental exploration of Marsaglia's xorshift generators, scrambled")
+//! keeps the crate dependency-free and bit-stable across platforms and
+//! toolchains — the same seed yields the same layout everywhere, forever.
+
+/// An xorshift64* pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_layouts::Xorshift64Star;
+///
+/// let mut a = Xorshift64Star::new(42);
+/// let mut b = Xorshift64Star::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    /// Creates a generator from a seed; a zero seed is remapped (xorshift
+    /// state must be non-zero) through SplitMix64's increment constant.
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Xorshift64Star { state }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// Uses rejection sampling (Lemire-style threshold on the modulus), so
+    /// the distribution is exactly uniform, and stays deterministic for a
+    /// given seed and call sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = u64::from(hi - lo) + 1;
+        // Reject the tail of the 64-bit space that would bias the modulus.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return lo + (x % span) as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xorshift64Star::new(7);
+        let mut b = Xorshift64Star::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Xorshift64Star::new(1);
+        let mut b = Xorshift64Star::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Xorshift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = Xorshift64Star::new(99);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range_u32(10, 17);
+            assert!((10..=17).contains(&v));
+            seen_lo |= v == 10;
+            seen_hi |= v == 17;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints should appear");
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let mut r = Xorshift64Star::new(5);
+        for _ in 0..10 {
+            assert_eq!(r.gen_range_u32(3, 3), 3);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_over_small_range() {
+        let mut r = Xorshift64Star::new(1234);
+        let mut counts = [0usize; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[r.gen_range_u32(0, 7) as usize] += 1;
+        }
+        let expect = draws / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "bucket {i} count {c} far from {expect}"
+            );
+        }
+    }
+}

@@ -8,11 +8,9 @@
 //! exactly the regime where "via shapes are smaller than shapes on the M1
 //! layer and require finer adjustments".
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::layout::{Layout, NmRect};
 use crate::m1::CLIP_NM;
+use crate::rng::Xorshift64Star;
 
 /// Configuration for the via-pattern sampler.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,7 +57,7 @@ pub fn via_pattern(seed: u64) -> Layout {
 /// Panics if the configuration cannot be satisfied (too many vias for the
 /// spacing) after a generous rejection-sampling budget.
 pub fn via_pattern_with(seed: u64, cfg: ViaPatternConfig) -> Layout {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+    let mut rng = Xorshift64Star::new(seed.wrapping_mul(0xA076_1D64_78BD_642F));
     let lo = cfg.margin_nm;
     let hi = CLIP_NM - cfg.margin_nm - cfg.via_nm;
     assert!(hi > lo, "margins leave no room for vias");
@@ -67,16 +65,27 @@ pub fn via_pattern_with(seed: u64, cfg: ViaPatternConfig) -> Layout {
     let mut centers: Vec<(i64, i64)> = Vec::with_capacity(cfg.count);
     let mut rects = Vec::with_capacity(cfg.count);
     let mut attempts = 0usize;
+    let mut stuck = 0usize;
     while rects.len() < cfg.count {
         attempts += 1;
         assert!(
-            attempts < 100_000,
+            attempts < 1_000_000,
             "could not place {} vias with {} nm spacing",
             cfg.count,
             cfg.min_spacing_nm
         );
-        let x0 = rng.gen_range(lo..=hi);
-        let y0 = rng.gen_range(lo..=hi);
+        // Sequential placement can jam (no room left for the remaining
+        // vias even though a global arrangement exists). Restart from an
+        // empty clip — the RNG stream continues, so the result is still a
+        // pure function of the seed.
+        stuck += 1;
+        if stuck > 4000 {
+            centers.clear();
+            rects.clear();
+            stuck = 0;
+        }
+        let x0 = rng.gen_range_u32(lo, hi);
+        let y0 = rng.gen_range_u32(lo, hi);
         let cx = i64::from(x0) + i64::from(cfg.via_nm) / 2;
         let cy = i64::from(y0) + i64::from(cfg.via_nm) / 2;
         let min_d2 = i64::from(cfg.min_spacing_nm) * i64::from(cfg.min_spacing_nm);
@@ -86,6 +95,7 @@ pub fn via_pattern_with(seed: u64, cfg: ViaPatternConfig) -> Layout {
         {
             centers.push((cx, cy));
             rects.push(NmRect::new(x0, y0, x0 + cfg.via_nm, y0 + cfg.via_nm));
+            stuck = 0;
         }
     }
     rects.sort();

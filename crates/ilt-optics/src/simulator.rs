@@ -15,10 +15,9 @@
 //! iteration needs — this replaces PyTorch autograd in the original
 //! implementation.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ilt_fft::{crop_centered, pad_centered_into, Complex64, Fft2d};
 use ilt_field::Field2D;
@@ -124,7 +123,11 @@ pub struct LithoSimulator {
     cfg: OpticsConfig,
     nominal: KernelSet,
     defocused: KernelSet,
-    ffts: RefCell<HashMap<usize, Rc<Fft2d>>>,
+    /// Per-resolution FFT engines, built lazily. A `Mutex` (held only for
+    /// the map lookup, never across a transform) keeps the simulator
+    /// `Send + Sync`, so one instance — and its expensive TCC build — can be
+    /// shared by every worker thread of the batch runtime.
+    ffts: Mutex<HashMap<usize, Arc<Fft2d>>>,
 }
 
 impl fmt::Debug for LithoSimulator {
@@ -147,7 +150,7 @@ impl LithoSimulator {
     pub fn new(cfg: OpticsConfig) -> Result<Self, String> {
         cfg.validate()?;
         let (nominal, defocused) = KernelSet::focus_pair(&cfg);
-        Ok(LithoSimulator { cfg, nominal, defocused, ffts: RefCell::new(HashMap::new()) })
+        Ok(LithoSimulator { cfg, nominal, defocused, ffts: Mutex::new(HashMap::new()) })
     }
 
     /// Builds a simulator from pre-computed kernel sets (for tests and for
@@ -170,7 +173,7 @@ impl LithoSimulator {
                 cfg.kernel_size()
             ));
         }
-        Ok(LithoSimulator { cfg, nominal, defocused, ffts: RefCell::new(HashMap::new()) })
+        Ok(LithoSimulator { cfg, nominal, defocused, ffts: Mutex::new(HashMap::new()) })
     }
 
     /// The configuration this simulator was built from.
@@ -187,11 +190,12 @@ impl LithoSimulator {
         }
     }
 
-    fn fft(&self, m: usize) -> Rc<Fft2d> {
+    fn fft(&self, m: usize) -> Arc<Fft2d> {
         self.ffts
-            .borrow_mut()
+            .lock()
+            .expect("fft cache lock poisoned")
             .entry(m)
-            .or_insert_with(|| Rc::new(Fft2d::new(m, m)))
+            .or_insert_with(|| Arc::new(Fft2d::new(m, m)))
             .clone()
     }
 

@@ -1,0 +1,381 @@
+//! The batch engine: cases → tiles → jobs → pool → stitched masks + journal.
+//!
+//! `run_batch` is the full-chip entry point. Each case whose target fits in
+//! one tile runs as a single whole-clip job; larger targets are decomposed
+//! by [`TileGrid`] and every tile becomes an independent job. All jobs of
+//! all cases go into one worker pool so a mix of clip sizes load-balances,
+//! and all simulators come from one shared [`SimulatorCache`] so each
+//! distinct optics configuration is built exactly once per process.
+//!
+//! Failed tiles degrade, not abort: their core region falls back to the
+//! target geometry (the no-correction mask) and the failure is journaled,
+//! so a single bad tile costs local mask quality instead of the batch.
+
+use std::time::{Duration, Instant};
+
+use ilt_core::{schedules, IltConfig, Stage};
+use ilt_field::Field2D;
+use ilt_metrics::{EpeChecker, EvalReport};
+use ilt_optics::OpticsConfig;
+
+use crate::cache::SimulatorCache;
+use crate::job::IltJob;
+use crate::journal::RunReport;
+use crate::pool::{run_jobs, JobOutput, PoolConfig};
+use crate::tiler::{SeamPolicy, TileGrid};
+
+/// One input to a batch run: a named target clip.
+#[derive(Clone, Debug)]
+pub struct BatchCase {
+    /// Label used in the journal and output files.
+    pub name: String,
+    /// Binary target, square power-of-two.
+    pub target: Field2D,
+    /// Physical pixel pitch of the target.
+    pub nm_per_px: f64,
+}
+
+/// Full configuration of a batch run.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Tile window size in pixels (power of two).
+    pub tile: usize,
+    /// Guard band in pixels; targets larger than `tile` are decomposed into
+    /// windows overlapping by `2 * halo`.
+    pub halo: usize,
+    /// Seam handling when stitching tiled masks.
+    pub seam: SeamPolicy,
+    /// Optics template; `grid` and `nm_per_px` are overridden per job.
+    pub optics: OpticsConfig,
+    /// ILT hyper-parameters shared by all jobs.
+    pub ilt: IltConfig,
+    /// Base multi-level schedule; clamped per job to its grid and to the
+    /// effective-pitch ceiling.
+    pub schedule: Vec<Stage>,
+    /// Coarsest admissible effective pixel pitch, nm (see
+    /// [`schedules::clamp_effective_pitch`]).
+    pub max_eff_nm: f64,
+    /// Per-attempt wall-clock budget; `None` waits indefinitely.
+    pub timeout: Option<Duration>,
+    /// Extra attempts per job after a failure.
+    pub max_retries: u32,
+    /// Evaluate each stitched full-size mask (builds a full-size simulator;
+    /// disable for targets too large to simulate in one FFT).
+    pub evaluate_stitched: bool,
+    /// Testing hook: `(job_id, n)` makes that job panic on its first `n`
+    /// attempts.
+    pub inject: Vec<(usize, u32)>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            tile: 512,
+            halo: 64,
+            seam: SeamPolicy::Crop,
+            optics: OpticsConfig::default(),
+            ilt: IltConfig::default(),
+            schedule: schedules::our_fast(),
+            max_eff_nm: 8.0,
+            timeout: None,
+            max_retries: 1,
+            evaluate_stitched: true,
+            inject: Vec::new(),
+        }
+    }
+}
+
+/// Per-case product of a batch run.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Case label.
+    pub name: String,
+    /// Stitched (or whole-clip) binary mask at the target's grid.
+    pub mask: Field2D,
+    /// Number of jobs the case decomposed into.
+    pub tiles: usize,
+    /// Jobs that exhausted retries; their cores fell back to the target.
+    pub failed_tiles: usize,
+    /// Full-size evaluation of the stitched mask, when requested.
+    pub eval: Option<EvalReport>,
+}
+
+/// Everything a batch run produces.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The journal: one record per job plus aggregates.
+    pub report: RunReport,
+    /// Stitched results, one per input case, input order.
+    pub cases: Vec<CaseResult>,
+}
+
+struct CasePlan {
+    first_job: usize,
+    jobs: usize,
+    grid: Option<TileGrid>,
+}
+
+/// Runs every case through the tiled ILT pool and stitches the results.
+///
+/// # Errors
+///
+/// Returns a message for malformed inputs (non-square or non-power-of-two
+/// target, bad tile geometry, zero threads). Per-job failures are *not*
+/// errors; they surface as [`CaseResult::failed_tiles`] and journal records.
+pub fn run_batch(
+    cases: &[BatchCase],
+    config: &BatchConfig,
+    cache: &SimulatorCache,
+) -> Result<BatchOutcome, String> {
+    if config.threads == 0 {
+        return Err("batch needs at least one thread".into());
+    }
+    let mut jobs = Vec::new();
+    let mut plans = Vec::with_capacity(cases.len());
+    for case in cases {
+        let (rows, cols) = case.target.shape();
+        if rows != cols || !rows.is_power_of_two() {
+            return Err(format!(
+                "case {}: target must be square power-of-two, got {rows}x{cols}",
+                case.name
+            ));
+        }
+        let first_job = jobs.len();
+        if rows <= config.tile {
+            jobs.push(make_job(jobs.len(), case, None, case.target.clone(), rows, config));
+            plans.push(CasePlan { first_job, jobs: 1, grid: None });
+        } else {
+            let grid = TileGrid::new(rows, config.tile, config.halo)
+                .map_err(|e| format!("case {}: {e}", case.name))?;
+            for spec in grid.specs() {
+                let window = grid.extract(&case.target, &spec);
+                jobs.push(make_job(jobs.len(), case, Some(spec), window, grid.tile(), config));
+            }
+            plans.push(CasePlan { first_job, jobs: grid.len(), grid: Some(grid) });
+        }
+    }
+    for &(job_id, panics) in &config.inject {
+        let job = jobs
+            .get_mut(job_id)
+            .ok_or_else(|| format!("inject target {job_id} out of range"))?;
+        job.inject_panics = panics;
+    }
+
+    let pool = PoolConfig {
+        threads: config.threads,
+        timeout: config.timeout,
+        max_retries: config.max_retries,
+    };
+    let started = Instant::now();
+    let outputs = run_jobs(jobs, &pool, cache);
+    let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut results = Vec::with_capacity(cases.len());
+    for (case, plan) in cases.iter().zip(&plans) {
+        results.push(assemble_case(case, plan, &outputs, config, cache)?);
+    }
+    let report = RunReport {
+        threads: config.threads,
+        records: outputs.into_iter().map(|o| o.record).collect(),
+        total_wall_ms,
+    };
+    Ok(BatchOutcome { report, cases: results })
+}
+
+fn make_job(
+    id: usize,
+    case: &BatchCase,
+    spec: Option<crate::tiler::TileSpec>,
+    target: Field2D,
+    grid: usize,
+    config: &BatchConfig,
+) -> IltJob {
+    let optics = OpticsConfig {
+        grid,
+        nm_per_px: case.nm_per_px,
+        ..config.optics.clone()
+    };
+    // Coarse stages must stay above both the generic floor and the SOCS
+    // kernel support, or the downsampled grid cannot hold one kernel.
+    let min_size = 32.max(optics.kernel_size().next_power_of_two());
+    let pitched = schedules::clamp_effective_pitch(&config.schedule, case.nm_per_px, config.max_eff_nm);
+    let schedule = schedules::clamp_scales(&pitched, grid, min_size);
+    IltJob {
+        id,
+        case: case.name.clone(),
+        tile: spec,
+        target,
+        optics,
+        ilt: config.ilt.clone(),
+        schedule,
+        inject_panics: 0,
+    }
+}
+
+fn assemble_case(
+    case: &BatchCase,
+    plan: &CasePlan,
+    outputs: &[JobOutput],
+    config: &BatchConfig,
+    cache: &SimulatorCache,
+) -> Result<CaseResult, String> {
+    let slice = &outputs[plan.first_job..plan.first_job + plan.jobs];
+    let failed_tiles = slice.iter().filter(|o| o.mask.is_none()).count();
+    // A failed tile's core falls back to the target geometry: the
+    // uncorrected design is the safest stand-in for a missing correction.
+    let binary_target = case.target.threshold(0.5);
+    let mask = match &plan.grid {
+        None => slice[0].mask.clone().unwrap_or_else(|| binary_target.clone()),
+        Some(grid) => {
+            let tiles: Vec<Option<Field2D>> = slice.iter().map(|o| o.mask.clone()).collect();
+            let stitched = grid.stitch(&tiles, config.seam, &binary_target);
+            match config.seam {
+                // Blending averages across seams, so re-binarize.
+                SeamPolicy::Blend { .. } => stitched.threshold(0.5),
+                SeamPolicy::Crop => stitched,
+            }
+        }
+    };
+    let eval = if config.evaluate_stitched {
+        let n = case.target.shape().0;
+        let optics = OpticsConfig {
+            grid: n,
+            nm_per_px: case.nm_per_px,
+            ..config.optics.clone()
+        };
+        let sim = cache.get_or_build(&optics)?;
+        let corners = sim.print_corners(&mask);
+        let checker = EpeChecker { nm_per_px: case.nm_per_px, ..EpeChecker::default() };
+        let tat = Duration::from_secs_f64(
+            slice.iter().map(|o| o.record.wall_ms).sum::<f64>() / 1e3,
+        );
+        Some(EvalReport::evaluate(
+            &binary_target,
+            &mask,
+            &corners.nominal,
+            &corners.inner,
+            &corners.outer,
+            &checker,
+            tat,
+        ))
+    } else {
+        None
+    };
+    Ok(CaseResult {
+        name: case.name.clone(),
+        mask,
+        tiles: plan.jobs,
+        failed_tiles,
+        eval,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar_case(name: &str, n: usize) -> BatchCase {
+        let target = Field2D::from_fn(n, n, |r, c| {
+            if (n / 4..n / 2).contains(&r) && (n / 8..n - n / 8).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        BatchCase { name: name.into(), target, nm_per_px: 8.0 }
+    }
+
+    fn small_config(threads: usize) -> BatchConfig {
+        BatchConfig {
+            threads,
+            tile: 64,
+            halo: 8,
+            optics: OpticsConfig { num_kernels: 3, ..OpticsConfig::default() },
+            schedule: vec![Stage::low_res(2, 3), Stage::high_res(1, 2)],
+            evaluate_stitched: false,
+            ..BatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn whole_clip_case_runs_one_job() {
+        let cache = SimulatorCache::new();
+        let out = run_batch(&[bar_case("clip", 64)], &small_config(1), &cache).unwrap();
+        assert_eq!(out.report.records.len(), 1);
+        assert_eq!(out.cases[0].tiles, 1);
+        assert_eq!(out.cases[0].failed_tiles, 0);
+        assert_eq!(out.cases[0].mask.shape(), (64, 64));
+    }
+
+    #[test]
+    fn oversized_case_is_tiled_and_stitched_to_full_size() {
+        let cache = SimulatorCache::new();
+        let out = run_batch(&[bar_case("big", 128)], &small_config(2), &cache).unwrap();
+        assert_eq!(out.cases[0].mask.shape(), (128, 128));
+        // 128 px field, 64 px tile, 8 px halo -> 48 px core -> 3x3 tiles.
+        assert_eq!(out.cases[0].tiles, 9);
+        assert_eq!(out.report.records.len(), 9);
+        assert!(out.report.records.iter().all(|r| r.status.is_done()));
+        // One shared configuration: every tile job simulates at 64 px.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn mixed_cases_share_one_pool_run() {
+        let cache = SimulatorCache::new();
+        let cases = [bar_case("a", 64), bar_case("b", 128)];
+        let out = run_batch(&cases, &small_config(2), &cache).unwrap();
+        assert_eq!(out.cases.len(), 2);
+        assert_eq!(out.report.records.len(), 1 + 9);
+        // Records stay grouped by case in submission order.
+        assert_eq!(out.report.records[0].case, "a");
+        assert!(out.report.records[1..].iter().all(|r| r.case == "b"));
+    }
+
+    #[test]
+    fn injected_failure_falls_back_to_target_geometry() {
+        let cache = SimulatorCache::new();
+        let mut config = small_config(1);
+        config.max_retries = 0;
+        config.inject = vec![(0, u32::MAX)];
+        let case = bar_case("clip", 64);
+        let out = run_batch(&[case.clone()], &config, &cache).unwrap();
+        assert_eq!(out.cases[0].failed_tiles, 1);
+        assert_eq!(out.report.failed_jobs(), 1);
+        assert_eq!(out.cases[0].mask, case.target.threshold(0.5));
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        let cache = SimulatorCache::new();
+        let config = small_config(1);
+        let bad = BatchCase {
+            name: "rect".into(),
+            target: Field2D::zeros(64, 32),
+            nm_per_px: 8.0,
+        };
+        assert!(run_batch(&[bad], &config, &cache).is_err());
+        let mut zero = small_config(1);
+        zero.threads = 0;
+        assert!(run_batch(&[bar_case("x", 64)], &zero, &cache).is_err());
+        let mut inject = small_config(1);
+        inject.inject = vec![(99, 1)];
+        assert!(run_batch(&[bar_case("x", 64)], &inject, &cache).is_err());
+    }
+
+    #[test]
+    fn batch_digest_is_thread_count_invariant() {
+        let run = |threads| {
+            let cache = SimulatorCache::new();
+            run_batch(&[bar_case("big", 128)], &small_config(threads), &cache)
+                .unwrap()
+                .report
+                .digest()
+        };
+        assert_eq!(run(1), run(3));
+    }
+}

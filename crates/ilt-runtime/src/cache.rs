@@ -1,0 +1,178 @@
+//! A process-wide cache of built lithography simulators.
+//!
+//! [`ilt_optics::LithoSimulator::new`] is the cold-start of every job: it
+//! builds the Hopkins TCC and eigendecomposes it into SOCS kernels, which
+//! dwarfs a few ILT iterations at small grids. Batch runs hit a handful of
+//! distinct configurations (one per grid size / pixel pitch / optics stack),
+//! so the pool shares one simulator per configuration across all worker
+//! threads instead of rebuilding per job — the `Rc -> Arc` refactor of the
+//! optics crate exists exactly to make this sound.
+//!
+//! Keying: the full [`OpticsConfig`] (which embeds the grid size and the
+//! pixel pitch, and therefore the multi-level scale geometry) rendered
+//! through its `Debug` form. Every field of the config is plain data with a
+//! deterministic `Debug` representation, so two configs collide exactly
+//! when they would build identical simulators.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ilt_optics::{LithoSimulator, OpticsConfig};
+
+type Slot = Arc<OnceLock<Result<Arc<LithoSimulator>, String>>>;
+
+/// A shared, thread-safe simulator cache.
+///
+/// Cloning is cheap (the store is behind an `Arc`), so hand clones to worker
+/// threads freely. Construction of distinct configurations proceeds in
+/// parallel; concurrent requests for the *same* configuration block on one
+/// builder and then share its result.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_optics::OpticsConfig;
+/// use ilt_runtime::SimulatorCache;
+///
+/// let cache = SimulatorCache::new();
+/// let cfg = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
+/// let a = cache.get_or_build(&cfg).unwrap();
+/// let b = cache.get_or_build(&cfg).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct SimulatorCache {
+    slots: Arc<Mutex<HashMap<String, Slot>>>,
+    hits: Arc<AtomicUsize>,
+    misses: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for SimulatorCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatorCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl SimulatorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache key for a configuration.
+    pub fn key(cfg: &OpticsConfig) -> String {
+        format!("{cfg:?}")
+    }
+
+    /// Returns the simulator for `cfg`, building it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the configuration-validation error of
+    /// [`LithoSimulator::new`]; failures are cached too, so a bad
+    /// configuration fails fast on every subsequent job instead of
+    /// re-attempting the build.
+    pub fn get_or_build(&self, cfg: &OpticsConfig) -> Result<Arc<LithoSimulator>, String> {
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("simulator cache lock poisoned");
+            slots.entry(Self::key(cfg)).or_default().clone()
+        };
+        let mut built = false;
+        let result = slot.get_or_init(|| {
+            built = true;
+            LithoSimulator::new(cfg.clone()).map(Arc::new)
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Number of distinct configurations ever requested.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("simulator cache lock poisoned").len()
+    }
+
+    /// True when no configuration has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests served from an already-built simulator.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to build (or wait on a concurrent build).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn small_cfg(grid: usize) -> OpticsConfig {
+        OpticsConfig { grid, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() }
+    }
+
+    #[test]
+    fn same_config_shares_one_simulator() {
+        let cache = SimulatorCache::new();
+        let a = cache.get_or_build(&small_cfg(64)).unwrap();
+        let b = cache.get_or_build(&small_cfg(64)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn different_grids_get_distinct_simulators() {
+        let cache = SimulatorCache::new();
+        let a = cache.get_or_build(&small_cfg(64)).unwrap();
+        let b = cache.get_or_build(&small_cfg(32)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalid_config_error_is_cached() {
+        let cache = SimulatorCache::new();
+        let bad = OpticsConfig { grid: 100, ..small_cfg(64) }; // not a power of two
+        assert!(cache.get_or_build(&bad).is_err());
+        assert!(cache.get_or_build(&bad).is_err());
+        assert_eq!(cache.misses(), 1, "the failed build must not be retried");
+    }
+
+    #[test]
+    fn concurrent_requests_converge_on_one_instance() {
+        let cache = SimulatorCache::new();
+        let sims: Vec<_> = thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let cache = cache.clone();
+                    s.spawn(move || cache.get_or_build(&small_cfg(64)).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for sim in &sims[1..] {
+            assert!(Arc::ptr_eq(&sims[0], sim));
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+}

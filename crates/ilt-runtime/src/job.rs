@@ -1,0 +1,180 @@
+//! Job definition and single-attempt execution.
+//!
+//! An [`IltJob`] is a self-contained unit of work: a power-of-two target
+//! clip (a whole layout or one tile window), the optics it images under,
+//! the multi-level recipe to run, and bookkeeping identity. Execution is a
+//! pure function of the job — no shared mutable state beyond the read-only
+//! simulator cache — which is what makes the pool's result deterministic
+//! under any thread count.
+
+use std::time::Instant;
+
+use ilt_core::{IltConfig, MultiLevelIlt, Stage};
+use ilt_field::Field2D;
+use ilt_metrics::{EpeChecker, EvalReport};
+use ilt_optics::OpticsConfig;
+
+use crate::cache::SimulatorCache;
+use crate::journal::{field_hash, JobMetrics, StageTimes};
+use crate::tiler::TileSpec;
+
+/// One schedulable unit: a whole clip or one tile of a larger field.
+#[derive(Clone, Debug)]
+pub struct IltJob {
+    /// Unique job id; results are ordered by it.
+    pub id: usize,
+    /// Case the job belongs to (journal label).
+    pub case: String,
+    /// Tile placement when the job is one tile of a larger field.
+    pub tile: Option<TileSpec>,
+    /// The (window) target to optimize, square power-of-two.
+    pub target: Field2D,
+    /// Optics for this job; `grid` must equal the target side length.
+    pub optics: OpticsConfig,
+    /// ILT hyper-parameters.
+    pub ilt: IltConfig,
+    /// Multi-level schedule, already clamped to the job's grid.
+    pub schedule: Vec<Stage>,
+    /// Testing hook: panic on the first `n` attempts (0 = never). Exercises
+    /// the pool's panic isolation and retry policy without a real defect.
+    pub inject_panics: u32,
+}
+
+/// The product of a successful attempt.
+#[derive(Clone, Debug)]
+pub struct JobSuccess {
+    /// Final binary mask at the job's grid.
+    pub mask: Field2D,
+    /// Contest metrics of the job's own window.
+    pub metrics: JobMetrics,
+    /// Per-stage wall-times.
+    pub times: StageTimes,
+}
+
+/// Runs one attempt of a job to completion.
+///
+/// # Errors
+///
+/// Returns the simulator-construction error for an invalid optics
+/// configuration.
+///
+/// # Panics
+///
+/// Panics when the injected-failure budget covers `attempt`, and on the
+/// usual contract violations (target/grid mismatch); the pool converts
+/// panics into failed attempts via `catch_unwind`.
+pub fn run_attempt(
+    job: &IltJob,
+    attempt: u32,
+    cache: &SimulatorCache,
+) -> Result<JobSuccess, String> {
+    assert!(
+        job.inject_panics < attempt,
+        "injected failure: job {} attempt {attempt}",
+        job.id
+    );
+
+    let t_sim = Instant::now();
+    let sim = cache.get_or_build(&job.optics)?;
+    let sim_ms = t_sim.elapsed().as_secs_f64() * 1e3;
+
+    let t_opt = Instant::now();
+    let result = MultiLevelIlt::new(sim.clone(), job.ilt.clone()).run(&job.target, &job.schedule);
+    let optimize_ms = t_opt.elapsed().as_secs_f64() * 1e3;
+
+    let t_eval = Instant::now();
+    let corners = sim.print_corners(&result.mask);
+    let checker = EpeChecker { nm_per_px: job.optics.nm_per_px, ..EpeChecker::default() };
+    let report = EvalReport::evaluate(
+        &job.target,
+        &result.mask,
+        &corners.nominal,
+        &corners.inner,
+        &corners.outer,
+        &checker,
+        t_opt.elapsed(),
+    );
+    let evaluate_ms = t_eval.elapsed().as_secs_f64() * 1e3;
+
+    let metrics = JobMetrics {
+        l2_nm2: report.l2_nm2,
+        pvband_nm2: report.pvband_nm2,
+        epe_violations: report.epe_violations(),
+        shots: report.shots,
+        iterations: result.total_iterations,
+        mask_hash: field_hash(&result.mask),
+    };
+    Ok(JobSuccess {
+        mask: result.mask,
+        metrics,
+        times: StageTimes { sim_ms, optimize_ms, evaluate_ms },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_core::Stage;
+
+    fn small_job(inject: u32) -> IltJob {
+        let n = 64;
+        let target = Field2D::from_fn(n, n, |r, c| {
+            if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
+        });
+        IltJob {
+            id: 0,
+            case: "unit".into(),
+            tile: None,
+            target,
+            optics: OpticsConfig {
+                grid: n,
+                nm_per_px: 8.0,
+                num_kernels: 3,
+                ..OpticsConfig::default()
+            },
+            ilt: IltConfig::default(),
+            schedule: vec![Stage::low_res(2, 4)],
+            inject_panics: inject,
+        }
+    }
+
+    #[test]
+    fn attempt_produces_mask_and_metrics() {
+        let cache = SimulatorCache::new();
+        let out = run_attempt(&small_job(0), 1, &cache).expect("job runs");
+        assert_eq!(out.mask.shape(), (64, 64));
+        assert_eq!(out.metrics.iterations, 4);
+        assert!(out.metrics.l2_nm2.is_finite());
+        assert!(out.times.optimize_ms > 0.0);
+    }
+
+    #[test]
+    fn attempts_are_deterministic() {
+        let cache = SimulatorCache::new();
+        let a = run_attempt(&small_job(0), 1, &cache).unwrap();
+        let b = run_attempt(&small_job(0), 1, &cache).unwrap();
+        assert_eq!(a.metrics.mask_hash, b.metrics.mask_hash);
+        assert_eq!(a.metrics.l2_nm2.to_bits(), b.metrics.l2_nm2.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected failure")]
+    fn injected_failure_panics_until_budget_spent() {
+        let cache = SimulatorCache::new();
+        let _ = run_attempt(&small_job(1), 1, &cache);
+    }
+
+    #[test]
+    fn injected_failure_clears_on_retry() {
+        let cache = SimulatorCache::new();
+        assert!(run_attempt(&small_job(1), 2, &cache).is_ok());
+    }
+
+    #[test]
+    fn bad_optics_is_an_error_not_a_panic() {
+        let cache = SimulatorCache::new();
+        let mut job = small_job(0);
+        job.optics.grid = 100; // not a power of two
+        assert!(run_attempt(&job, 1, &cache).is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! The run journal: per-job measurement records and their JSON Lines form.
+//!
+//! Every batch run produces one [`JobRecord`] per job — what ran, where its
+//! tile sits, how many attempts it took, per-stage wall-times and the
+//! contest metrics of its result — accumulated into a [`RunReport`]. The
+//! report serializes to JSON Lines through a small hand-rolled writer (the
+//! workspace is dependency-free by policy, so no serde) and prints an
+//! aggregate table. The rebar lesson (BurntSushi's benchmark harness)
+//! applied here: measurements are only trustworthy when captured per task,
+//! at the moment of execution, into a machine-diffable artifact — so every
+//! future performance PR gets its baseline from this journal, not from
+//! ad-hoc stopwatch prints.
+//!
+//! Determinism contract: everything in a record except the `*_ms` timing
+//! fields is a pure function of the job's inputs. `RunReport::digest`
+//! collects exactly the deterministic fields, which is what the
+//! `--threads 1` vs `--threads N` equivalence test and `verify_runtime.sh`
+//! compare.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+use ilt_field::Field2D;
+
+/// Terminal state of a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job produced a mask and metrics.
+    Done,
+    /// The job exhausted its retry budget; the reason of the last attempt.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// True for [`JobStatus::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobStatus::Done)
+    }
+}
+
+/// Wall-time of each stage of a job, milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    /// Simulator acquisition (≈0 on a cache hit, the TCC+eig build on a
+    /// miss).
+    pub sim_ms: f64,
+    /// The multi-level optimization itself.
+    pub optimize_ms: f64,
+    /// Corner prints + metric evaluation of the finished tile.
+    pub evaluate_ms: f64,
+}
+
+/// Result metrics of a finished job (the contest columns plus provenance).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobMetrics {
+    /// Squared L2 loss in nm².
+    pub l2_nm2: f64,
+    /// Process-variation band in nm².
+    pub pvband_nm2: f64,
+    /// EPE violation count.
+    pub epe_violations: usize,
+    /// Mask fracturing shot count.
+    pub shots: usize,
+    /// Gradient iterations actually executed.
+    pub iterations: usize,
+    /// FNV-1a hash of the final mask bits (bit-exact determinism witness).
+    pub mask_hash: u64,
+}
+
+/// One journal line: the full measurement record of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Dense job id; also the result-ordering key.
+    pub job_id: usize,
+    /// Name of the case the job belongs to.
+    pub case: String,
+    /// Tile-grid coordinates `(row, col)`; `None` for a whole-clip job.
+    pub tile: Option<(usize, usize)>,
+    /// Grid size the job simulated at.
+    pub grid: usize,
+    /// 1-based number of attempts consumed (>1 means retries happened).
+    pub attempts: u32,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Metrics of the final mask (`None` when failed).
+    pub metrics: Option<JobMetrics>,
+    /// Per-stage wall-times of the successful attempt (or the last one).
+    pub times: StageTimes,
+    /// End-to-end wall-time of the job including retries, ms.
+    pub wall_ms: f64,
+}
+
+/// The measurement record of a whole batch run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Worker threads the pool ran with.
+    pub threads: usize,
+    /// Per-job records, sorted by `job_id`.
+    pub records: Vec<JobRecord>,
+    /// Wall-time of the whole pool run, ms.
+    pub total_wall_ms: f64,
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bit-exact hash of a field (shape and pixel bit patterns).
+pub fn field_hash(f: &Field2D) -> u64 {
+    let (rows, cols) = f.shape();
+    let dims = [rows as u64, cols as u64];
+    fnv1a64(
+        dims.iter()
+            .flat_map(|d| d.to_le_bytes())
+            .chain(f.as_slice().iter().flat_map(|v| v.to_bits().to_le_bytes())),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-roundtrip JSON number for an `f64` (no NaN/inf in records by
+/// construction; they are mapped to `null` defensively).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".into()
+    }
+}
+
+impl JobRecord {
+    /// The record as one JSON object (no trailing newline).
+    ///
+    /// Key order is fixed, with all nondeterministic timing fields at the
+    /// tail so text tooling can strip them (`verify_runtime.sh` does).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"job_id\":{},\"case\":\"{}\",",
+            self.job_id,
+            json_escape(&self.case)
+        ));
+        match self.tile {
+            Some((r, c)) => s.push_str(&format!("\"tile\":[{r},{c}],")),
+            None => s.push_str("\"tile\":null,"),
+        }
+        s.push_str(&format!("\"grid\":{},\"attempts\":{},", self.grid, self.attempts));
+        match &self.status {
+            JobStatus::Done => s.push_str("\"status\":\"done\","),
+            JobStatus::Failed(why) => {
+                s.push_str(&format!("\"status\":\"failed\",\"reason\":\"{}\",", json_escape(why)))
+            }
+        }
+        match &self.metrics {
+            Some(m) => s.push_str(&format!(
+                "\"l2_nm2\":{},\"pvband_nm2\":{},\"epe\":{},\"shots\":{},\"iterations\":{},\"mask_hash\":\"{:016x}\",",
+                json_f64(m.l2_nm2),
+                json_f64(m.pvband_nm2),
+                m.epe_violations,
+                m.shots,
+                m.iterations,
+                m.mask_hash,
+            )),
+            None => s.push_str("\"metrics\":null,"),
+        }
+        s.push_str(&format!(
+            "\"sim_ms\":{},\"optimize_ms\":{},\"evaluate_ms\":{},\"wall_ms\":{}}}",
+            json_f64(self.times.sim_ms),
+            json_f64(self.times.optimize_ms),
+            json_f64(self.times.evaluate_ms),
+            json_f64(self.wall_ms),
+        ));
+        s
+    }
+
+    /// The deterministic fields only — identical across thread counts.
+    pub fn digest(&self) -> String {
+        let metrics = match &self.metrics {
+            Some(m) => format!(
+                "l2={:?} pvb={:?} epe={} shots={} iters={} mask={:016x}",
+                m.l2_nm2, m.pvband_nm2, m.epe_violations, m.shots, m.iterations, m.mask_hash
+            ),
+            None => "none".into(),
+        };
+        format!(
+            "job={} case={} tile={:?} grid={} status={} {}",
+            self.job_id,
+            self.case,
+            self.tile,
+            self.grid,
+            match &self.status {
+                JobStatus::Done => "done".into(),
+                JobStatus::Failed(why) => format!("failed({why})"),
+            },
+            metrics
+        )
+    }
+}
+
+impl RunReport {
+    /// Number of jobs that ended [`JobStatus::Failed`].
+    pub fn failed_jobs(&self) -> usize {
+        self.records.iter().filter(|r| !r.status.is_done()).count()
+    }
+
+    /// Total attempts beyond the first, across all jobs.
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.attempts.saturating_sub(1))).sum()
+    }
+
+    /// Sum of per-job wall-times — the serial cost of the work.
+    pub fn serial_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// Achieved parallel speedup: serial cost over pool wall-time.
+    pub fn speedup(&self) -> f64 {
+        if self.total_wall_ms > 0.0 {
+            self.serial_ms() / self.total_wall_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// The whole report as JSON Lines: one object per job, then a summary
+    /// object (`"kind":"summary"`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"summary\",\"threads\":{},\"jobs\":{},\"failed\":{},\"retries\":{},\"serial_ms\":{},\"total_wall_ms\":{},\"speedup\":{}}}\n",
+            self.threads,
+            self.records.len(),
+            self.failed_jobs(),
+            self.total_retries(),
+            json_f64(self.serial_ms()),
+            json_f64(self.total_wall_ms),
+            json_f64(self.speedup()),
+        ));
+        out
+    }
+
+    /// Writes [`RunReport::to_jsonl`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Deterministic digest of the run (job order, masks, metrics — no
+    /// timings). Equal digests mean bit-identical results.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.digest());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    /// The aggregate table printed after a batch run.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>4} {:<14} {:>11} {:>6} {:>10} {:>10} {:>4} {:>6} {:>4} {:>9}",
+            "job", "case", "tile", "grid", "L2 nm2", "PVB nm2", "EPE", "shots", "try", "wall ms"
+        )?;
+        for r in &self.records {
+            let tile = match r.tile {
+                Some((tr, tc)) => format!("({tr},{tc})"),
+                None => "clip".into(),
+            };
+            match (&r.status, &r.metrics) {
+                (JobStatus::Done, Some(m)) => writeln!(
+                    f,
+                    "{:>4} {:<14} {:>11} {:>6} {:>10.0} {:>10.0} {:>4} {:>6} {:>4} {:>9.1}",
+                    r.job_id,
+                    r.case,
+                    tile,
+                    r.grid,
+                    m.l2_nm2,
+                    m.pvband_nm2,
+                    m.epe_violations,
+                    m.shots,
+                    r.attempts,
+                    r.wall_ms
+                )?,
+                (JobStatus::Failed(why), _) => writeln!(
+                    f,
+                    "{:>4} {:<14} {:>11} {:>6} FAILED after {} attempts: {}",
+                    r.job_id, r.case, tile, r.grid, r.attempts, why
+                )?,
+                (JobStatus::Done, None) => writeln!(
+                    f,
+                    "{:>4} {:<14} {:>11} {:>6} done (no metrics)",
+                    r.job_id, r.case, tile, r.grid
+                )?,
+            }
+        }
+        writeln!(
+            f,
+            "{} jobs on {} threads: {} failed, {} retries, serial {:.1} ms, wall {:.1} ms, speedup {:.2}x",
+            self.records.len(),
+            self.threads,
+            self.failed_jobs(),
+            self.total_retries(),
+            self.serial_ms(),
+            self.total_wall_ms,
+            self.speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, status: JobStatus) -> JobRecord {
+        JobRecord {
+            job_id: id,
+            case: "m1_case1".into(),
+            tile: Some((0, 192)),
+            grid: 256,
+            attempts: 1,
+            status,
+            metrics: Some(JobMetrics {
+                l2_nm2: 41250.0,
+                pvband_nm2: 8000.5,
+                epe_violations: 2,
+                shots: 311,
+                iterations: 40,
+                mask_hash: 0xdead_beef_cafe_f00d,
+            }),
+            times: StageTimes { sim_ms: 12.0, optimize_ms: 840.0, evaluate_ms: 31.0 },
+            wall_ms: 883.0,
+        }
+    }
+
+    #[test]
+    fn json_line_is_wellformed_and_ordered() {
+        let line = record(3, JobStatus::Done).to_json();
+        assert!(line.starts_with("{\"job_id\":3,\"case\":\"m1_case1\","));
+        assert!(line.contains("\"tile\":[0,192]"));
+        assert!(line.contains("\"mask_hash\":\"deadbeefcafef00d\""));
+        // Timing fields must come after all deterministic fields.
+        let det = line.find("\"mask_hash\"").unwrap();
+        assert!(line.find("\"sim_ms\"").unwrap() > det);
+        assert!(line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn failed_record_carries_reason() {
+        let mut r = record(1, JobStatus::Failed("panic: boom \"quoted\"".into()));
+        r.metrics = None;
+        let line = r.to_json();
+        assert!(line.contains("\"status\":\"failed\""));
+        assert!(line.contains("\\\"quoted\\\""));
+        assert!(line.contains("\"metrics\":null"));
+    }
+
+    #[test]
+    fn digest_ignores_timing() {
+        let mut a = record(0, JobStatus::Done);
+        let mut b = record(0, JobStatus::Done);
+        a.wall_ms = 1.0;
+        b.wall_ms = 99.0;
+        b.times.optimize_ms = 1e6;
+        assert_eq!(a.digest(), b.digest());
+        b.metrics.as_mut().unwrap().mask_hash ^= 1;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = RunReport {
+            threads: 4,
+            records: vec![record(0, JobStatus::Done), {
+                let mut r = record(1, JobStatus::Failed("timeout".into()));
+                r.attempts = 3;
+                r
+            }],
+            total_wall_ms: 1000.0,
+        };
+        assert_eq!(report.failed_jobs(), 1);
+        assert_eq!(report.total_retries(), 2);
+        assert!((report.serial_ms() - 1766.0).abs() < 1e-9);
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3, "2 jobs + summary");
+        assert!(jsonl.lines().last().unwrap().contains("\"kind\":\"summary\""));
+        let table = report.to_string();
+        assert!(table.contains("FAILED after 3 attempts"));
+    }
+
+    #[test]
+    fn field_hash_is_bit_exact() {
+        let a = Field2D::filled(4, 4, 0.5);
+        let mut b = Field2D::filled(4, 4, 0.5);
+        assert_eq!(field_hash(&a), field_hash(&b));
+        b[(2, 2)] = 0.5 + f64::EPSILON;
+        assert_ne!(field_hash(&a), field_hash(&b));
+        // Shape participates: a 1x4 and 4x1 of equal data differ.
+        let r = Field2D::filled(1, 4, 1.0);
+        let c = Field2D::filled(4, 1, 1.0);
+        assert_ne!(field_hash(&r), field_hash(&c));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv1a64([b'a']), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,63 @@
+//! Parallel tiled full-chip ILT execution engine.
+//!
+//! The numerical crates optimize one clip at a time; this crate turns them
+//! into a batch system able to process layouts wider than one FFT and many
+//! cases at once, using only `std` concurrency:
+//!
+//! - [`TileGrid`] partitions a large target into overlapping windows whose
+//!   cores tile the field exactly, and stitches per-tile masks back with a
+//!   hard crop or a linear seam blend ([`SeamPolicy`]).
+//! - [`run_jobs`] drains a queue of [`IltJob`]s with N workers, isolating
+//!   panics per attempt, enforcing per-attempt timeouts, retrying a bounded
+//!   number of times, and returning results in submission order so output
+//!   is deterministic for any thread count.
+//! - [`SimulatorCache`] shares one built [`ilt_optics::LithoSimulator`] per
+//!   optics configuration across every worker.
+//! - [`RunReport`] journals one [`JobRecord`] per job (metrics, attempts,
+//!   per-stage wall-times, mask hash) and serializes to JSON Lines with all
+//!   nondeterministic timing fields at the tail.
+//! - [`run_batch`] glues the above into the `ilt batch` command.
+//!
+//! ```
+//! use ilt_field::Field2D;
+//! use ilt_runtime::{run_batch, BatchCase, BatchConfig, SimulatorCache};
+//!
+//! let case = BatchCase {
+//!     name: "demo".into(),
+//!     target: Field2D::from_fn(64, 64, |r, c| {
+//!         if (24..40).contains(&r) && (8..56).contains(&c) { 1.0 } else { 0.0 }
+//!     }),
+//!     nm_per_px: 8.0,
+//! };
+//! let config = BatchConfig {
+//!     threads: 2,
+//!     tile: 64,
+//!     halo: 8,
+//!     optics: ilt_optics::OpticsConfig { num_kernels: 3, ..Default::default() },
+//!     schedule: vec![ilt_core::Stage::low_res(2, 2)],
+//!     evaluate_stitched: false,
+//!     ..BatchConfig::default()
+//! };
+//! let out = run_batch(&[case], &config, &SimulatorCache::new()).unwrap();
+//! assert_eq!(out.report.records.len(), 1);
+//! assert_eq!(out.report.failed_jobs(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod job;
+mod journal;
+mod pool;
+mod tiler;
+
+pub use batch::{run_batch, BatchCase, BatchConfig, BatchOutcome, CaseResult};
+pub use cache::SimulatorCache;
+pub use job::{run_attempt, IltJob, JobSuccess};
+pub use journal::{
+    field_hash, fnv1a64, JobMetrics, JobRecord, JobStatus, RunReport, StageTimes,
+};
+pub use pool::{run_jobs, JobOutput, PoolConfig};
+pub use tiler::{SeamPolicy, TileGrid, TileSpec};

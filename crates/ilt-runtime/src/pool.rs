@@ -1,0 +1,359 @@
+//! A std-only worker pool with retries, timeouts, and panic isolation.
+//!
+//! N worker threads drain a shared queue of [`IltJob`]s. Each *attempt* runs
+//! on a dedicated short-lived thread behind `catch_unwind`, reporting back
+//! over an `mpsc` channel; the worker waits with `recv_timeout`. That split
+//! buys two properties the workers themselves could not provide:
+//!
+//! - a panicking job becomes a failed attempt (possibly retried), never a
+//!   torn-down worker or an aborted process;
+//! - a wedged job times out at the worker while the runaway thread is
+//!   abandoned to finish (or spin) in the background — the pool's throughput
+//!   degrades by one concurrent slot at worst, but the batch completes.
+//!
+//! Results are collected into a vector indexed by submission order, so the
+//! output — and the journal built from it — is byte-identical no matter how
+//! many workers raced over the queue.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ilt_field::Field2D;
+
+use crate::cache::SimulatorCache;
+use crate::job::{run_attempt, IltJob, JobSuccess};
+use crate::journal::{JobRecord, JobStatus};
+
+/// Pool sizing and resilience policy.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads (>= 1).
+    pub threads: usize,
+    /// Wall-clock budget per attempt; `None` waits indefinitely.
+    pub timeout: Option<Duration>,
+    /// Extra attempts allowed after the first one fails.
+    pub max_retries: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self { threads: 1, timeout: None, max_retries: 1 }
+    }
+}
+
+/// A finished job: its journal record plus the mask when it succeeded.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// Journal record (always present, also for failed jobs).
+    pub record: JobRecord,
+    /// Final mask; `None` when every attempt failed.
+    pub mask: Option<Field2D>,
+}
+
+struct Queued {
+    job: IltJob,
+    /// 1-based attempt about to run.
+    attempt: u32,
+    /// Wall-time already burned by failed attempts, in ms.
+    spent_ms: f64,
+}
+
+struct State {
+    queue: VecDeque<Queued>,
+    in_flight: usize,
+    /// Slot `i` holds the output of `jobs[i]`, filled as jobs finish.
+    outputs: Vec<Option<JobOutput>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wakeup: Condvar,
+}
+
+/// Runs `jobs` to completion on `config.threads` workers.
+///
+/// The returned vector is ordered like `jobs` regardless of scheduling; a
+/// job exhausted of retries yields a [`JobStatus::Failed`] record with no
+/// mask rather than an `Err`, so one bad tile cannot sink a batch.
+///
+/// # Panics
+///
+/// Panics if `config.threads == 0` or if worker threads cannot be spawned.
+pub fn run_jobs(jobs: Vec<IltJob>, config: &PoolConfig, cache: &SimulatorCache) -> Vec<JobOutput> {
+    assert!(config.threads >= 1, "pool needs at least one worker");
+    let n = jobs.len();
+    let shared = Shared {
+        state: Mutex::new(State {
+            queue: jobs
+                .into_iter()
+                .map(|job| Queued { job, attempt: 1, spent_ms: 0.0 })
+                .collect(),
+            in_flight: 0,
+            outputs: (0..n).map(|_| None).collect(),
+        }),
+        wakeup: Condvar::new(),
+    };
+
+    thread::scope(|scope| {
+        for w in 0..config.threads {
+            let shared = &shared;
+            thread::Builder::new()
+                .name(format!("ilt-worker-{w}"))
+                .spawn_scoped(scope, move || worker_loop(shared, config, cache))
+                .expect("spawn worker thread");
+        }
+    });
+
+    let state = shared.state.into_inner().expect("pool state lock poisoned");
+    state
+        .outputs
+        .into_iter()
+        .map(|slot| slot.expect("every job slot filled when the pool drains"))
+        .collect()
+}
+
+fn worker_loop(shared: &Shared, config: &PoolConfig, cache: &SimulatorCache) {
+    loop {
+        let queued = {
+            let mut state = shared.state.lock().expect("pool state lock poisoned");
+            loop {
+                if let Some(q) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    break q;
+                }
+                if state.in_flight == 0 {
+                    return; // queue drained and nobody can refill it
+                }
+                state = shared.wakeup.wait(state).expect("pool state lock poisoned");
+            }
+        };
+
+        let started = Instant::now();
+        let outcome = execute_attempt(&queued.job, queued.attempt, config.timeout, cache);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let slot = queued.job.id;
+
+        let mut state = shared.state.lock().expect("pool state lock poisoned");
+        match outcome {
+            Ok(success) => {
+                state.outputs[slot] = Some(finished(queued, success, elapsed_ms));
+            }
+            Err(_) if queued.attempt <= config.max_retries => {
+                state.queue.push_back(Queued {
+                    job: queued.job,
+                    attempt: queued.attempt + 1,
+                    spent_ms: queued.spent_ms + elapsed_ms,
+                });
+            }
+            Err(error) => {
+                state.outputs[slot] = Some(failed(queued, error, elapsed_ms));
+            }
+        }
+        state.in_flight -= 1;
+        // Wake peers: a retry was enqueued, or the pool may now be drained.
+        shared.wakeup.notify_all();
+    }
+}
+
+/// Runs one attempt on its own thread so panics and overruns stay contained.
+fn execute_attempt(
+    job: &IltJob,
+    attempt: u32,
+    timeout: Option<Duration>,
+    cache: &SimulatorCache,
+) -> Result<JobSuccess, String> {
+    let (tx, rx) = mpsc::channel();
+    let job = job.clone();
+    let cache = cache.clone();
+    let id = job.id;
+    thread::Builder::new()
+        .name(format!("ilt-job-{id}-a{attempt}"))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| run_attempt(&job, attempt, &cache)));
+            let flattened = match result {
+                Ok(run) => run,
+                Err(payload) => Err(format!("panic: {}", panic_message(payload.as_ref()))),
+            };
+            // The receiver is gone on timeout; nothing to do about it.
+            let _ = tx.send(flattened);
+        })
+        .expect("spawn job attempt thread");
+
+    match timeout {
+        Some(budget) => rx.recv_timeout(budget).unwrap_or_else(|err| match err {
+            mpsc::RecvTimeoutError::Timeout => Err(format!(
+                "timed out after {:.1}s (attempt thread abandoned)",
+                budget.as_secs_f64()
+            )),
+            mpsc::RecvTimeoutError::Disconnected => {
+                Err("attempt thread died without reporting".into())
+            }
+        }),
+        None => rx
+            .recv()
+            .unwrap_or_else(|_| Err("attempt thread died without reporting".into())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn finished(queued: Queued, success: JobSuccess, elapsed_ms: f64) -> JobOutput {
+    JobOutput {
+        record: JobRecord {
+            job_id: queued.job.id,
+            case: queued.job.case.clone(),
+            tile: queued.job.tile.as_ref().map(|t| (t.grid_row, t.grid_col)),
+            grid: queued.job.target.shape().0,
+            attempts: queued.attempt,
+            status: JobStatus::Done,
+            metrics: Some(success.metrics),
+            times: success.times,
+            wall_ms: queued.spent_ms + elapsed_ms,
+        },
+        mask: Some(success.mask),
+    }
+}
+
+fn failed(queued: Queued, error: String, elapsed_ms: f64) -> JobOutput {
+    JobOutput {
+        record: JobRecord {
+            job_id: queued.job.id,
+            case: queued.job.case.clone(),
+            tile: queued.job.tile.as_ref().map(|t| (t.grid_row, t.grid_col)),
+            grid: queued.job.target.shape().0,
+            attempts: queued.attempt,
+            status: JobStatus::Failed(error),
+            metrics: None,
+            times: Default::default(),
+            wall_ms: queued.spent_ms + elapsed_ms,
+        },
+        mask: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_core::{IltConfig, Stage};
+    use ilt_optics::OpticsConfig;
+
+    fn job(id: usize, inject_panics: u32) -> IltJob {
+        let n = 64;
+        let target = Field2D::from_fn(n, n, |r, c| {
+            if (20 + id % 3..44).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
+        });
+        IltJob {
+            id,
+            case: format!("case{}", id / 2),
+            tile: None,
+            target,
+            optics: OpticsConfig {
+                grid: n,
+                nm_per_px: 8.0,
+                num_kernels: 3,
+                ..OpticsConfig::default()
+            },
+            ilt: IltConfig::default(),
+            schedule: vec![Stage::low_res(2, 3)],
+            inject_panics,
+        }
+    }
+
+    #[test]
+    fn pool_preserves_submission_order() {
+        let cache = SimulatorCache::new();
+        let jobs: Vec<_> = (0..5).map(|i| job(i, 0)).collect();
+        let config = PoolConfig { threads: 3, ..PoolConfig::default() };
+        let outputs = run_jobs(jobs, &config, &cache);
+        assert_eq!(outputs.len(), 5);
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out.record.job_id, i);
+            assert!(matches!(out.record.status, JobStatus::Done));
+            assert!(out.mask.is_some());
+        }
+        // All five jobs share one optics configuration.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn injected_panic_is_retried_and_succeeds() {
+        let cache = SimulatorCache::new();
+        let outputs = run_jobs(
+            vec![job(0, 1)],
+            &PoolConfig { threads: 1, max_retries: 1, ..PoolConfig::default() },
+            &cache,
+        );
+        assert!(matches!(outputs[0].record.status, JobStatus::Done));
+        assert_eq!(outputs[0].record.attempts, 2);
+        assert!(outputs[0].mask.is_some());
+    }
+
+    #[test]
+    fn retries_are_bounded_and_failure_is_isolated() {
+        let cache = SimulatorCache::new();
+        // Job 0 always panics; job 1 is healthy — the batch still completes.
+        let outputs = run_jobs(
+            vec![job(0, u32::MAX), job(1, 0)],
+            &PoolConfig { threads: 2, max_retries: 2, ..PoolConfig::default() },
+            &cache,
+        );
+        match &outputs[0].record.status {
+            JobStatus::Failed(msg) => assert!(msg.contains("injected failure"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(outputs[0].record.attempts, 3, "1 initial + 2 retries");
+        assert!(outputs[0].mask.is_none());
+        assert!(matches!(outputs[1].record.status, JobStatus::Done));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let digest_with = |threads: usize| {
+            let cache = SimulatorCache::new();
+            let jobs: Vec<_> = (0..4).map(|i| job(i, 0)).collect();
+            let outputs = run_jobs(
+                jobs,
+                &PoolConfig { threads, ..PoolConfig::default() },
+                &cache,
+            );
+            outputs
+                .iter()
+                .map(|o| o.record.digest())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest_with(1), digest_with(2));
+    }
+
+    #[test]
+    fn timeout_marks_job_failed() {
+        let cache = SimulatorCache::new();
+        let mut j = job(0, 0);
+        // Plenty of iterations at full resolution: will not finish in 1 ms.
+        j.schedule = vec![Stage::high_res(1, 500)];
+        let outputs = run_jobs(
+            vec![j],
+            &PoolConfig {
+                threads: 1,
+                timeout: Some(Duration::from_millis(1)),
+                max_retries: 0,
+            },
+            &cache,
+        );
+        match &outputs[0].record.status {
+            JobStatus::Failed(msg) => assert!(msg.contains("timed out"), "{msg}"),
+            other => panic!("expected timeout failure, got {other:?}"),
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::optics::{Wavefront, ZernikeTerm};
 use multilevel_ilt::prelude::*;
@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let aberrated_cfg = OpticsConfig { wavefront: aberration, ..ideal_cfg.clone() };
 
-    let ideal_sim = Rc::new(LithoSimulator::new(ideal_cfg)?);
-    let aberrated_sim = Rc::new(LithoSimulator::new(aberrated_cfg)?);
+    let ideal_sim = Arc::new(LithoSimulator::new(ideal_cfg)?);
+    let aberrated_sim = Arc::new(LithoSimulator::new(aberrated_cfg)?);
 
     let schedule = schedules::clamp_effective_pitch(&schedules::our_fast(), nm, 8.0);
     let schedule = schedules::clamp_scales(&schedule, grid, 64);

@@ -11,7 +11,7 @@
 //! ```
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::geom::label_components;
 use multilevel_ilt::prelude::*;
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let nm_per_px = case.nm_per_px(grid);
     let target = case.rasterize(grid);
     let optics = OpticsConfig { grid, nm_per_px, num_kernels: 8, ..OpticsConfig::default() };
-    let sim = Rc::new(LithoSimulator::new(optics)?);
+    let sim = Arc::new(LithoSimulator::new(optics)?);
     let schedule = schedules::clamp_effective_pitch(&[Stage::low_res(4, 40)], nm_per_px, 8.0);
     let schedule = schedules::clamp_scales(&schedule, grid, 64);
 

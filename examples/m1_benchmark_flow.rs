@@ -7,7 +7,7 @@
 //! ```
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::prelude::*;
 
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("== {} at {grid} px ({nm_per_px} nm/px) ==", case.name());
     let optics = OpticsConfig { grid, nm_per_px, num_kernels: 8, ..OpticsConfig::default() };
-    let sim = Rc::new(LithoSimulator::new(optics)?);
+    let sim = Arc::new(LithoSimulator::new(optics)?);
     let checker = EpeChecker { nm_per_px, ..EpeChecker::default() };
 
     let evaluate = |mask: &Field2D, tat: std::time::Duration| -> EvalReport {

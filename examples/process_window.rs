@@ -6,7 +6,7 @@
 //! ```
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::optics::{sweep_process_window, ProcessWindowSpec};
 use multilevel_ilt::prelude::*;
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let optics = OpticsConfig { grid, nm_per_px: nm, num_kernels: 8, ..OpticsConfig::default() };
     println!("== process window of {} at {grid} px ==", case.name());
 
-    let sim = Rc::new(LithoSimulator::new(optics.clone())?);
+    let sim = Arc::new(LithoSimulator::new(optics.clone())?);
     let schedule = schedules::clamp_effective_pitch(&schedules::our_exact(), nm, 8.0);
     let schedule = schedules::clamp_scales(&schedule, grid, 64);
     let result = MultiLevelIlt::new(sim, IltConfig::default()).run(&target, &schedule);

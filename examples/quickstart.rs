@@ -8,7 +8,7 @@
 //! ```
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::prelude::*;
 
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         optics.num_kernels,
         optics.kernel_size()
     );
-    let sim = Rc::new(LithoSimulator::new(optics)?);
+    let sim = Arc::new(LithoSimulator::new(optics)?);
     println!(
         "kernel energy captured: nominal {:.1}%, defocused {:.1}%",
         sim.kernels(false).captured_energy() * 100.0,

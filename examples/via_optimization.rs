@@ -7,7 +7,7 @@
 //! ```
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::geom::label_components;
 use multilevel_ilt::prelude::*;
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let optics = OpticsConfig { grid, nm_per_px, num_kernels: 8, ..OpticsConfig::default() };
-    let sim = Rc::new(LithoSimulator::new(optics)?);
+    let sim = Arc::new(LithoSimulator::new(optics)?);
 
     // Via recipe: low-res s = 8, 4, 2 then high-res, with the paper's
     // 15-iteration early-exit window ("the number we set is only an upper

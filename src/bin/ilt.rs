@@ -4,6 +4,9 @@
 //! ilt run      --case 1 [--grid 512] [--schedule fast|exact|via] [--out prefix]
 //! ilt run      --via 3  [--grid 256] ...
 //! ilt run      --target design.pgm --clip-nm 2048 ...
+//! ilt batch    [--threads 4] [--tile 512] [--halo 64] [--seam crop|blend:K]
+//!              [--journal run.jsonl] [--retries 1] [--timeout-s 0] [--no-eval]
+//!              case1 case2 via3 design.pgm ...
 //! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
 //! ilt fracture --mask mask.pgm
 //! ilt kernels  [--grid 512] [--kernels 10]
@@ -11,10 +14,14 @@
 //!
 //! Targets may come from the built-in benchmark generators (`--case`,
 //! `--via`) or from a PGM file (`--target`); masks are written/read as
-//! binary PGM so the tool round-trips with itself.
+//! binary PGM so the tool round-trips with itself. `batch` takes its cases
+//! as positional arguments (`caseN`, `viaN`, or a PGM path), splits targets
+//! wider than `--tile` into overlapping tiles, runs everything on a worker
+//! pool with a shared simulator cache, and journals one JSON line per job;
+//! it exits non-zero if any job exhausts its retries.
 
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::geom::fracture;
 use multilevel_ilt::prelude::*;
@@ -30,11 +37,21 @@ struct Cli {
     mask: Option<String>,
     out: String,
     max_eff_nm: f64,
+    threads: usize,
+    tile: usize,
+    halo: usize,
+    seam: String,
+    journal: Option<String>,
+    retries: u32,
+    timeout_s: f64,
+    no_eval: bool,
+    cases: Vec<String>,
 }
 
 impl Cli {
     fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Cli), Box<dyn Error>> {
-        let command = args.next().ok_or("usage: ilt <run|evaluate|fracture|kernels> ...")?;
+        let command =
+            args.next().ok_or("usage: ilt <run|batch|evaluate|fracture|kernels> ...")?;
         let mut cli = Cli {
             grid: 512,
             kernels: 10,
@@ -46,6 +63,15 @@ impl Cli {
             mask: None,
             out: "ilt".into(),
             max_eff_nm: 8.0,
+            threads: 1,
+            tile: 512,
+            halo: 64,
+            seam: "crop".into(),
+            journal: None,
+            retries: 1,
+            timeout_s: 0.0,
+            no_eval: false,
+            cases: Vec::new(),
         };
         while let Some(flag) = args.next() {
             let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -60,7 +86,18 @@ impl Cli {
                 "--mask" => cli.mask = Some(value()?),
                 "--out" => cli.out = value()?,
                 "--max-eff-nm" => cli.max_eff_nm = value()?.parse()?,
-                other => return Err(format!("unknown flag {other}").into()),
+                "--threads" => cli.threads = value()?.parse()?,
+                "--tile" => cli.tile = value()?.parse()?,
+                "--halo" => cli.halo = value()?.parse()?,
+                "--seam" => cli.seam = value()?,
+                "--journal" => cli.journal = Some(value()?),
+                "--retries" => cli.retries = value()?.parse()?,
+                "--timeout-s" => cli.timeout_s = value()?.parse()?,
+                "--no-eval" => cli.no_eval = true,
+                other if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {other}").into())
+                }
+                positional => cli.cases.push(positional.to_string()),
             }
         }
         Ok((command, cli))
@@ -68,6 +105,9 @@ impl Cli {
 
     fn load_target(&self) -> Result<(Field2D, f64), Box<dyn Error>> {
         if let Some(id) = self.case {
+            if !(1..=20).contains(&id) {
+                return Err(format!("case ids are 1..=10 (ICCAD) or 11..=20 (extended), got {id}").into());
+            }
             let layout = if id <= 10 {
                 iccad2013_case(id)
             } else {
@@ -91,14 +131,14 @@ impl Cli {
         Err("pass one of --case N, --via SEED or --target file.pgm".into())
     }
 
-    fn simulator(&self, nm_per_px: f64) -> Result<Rc<LithoSimulator>, Box<dyn Error>> {
+    fn simulator(&self, nm_per_px: f64) -> Result<Arc<LithoSimulator>, Box<dyn Error>> {
         let cfg = OpticsConfig {
             grid: self.grid,
             nm_per_px,
             num_kernels: self.kernels,
             ..OpticsConfig::default()
         };
-        Ok(Rc::new(LithoSimulator::new(cfg)?))
+        Ok(Arc::new(LithoSimulator::new(cfg)?))
     }
 
     fn schedule(&self, nm_per_px: f64) -> Result<Vec<Stage>, Box<dyn Error>> {
@@ -159,6 +199,131 @@ fn cmd_run(cli: &Cli) -> Result<(), Box<dyn Error>> {
         1.0,
     )?;
     println!("wrote {mask_path} and {wafer_path}");
+    Ok(())
+}
+
+/// Resolves one positional batch case: `caseN`, `viaN`, or a PGM path.
+fn load_batch_case(spec: &str, cli: &Cli) -> Result<BatchCase, Box<dyn Error>> {
+    if let Some(id) = spec.strip_prefix("case").and_then(|s| s.parse::<usize>().ok()) {
+        if !(1..=20).contains(&id) {
+            return Err(format!("{spec}: case ids are 1..=10 (ICCAD) or 11..=20 (extended)").into());
+        }
+        let layout = if id <= 10 { iccad2013_case(id) } else { extended_case(id) };
+        return Ok(BatchCase {
+            name: spec.to_string(),
+            target: layout.rasterize(cli.grid),
+            nm_per_px: layout.nm_per_px(cli.grid),
+        });
+    }
+    if let Some(seed) = spec.strip_prefix("via").and_then(|s| s.parse::<u64>().ok()) {
+        let layout = via_pattern(seed);
+        return Ok(BatchCase {
+            name: spec.to_string(),
+            target: layout.rasterize(cli.grid),
+            nm_per_px: layout.nm_per_px(cli.grid),
+        });
+    }
+    if spec.ends_with(".pgm") {
+        let img = multilevel_ilt::field::read_pgm(spec)
+            .map_err(|e| format!("cannot read {spec}: {e}"))?
+            .threshold(0.5);
+        let (rows, cols) = img.shape();
+        if rows != cols || !rows.is_power_of_two() {
+            return Err(format!("{spec}: target must be square power-of-two, got {rows}x{cols}").into());
+        }
+        let name = std::path::Path::new(spec)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| spec.to_string());
+        return Ok(BatchCase { name, target: img, nm_per_px: cli.clip_nm / rows as f64 });
+    }
+    Err(format!("cannot parse case {spec}: expected caseN, viaN or a .pgm path").into())
+}
+
+fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    if cli.cases.is_empty() {
+        return Err("batch needs at least one case (caseN, viaN or file.pgm)".into());
+    }
+    let cases = cli
+        .cases
+        .iter()
+        .map(|spec| load_batch_case(spec, cli))
+        .collect::<Result<Vec<_>, _>>()?;
+    let seam = match cli.seam.as_str() {
+        "crop" => SeamPolicy::Crop,
+        blend => match blend.strip_prefix("blend:").and_then(|b| b.parse::<usize>().ok()) {
+            Some(band) => SeamPolicy::Blend { band },
+            None => return Err(format!("bad --seam {blend} (crop or blend:K)").into()),
+        },
+    };
+    let base = match cli.schedule.as_str() {
+        "fast" => schedules::our_fast(),
+        "exact" => schedules::our_exact(),
+        "via" => schedules::via_recipe(),
+        other => return Err(format!("unknown schedule {other} (fast|exact|via)").into()),
+    };
+    let config = BatchConfig {
+        threads: cli.threads,
+        tile: cli.tile,
+        halo: cli.halo,
+        seam,
+        optics: OpticsConfig { num_kernels: cli.kernels, ..OpticsConfig::default() },
+        ilt: IltConfig { early_exit_window: Some(15), ..IltConfig::default() },
+        schedule: base,
+        max_eff_nm: cli.max_eff_nm,
+        timeout: (cli.timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(cli.timeout_s)),
+        max_retries: cli.retries,
+        evaluate_stitched: !cli.no_eval,
+        inject: Vec::new(),
+    };
+    println!(
+        "batch: {} case(s), {} thread(s), tile {} px, halo {} px, schedule {}",
+        cases.len(),
+        config.threads,
+        config.tile,
+        config.halo,
+        cli.schedule
+    );
+
+    let cache = SimulatorCache::new();
+    let outcome = run_batch(&cases, &config, &cache)?;
+    print!("{}", outcome.report);
+    println!(
+        "simulator cache: {} build(s), {} hit(s)",
+        cache.misses(),
+        cache.hits()
+    );
+
+    for case in &outcome.cases {
+        let mask_path = format!("{}_{}_mask.pgm", cli.out, case.name);
+        write_pgm(&case.mask, &mask_path, 0.0, 1.0)
+            .map_err(|e| format!("cannot write {mask_path}: {e}"))?;
+        match &case.eval {
+            Some(eval) => println!(
+                "{}: {} tile(s), {} failed -> {mask_path}\n{eval}",
+                case.name, case.tiles, case.failed_tiles
+            ),
+            None => println!(
+                "{}: {} tile(s), {} failed -> {mask_path}",
+                case.name, case.tiles, case.failed_tiles
+            ),
+        }
+    }
+
+    let journal_path = cli
+        .journal
+        .clone()
+        .unwrap_or_else(|| format!("{}_journal.jsonl", cli.out));
+    outcome
+        .report
+        .write_jsonl(&journal_path)
+        .map_err(|e| format!("cannot write {journal_path}: {e}"))?;
+    println!("journal: {journal_path}");
+
+    let failed = outcome.report.failed_jobs();
+    if failed > 0 {
+        return Err(format!("{failed} job(s) failed after retries; see {journal_path}").into());
+    }
     Ok(())
 }
 
@@ -243,10 +408,13 @@ fn main() {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&cli),
+        "batch" => cmd_batch(&cli),
         "evaluate" => cmd_evaluate(&cli),
         "fracture" => cmd_fracture(&cli),
         "kernels" => cmd_kernels(&cli),
-        other => Err(format!("unknown command {other} (run|evaluate|fracture|kernels)").into()),
+        other => {
+            Err(format!("unknown command {other} (run|batch|evaluate|fracture|kernels)").into())
+        }
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -14,12 +14,12 @@
 //!
 //! ```
 //! use multilevel_ilt::prelude::*;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), String> {
 //! // A small clip: 64 pixels at 8 nm = 512 nm.
 //! let optics = OpticsConfig { grid: 64, nm_per_px: 8.0, num_kernels: 3, ..OpticsConfig::default() };
-//! let sim = Rc::new(LithoSimulator::new(optics)?);
+//! let sim = Arc::new(LithoSimulator::new(optics)?);
 //!
 //! let target = Field2D::from_fn(64, 64, |r, c| {
 //!     if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
@@ -47,6 +47,7 @@ pub use ilt_geom as geom;
 pub use ilt_layouts as layouts;
 pub use ilt_metrics as metrics;
 pub use ilt_optics as optics;
+pub use ilt_runtime as runtime;
 
 /// Everything needed to run an ILT flow end to end.
 pub mod prelude {
@@ -63,5 +64,8 @@ pub mod prelude {
     pub use ilt_metrics::{pvband, squared_l2, EpeChecker, EvalReport, TurnaroundTimer};
     pub use ilt_optics::{
         KernelSet, LithoSimulator, OpticsConfig, ProcessCondition, SourceSpec,
+    };
+    pub use ilt_runtime::{
+        run_batch, BatchCase, BatchConfig, RunReport, SeamPolicy, SimulatorCache,
     };
 }

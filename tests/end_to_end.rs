@@ -2,18 +2,18 @@
 //! metrics, at small physical scale (512 nm clips) so the whole suite runs
 //! in seconds.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::prelude::*;
 
-fn small_sim(grid: usize, nm_per_px: f64, kernels: usize) -> Rc<LithoSimulator> {
+fn small_sim(grid: usize, nm_per_px: f64, kernels: usize) -> Arc<LithoSimulator> {
     let cfg = OpticsConfig {
         grid,
         nm_per_px,
         num_kernels: kernels,
         ..OpticsConfig::default()
     };
-    Rc::new(LithoSimulator::new(cfg).expect("valid optics"))
+    Arc::new(LithoSimulator::new(cfg).expect("valid optics"))
 }
 
 fn bar_target(n: usize) -> Field2D {

@@ -1,13 +1,13 @@
 //! Tests that pin the paper's qualitative claims at miniature scale: each
 //! test states the claim it guards.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use multilevel_ilt::prelude::*;
 
-fn sim(grid: usize, nm_per_px: f64, kernels: usize) -> Rc<LithoSimulator> {
+fn sim(grid: usize, nm_per_px: f64, kernels: usize) -> Arc<LithoSimulator> {
     let cfg = OpticsConfig { grid, nm_per_px, num_kernels: kernels, ..OpticsConfig::default() };
-    Rc::new(LithoSimulator::new(cfg).expect("valid optics"))
+    Arc::new(LithoSimulator::new(cfg).expect("valid optics"))
 }
 
 fn bar_target(n: usize) -> Field2D {
