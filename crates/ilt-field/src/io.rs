@@ -32,7 +32,17 @@ use crate::field::Field2D;
 /// # }
 /// ```
 pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<Field2D> {
-    let bytes = std::fs::read(path)?;
+    parse_pgm(&std::fs::read(path)?)
+}
+
+/// Parses an in-memory 8-bit binary PGM (`P5`) image; the byte-level core
+/// of [`read_pgm`], also used for targets arriving over the wire.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed headers, unsupported formats or a
+/// truncated payload.
+pub fn parse_pgm(bytes: &[u8]) -> io::Result<Field2D> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
 
     // Tokenize the header: magic, width, height, maxval; '#' starts a
@@ -111,17 +121,28 @@ pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<Field2D> {
 /// # }
 /// ```
 pub fn write_pgm(f: &Field2D, path: impl AsRef<Path>, lo: f64, hi: f64) -> io::Result<()> {
-    assert!(hi > lo, "invalid range [{lo}, {hi}]");
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "P5\n{} {}\n255", f.cols(), f.rows())?;
-    let scale = 255.0 / (hi - lo);
-    let bytes: Vec<u8> = f
-        .as_slice()
-        .iter()
-        .map(|&v| ((v - lo) * scale).clamp(0.0, 255.0).round() as u8)
-        .collect();
-    w.write_all(&bytes)?;
+    w.write_all(&pgm_bytes(f, lo, hi))?;
     w.flush()
+}
+
+/// Serializes a field as an in-memory 8-bit binary PGM (`P5`) image; the
+/// byte-level core of [`write_pgm`], also used for masks served over the
+/// wire. Same value mapping and clamping as [`write_pgm`].
+///
+/// # Panics
+///
+/// Panics if `hi <= lo`.
+pub fn pgm_bytes(f: &Field2D, lo: f64, hi: f64) -> Vec<u8> {
+    assert!(hi > lo, "invalid range [{lo}, {hi}]");
+    let mut out = format!("P5\n{} {}\n255\n", f.cols(), f.rows()).into_bytes();
+    let scale = 255.0 / (hi - lo);
+    out.extend(
+        f.as_slice()
+            .iter()
+            .map(|&v| ((v - lo) * scale).clamp(0.0, 255.0).round() as u8),
+    );
+    out
 }
 
 /// Writes a field as a dense CSV matrix (one row per line).
@@ -205,6 +226,19 @@ mod tests {
         let trunc = dir.join("trunc.pgm");
         std::fs::write(&trunc, b"P5\n4 4\n255\nxy").unwrap();
         assert!(read_pgm(&trunc).is_err());
+    }
+
+    #[test]
+    fn in_memory_pgm_roundtrips_without_touching_disk() {
+        let f = Field2D::from_fn(3, 5, |r, c| ((r * 5 + c) as f64) / 14.0);
+        let bytes = pgm_bytes(&f, 0.0, 1.0);
+        assert!(bytes.starts_with(b"P5\n5 3\n255\n"));
+        let back = parse_pgm(&bytes).unwrap();
+        assert_eq!(back.shape(), (3, 5));
+        for (a, b) in f.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-12, "{a} vs {b}");
+        }
+        assert!(parse_pgm(b"P5\n2 2\n255\nab").is_err(), "truncated payload");
     }
 
     #[test]

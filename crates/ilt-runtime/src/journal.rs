@@ -123,12 +123,21 @@ pub fn field_hash(f: &Field2D) -> u64 {
     )
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal.
+///
+/// Covers the full set RFC 8259 requires: `"` and `\`, the short escapes
+/// `\b \f \n \r \t`, and `\u00XX` for every remaining control character in
+/// U+0000..=U+001F. This is the one escaping helper shared by every
+/// hand-rolled JSON producer in the workspace (`ilt-runtime`'s journal and
+/// `ilt-server`'s HTTP responses) — do not fork it.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000c}' => out.push_str("\\f"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
@@ -141,7 +150,7 @@ fn json_escape(s: &str) -> String {
 
 /// Shortest-roundtrip JSON number for an `f64` (no NaN/inf in records by
 /// construction; they are mapped to `null` defensively).
-fn json_f64(x: f64) -> String {
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:?}")
     } else {
@@ -150,11 +159,19 @@ fn json_f64(x: f64) -> String {
 }
 
 impl JobRecord {
+    /// The record as one JSON object (no trailing newline), timing included.
+    pub fn to_json(&self) -> String {
+        self.to_json_opts(true)
+    }
+
     /// The record as one JSON object (no trailing newline).
     ///
     /// Key order is fixed, with all nondeterministic timing fields at the
-    /// tail so text tooling can strip them (`verify_runtime.sh` does).
-    pub fn to_json(&self) -> String {
+    /// tail. With `timing == false` the `*_ms` fields are omitted entirely,
+    /// so the line is a pure function of the job's inputs — determinism
+    /// checks diff such journals directly instead of text-stripping the
+    /// tail.
+    pub fn to_json_opts(&self, timing: bool) -> String {
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
             "{{\"job_id\":{},\"case\":\"{}\",",
@@ -184,13 +201,18 @@ impl JobRecord {
             )),
             None => s.push_str("\"metrics\":null,"),
         }
-        s.push_str(&format!(
-            "\"sim_ms\":{},\"optimize_ms\":{},\"evaluate_ms\":{},\"wall_ms\":{}}}",
-            json_f64(self.times.sim_ms),
-            json_f64(self.times.optimize_ms),
-            json_f64(self.times.evaluate_ms),
-            json_f64(self.wall_ms),
-        ));
+        if timing {
+            s.push_str(&format!(
+                "\"sim_ms\":{},\"optimize_ms\":{},\"evaluate_ms\":{},\"wall_ms\":{}}}",
+                json_f64(self.times.sim_ms),
+                json_f64(self.times.optimize_ms),
+                json_f64(self.times.evaluate_ms),
+                json_f64(self.wall_ms),
+            ));
+        } else {
+            s.pop(); // the trailing comma after the last deterministic field
+            s.push('}');
+        }
         s
     }
 
@@ -244,23 +266,42 @@ impl RunReport {
     }
 
     /// The whole report as JSON Lines: one object per job, then a summary
-    /// object (`"kind":"summary"`).
+    /// object (`"kind":"summary"`), timing included.
     pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_opts(true)
+    }
+
+    /// [`RunReport::to_jsonl`] with timing optionally omitted.
+    ///
+    /// With `timing == false` every record drops its `*_ms` tail and the
+    /// summary drops `threads` and the aggregate wall-times, leaving only
+    /// fields that are identical across thread counts — two such journals
+    /// from equivalent runs must compare byte-for-byte equal.
+    pub fn to_jsonl_opts(&self, timing: bool) -> String {
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&r.to_json());
+            out.push_str(&r.to_json_opts(timing));
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{{\"kind\":\"summary\",\"threads\":{},\"jobs\":{},\"failed\":{},\"retries\":{},\"serial_ms\":{},\"total_wall_ms\":{},\"speedup\":{}}}\n",
-            self.threads,
-            self.records.len(),
-            self.failed_jobs(),
-            self.total_retries(),
-            json_f64(self.serial_ms()),
-            json_f64(self.total_wall_ms),
-            json_f64(self.speedup()),
-        ));
+        if timing {
+            out.push_str(&format!(
+                "{{\"kind\":\"summary\",\"threads\":{},\"jobs\":{},\"failed\":{},\"retries\":{},\"serial_ms\":{},\"total_wall_ms\":{},\"speedup\":{}}}\n",
+                self.threads,
+                self.records.len(),
+                self.failed_jobs(),
+                self.total_retries(),
+                json_f64(self.serial_ms()),
+                json_f64(self.total_wall_ms),
+                json_f64(self.speedup()),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"kind\":\"summary\",\"jobs\":{},\"failed\":{},\"retries\":{}}}\n",
+                self.records.len(),
+                self.failed_jobs(),
+                self.total_retries(),
+            ));
+        }
         out
     }
 
@@ -270,8 +311,17 @@ impl RunReport {
     ///
     /// Propagates I/O errors.
     pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.write_jsonl_opts(path, true)
+    }
+
+    /// Writes [`RunReport::to_jsonl_opts`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_jsonl_opts(&self, path: impl AsRef<Path>, timing: bool) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_jsonl().as_bytes())
+        f.write_all(self.to_jsonl_opts(timing).as_bytes())
     }
 
     /// Deterministic digest of the run (job order, masks, metrics — no
@@ -386,6 +436,56 @@ mod tests {
         assert!(line.contains("\"status\":\"failed\""));
         assert!(line.contains("\\\"quoted\\\""));
         assert!(line.contains("\"metrics\":null"));
+    }
+
+    #[test]
+    fn no_timing_json_omits_every_nondeterministic_field() {
+        let mut a = record(0, JobStatus::Done);
+        let mut b = record(0, JobStatus::Done);
+        a.wall_ms = 1.0;
+        b.wall_ms = 99.0;
+        b.times = StageTimes { sim_ms: 7.0, optimize_ms: 9.0, evaluate_ms: 3.0 };
+        assert_eq!(a.to_json_opts(false), b.to_json_opts(false));
+        let line = a.to_json_opts(false);
+        assert!(!line.contains("_ms\""), "{line}");
+        assert!(line.ends_with("\"mask_hash\":\"deadbeefcafef00d\"}"), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        // A failed record (metrics:null tail) stays well-formed too.
+        let mut f = record(1, JobStatus::Failed("x".into()));
+        f.metrics = None;
+        assert!(f.to_json_opts(false).ends_with("\"metrics\":null}"));
+    }
+
+    #[test]
+    fn no_timing_report_is_thread_count_invariant() {
+        let report = |threads, wall| RunReport {
+            threads,
+            records: vec![record(0, JobStatus::Done)],
+            total_wall_ms: wall,
+        };
+        assert_eq!(report(1, 10.0).to_jsonl_opts(false), report(4, 99.0).to_jsonl_opts(false));
+        let jsonl = report(1, 10.0).to_jsonl_opts(false);
+        assert!(jsonl.lines().last().unwrap().contains("\"kind\":\"summary\""));
+        assert!(!jsonl.contains("_ms\""));
+        assert!(!jsonl.contains("threads"));
+    }
+
+    #[test]
+    fn escape_covers_every_control_character() {
+        for cp in 0u32..0x20 {
+            let ch = char::from_u32(cp).unwrap();
+            let escaped = json_escape(&ch.to_string());
+            assert!(escaped.is_ascii(), "U+{cp:04X} -> {escaped:?}");
+            assert!(
+                escaped.starts_with('\\'),
+                "U+{cp:04X} must be escaped, got {escaped:?}"
+            );
+        }
+        assert_eq!(json_escape("\u{0008}\u{000c}"), "\\b\\f");
+        assert_eq!(json_escape("\u{0000}\u{001f}"), "\\u0000\\u001f");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        // Non-control unicode passes through untouched.
+        assert_eq!(json_escape("λ=193nm"), "λ=193nm");
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub use batch::{run_batch, BatchCase, BatchConfig, BatchOutcome, CaseResult};
 pub use cache::SimulatorCache;
 pub use job::{run_attempt, IltJob, JobSuccess};
 pub use journal::{
-    field_hash, fnv1a64, JobMetrics, JobRecord, JobStatus, RunReport, StageTimes,
+    field_hash, fnv1a64, json_escape, json_f64, JobMetrics, JobRecord, JobStatus, RunReport,
+    StageTimes,
 };
 pub use pool::{run_jobs, JobOutput, PoolConfig};
 pub use tiler::{SeamPolicy, TileGrid, TileSpec};

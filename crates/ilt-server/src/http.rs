@@ -1,0 +1,441 @@
+//! A minimal HTTP/1.1 request parser and response writer over `TcpStream`.
+//!
+//! Only the subset the job service needs: one request per connection
+//! (`Connection: close` is always sent back), request-line + header parsing
+//! with a hard size cap, `Content-Length` bodies with their own cap, and
+//! percent-decoded query strings. Robustness limits are explicit inputs
+//! ([`Limits`]) so every handler path is testable without a server; socket
+//! read/write timeouts are set by the caller on the stream itself.
+
+use std::io::{self, Read, Write};
+
+/// Hard caps applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (including the blank line).
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (`Content-Length` beyond this is rejected
+    /// before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self { max_head_bytes: 8 * 1024, max_body_bytes: 8 * 1024 * 1024 }
+    }
+}
+
+/// Why a request could not be read; maps 1:1 onto an HTTP status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or encoding (400).
+    BadRequest(String),
+    /// Declared or actual body larger than [`Limits::max_body_bytes`] (413).
+    PayloadTooLarge(usize),
+    /// Head larger than [`Limits::max_head_bytes`] (431).
+    HeadTooLarge,
+    /// Socket error or timeout; no response can be assumed deliverable.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method token.
+    pub method: String,
+    /// Percent-decoded path, query stripped.
+    pub path: String,
+    /// Percent-decoded query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The body, possibly empty.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Reads and parses one request from `stream`.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`]; on any error the connection should be answered
+    /// with the matching status (when possible) and closed.
+    pub fn read_from(stream: &mut impl Read, limits: &Limits) -> Result<Request, HttpError> {
+        let (head, mut tail) = read_head(stream, limits)?;
+        let head = std::str::from_utf8(&head)
+            .map_err(|_| HttpError::BadRequest("non-utf8 request head".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+            _ => {
+                return Err(HttpError::BadRequest(format!(
+                    "malformed request line: {request_line:?}"
+                )))
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadRequest(format!("unsupported version {version:?}")));
+        }
+        if !target.starts_with('/') {
+            return Err(HttpError::BadRequest(format!("unsupported request target {target:?}")));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::BadRequest(format!("malformed header: {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let path = percent_decode(raw_path, false)
+            .map_err(|e| HttpError::BadRequest(format!("bad path encoding: {e}")))?;
+        let query = parse_query(raw_query)
+            .map_err(|e| HttpError::BadRequest(format!("bad query encoding: {e}")))?;
+
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+            None => 0,
+        };
+        if content_length > limits.max_body_bytes {
+            return Err(HttpError::PayloadTooLarge(content_length));
+        }
+        if tail.len() > content_length {
+            // More bytes than declared: pipelining is unsupported.
+            tail.truncate(content_length);
+        }
+        let mut body = tail;
+        while body.len() < content_length {
+            let mut chunk = [0u8; 8192];
+            let want = (content_length - body.len()).min(chunk.len());
+            let n = stream.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(HttpError::BadRequest(format!(
+                    "body truncated at {} of {content_length} bytes",
+                    body.len()
+                )));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+
+        Ok(Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads up to and including the `\r\n\r\n` head terminator; returns the
+/// head (without the terminator) and any body bytes read past it.
+fn read_head(stream: &mut impl Read, limits: &Limits) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf = Vec::with_capacity(512);
+    loop {
+        if let Some(end) = find_terminator(&buf) {
+            let tail = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, tail));
+        }
+        if buf.len() >= limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_query(raw: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(out)
+}
+
+/// Decodes `%XX` escapes (and `+` as space inside query components).
+fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("truncated %-escape in {s:?}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("non-utf8 after decoding {s:?}"))
+}
+
+/// One response, written with `Content-Length` and `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present length/connection/type.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response (the body must already be serialized JSON).
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A binary PGM image response.
+    pub fn pgm(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+            content_type: "image/x-portable-graymap",
+        }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body, using the
+    /// workspace-shared escaping helper.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\":\"{}\"}}", ilt_runtime::json_escape(message)))
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes status line, headers, and body onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors (including write timeouts).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Standard (RFC 4648) base64 with padding; used to inline mask images in
+/// JSON job views.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let idx = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
+        for (i, &x) in idx.iter().enumerate() {
+            if i <= chunk.len() {
+                out.push(ALPHABET[x as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        Request::read_from(&mut cursor, &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /v1/jobs/3?mask=base64&name=hello+w%C3%B6rld HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/jobs/3");
+        assert_eq!(req.query_param("mask"), Some("base64"));
+        assert_eq!(req.query_param("name"), Some("hello wörld"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{:?} must be a bad request",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_body() {
+        let mut huge = b"GET /".to_vec();
+        huge.extend(std::iter::repeat(b'a').take(10_000));
+        huge.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(matches!(parse(&huge), Err(HttpError::HeadTooLarge)));
+
+        let declared = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(matches!(parse(declared), Err(HttpError::PayloadTooLarge(999999999))));
+    }
+
+    #[test]
+    fn rejects_truncated_body_and_bad_length() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(202, "{\"id\":1}")
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("content-length: 9\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":1}\n"));
+    }
+
+    #[test]
+    fn base64_matches_reference_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+}

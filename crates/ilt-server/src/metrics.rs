@@ -1,0 +1,241 @@
+//! Lock-free live counters and latency histograms, rendered as Prometheus
+//! text exposition format (version 0.0.4) for `GET /metrics`.
+//!
+//! Everything is atomics so the hot paths (admission, job completion) never
+//! contend with scrapes. Histogram buckets are cumulative (`le` semantics)
+//! exactly as Prometheus expects; the per-stage latencies come from the
+//! run journal's `StageTimes`, so batch CLI runs and served jobs measure
+//! the same quantities with the same code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ilt_runtime::StageTimes;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive, milliseconds) of the latency buckets; an
+/// implicit `+Inf` bucket follows.
+pub const LATENCY_BUCKETS_MS: [f64; 10] =
+    [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 60000.0];
+
+/// A fixed-bucket latency histogram (milliseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Non-cumulative per-bucket counts; the last slot is the overflow
+    /// (`+Inf`) bucket.
+    counts: Vec<AtomicU64>,
+    sum_ms_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..=LATENCY_BUCKETS_MS.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_ms_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, ms: f64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // Atomic f64 accumulation via compare-exchange on the bit pattern.
+        let mut current = self.sum_ms_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + ms).to_bits();
+            match self.sum_ms_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations, ms.
+    pub fn sum_ms(&self) -> f64 {
+        f64::from_bits(self.sum_ms_bits.load(Ordering::Relaxed))
+    }
+
+    fn render(&self, name: &str, stage: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum{{stage=\"{stage}\"}} {}\n", self.sum_ms()));
+        out.push_str(&format!("{name}_count{{stage=\"{stage}\"}} {cumulative}\n"));
+    }
+}
+
+/// Every live metric the server exports.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs admitted to the queue.
+    pub accepted: Counter,
+    /// Submissions turned away (queue full or draining) with 503.
+    pub rejected: Counter,
+    /// Jobs that finished with every tile done.
+    pub completed: Counter,
+    /// Jobs that finished with at least one failed tile or an engine error.
+    pub failed: Counter,
+    /// Simulator-acquisition latency per job (cache hit ≈ 0).
+    pub sim_ms: Histogram,
+    /// Optimization latency per job.
+    pub optimize_ms: Histogram,
+    /// Evaluation latency per job.
+    pub evaluate_ms: Histogram,
+    /// End-to-end job wall-time (queue wait excluded).
+    pub wall_ms: Histogram,
+}
+
+/// Point-in-time gauges sampled at scrape time (owned by the job store and
+/// simulator cache, not by [`Metrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauges {
+    /// Jobs waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing on workers.
+    pub running: usize,
+    /// Simulators resident in the cache.
+    pub cache_entries: usize,
+    /// Cache hits since start.
+    pub cache_hits: usize,
+    /// Cache misses (builds) since start.
+    pub cache_misses: usize,
+    /// Cache LRU evictions since start.
+    pub cache_evictions: usize,
+}
+
+impl Metrics {
+    /// Records the per-stage latencies of one finished job.
+    pub fn observe_stages(&self, times: &StageTimes, wall_ms: f64) {
+        self.sim_ms.observe(times.sim_ms);
+        self.optimize_ms.observe(times.optimize_ms);
+        self.evaluate_ms.observe(times.evaluate_ms);
+        self.wall_ms.observe(wall_ms);
+    }
+
+    /// Renders the Prometheus text exposition for `GET /metrics`.
+    pub fn render(&self, gauges: &Gauges) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: usize| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        counter(&mut out, "ilt_jobs_accepted_total", "Jobs admitted to the queue.", self.accepted.get());
+        counter(&mut out, "ilt_jobs_rejected_total", "Submissions rejected with 503.", self.rejected.get());
+        counter(&mut out, "ilt_jobs_completed_total", "Jobs finished fully done.", self.completed.get());
+        counter(&mut out, "ilt_jobs_failed_total", "Jobs finished failed (engine error or failed tiles).", self.failed.get());
+        gauge(&mut out, "ilt_queue_depth", "Jobs waiting in the admission queue.", gauges.queue_depth);
+        gauge(&mut out, "ilt_jobs_running", "Jobs currently executing.", gauges.running);
+        gauge(&mut out, "ilt_cache_simulators", "Simulators resident in the cache.", gauges.cache_entries);
+        counter(&mut out, "ilt_cache_hits_total", "Simulator cache hits.", gauges.cache_hits as u64);
+        counter(&mut out, "ilt_cache_misses_total", "Simulator cache misses (builds).", gauges.cache_misses as u64);
+        counter(&mut out, "ilt_cache_evictions_total", "Simulator cache LRU evictions.", gauges.cache_evictions as u64);
+        out.push_str(
+            "# HELP ilt_stage_latency_ms Per-stage job latency, milliseconds.\n# TYPE ilt_stage_latency_ms histogram\n",
+        );
+        self.sim_ms.render("ilt_stage_latency_ms", "sim", &mut out);
+        self.optimize_ms.render("ilt_stage_latency_ms", "optimize", &mut out);
+        self.evaluate_ms.render("ilt_stage_latency_ms", "evaluate", &mut out);
+        self.wall_ms.render("ilt_stage_latency_ms", "wall", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(0.5); // le 1
+        h.observe(3.0); // le 5
+        h.observe(7.0); // le 10
+        h.observe(1e9); // +Inf
+        assert_eq!(h.count(), 4);
+        assert!((h.sum_ms() - 1e9 - 10.5).abs() < 1e-6);
+        let mut out = String::new();
+        h.render("x_ms", "sim", &mut out);
+        assert!(out.contains("x_ms_bucket{stage=\"sim\",le=\"1\"} 1\n"));
+        assert!(out.contains("x_ms_bucket{stage=\"sim\",le=\"5\"} 2\n"));
+        assert!(out.contains("x_ms_bucket{stage=\"sim\",le=\"10\"} 3\n"));
+        assert!(out.contains("x_ms_bucket{stage=\"sim\",le=\"60000\"} 3\n"));
+        assert!(out.contains("x_ms_bucket{stage=\"sim\",le=\"+Inf\"} 4\n"));
+        assert!(out.contains("x_ms_count{stage=\"sim\"} 4\n"));
+    }
+
+    #[test]
+    fn render_includes_every_family() {
+        let m = Metrics::default();
+        m.accepted.inc();
+        m.accepted.inc();
+        m.rejected.inc();
+        m.observe_stages(&StageTimes { sim_ms: 2.0, optimize_ms: 700.0, evaluate_ms: 30.0 }, 750.0);
+        let text = m.render(&Gauges { queue_depth: 3, running: 1, ..Gauges::default() });
+        assert!(text.contains("ilt_jobs_accepted_total 2\n"));
+        assert!(text.contains("ilt_jobs_rejected_total 1\n"));
+        assert!(text.contains("ilt_queue_depth 3\n"));
+        assert!(text.contains("ilt_jobs_running 1\n"));
+        assert!(text.contains("ilt_stage_latency_ms_bucket{stage=\"optimize\",le=\"1000\"} 1\n"));
+        assert!(text.contains("ilt_stage_latency_ms_count{stage=\"wall\"} 1\n"));
+        // Prometheus text format: every line is either a comment or
+        // `name{labels} value`.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.split_whitespace().count() == 2, "{line}");
+        }
+    }
+
+    #[test]
+    fn concurrent_observations_do_not_lose_sum() {
+        let h = Histogram::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        h.observe(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum_ms() - 4000.0).abs() < 1e-9);
+    }
+}

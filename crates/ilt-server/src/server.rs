@@ -1,0 +1,394 @@
+//! The long-lived service: listener, router, job workers, graceful drain.
+//!
+//! One thread accepts connections and hands each to a short-lived handler
+//! thread (bounded in number); `workers` dedicated threads drain the job
+//! queue through [`ilt_runtime::run_batch`], so HTTP latency is never
+//! coupled to optimization latency — a poll or a scrape answers in
+//! microseconds while jobs grind in the background. Submission beyond the
+//! bounded queue is refused with `503` + `Retry-After` (backpressure
+//! instead of memory growth), and shutdown (`POST /v1/shutdown`, the
+//! SIGTERM-equivalent hook) stops admissions, finishes in-flight and queued
+//! jobs, flushes the journal, and only then lets [`Server::run`] return.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ilt_runtime::{field_hash, run_batch, SimulatorCache};
+
+use crate::http::{HttpError, Limits, Request, Response};
+use crate::metrics::{Gauges, Metrics};
+use crate::store::{ExecPolicy, JobDone, JobParams, JobStore, MaskFetch, SubmitError};
+
+/// Everything tunable about a server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080`; port 0 picks a free port.
+    pub addr: String,
+    /// Job-executor threads (0 admits but never runs jobs — test only).
+    pub workers: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_cap: usize,
+    /// Maximum concurrently served connections; excess get an immediate 503.
+    pub max_connections: usize,
+    /// Socket read timeout per request.
+    pub read_timeout: Duration,
+    /// Socket write timeout per response.
+    pub write_timeout: Duration,
+    /// HTTP parsing limits (head/body size caps).
+    pub limits: Limits,
+    /// Per-request execution policy (default timeout/retries, thread cap).
+    pub policy: ExecPolicy,
+    /// Append every finished job's records here as JSON Lines.
+    pub journal: Option<PathBuf>,
+    /// LRU capacity of the shared simulator cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 16,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+            policy: ExecPolicy::default(),
+            journal: None,
+            cache_capacity: 16,
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    store: JobStore,
+    metrics: Metrics,
+    cache: SimulatorCache,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    journal: Mutex<Option<std::fs::File>>,
+    addr: SocketAddr,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and opens the journal (truncating an old one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and journal-creation failures.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let journal = match &config.journal {
+            Some(path) => Some(std::fs::File::create(path)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            store: JobStore::new(config.queue_cap),
+            metrics: Metrics::default(),
+            cache: SimulatorCache::with_capacity(config.cache_capacity),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            journal: Mutex::new(journal),
+            addr,
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (use after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until drained: accepts connections, executes jobs, and
+    /// returns only after `POST /v1/shutdown` has stopped admissions and
+    /// every in-flight and queued job has finished (journal flushed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal accept-loop errors; per-connection errors are
+    /// answered with an HTTP status and never end the server.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        for w in 0..self.shared.config.workers {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ilt-server-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn job worker"),
+            );
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection itself is dropped unanswered
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept error (EMFILE, reset)
+            };
+            let shared = Arc::clone(&self.shared);
+            if shared.active_connections.fetch_add(1, Ordering::SeqCst)
+                >= shared.config.max_connections
+            {
+                shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                let mut stream = stream;
+                let _ = Response::error(503, "connection limit reached")
+                    .with_header("retry-after", "1")
+                    .write_to(&mut stream);
+                continue;
+            }
+            std::thread::Builder::new()
+                .name("ilt-server-conn".into())
+                .spawn(move || {
+                    handle_connection(&shared, stream);
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("spawn connection handler");
+        }
+
+        // Drain: no new admissions, workers finish queued + in-flight jobs.
+        self.shared.store.close();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.shared.store.abandon_queued();
+        // Let in-flight responses (including the shutdown ack) finish.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(journal) = self.shared.journal.lock().expect("journal lock").as_mut() {
+            let _ = journal.flush();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((id, case, config)) = shared.store.take_next() {
+        let started = Instant::now();
+        let outcome = run_batch(&[case], &config, &shared.cache);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let outcome = outcome.map(|mut out| {
+            let result = out.cases.pop().expect("one case in, one result out");
+            for record in &out.report.records {
+                shared.metrics.observe_stages(&record.times, record.wall_ms);
+            }
+            append_journal(shared, &out.report.records);
+            JobDone {
+                mask_hash: field_hash(&result.mask),
+                mask: result.mask,
+                records: out.report.records,
+                tiles: result.tiles,
+                failed_tiles: result.failed_tiles,
+                eval: result.eval,
+                wall_ms,
+            }
+        });
+        let failed = match &outcome {
+            Ok(done) => done.failed_tiles > 0,
+            Err(_) => true,
+        };
+        if failed {
+            shared.metrics.failed.inc();
+        } else {
+            shared.metrics.completed.inc();
+        }
+        shared.store.finish(id, outcome);
+    }
+}
+
+fn append_journal(shared: &Shared, records: &[ilt_runtime::JobRecord]) {
+    let mut guard = shared.journal.lock().expect("journal lock");
+    if let Some(file) = guard.as_mut() {
+        let mut lines = String::new();
+        for record in records {
+            lines.push_str(&record.to_json());
+            lines.push('\n');
+        }
+        // Journal loss must never fail a job; the records stay queryable
+        // over HTTP either way.
+        let _ = file.write_all(lines.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    // `refused` marks requests rejected before their input was fully read;
+    // those sockets need draining below or the close would RST the client.
+    let (response, refused) = match Request::read_from(&mut stream, &shared.config.limits) {
+        Ok(request) => (route(shared, &request), false),
+        Err(HttpError::BadRequest(why)) => (Response::error(400, &why), true),
+        Err(HttpError::PayloadTooLarge(n)) => (
+            Response::error(
+                413,
+                &format!("body of {n} bytes exceeds the {}-byte limit", shared.config.limits.max_body_bytes),
+            ),
+            true,
+        ),
+        Err(HttpError::HeadTooLarge) => (Response::error(431, "request head too large"), true),
+        // Socket error or timeout mid-read: nothing trustworthy to answer.
+        Err(HttpError::Io(_)) => return,
+    };
+    let _ = response.write_to(&mut stream);
+    if refused {
+        // Closing with unread input in the receive buffer sends RST, which
+        // can discard the error response before the client reads it. Send
+        // FIN first, then sink the rest of the client's request (bounded,
+        // so a hostile sender can't pin the thread).
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut sink = [0u8; 8192];
+        let mut drained = 0usize;
+        loop {
+            match std::io::Read::read(&mut stream, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    drained += n;
+                    if drained > shared.config.limits.max_body_bytes {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        (_, ["healthz"]) => method_not_allowed("GET"),
+
+        ("GET", ["metrics"]) => {
+            let gauges = Gauges {
+                queue_depth: shared.store.queue_depth(),
+                running: shared.store.running(),
+                cache_entries: shared.cache.len(),
+                cache_hits: shared.cache.hits(),
+                cache_misses: shared.cache.misses(),
+                cache_evictions: shared.cache.evictions(),
+            };
+            Response::text(200, shared.metrics.render(&gauges))
+        }
+        (_, ["metrics"]) => method_not_allowed("GET"),
+
+        ("POST", ["v1", "jobs"]) => submit_job(shared, req),
+        ("GET", ["v1", "jobs"]) => Response::json(200, shared.store.render_list()),
+        (_, ["v1", "jobs"]) => method_not_allowed("GET, POST"),
+
+        ("GET", ["v1", "jobs", id]) => match id.parse::<usize>() {
+            Err(_) => Response::error(400, &format!("bad job id {id:?}")),
+            Ok(id) => {
+                let base64 = req.query_param("mask") == Some("base64");
+                match shared.store.render_detail(id, base64) {
+                    Some(body) => Response::json(200, body),
+                    None => Response::error(404, &format!("no job {id}")),
+                }
+            }
+        },
+        (_, ["v1", "jobs", _]) => method_not_allowed("GET"),
+
+        ("GET", ["v1", "jobs", id, "mask"]) => match id.parse::<usize>() {
+            Err(_) => Response::error(400, &format!("bad job id {id:?}")),
+            Ok(id) => match shared.store.mask_pgm(id) {
+                MaskFetch::Ready(bytes) => Response::pgm(bytes),
+                MaskFetch::NotReady(state) => Response::error(
+                    409,
+                    &format!("job {id} has no mask yet (state: {state:?})"),
+                ),
+                MaskFetch::NoSuchJob => Response::error(404, &format!("no job {id}")),
+            },
+        },
+        (_, ["v1", "jobs", _, "mask"]) => method_not_allowed("GET"),
+
+        ("POST", ["v1", "shutdown"]) => {
+            start_drain(shared);
+            Response::json(202, "{\"state\":\"draining\"}")
+        }
+        (_, ["v1", "shutdown"]) => method_not_allowed("POST"),
+
+        _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::error(405, "method not allowed").with_header("allow", allow)
+}
+
+fn submit_job(shared: &Shared, req: &Request) -> Response {
+    let params = match JobParams::from_request(req, &shared.config.policy) {
+        Ok(p) => p,
+        Err(why) => {
+            shared.metrics.rejected.inc();
+            return Response::error(400, &why);
+        }
+    };
+    let (case, config) = match params.plan() {
+        Ok(planned) => planned,
+        Err(why) => {
+            shared.metrics.rejected.inc();
+            return Response::error(400, &why);
+        }
+    };
+    match shared.store.submit(params.name.clone(), case, config) {
+        Ok(id) => {
+            shared.metrics.accepted.inc();
+            Response::json(
+                202,
+                format!(
+                    "{{\"id\":{id},\"name\":\"{}\",\"state\":\"queued\",\"queue_depth\":{}}}",
+                    ilt_runtime::json_escape(&params.name),
+                    shared.store.queue_depth()
+                ),
+            )
+            .with_header("location", format!("/v1/jobs/{id}"))
+        }
+        Err(SubmitError::Full { capacity }) => {
+            shared.metrics.rejected.inc();
+            Response::error(503, &format!("admission queue full ({capacity} jobs); retry later"))
+                .with_header("retry-after", "1")
+        }
+        Err(SubmitError::Draining) => {
+            shared.metrics.rejected.inc();
+            Response::error(503, "server is draining").with_header("retry-after", "5")
+        }
+    }
+}
+
+/// Stops admissions and wakes the accept loop; the SIGTERM-equivalent
+/// entry point (`std` offers no portable signal handling, so the trigger
+/// is an admin endpoint on the loopback listener).
+fn start_drain(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    shared.store.close();
+    // Nudge the accept loop out of its blocking accept.
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}

@@ -1,0 +1,762 @@
+//! Job admission, bookkeeping, and the bounded work queue.
+//!
+//! The store is the single synchronization point between HTTP handler
+//! threads (submit, poll, list) and the job workers (take, finish). Its
+//! admission queue is *bounded*: a submission beyond capacity is refused at
+//! the door — the handler turns that into `503 Service Unavailable` with a
+//! `Retry-After` hint — so a flood of requests costs the flooder latency
+//! instead of costing the server memory. Results stay resident for the life
+//! of the process (job state is the API's only storage; there is no
+//! database), which is also bounded: completed masks are the only large
+//! retained objects and arrive at most queue-capacity + workers at a time.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use ilt_core::{schedules, IltConfig, Stage};
+use ilt_field::{parse_pgm, Field2D};
+use ilt_layouts::{extended_case, iccad2013_case, via_pattern};
+use ilt_metrics::EvalReport;
+use ilt_optics::OpticsConfig;
+use ilt_runtime::{
+    json_escape, json_f64, BatchCase, BatchConfig, JobRecord, SeamPolicy,
+};
+
+use crate::http::Request;
+
+/// Where a job's target geometry comes from.
+#[derive(Clone, Debug)]
+pub enum JobSource {
+    /// A built-in benchmark case (`case1`..`case20`).
+    Case(usize),
+    /// A generated via pattern with the given seed.
+    Via(u64),
+    /// An inline PGM raster submitted in the request body.
+    Inline(Field2D),
+}
+
+/// Per-request execution policy bounds, owned by the server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecPolicy {
+    /// Default per-attempt timeout, seconds; 0 = none.
+    pub default_timeout_s: f64,
+    /// Default retry budget per tile job.
+    pub default_retries: u32,
+    /// Hard cap on per-job worker threads a request may ask for.
+    pub max_threads_per_job: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self { default_timeout_s: 0.0, default_retries: 1, max_threads_per_job: 4 }
+    }
+}
+
+/// A fully validated job specification, decoded from one `POST /v1/jobs`.
+///
+/// Defaults mirror the `ilt batch` CLI exactly, so a served job with no
+/// overrides produces a mask byte-identical to the batch command for the
+/// same case (which `verify_server.sh` asserts).
+#[derive(Clone, Debug)]
+pub struct JobParams {
+    /// Target geometry.
+    pub source: JobSource,
+    /// Display / journal name.
+    pub name: String,
+    /// Rasterization grid for generated layouts.
+    pub grid: usize,
+    /// Physical clip width for inline targets, nm.
+    pub clip_nm: f64,
+    /// SOCS kernel count.
+    pub kernels: usize,
+    /// Tile window size.
+    pub tile: usize,
+    /// Tile guard band.
+    pub halo: usize,
+    /// Seam policy for stitched masks.
+    pub seam: SeamPolicy,
+    /// Schedule name (`fast`, `exact`, `via`).
+    pub schedule: String,
+    /// Optional per-stage iteration override.
+    pub iters: Option<usize>,
+    /// Coarsest admissible effective pitch, nm.
+    pub max_eff_nm: f64,
+    /// Worker threads inside this job's pool (clamped by [`ExecPolicy`]).
+    pub threads: usize,
+    /// Per-attempt timeout, seconds; 0 = none.
+    pub timeout_s: f64,
+    /// Retry budget per tile.
+    pub retries: u32,
+    /// Evaluate the stitched mask.
+    pub evaluate: bool,
+}
+
+fn parse_num<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T, String> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad {key}={raw:?}")),
+    }
+}
+
+impl JobParams {
+    /// Decodes and validates a submission request (query parameters plus an
+    /// optional inline PGM body).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter; the
+    /// handler maps it to `400 Bad Request`.
+    pub fn from_request(req: &Request, policy: &ExecPolicy) -> Result<JobParams, String> {
+        let source = match (req.query_param("case"), req.query_param("via"), req.body.is_empty()) {
+            (Some(c), None, true) => {
+                let id: usize = c
+                    .strip_prefix("case")
+                    .unwrap_or(c)
+                    .parse()
+                    .map_err(|_| format!("bad case={c:?}"))?;
+                if !(1..=20).contains(&id) {
+                    return Err(format!("case ids are 1..=10 (ICCAD) or 11..=20 (extended), got {id}"));
+                }
+                JobSource::Case(id)
+            }
+            (None, Some(v), true) => {
+                let seed: u64 = v
+                    .strip_prefix("via")
+                    .unwrap_or(v)
+                    .parse()
+                    .map_err(|_| format!("bad via={v:?}"))?;
+                JobSource::Via(seed)
+            }
+            (None, None, false) => {
+                let img = parse_pgm(&req.body).map_err(|e| format!("bad PGM body: {e}"))?;
+                let (rows, cols) = img.shape();
+                if rows != cols || !rows.is_power_of_two() {
+                    return Err(format!(
+                        "inline target must be square power-of-two, got {rows}x{cols}"
+                    ));
+                }
+                JobSource::Inline(img.threshold(0.5))
+            }
+            (None, None, true) => {
+                return Err("submit one of ?case=N, ?via=SEED, or an inline PGM body".into())
+            }
+            _ => return Err("pass exactly one of ?case, ?via, or an inline PGM body".into()),
+        };
+
+        let name = match req.query_param("name") {
+            Some(n) if !n.is_empty() => n.to_string(),
+            _ => match &source {
+                JobSource::Case(id) => format!("case{id}"),
+                JobSource::Via(seed) => format!("via{seed}"),
+                JobSource::Inline(_) => "inline".to_string(),
+            },
+        };
+
+        let grid: usize = parse_num(req, "grid", 512)?;
+        if !grid.is_power_of_two() || !(32..=4096).contains(&grid) {
+            return Err(format!("grid must be a power of two in 32..=4096, got {grid}"));
+        }
+        let clip_nm: f64 = parse_num(req, "clip_nm", 2048.0)?;
+        if !(clip_nm > 0.0) {
+            return Err(format!("clip_nm must be positive, got {clip_nm}"));
+        }
+        let kernels: usize = parse_num(req, "kernels", 10)?;
+        if !(1..=50).contains(&kernels) {
+            return Err(format!("kernels must be in 1..=50, got {kernels}"));
+        }
+        let tile: usize = parse_num(req, "tile", 512)?;
+        let halo: usize = parse_num(req, "halo", 64)?;
+        let seam = match req.query_param("seam").unwrap_or("crop") {
+            "crop" => SeamPolicy::Crop,
+            other => match other.strip_prefix("blend:").and_then(|b| b.parse::<usize>().ok()) {
+                Some(band) => SeamPolicy::Blend { band },
+                None => return Err(format!("bad seam={other:?} (crop or blend:K)")),
+            },
+        };
+        let schedule = req.query_param("schedule").unwrap_or("fast").to_string();
+        if !matches!(schedule.as_str(), "fast" | "exact" | "via") {
+            return Err(format!("unknown schedule {schedule:?} (fast|exact|via)"));
+        }
+        let iters = match req.query_param("iters") {
+            None => None,
+            Some(raw) => {
+                let n: usize = raw.parse().map_err(|_| format!("bad iters={raw:?}"))?;
+                if !(1..=10_000).contains(&n) {
+                    return Err(format!("iters must be in 1..=10000, got {n}"));
+                }
+                Some(n)
+            }
+        };
+        let max_eff_nm: f64 = parse_num(req, "max_eff_nm", 8.0)?;
+        let threads = parse_num(req, "threads", 1usize)?.clamp(1, policy.max_threads_per_job.max(1));
+        let timeout_s: f64 = parse_num(req, "timeout_s", policy.default_timeout_s)?;
+        let retries: u32 = parse_num(req, "retries", policy.default_retries)?.min(10);
+        let evaluate = match req.query_param("eval").unwrap_or("1") {
+            "1" | "true" => true,
+            "0" | "false" => false,
+            other => return Err(format!("bad eval={other:?} (0 or 1)")),
+        };
+
+        Ok(JobParams {
+            source,
+            name,
+            grid,
+            clip_nm,
+            kernels,
+            tile,
+            halo,
+            seam,
+            schedule,
+            iters,
+            max_eff_nm,
+            threads,
+            timeout_s,
+            retries,
+            evaluate,
+        })
+    }
+
+    /// Materializes the batch-engine inputs. Mirrors `ilt batch` exactly:
+    /// same optics template, same `IltConfig`, same schedule lookup.
+    ///
+    /// # Errors
+    ///
+    /// Currently none beyond construction; kept fallible for future
+    /// validation that needs the rasterized target.
+    pub fn plan(&self) -> Result<(BatchCase, BatchConfig), String> {
+        let (target, nm_per_px) = match &self.source {
+            JobSource::Case(id) => {
+                let layout = if *id <= 10 { iccad2013_case(*id) } else { extended_case(*id) };
+                (layout.rasterize(self.grid), layout.nm_per_px(self.grid))
+            }
+            JobSource::Via(seed) => {
+                let layout = via_pattern(*seed);
+                (layout.rasterize(self.grid), layout.nm_per_px(self.grid))
+            }
+            JobSource::Inline(img) => {
+                let n = img.shape().0;
+                (img.clone(), self.clip_nm / n as f64)
+            }
+        };
+        let case = BatchCase { name: self.name.clone(), target, nm_per_px };
+        let mut schedule: Vec<Stage> = match self.schedule.as_str() {
+            "exact" => schedules::our_exact(),
+            "via" => schedules::via_recipe(),
+            _ => schedules::our_fast(),
+        };
+        if let Some(n) = self.iters {
+            for stage in &mut schedule {
+                stage.iterations = n;
+            }
+        }
+        let config = BatchConfig {
+            threads: self.threads,
+            tile: self.tile,
+            halo: self.halo,
+            seam: self.seam,
+            optics: OpticsConfig { num_kernels: self.kernels, ..OpticsConfig::default() },
+            ilt: IltConfig { early_exit_window: Some(15), ..IltConfig::default() },
+            schedule,
+            max_eff_nm: self.max_eff_nm,
+            timeout: (self.timeout_s > 0.0)
+                .then(|| std::time::Duration::from_secs_f64(self.timeout_s)),
+            max_retries: self.retries,
+            evaluate_stitched: self.evaluate,
+            inject: Vec::new(),
+        };
+        Ok((case, config))
+    }
+}
+
+/// Lifecycle of a job inside the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting in the queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; every tile done.
+    Done,
+    /// Finished with an error or failed tiles.
+    Failed,
+}
+
+impl JobState {
+    fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// The retained product of a finished job.
+#[derive(Clone, Debug)]
+pub struct JobDone {
+    /// Stitched binary mask at the target grid.
+    pub mask: Field2D,
+    /// FNV-1a hash of the mask bits.
+    pub mask_hash: u64,
+    /// Per-tile journal records.
+    pub records: Vec<JobRecord>,
+    /// Tiles the job decomposed into.
+    pub tiles: usize,
+    /// Tiles that exhausted retries.
+    pub failed_tiles: usize,
+    /// Full-size evaluation of the stitched mask, when requested.
+    pub eval: Option<EvalReport>,
+    /// End-to-end wall-time of the job, ms.
+    pub wall_ms: f64,
+}
+
+struct JobEntry {
+    id: usize,
+    name: String,
+    state: JobState,
+    error: Option<String>,
+    /// Pending work, taken by the worker that starts the job.
+    work: Option<(BatchCase, BatchConfig)>,
+    result: Option<JobDone>,
+}
+
+struct Inner {
+    jobs: Vec<JobEntry>,
+    queue: VecDeque<usize>,
+    accepting: bool,
+    running: usize,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity; retry later.
+    Full {
+        /// Configured capacity, echoed into the error body.
+        capacity: usize,
+    },
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+/// Result of asking for a finished job's mask.
+pub enum MaskFetch {
+    /// The mask, serialized as an 8-bit binary PGM.
+    Ready(Vec<u8>),
+    /// The job exists but has not produced a mask yet.
+    NotReady(JobState),
+    /// No job with that id.
+    NoSuchJob,
+}
+
+/// The shared job table plus its bounded admission queue.
+pub struct JobStore {
+    inner: Mutex<Inner>,
+    wakeup: Condvar,
+    queue_cap: usize,
+}
+
+impl JobStore {
+    /// Creates an empty store admitting at most `queue_cap` waiting jobs.
+    pub fn new(queue_cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                jobs: Vec::new(),
+                queue: VecDeque::new(),
+                accepting: true,
+                running: 0,
+            }),
+            wakeup: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("job store lock poisoned")
+    }
+
+    /// Admits a job, or refuses it with the reason the handler turns into
+    /// a 503.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Draining`] after shutdown started.
+    pub fn submit(
+        &self,
+        name: String,
+        case: BatchCase,
+        config: BatchConfig,
+    ) -> Result<usize, SubmitError> {
+        let mut inner = self.lock();
+        if !inner.accepting {
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.queue_cap {
+            return Err(SubmitError::Full { capacity: self.queue_cap });
+        }
+        let id = inner.jobs.len();
+        inner.jobs.push(JobEntry {
+            id,
+            name,
+            state: JobState::Queued,
+            error: None,
+            work: Some((case, config)),
+            result: None,
+        });
+        inner.queue.push_back(id);
+        drop(inner);
+        self.wakeup.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until a job is available and claims it, or returns `None`
+    /// when the store is draining and the queue is empty (worker exit
+    /// signal). In-flight and already-queued jobs are always drained.
+    pub fn take_next(&self) -> Option<(usize, BatchCase, BatchConfig)> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                inner.running += 1;
+                let entry = &mut inner.jobs[id];
+                entry.state = JobState::Running;
+                let (case, config) = entry.work.take().expect("queued job retains its work");
+                return Some((id, case, config));
+            }
+            if !inner.accepting {
+                return None;
+            }
+            inner = self.wakeup.wait(inner).expect("job store lock poisoned");
+        }
+    }
+
+    /// Records a claimed job's terminal state.
+    pub fn finish(&self, id: usize, outcome: Result<JobDone, String>) {
+        let mut inner = self.lock();
+        inner.running -= 1;
+        let entry = &mut inner.jobs[id];
+        match outcome {
+            Ok(done) => {
+                entry.state =
+                    if done.failed_tiles == 0 { JobState::Done } else { JobState::Failed };
+                if done.failed_tiles > 0 {
+                    entry.error =
+                        Some(format!("{} of {} tile(s) failed", done.failed_tiles, done.tiles));
+                }
+                entry.result = Some(done);
+            }
+            Err(e) => {
+                entry.state = JobState::Failed;
+                entry.error = Some(e);
+            }
+        }
+        drop(inner);
+        // finish() may have emptied the pipeline a drain is waiting on.
+        self.wakeup.notify_all();
+    }
+
+    /// Stops admissions and wakes every worker so the queue drains.
+    pub fn close(&self) {
+        self.lock().accepting = false;
+        self.wakeup.notify_all();
+    }
+
+    /// Fails every still-queued job (only reachable when the server runs
+    /// with zero workers, e.g. in admission tests).
+    pub fn abandon_queued(&self) {
+        let mut inner = self.lock();
+        while let Some(id) = inner.queue.pop_front() {
+            let entry = &mut inner.jobs[id];
+            entry.state = JobState::Failed;
+            entry.error = Some("dropped at shutdown before a worker picked it up".into());
+            entry.work = None;
+        }
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.lock().running
+    }
+
+    /// Total jobs ever admitted.
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// True when no job was ever admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// JSON summary array for `GET /v1/jobs`.
+    pub fn render_list(&self) -> String {
+        let inner = self.lock();
+        let items: Vec<String> = inner.jobs.iter().map(render_summary).collect();
+        format!("{{\"jobs\":[{}],\"queue_depth\":{}}}", items.join(","), inner.queue.len())
+    }
+
+    /// JSON detail object for `GET /v1/jobs/{id}`; `None` for unknown ids.
+    /// With `mask_base64` the finished mask is inlined as a base64 PGM.
+    pub fn render_detail(&self, id: usize, mask_base64: bool) -> Option<String> {
+        let inner = self.lock();
+        let entry = inner.jobs.get(id)?;
+        let mut s = render_summary(entry);
+        s.pop(); // strip the closing brace to extend the object
+        if let Some(done) = &entry.result {
+            let records: Vec<String> = done.records.iter().map(|r| r.to_json()).collect();
+            s.push_str(&format!(
+                ",\"mask_hash\":\"{:016x}\",\"wall_ms\":{},\"records\":[{}]",
+                done.mask_hash,
+                json_f64(done.wall_ms),
+                records.join(",")
+            ));
+            if let Some(eval) = &done.eval {
+                s.push_str(&format!(
+                    ",\"eval\":{{\"l2_nm2\":{},\"pvband_nm2\":{},\"epe\":{},\"shots\":{}}}",
+                    json_f64(eval.l2_nm2),
+                    json_f64(eval.pvband_nm2),
+                    eval.epe_violations(),
+                    eval.shots
+                ));
+            }
+            if mask_base64 {
+                let pgm = ilt_field::pgm_bytes(&done.mask, 0.0, 1.0);
+                s.push_str(&format!(
+                    ",\"mask_pgm_base64\":\"{}\"",
+                    crate::http::base64_encode(&pgm)
+                ));
+            }
+        }
+        s.push('}');
+        Some(s)
+    }
+
+    /// The finished mask as PGM bytes, for `GET /v1/jobs/{id}/mask`.
+    pub fn mask_pgm(&self, id: usize) -> MaskFetch {
+        let inner = self.lock();
+        match inner.jobs.get(id) {
+            None => MaskFetch::NoSuchJob,
+            Some(entry) => match &entry.result {
+                Some(done) => MaskFetch::Ready(ilt_field::pgm_bytes(&done.mask, 0.0, 1.0)),
+                None => MaskFetch::NotReady(entry.state.clone()),
+            },
+        }
+    }
+}
+
+fn render_summary(entry: &JobEntry) -> String {
+    let mut s = format!(
+        "{{\"id\":{},\"name\":\"{}\",\"state\":\"{}\"",
+        entry.id,
+        json_escape(&entry.name),
+        entry.state.as_str()
+    );
+    if let Some(done) = &entry.result {
+        s.push_str(&format!(",\"tiles\":{},\"failed_tiles\":{}", done.tiles, done.failed_tiles));
+    }
+    if let Some(error) = &entry.error {
+        s.push_str(&format!(",\"error\":\"{}\"", json_escape(error)));
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case(name: &str) -> (BatchCase, BatchConfig) {
+        let target = Field2D::from_fn(64, 64, |r, c| {
+            if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
+        });
+        (
+            BatchCase { name: name.into(), target, nm_per_px: 8.0 },
+            BatchConfig::default(),
+        )
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let store = JobStore::new(2);
+        let (c, cfg) = tiny_case("a");
+        assert_eq!(store.submit("a".into(), c.clone(), cfg.clone()), Ok(0));
+        assert_eq!(store.submit("b".into(), c.clone(), cfg.clone()), Ok(1));
+        assert_eq!(
+            store.submit("c".into(), c.clone(), cfg.clone()),
+            Err(SubmitError::Full { capacity: 2 })
+        );
+        // Claiming one frees a slot.
+        let (id, ..) = store.take_next().unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(store.submit("c".into(), c, cfg), Ok(2));
+        assert_eq!(store.queue_depth(), 2);
+        assert_eq!(store.running(), 1);
+    }
+
+    #[test]
+    fn draining_refuses_submissions_but_serves_queue() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("a");
+        store.submit("a".into(), c.clone(), cfg.clone()).unwrap();
+        store.close();
+        assert_eq!(store.submit("b".into(), c, cfg), Err(SubmitError::Draining));
+        // The queued job is still handed out, then the drain signal.
+        assert!(store.take_next().is_some());
+        store.finish(0, Err("x".into()));
+        assert!(store.take_next().is_none());
+    }
+
+    #[test]
+    fn finish_transitions_states_and_renders() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("m1 \"quoted\"");
+        store.submit("m1 \"quoted\"".into(), c, cfg).unwrap();
+        let (id, case, _) = store.take_next().unwrap();
+        let mask = case.target.threshold(0.5);
+        let done = JobDone {
+            mask_hash: ilt_runtime::field_hash(&mask),
+            mask,
+            records: Vec::new(),
+            tiles: 1,
+            failed_tiles: 0,
+            eval: None,
+            wall_ms: 12.0,
+        };
+        store.finish(id, Ok(done));
+        let detail = store.render_detail(0, false).unwrap();
+        assert!(detail.contains("\"state\":\"done\""), "{detail}");
+        assert!(detail.contains("\\\"quoted\\\""), "escaping shared with the journal");
+        assert!(store.render_detail(99, false).is_none());
+        match store.mask_pgm(0) {
+            MaskFetch::Ready(bytes) => assert!(bytes.starts_with(b"P5\n64 64\n255\n")),
+            _ => panic!("mask must be ready"),
+        }
+        let list = store.render_list();
+        assert!(list.starts_with("{\"jobs\":[{"), "{list}");
+    }
+
+    #[test]
+    fn failed_tiles_mark_the_job_failed() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("a");
+        store.submit("a".into(), c, cfg).unwrap();
+        let (id, case, _) = store.take_next().unwrap();
+        let mask = case.target.threshold(0.5);
+        store.finish(
+            id,
+            Ok(JobDone {
+                mask_hash: ilt_runtime::field_hash(&mask),
+                mask,
+                records: Vec::new(),
+                tiles: 9,
+                failed_tiles: 2,
+                eval: None,
+                wall_ms: 1.0,
+            }),
+        );
+        let detail = store.render_detail(0, false).unwrap();
+        assert!(detail.contains("\"state\":\"failed\""));
+        assert!(detail.contains("2 of 9 tile(s) failed"));
+        // The degraded mask is still fetchable.
+        assert!(matches!(store.mask_pgm(0), MaskFetch::Ready(_)));
+    }
+
+    #[test]
+    fn abandon_queued_fails_leftovers() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("a");
+        store.submit("a".into(), c, cfg).unwrap();
+        store.close();
+        store.abandon_queued();
+        let detail = store.render_detail(0, false).unwrap();
+        assert!(detail.contains("\"state\":\"failed\""));
+        assert!(detail.contains("dropped at shutdown"));
+        assert!(store.take_next().is_none());
+    }
+
+    fn request_with_query(query: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/v1/jobs".into(),
+            query: query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn params_defaults_mirror_the_batch_cli() {
+        let req = request_with_query("case=case1");
+        let p = JobParams::from_request(&req, &ExecPolicy::default()).unwrap();
+        assert_eq!(p.grid, 512);
+        assert_eq!(p.kernels, 10);
+        assert_eq!(p.tile, 512);
+        assert_eq!(p.halo, 64);
+        assert_eq!(p.schedule, "fast");
+        assert_eq!(p.retries, 1);
+        assert!(p.evaluate);
+        let (case, config) = p.plan().unwrap();
+        assert_eq!(case.name, "case1");
+        assert_eq!(case.target.shape(), (512, 512));
+        assert_eq!(config.ilt.early_exit_window, Some(15));
+        assert!(config.timeout.is_none());
+    }
+
+    #[test]
+    fn params_overrides_and_validation() {
+        let policy = ExecPolicy { max_threads_per_job: 2, ..ExecPolicy::default() };
+        let req = request_with_query("via=7&grid=64&kernels=3&tile=32&halo=8&iters=2&threads=16&eval=0");
+        let p = JobParams::from_request(&req, &policy).unwrap();
+        assert_eq!(p.threads, 2, "clamped by policy");
+        assert!(!p.evaluate);
+        let (_, config) = p.plan().unwrap();
+        assert!(config.schedule.iter().all(|s| s.iterations == 2));
+
+        for bad in [
+            "",                       // no source
+            "case=case1&via=2",       // two sources
+            "case=case99",            // out of range
+            "case=case1&grid=100",    // not a power of two
+            "case=case1&seam=zigzag", // unknown seam
+            "case=case1&schedule=mystery",
+            "case=case1&iters=0",
+            "case=case1&eval=maybe",
+        ] {
+            let req = request_with_query(bad);
+            assert!(
+                JobParams::from_request(&req, &ExecPolicy::default()).is_err(),
+                "query {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_pgm_body_is_a_source() {
+        let img = Field2D::from_fn(64, 64, |r, _| if r < 32 { 1.0 } else { 0.0 });
+        let mut req = request_with_query("clip_nm=512");
+        req.body = ilt_field::pgm_bytes(&img, 0.0, 1.0);
+        let p = JobParams::from_request(&req, &ExecPolicy::default()).unwrap();
+        assert_eq!(p.name, "inline");
+        let (case, _) = p.plan().unwrap();
+        assert_eq!(case.target.shape(), (64, 64));
+        assert!((case.nm_per_px - 8.0).abs() < 1e-12);
+
+        // Garbage body is a 400-class error, not a panic.
+        let mut bad = request_with_query("");
+        bad.body = b"not a pgm".to_vec();
+        assert!(JobParams::from_request(&bad, &ExecPolicy::default()).is_err());
+    }
+}

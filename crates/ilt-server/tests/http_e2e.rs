@@ -1,0 +1,284 @@
+//! Loopback integration tests: the server is exercised through real TCP
+//! sockets with a tiny hand-rolled HTTP client, covering the robustness
+//! paths (malformed requests, oversized bodies, queue-full backpressure)
+//! and the full submit → poll → fetch-mask round trip, whose result must
+//! be byte-identical to running the batch engine in-process.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ilt_field::Field2D;
+use ilt_runtime::{run_batch, SeamPolicy, SimulatorCache};
+use ilt_server::{base64_encode, JobParams, JobSource, Limits, Server, ServerConfig};
+
+/// One raw HTTP exchange; returns (status, headers, body).
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(raw).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = String::from_utf8(response[..split].to_vec()).expect("utf8 head");
+    let body = response[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    exchange(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut raw =
+        format!("POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n", body.len())
+            .into_bytes();
+    raw.extend_from_slice(body);
+    exchange(addr, &raw)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn body_text(body: &[u8]) -> String {
+    String::from_utf8_lossy(body).into_owned()
+}
+
+fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let (status, _, _) = post(addr, "/v1/shutdown", b"");
+    assert_eq!(status, 202);
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+fn tiny_target() -> Field2D {
+    Field2D::from_fn(64, 64, |r, c| {
+        if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
+    })
+}
+
+/// Query params for a job small enough to finish in well under a second.
+const FAST_JOB: &str = "clip_nm=512&kernels=3&iters=2";
+
+fn fast_params(target: Field2D) -> JobParams {
+    JobParams {
+        source: JobSource::Inline(target),
+        name: "inline".into(),
+        grid: 512,
+        clip_nm: 512.0,
+        kernels: 3,
+        tile: 512,
+        halo: 64,
+        seam: SeamPolicy::Crop,
+        schedule: "fast".into(),
+        iters: Some(2),
+        max_eff_nm: 8.0,
+        threads: 1,
+        timeout_s: 0.0,
+        retries: 1,
+        evaluate: true,
+    }
+}
+
+#[test]
+fn rejects_malformed_and_unroutable_requests() {
+    let (addr, handle) = start(ServerConfig { workers: 0, ..ServerConfig::default() });
+
+    let (status, _, body) = exchange(addr, b"BOGUS\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 400, "{}", body_text(&body));
+    let (status, _, _) = exchange(addr, b"GET /healthz SPDY/9\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let (status, _, body) = get(addr, "/no/such/route");
+    assert_eq!(status, 404, "{}", body_text(&body));
+    let (status, _, _) = get(addr, "/v1/jobs/notanumber");
+    assert_eq!(status, 400);
+    let (status, _, body) = get(addr, "/v1/jobs/999");
+    assert_eq!(status, 404, "{}", body_text(&body));
+    let (status, _, _) = get(addr, "/v1/jobs/999/mask");
+    assert_eq!(status, 404);
+
+    let (status, headers, _) = exchange(addr, b"DELETE /v1/jobs HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("GET, POST"));
+
+    let (status, _, body) = post(addr, "/v1/jobs", b"");
+    assert_eq!(status, 400, "no source given: {}", body_text(&body));
+    let (status, _, _) = post(addr, "/v1/jobs?case=case1&grid=100", b"");
+    assert_eq!(status, 400);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn oversized_bodies_and_heads_are_refused() {
+    let limits = Limits { max_head_bytes: 2048, max_body_bytes: 4096 };
+    let (addr, handle) = start(ServerConfig { workers: 0, limits, ..ServerConfig::default() });
+
+    // Declared too large: refused from the Content-Length alone.
+    let raw = b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
+    let (status, _, body) = exchange(addr, raw);
+    assert_eq!(status, 413, "{}", body_text(&body));
+
+    // Oversized head.
+    let mut raw = b"GET /v1/jobs?x=".to_vec();
+    raw.extend(std::iter::repeat(b'a').take(4096));
+    raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let (status, _, _) = exchange(addr, &raw);
+    assert_eq!(status, 431);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn queue_overflow_gets_503_with_retry_after_and_metrics_count_it() {
+    // No workers: admitted jobs stay queued, so overflow is deterministic.
+    let (addr, handle) =
+        start(ServerConfig { workers: 0, queue_cap: 2, ..ServerConfig::default() });
+    let submit = format!("/v1/jobs?{FAST_JOB}");
+    let pgm = ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0);
+
+    let (status, _, body) = post(addr, &submit, &pgm);
+    assert_eq!(status, 202, "{}", body_text(&body));
+    assert!(body_text(&body).contains("\"id\":0"));
+    let (status, _, _) = post(addr, &submit, &pgm);
+    assert_eq!(status, 202);
+
+    for _ in 0..3 {
+        let (status, headers, body) = post(addr, &submit, &pgm);
+        assert_eq!(status, 503, "{}", body_text(&body));
+        assert_eq!(header(&headers, "retry-after"), Some("1"));
+        assert!(body_text(&body).contains("queue full"));
+    }
+
+    // A queued (not yet run) job has no mask: 409, not 404.
+    let (status, _, _) = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(status, 409);
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = body_text(&body);
+    assert!(text.contains("ilt_jobs_accepted_total 2\n"), "{text}");
+    assert!(text.contains("ilt_jobs_rejected_total 3\n"), "{text}");
+    assert!(text.contains("ilt_queue_depth 2\n"), "{text}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn end_to_end_round_trip_matches_the_batch_engine_bit_for_bit() {
+    let journal = std::env::temp_dir().join("ilt_server_e2e_journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        journal: Some(journal.clone()),
+        ..ServerConfig::default()
+    });
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body_text(&body), "ok\n");
+
+    // Submit an inline 64x64 target.
+    let target = tiny_target();
+    let pgm = ilt_field::pgm_bytes(&target, 0.0, 1.0);
+    let (status, headers, body) = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
+    assert_eq!(status, 202, "{}", body_text(&body));
+    assert_eq!(header(&headers, "location"), Some("/v1/jobs/0"));
+
+    // Poll to completion.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let detail = loop {
+        let (status, _, body) = get(addr, "/v1/jobs/0");
+        assert_eq!(status, 200);
+        let text = body_text(&body);
+        if text.contains("\"state\":\"done\"") {
+            break text;
+        }
+        assert!(
+            !text.contains("\"state\":\"failed\""),
+            "job failed unexpectedly: {text}"
+        );
+        assert!(Instant::now() < deadline, "job did not finish in time: {text}");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(detail.contains("\"records\":[{"), "{detail}");
+    assert!(detail.contains("\"eval\":{"), "{detail}");
+
+    // The served mask must equal the batch engine's output byte-for-byte.
+    let (case, config) = fast_params(target.threshold(0.5)).plan().unwrap();
+    let reference = run_batch(&[case], &config, &SimulatorCache::new()).unwrap();
+    let expected_pgm = ilt_field::pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
+
+    let (status, headers, mask) = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("image/x-portable-graymap"));
+    assert_eq!(mask, expected_pgm, "served mask differs from batch output");
+
+    // The base64 view inlines exactly the same bytes.
+    let (status, _, body) = get(addr, "/v1/jobs/0?mask=base64");
+    assert_eq!(status, 200);
+    assert!(
+        body_text(&body).contains(&format!("\"mask_pgm_base64\":\"{}\"", base64_encode(&expected_pgm))),
+        "base64 mask mismatch"
+    );
+
+    // Listing shows the finished job; metrics agree with one accepted,
+    // one completed, zero failed.
+    let (_, _, body) = get(addr, "/v1/jobs");
+    assert!(body_text(&body).contains("\"state\":\"done\""));
+    let (_, _, body) = get(addr, "/metrics");
+    let text = body_text(&body);
+    assert!(text.contains("ilt_jobs_accepted_total 1\n"), "{text}");
+    assert!(text.contains("ilt_jobs_completed_total 1\n"), "{text}");
+    assert!(text.contains("ilt_jobs_failed_total 0\n"), "{text}");
+    assert!(text.contains("ilt_cache_misses_total 1\n"), "{text}");
+    assert!(text.contains("ilt_stage_latency_ms_count{stage=\"optimize\"} 1\n"), "{text}");
+
+    shutdown(addr, handle);
+
+    // Drain flushed the journal: one JSON line for the finished job.
+    let journal_text = std::fs::read_to_string(&journal).expect("journal written");
+    let lines: Vec<&str> = journal_text.lines().collect();
+    assert_eq!(lines.len(), 1, "{journal_text}");
+    assert!(lines[0].contains("\"case\":\"inline\""), "{journal_text}");
+    assert!(lines[0].contains("\"status\":\"done\""), "{journal_text}");
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn draining_server_refuses_new_work_but_finishes_queued_jobs() {
+    let (addr, handle) = start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let pgm = ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0);
+
+    let (status, _, _) = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
+    assert_eq!(status, 202);
+
+    // Start the drain, then verify the already-submitted job completed:
+    // run() only returns once the queue is empty and workers exited.
+    let (status, _, body) = post(addr, "/v1/shutdown", b"");
+    assert_eq!(status, 202);
+    assert!(body_text(&body).contains("draining"));
+    handle.join().expect("server thread").expect("clean drain");
+}

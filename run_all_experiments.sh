@@ -2,6 +2,7 @@
 # Regenerates every table and figure; used to populate EXPERIMENTS.md.
 set -e
 ./verify_runtime.sh
+./verify_server.sh
 BIN=./target/release/tables
 OUT=bench-out
 mkdir -p $OUT
@@ -9,7 +10,7 @@ mkdir -p $OUT
 # hermetic workspace (Criterion needs the registry). Build it on a connected
 # machine with `cargo build --release --manifest-path crates/bench/Cargo.toml`.
 if [ ! -x "$BIN" ]; then
-    echo "SKIP: $BIN not built (crates/bench needs a connected machine); ran runtime verification only"
+    echo "SKIP: $BIN not built (crates/bench needs a connected machine); ran runtime and server verification only"
     echo ALL_EXPERIMENTS_DONE
     exit 0
 fi

@@ -5,8 +5,11 @@
 //! ilt run      --via 3  [--grid 256] ...
 //! ilt run      --target design.pgm --clip-nm 2048 ...
 //! ilt batch    [--threads 4] [--tile 512] [--halo 64] [--seam crop|blend:K]
-//!              [--journal run.jsonl] [--retries 1] [--timeout-s 0] [--no-eval]
-//!              case1 case2 via3 design.pgm ...
+//!              [--journal run.jsonl] [--no-timing] [--retries 1]
+//!              [--timeout-s 0] [--no-eval] case1 case2 via3 design.pgm ...
+//! ilt serve    [--addr 127.0.0.1:8080] [--threads 2] [--queue 16]
+//!              [--journal served.jsonl] [--retries 1] [--timeout-s 0]
+//!              [--cache 16]
 //! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
 //! ilt fracture --mask mask.pgm
 //! ilt kernels  [--grid 512] [--kernels 10]
@@ -18,7 +21,10 @@
 //! as positional arguments (`caseN`, `viaN`, or a PGM path), splits targets
 //! wider than `--tile` into overlapping tiles, runs everything on a worker
 //! pool with a shared simulator cache, and journals one JSON line per job;
-//! it exits non-zero if any job exhausts its retries.
+//! it exits non-zero if any job exhausts its retries. `--no-timing` drops
+//! the wall-clock fields from the journal so runs diff byte-for-byte.
+//! `serve` turns the same engine into a long-lived HTTP job service (see
+//! the `ilt-server` crate docs for the API).
 
 use std::error::Error;
 use std::sync::Arc;
@@ -42,16 +48,20 @@ struct Cli {
     halo: usize,
     seam: String,
     journal: Option<String>,
+    no_timing: bool,
     retries: u32,
     timeout_s: f64,
     no_eval: bool,
+    addr: String,
+    queue: usize,
+    cache: usize,
     cases: Vec<String>,
 }
 
 impl Cli {
     fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Cli), Box<dyn Error>> {
         let command =
-            args.next().ok_or("usage: ilt <run|batch|evaluate|fracture|kernels> ...")?;
+            args.next().ok_or("usage: ilt <run|batch|serve|evaluate|fracture|kernels> ...")?;
         let mut cli = Cli {
             grid: 512,
             kernels: 10,
@@ -68,9 +78,13 @@ impl Cli {
             halo: 64,
             seam: "crop".into(),
             journal: None,
+            no_timing: false,
             retries: 1,
             timeout_s: 0.0,
             no_eval: false,
+            addr: "127.0.0.1:8080".into(),
+            queue: 16,
+            cache: 16,
             cases: Vec::new(),
         };
         while let Some(flag) = args.next() {
@@ -91,9 +105,13 @@ impl Cli {
                 "--halo" => cli.halo = value()?.parse()?,
                 "--seam" => cli.seam = value()?,
                 "--journal" => cli.journal = Some(value()?),
+                "--no-timing" => cli.no_timing = true,
                 "--retries" => cli.retries = value()?.parse()?,
                 "--timeout-s" => cli.timeout_s = value()?.parse()?,
                 "--no-eval" => cli.no_eval = true,
+                "--addr" => cli.addr = value()?,
+                "--queue" => cli.queue = value()?.parse()?,
+                "--cache" => cli.cache = value()?.parse()?,
                 other if flag.starts_with("--") => {
                     return Err(format!("unknown flag {other}").into())
                 }
@@ -316,7 +334,7 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
         .unwrap_or_else(|| format!("{}_journal.jsonl", cli.out));
     outcome
         .report
-        .write_jsonl(&journal_path)
+        .write_jsonl_opts(&journal_path, !cli.no_timing)
         .map_err(|e| format!("cannot write {journal_path}: {e}"))?;
     println!("journal: {journal_path}");
 
@@ -324,6 +342,33 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
     if failed > 0 {
         return Err(format!("{failed} job(s) failed after retries; see {journal_path}").into());
     }
+    Ok(())
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let config = ServerConfig {
+        addr: cli.addr.clone(),
+        workers: cli.threads.max(1),
+        queue_cap: cli.queue,
+        journal: cli.journal.clone().map(Into::into),
+        cache_capacity: cli.cache,
+        policy: multilevel_ilt::server::ExecPolicy {
+            default_timeout_s: cli.timeout_s,
+            default_retries: cli.retries,
+            ..multilevel_ilt::server::ExecPolicy::default()
+        },
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let queue = config.queue_cap;
+    let server = Server::bind(config)?;
+    // The verify script parses this line to find the ephemeral port.
+    println!("listening on http://{}", server.local_addr());
+    println!(
+        "{workers} worker(s), queue capacity {queue}; POST /v1/shutdown to drain"
+    );
+    server.run()?;
+    println!("drained");
     Ok(())
 }
 
@@ -409,11 +454,12 @@ fn main() {
     let result = match command.as_str() {
         "run" => cmd_run(&cli),
         "batch" => cmd_batch(&cli),
+        "serve" => cmd_serve(&cli),
         "evaluate" => cmd_evaluate(&cli),
         "fracture" => cmd_fracture(&cli),
         "kernels" => cmd_kernels(&cli),
         other => {
-            Err(format!("unknown command {other} (run|batch|evaluate|fracture|kernels)").into())
+            Err(format!("unknown command {other} (run|batch|serve|evaluate|fracture|kernels)").into())
         }
     };
     if let Err(e) = result {

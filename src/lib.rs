@@ -48,6 +48,7 @@ pub use ilt_layouts as layouts;
 pub use ilt_metrics as metrics;
 pub use ilt_optics as optics;
 pub use ilt_runtime as runtime;
+pub use ilt_server as server;
 
 /// Everything needed to run an ILT flow end to end.
 pub mod prelude {
@@ -68,4 +69,5 @@ pub mod prelude {
     pub use ilt_runtime::{
         run_batch, BatchCase, BatchConfig, RunReport, SeamPolicy, SimulatorCache,
     };
+    pub use ilt_server::{Server, ServerConfig};
 }

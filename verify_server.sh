@@ -1,0 +1,114 @@
+#!/bin/bash
+# Verifies the HTTP job service end to end, loopback-only and offline:
+#   1. `ilt serve` starts, binds an ephemeral port, and answers /healthz;
+#   2. a job submitted over HTTP produces a mask byte-identical to the
+#      same configuration run through `ilt batch`;
+#   3. /metrics is consistent: accepted == completed, nothing failed;
+#   4. flooding past the admission queue yields 503s (backpressure), never
+#      a crash — the server still answers and drains cleanly afterwards;
+#   5. the server journal holds one line per completed job.
+set -e
+BIN=./target/release/ilt
+OUT=bench-out/server
+mkdir -p "$OUT"
+CURL="curl -sS --max-time 30"
+
+# --- Reference: the batch CLI on the same case/configuration. ------------
+"$BIN" batch --threads 1 --grid 128 --kernels 4 --out "$OUT/ref" \
+    --journal "$OUT/ref.jsonl" case1 > "$OUT/ref.log" 2>&1
+
+# --- Start the server on an ephemeral port. ------------------------------
+"$BIN" serve --addr 127.0.0.1:0 --threads 2 --queue 4 \
+    --journal "$OUT/served.jsonl" > "$OUT/serve.log" 2>&1 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 50); do
+    BASE=$(sed -n 's#^listening on \(http://.*\)$#\1#p' "$OUT/serve.log")
+    [ -n "$BASE" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$OUT/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$BASE" ] || { echo "SERVER_FAILED: no listen line"; cat "$OUT/serve.log"; exit 1; }
+
+[ "$($CURL "$BASE/healthz")" = "ok" ] || { echo "SERVER_FAILED: healthz"; exit 1; }
+
+# --- Submit the same job over HTTP and poll it to completion. ------------
+ACCEPT=$($CURL -X POST "$BASE/v1/jobs?case=case1&grid=128&kernels=4")
+echo "$ACCEPT" | grep -q '"state":"queued"' || { echo "SERVER_FAILED: submit: $ACCEPT"; exit 1; }
+JOB_ID=$(echo "$ACCEPT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+
+STATE=queued
+for _ in $(seq 600); do
+    DETAIL=$($CURL "$BASE/v1/jobs/$JOB_ID")
+    STATE=$(echo "$DETAIL" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$STATE" = done ] && break
+    [ "$STATE" = failed ] && { echo "SERVER_FAILED: job failed: $DETAIL"; exit 1; }
+    sleep 0.5
+done
+[ "$STATE" = done ] || { echo "SERVER_FAILED: job stuck in $STATE"; exit 1; }
+
+$CURL -o "$OUT/served_mask.pgm" "$BASE/v1/jobs/$JOB_ID/mask"
+if ! cmp -s "$OUT/ref_case1_mask.pgm" "$OUT/served_mask.pgm"; then
+    echo "SERVER_MISMATCH: served mask differs from 'ilt batch' output"
+    exit 1
+fi
+echo "served mask is byte-identical to the batch CLI mask"
+
+# --- Quiescent metrics: everything accepted has completed. ---------------
+$CURL "$BASE/metrics" > "$OUT/metrics_quiet.txt"
+metric() { awk -v m="$1" '$1 == m { print $2 }' "${2:-$OUT/metrics.txt}"; }
+ACCEPTED_Q=$(metric ilt_jobs_accepted_total "$OUT/metrics_quiet.txt")
+COMPLETED_Q=$(metric ilt_jobs_completed_total "$OUT/metrics_quiet.txt")
+FAILED_Q=$(metric ilt_jobs_failed_total "$OUT/metrics_quiet.txt")
+if [ "$ACCEPTED_Q" != "$COMPLETED_Q" ] || [ "$FAILED_Q" != 0 ]; then
+    echo "SERVER_FAILED: accepted=$ACCEPTED_Q completed=$COMPLETED_Q failed=$FAILED_Q"
+    exit 1
+fi
+echo "metrics: accepted=$ACCEPTED_Q completed=$COMPLETED_Q failed=$FAILED_Q"
+
+# --- Flood the bounded queue: expect 503s, no crash. ---------------------
+# Queue capacity is 4 with 2 workers on a slow job; 30 rapid submissions
+# must overflow admission at least once.
+REJECTED=0
+for _ in $(seq 30); do
+    CODE=$($CURL -o /dev/null -w '%{http_code}' -X POST \
+        "$BASE/v1/jobs?case=case1&grid=128&kernels=4&iters=50")
+    [ "$CODE" = 503 ] && REJECTED=$((REJECTED + 1))
+done
+[ "$REJECTED" -ge 1 ] || { echo "SERVER_FAILED: flood never hit 503"; exit 1; }
+kill -0 "$SERVER_PID" 2>/dev/null || { echo "SERVER_FAILED: crashed under flood"; exit 1; }
+echo "flood: $REJECTED of 30 submissions rejected with 503, server alive"
+
+# --- Metrics must be internally consistent. ------------------------------
+$CURL "$BASE/metrics" > "$OUT/metrics.txt"
+ACCEPTED=$(metric ilt_jobs_accepted_total)
+REJ_TOTAL=$(metric ilt_jobs_rejected_total)
+[ "$REJ_TOTAL" -ge "$REJECTED" ] || { echo "SERVER_FAILED: rejected counter too low"; exit 1; }
+grep -q 'ilt_stage_latency_ms_bucket{stage="optimize",le="+Inf"}' "$OUT/metrics.txt" \
+    || { echo "SERVER_FAILED: latency histogram missing"; exit 1; }
+
+# --- Graceful drain: finish admitted jobs, flush the journal, exit 0. ----
+$CURL -X POST "$BASE/v1/shutdown" > /dev/null
+for _ in $(seq 1200); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.5
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "SERVER_FAILED: did not drain within 10 minutes"
+    exit 1
+fi
+wait "$SERVER_PID"
+trap - EXIT
+grep -q drained "$OUT/serve.log" || { echo "SERVER_FAILED: no drain line"; exit 1; }
+
+# Every accepted job ran to completion before exit; the journal has at
+# least one record line per accepted job (one per tile, >= 1 tile each).
+JOURNAL_LINES=$(wc -l < "$OUT/served.jsonl")
+[ "$JOURNAL_LINES" -ge "$ACCEPTED" ] || {
+    echo "SERVER_FAILED: journal has $JOURNAL_LINES lines for $ACCEPTED accepted jobs"
+    exit 1
+}
+echo "journal: $JOURNAL_LINES line(s) for $ACCEPTED accepted job(s)"
+echo SERVER_VERIFIED
