@@ -6,12 +6,92 @@
 //! designed to be constructed once per size and reused across iterations.
 //! The type is `Send + Sync`: plans are immutable after construction, so one
 //! instance can serve every worker thread of the batch runtime.
+//!
+//! Three structural optimizations keep the hot path fast:
+//!
+//! * **Cache-blocked column pass** — columns are processed in transposed
+//!   panels so each cache line of the row-major buffer is touched once per
+//!   panel instead of once per column.
+//! * **Pruned padded inverse** ([`Fft2d::inverse_padded`]) — the simulator
+//!   only ever inverts `N x N` spectra whose support is a tiny centered
+//!   `P x P` block; the pruned path runs row transforms over the `P` nonzero
+//!   rows only and replaces each length-`N` column transform by a length-`Q`
+//!   transform (`Q` = `P` rounded up to a power of two) plus a phase twist,
+//!   which is exactly the last `log2(Q)` butterfly stages — the first
+//!   `log2(N/Q)` stages of the dense transform only ever combine zeros.
+//! * **Real-input forward** ([`Fft2d::forward_real`]) — the mask is real, so
+//!   two rows are packed into one complex transform and the spectra are
+//!   separated through Hermitian symmetry, halving the row pass; the column
+//!   pass covers only the non-redundant half-spectrum, with the upper
+//!   columns filled by conjugate mirroring.
+//!
+//! All paths are exact restructurings of the same sums, so they agree with
+//! the dense transforms to f64 rounding (~1e-15 relative).
 
 use std::fmt;
 use std::sync::Arc;
 
 use crate::complex::Complex64;
 use crate::plan::{Direction, FftPlan, FftPlanner};
+use crate::scratch::{grown, with_thread_scratch, Fft2dScratch};
+use crate::spectrum::{freq_index, signed_freq};
+
+/// Columns per transposed panel of the blocked column pass. Eight complex
+/// values are 128 bytes (two cache lines) per row visit, and a panel of a
+/// 2048-point column is 256 KiB — comfortably L2-resident.
+const PANEL_COLS: usize = 8;
+
+/// Runs `plan` down every column of the row-major `rows x cols` buffer.
+///
+/// Columns are gathered into contiguous panels of [`PANEL_COLS`] transposed
+/// columns, transformed, and scattered back, so the row-major buffer is
+/// streamed a full cache line at a time in both directions.
+fn col_pass(
+    data: &mut [Complex64],
+    rows: usize,
+    cols: usize,
+    plan: &FftPlan,
+    panel_buf: &mut Vec<Complex64>,
+) {
+    col_pass_limit(data, rows, cols, cols, plan, panel_buf);
+}
+
+/// [`col_pass`] over the leading `limit` columns only; the rest of the
+/// buffer is left untouched (used by the Hermitian forward path, which
+/// reconstructs the remaining columns by conjugate mirroring).
+fn col_pass_limit(
+    data: &mut [Complex64],
+    rows: usize,
+    cols: usize,
+    limit: usize,
+    plan: &FftPlan,
+    panel_buf: &mut Vec<Complex64>,
+) {
+    if rows <= 1 {
+        return;
+    }
+    let panel = grown(panel_buf, PANEL_COLS.min(limit.max(1)) * rows);
+    let mut c0 = 0;
+    while c0 < limit {
+        let w = PANEL_COLS.min(limit - c0);
+        for r in 0..rows {
+            let src = &data[r * cols + c0..r * cols + c0 + w];
+            for (k, &v) in src.iter().enumerate() {
+                panel[k * rows + r] = v;
+            }
+        }
+        for col in panel[..w * rows].chunks_exact_mut(rows) {
+            plan.process(col);
+        }
+        for r in 0..rows {
+            let dst = &mut data[r * cols + c0..r * cols + c0 + w];
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = panel[k * rows + r];
+            }
+        }
+        c0 += w;
+    }
+}
 
 /// A reusable 2-D FFT for a fixed `rows x cols` shape.
 ///
@@ -54,11 +134,14 @@ impl fmt::Debug for Fft2d {
 impl Fft2d {
     /// Creates a transform for `rows x cols` buffers.
     ///
+    /// Plans come from the process-wide [`FftPlanner::global`] cache, so
+    /// repeated construction for an already-seen size is four `Arc` clones.
+    ///
     /// # Panics
     ///
     /// Panics if either dimension is zero or not a power of two.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self::with_planner(rows, cols, &mut FftPlanner::new())
+        FftPlanner::global(|planner| Self::with_planner(rows, cols, planner))
     }
 
     /// Creates a transform sharing plans from an existing planner cache.
@@ -92,45 +175,243 @@ impl Fft2d {
 
     /// In-place forward 2-D transform of a row-major buffer.
     ///
+    /// Uses the thread-local scratch arena; prefer
+    /// [`Fft2d::forward_with`] where a workspace can be threaded through.
+    ///
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn forward(&self, data: &mut [Complex64]) {
-        self.transform(data, &self.row_fwd, &self.col_fwd);
+        with_thread_scratch(|scratch| self.forward_with(data, scratch));
     }
 
     /// In-place inverse 2-D transform (normalized) of a row-major buffer.
+    ///
+    /// Uses the thread-local scratch arena; prefer
+    /// [`Fft2d::inverse_with`] where a workspace can be threaded through.
     ///
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn inverse(&self, data: &mut [Complex64]) {
-        self.transform(data, &self.row_inv, &self.col_inv);
+        with_thread_scratch(|scratch| self.inverse_with(data, scratch));
     }
 
-    fn transform(&self, data: &mut [Complex64], row_plan: &FftPlan, col_plan: &FftPlan) {
+    /// [`Fft2d::forward`] with an explicit reusable workspace.
+    pub fn forward_with(&self, data: &mut [Complex64], scratch: &mut Fft2dScratch) {
+        self.transform(data, &self.row_fwd, &self.col_fwd, scratch);
+    }
+
+    /// [`Fft2d::inverse`] with an explicit reusable workspace.
+    pub fn inverse_with(&self, data: &mut [Complex64], scratch: &mut Fft2dScratch) {
+        self.transform(data, &self.row_inv, &self.col_inv, scratch);
+    }
+
+    fn transform(
+        &self,
+        data: &mut [Complex64],
+        row_plan: &FftPlan,
+        col_plan: &FftPlan,
+        scratch: &mut Fft2dScratch,
+    ) {
         assert_eq!(
             data.len(),
             self.rows * self.cols,
             "buffer must be rows*cols = {}",
             self.rows * self.cols
         );
+        for row in data.chunks_exact_mut(self.cols) {
+            row_plan.process(row);
+        }
+        col_pass(data, self.rows, self.cols, col_plan, &mut scratch.panel);
+    }
 
-        for r in 0..self.rows {
-            row_plan.process(&mut data[r * self.cols..(r + 1) * self.cols]);
+    /// Forward 2-D transform of a real-valued image into a new complex
+    /// buffer, exploiting Hermitian symmetry.
+    ///
+    /// Two real rows are packed into one complex row transform and the two
+    /// spectra separated afterwards, so the row pass costs half of the
+    /// complex path's; the column pass runs over the non-redundant
+    /// half-spectrum only, with the remaining columns reconstructed by
+    /// conjugate mirroring. The result equals the dense complex transform of
+    /// the same image to f64 rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img.len() != rows * cols`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilt_fft::{Complex64, Fft2d};
+    ///
+    /// let fft = Fft2d::new(2, 2);
+    /// let spec = fft.forward_real(&[1.0, 0.0, 0.0, 0.0]);
+    /// assert!(spec.iter().all(|z| (*z - Complex64::ONE).abs() < 1e-12));
+    /// ```
+    pub fn forward_real(&self, img: &[f64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.rows * self.cols];
+        with_thread_scratch(|scratch| self.forward_real_with(img, &mut out, scratch));
+        out
+    }
+
+    /// [`Fft2d::forward_real`] writing into a caller-provided buffer with an
+    /// explicit reusable workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img.len()` or `out.len()` differ from `rows * cols`.
+    pub fn forward_real_with(
+        &self,
+        img: &[f64],
+        out: &mut [Complex64],
+        scratch: &mut Fft2dScratch,
+    ) {
+        let (rows, cols) = (self.rows, self.cols);
+        assert_eq!(img.len(), rows * cols, "image must be rows*cols = {}", rows * cols);
+        assert_eq!(out.len(), rows * cols, "output must be rows*cols = {}", rows * cols);
+
+        if rows == 1 {
+            for (o, &x) in out.iter_mut().zip(img) {
+                *o = Complex64::from_real(x);
+            }
+            self.row_fwd.process(out);
+            return;
         }
 
-        // A per-call column buffer (rows complex values) keeps the type
-        // shareable across threads; its cost is noise next to the
-        // O(rows log rows) transform it feeds.
-        let mut scratch = vec![Complex64::ZERO; self.rows];
-        for c in 0..self.cols {
-            for r in 0..self.rows {
-                scratch[r] = data[r * self.cols + c];
+        // Row pass: transform rows (2t, 2t+1) as one complex row x + i*y,
+        // then split via X[k] = (Z[k] + conj(Z[-k]))/2,
+        // Y[k] = (Z[k] - conj(Z[-k]))/(2i). Only columns 0..=cols/2 are
+        // unpacked: the 2-D spectrum of a real image is Hermitian, so the
+        // upper columns come from conjugate mirroring after the column pass.
+        let half = cols / 2;
+        let pack = grown(&mut scratch.grid, cols);
+        for t in 0..rows / 2 {
+            let x = &img[(2 * t) * cols..(2 * t + 1) * cols];
+            let y = &img[(2 * t + 1) * cols..(2 * t + 2) * cols];
+            for (z, (&xv, &yv)) in pack.iter_mut().zip(x.iter().zip(y)) {
+                *z = Complex64::new(xv, yv);
             }
-            col_plan.process(&mut scratch);
-            for r in 0..self.rows {
-                data[r * self.cols + c] = scratch[r];
+            self.row_fwd.process(pack);
+            for k in 0..=half {
+                let a = pack[k];
+                let b = pack[(cols - k) % cols].conj();
+                out[(2 * t) * cols + k] = (a + b).scale(0.5);
+                let d = a - b;
+                out[(2 * t + 1) * cols + k] = Complex64::new(d.im * 0.5, -d.re * 0.5);
+            }
+        }
+
+        // Column pass over the non-redundant half-spectrum only, then fill
+        // the rest via X[r, c] = conj(X[(rows-r) % rows, cols-c]).
+        col_pass_limit(out, rows, cols, half + 1, &self.col_fwd, &mut scratch.panel);
+        for r in 0..rows {
+            let rm = if r == 0 { 0 } else { rows - r };
+            for c in half + 1..cols {
+                out[r * cols + c] = out[rm * cols + (cols - c)].conj();
+            }
+        }
+    }
+
+    /// Inverse transform of an `n x n` spectrum that is zero outside its
+    /// centered `p x p` low-frequency block, fused with the padding step.
+    ///
+    /// Equivalent to [`crate::pad_centered_into`] followed by
+    /// [`Fft2d::inverse`], but prunes all work on structurally-zero data:
+    /// the row pass transforms only the `p` nonzero rows, and the column
+    /// pass runs `q`-point transforms (`q = p.next_power_of_two()`) plus a
+    /// per-residue phase twist instead of `n`-point transforms — skipping
+    /// the `log2(n/q)` leading butterfly stages whose inputs are all zero.
+    ///
+    /// `spec` is a `p x p` block in the unshifted signed-frequency layout
+    /// produced by [`crate::crop_centered`]; the result is written to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transform is not square, `p` is zero or exceeds `n`,
+    /// `spec.len() != p * p`, or `out.len() != n * n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilt_fft::{pad_centered, Complex64, Fft2d};
+    ///
+    /// let fft = Fft2d::new(64, 64);
+    /// let spec: Vec<Complex64> =
+    ///     (0..25).map(|i| Complex64::new(i as f64, -1.0)).collect();
+    /// // Dense reference: pad to 64x64, then inverse.
+    /// let mut dense = pad_centered(&spec, 5, 64);
+    /// fft.inverse(&mut dense);
+    /// // Pruned path.
+    /// let mut out = vec![Complex64::ZERO; 64 * 64];
+    /// fft.inverse_padded(&spec, 5, &mut out);
+    /// for (a, b) in out.iter().zip(&dense) {
+    ///     assert!((*a - *b).abs() < 1e-12);
+    /// }
+    /// ```
+    pub fn inverse_padded(&self, spec: &[Complex64], p: usize, out: &mut [Complex64]) {
+        with_thread_scratch(|scratch| self.inverse_padded_with(spec, p, out, scratch));
+    }
+
+    /// [`Fft2d::inverse_padded`] with an explicit reusable workspace.
+    pub fn inverse_padded_with(
+        &self,
+        spec: &[Complex64],
+        p: usize,
+        out: &mut [Complex64],
+        scratch: &mut Fft2dScratch,
+    ) {
+        let n = self.rows;
+        assert_eq!(self.rows, self.cols, "inverse_padded requires a square transform");
+        assert!(p >= 1 && p <= n, "support {p} must be within 1..={n}");
+        assert_eq!(spec.len(), p * p, "spectrum must be p*p");
+        assert_eq!(out.len(), n * n, "output must be n*n");
+
+        // Band split: indices 0..ph carry frequencies 0..ph, indices ph..p
+        // carry -pl..0 and land at the top end of the length-n axis.
+        let ph = p - p / 2;
+        let pl = p / 2;
+
+        // Row pass over the p nonzero rows only (the dense path transforms
+        // all n rows, n/p of which are identically zero).
+        let band = grown(&mut scratch.band, p * n);
+        for (i, brow) in band.chunks_exact_mut(n).enumerate() {
+            let srow = &spec[i * p..(i + 1) * p];
+            brow.fill(Complex64::ZERO);
+            brow[..ph].copy_from_slice(&srow[..ph]);
+            brow[n - pl..].copy_from_slice(&srow[ph..]);
+            self.row_inv.process(brow);
+        }
+
+        // Column pass on the q-grid. Output rows split into s = n/q residue
+        // classes r0 + s*j; for each class, the length-n column transform
+        // collapses to a length-q transform of the band rows twisted by
+        // e^{i 2 pi f r0 / n}. The q/n amplitude bridges the 1/q plan
+        // normalization to the 1/n the dense path applies.
+        let q = p.next_power_of_two();
+        let s = n / q;
+        let qplan = FftPlanner::global(|planner| planner.plan(q, Direction::Inverse));
+        let amp = q as f64 / n as f64;
+        let grid = grown(&mut scratch.grid, q * n);
+        for r0 in 0..s {
+            // Band rows land at q-grid rows 0..ph and q-pl..q, each fully
+            // overwritten below; only the middle q-p rows need zeroing
+            // (every row needs it each pass — col_pass overwrites them all).
+            grid[ph * n..(q - pl) * n].fill(Complex64::ZERO);
+            for i in 0..p {
+                let f = signed_freq(i, p);
+                let phase = Complex64::from_polar_angle(
+                    std::f64::consts::TAU * f as f64 * r0 as f64 / n as f64,
+                )
+                .scale(amp);
+                let dst = &mut grid[freq_index(f, q) * n..][..n];
+                for (d, &v) in dst.iter_mut().zip(&band[i * n..(i + 1) * n]) {
+                    *d = v * phase;
+                }
+            }
+            col_pass(grid, q, n, &qplan, &mut scratch.panel);
+            for j in 0..q {
+                out[(r0 + s * j) * n..][..n].copy_from_slice(&grid[j * n..(j + 1) * n]);
             }
         }
     }
@@ -140,7 +421,9 @@ impl Fft2d {
 /// complex buffer.
 ///
 /// Convenience wrapper used at API boundaries where the input is a mask or
-/// wafer image (`f64` pixels).
+/// wafer image (`f64` pixels). Routed through the global planner cache and
+/// the Hermitian-packed row pass, so calling it repeatedly does not rebuild
+/// twiddle tables.
 ///
 /// # Panics
 ///
@@ -156,14 +439,13 @@ impl Fft2d {
 /// ```
 pub fn fft2_real(data: &[f64], rows: usize, cols: usize) -> Vec<Complex64> {
     assert_eq!(data.len(), rows * cols);
-    let mut buf: Vec<Complex64> = data.iter().map(|&x| Complex64::from_real(x)).collect();
-    Fft2d::new(rows, cols).forward(&mut buf);
-    buf
+    Fft2d::new(rows, cols).forward_real(data)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spectrum::pad_centered;
 
     fn naive_dft2(input: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
         let mut out = vec![Complex64::ZERO; rows * cols];
@@ -188,6 +470,28 @@ mod tests {
         (0..rows * cols)
             .map(|i| Complex64::new((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin()))
             .collect()
+    }
+
+    /// Deterministic pseudo-random values in [-1, 1] (splitmix-style).
+    fn lcg_vals(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn lcg_complex(seed: u64, len: usize) -> Vec<Complex64> {
+        let vals = lcg_vals(seed, 2 * len);
+        (0..len).map(|i| Complex64::new(vals[2 * i], vals[2 * i + 1])).collect()
+    }
+
+    fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
     }
 
     #[test]
@@ -265,10 +569,111 @@ mod tests {
     }
 
     #[test]
+    fn forward_real_matches_complex_on_random_images() {
+        for (seed, (rows, cols)) in
+            [(1u64, (1usize, 8usize)), (2, (2, 2)), (3, (16, 8)), (4, (64, 64)), (5, (128, 32))]
+                .into_iter()
+        {
+            let img = lcg_vals(seed, rows * cols);
+            let fft = Fft2d::new(rows, cols);
+            let real_path = fft.forward_real(&img);
+            let mut complex_path: Vec<Complex64> =
+                img.iter().map(|&x| Complex64::from_real(x)).collect();
+            fft.forward(&mut complex_path);
+            let diff = max_abs_diff(&real_path, &complex_path);
+            assert!(diff <= 1e-12, "{rows}x{cols}: max |diff| = {diff:e}");
+        }
+    }
+
+    #[test]
+    fn pruned_inverse_matches_dense_on_random_spectra() {
+        for (seed, (n, p)) in
+            [(11u64, (64usize, 8usize)), (12, (256, 25)), (13, (512, 25))].into_iter()
+        {
+            let spec = lcg_complex(seed, p * p);
+            let fft = Fft2d::new(n, n);
+            let mut dense = pad_centered(&spec, p, n);
+            fft.inverse(&mut dense);
+            let mut pruned = vec![Complex64::ZERO; n * n];
+            fft.inverse_padded(&spec, p, &mut pruned);
+            let diff = max_abs_diff(&pruned, &dense);
+            assert!(diff <= 1e-12, "n={n} p={p}: max |diff| = {diff:e}");
+        }
+    }
+
+    #[test]
+    fn pruned_inverse_handles_degenerate_supports() {
+        // p = 1 (single DC bin), p = n (no pruning possible), and an even p.
+        for (n, p) in [(16usize, 1usize), (16, 16), (32, 6)] {
+            let spec = lcg_complex(7 + n as u64, p * p);
+            let fft = Fft2d::new(n, n);
+            let mut dense = pad_centered(&spec, p, n);
+            fft.inverse(&mut dense);
+            let mut pruned = vec![Complex64::ZERO; n * n];
+            fft.inverse_padded(&spec, p, &mut pruned);
+            let diff = max_abs_diff(&pruned, &dense);
+            assert!(diff <= 1e-12, "n={n} p={p}: max |diff| = {diff:e}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let (n, p) = (64usize, 9usize);
+        let fft = Fft2d::new(n, n);
+        let img = lcg_vals(21, n * n);
+        let spec = lcg_complex(22, p * p);
+
+        // Warm a scratch on unrelated sizes first, then reuse it.
+        let mut reused = Fft2dScratch::new();
+        let other = Fft2d::new(128, 128);
+        let mut tmp = lcg_complex(23, 128 * 128);
+        other.forward_with(&mut tmp, &mut reused);
+
+        let mut out_reused = vec![Complex64::ZERO; n * n];
+        fft.forward_real_with(&img, &mut out_reused, &mut reused);
+        let mut out_fresh = vec![Complex64::ZERO; n * n];
+        fft.forward_real_with(&img, &mut out_fresh, &mut Fft2dScratch::new());
+        assert_eq!(out_reused, out_fresh, "forward_real must not depend on scratch history");
+
+        let mut inv_reused = vec![Complex64::ZERO; n * n];
+        fft.inverse_padded_with(&spec, p, &mut inv_reused, &mut reused);
+        let mut inv_fresh = vec![Complex64::ZERO; n * n];
+        fft.inverse_padded_with(&spec, p, &mut inv_fresh, &mut Fft2dScratch::new());
+        assert_eq!(inv_reused, inv_fresh, "inverse_padded must not depend on scratch history");
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local_path() {
+        let n = 32;
+        let input = lcg_complex(31, n * n);
+        let mut via_arena = input.clone();
+        Fft2d::new(n, n).forward(&mut via_arena);
+        let mut via_explicit = input;
+        Fft2d::new(n, n).forward_with(&mut via_explicit, &mut Fft2dScratch::new());
+        assert_eq!(via_arena, via_explicit);
+    }
+
+    #[test]
     #[should_panic(expected = "rows*cols")]
     fn wrong_size_panics() {
         let fft = Fft2d::new(4, 4);
         let mut data = vec![Complex64::ZERO; 8];
         fft.forward(&mut data);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn inverse_padded_rejects_rectangular() {
+        let fft = Fft2d::new(4, 8);
+        let mut out = vec![Complex64::ZERO; 32];
+        fft.inverse_padded(&[Complex64::ONE], 1, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn inverse_padded_rejects_oversized_support() {
+        let fft = Fft2d::new(4, 4);
+        let mut out = vec![Complex64::ZERO; 16];
+        fft.inverse_padded(&vec![Complex64::ONE; 25], 5, &mut out);
     }
 }

@@ -5,8 +5,15 @@
 //! implementation with:
 //!
 //! * [`Complex64`] — a self-contained complex value type,
-//! * [`FftPlanner`] / [`FftPlan`] — cached 1-D radix-2 plans,
-//! * [`Fft2d`] — reusable 2-D transforms over row-major buffers,
+//! * [`FftPlanner`] / [`FftPlan`] — cached 1-D radix-2 plans, shared
+//!   process-wide through [`FftPlanner::global`],
+//! * [`Fft2d`] — reusable 2-D transforms over row-major buffers, with a
+//!   cache-blocked column pass, a Hermitian-packed real-input forward
+//!   ([`Fft2d::forward_real`]), and a pruned padded inverse
+//!   ([`Fft2d::inverse_padded`]) that skips all work on the
+//!   structurally-zero part of a padded kernel spectrum,
+//! * [`Fft2dScratch`] / [`with_thread_scratch`] — reusable workspaces so
+//!   long-lived worker threads never allocate inside a transform,
 //! * spectrum utilities ([`crop_centered`], [`pad_centered`], [`fftshift`])
 //!   implementing the frequency-domain size changes of Eqs. 3/7/8 of the
 //!   paper ("discard the high-frequency part of `F(M)`").
@@ -32,11 +39,13 @@
 mod complex;
 mod fft2d;
 mod plan;
+mod scratch;
 mod spectrum;
 
 pub use complex::Complex64;
 pub use fft2d::{fft2_real, Fft2d};
 pub use plan::{Direction, FftPlan, FftPlanner};
+pub use scratch::{with_thread_scratch, Fft2dScratch};
 pub use spectrum::{
     crop_centered, fftshift, freq_index, ifftshift, pad_centered, pad_centered_into,
     signed_freq,

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::complex::Complex64;
 
@@ -204,6 +204,31 @@ impl FftPlanner {
     /// Number of distinct plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Runs `f` against the process-wide shared planner.
+    ///
+    /// Every [`crate::Fft2d::new`] and [`crate::fft2_real`] call goes through
+    /// this cache, so constructing a transform for an already-seen size costs
+    /// four `Arc` clones instead of a twiddle-table build. The lock is held
+    /// only for the map lookup, never across a transform.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilt_fft::{Direction, FftPlanner};
+    ///
+    /// let a = FftPlanner::global(|p| p.plan(64, Direction::Forward));
+    /// let b = FftPlanner::global(|p| p.plan(64, Direction::Forward));
+    /// assert!(std::sync::Arc::ptr_eq(&a, &b));
+    /// ```
+    pub fn global<R>(f: impl FnOnce(&mut FftPlanner) -> R) -> R {
+        static GLOBAL: OnceLock<Mutex<FftPlanner>> = OnceLock::new();
+        let mut guard = GLOBAL
+            .get_or_init(|| Mutex::new(FftPlanner::new()))
+            .lock()
+            .expect("global FFT planner lock poisoned");
+        f(&mut guard)
     }
 }
 

@@ -1,0 +1,128 @@
+//! Reusable FFT workspaces.
+//!
+//! Every 2-D transform needs temporary storage: a column panel for the
+//! cache-blocked column pass, a band-row buffer for the pruned padded
+//! inverse, and a packing buffer for the real-input forward path. The batch
+//! runtime calls the simulator millions of times from long-lived worker
+//! threads, so allocating that storage per transform would put `malloc` in
+//! the innermost loop. [`Fft2dScratch`] owns the buffers and grows them
+//! monotonically; once warm it allocates nothing.
+//!
+//! Callers that cannot conveniently thread a scratch value through (the
+//! plain [`crate::Fft2d::forward`] / [`crate::Fft2d::inverse`] API) are
+//! served by a thread-local arena via [`with_thread_scratch`], which is also
+//! non-allocating on repeat calls.
+
+use std::cell::RefCell;
+
+use crate::complex::Complex64;
+
+/// Grows `buf` to at least `len` and returns the `len`-prefix slice.
+///
+/// Contents are unspecified; callers must fully overwrite or zero it.
+pub(crate) fn grown(buf: &mut Vec<Complex64>, len: usize) -> &mut [Complex64] {
+    if buf.len() < len {
+        buf.resize(len, Complex64::ZERO);
+    }
+    &mut buf[..len]
+}
+
+/// Reusable workspace for [`crate::Fft2d`] transforms.
+///
+/// One scratch serves transforms of any size: buffers grow to the largest
+/// request and are reused afterwards. A scratch is cheap to create empty, so
+/// per-call construction is correct (just slower on the first transforms);
+/// the intended pattern is one scratch per worker thread or per batch of
+/// transforms.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{Complex64, Fft2d, Fft2dScratch};
+///
+/// let fft = Fft2d::new(8, 8);
+/// let mut scratch = Fft2dScratch::new();
+/// let mut data = vec![Complex64::ONE; 64];
+/// fft.forward_with(&mut data, &mut scratch);
+/// fft.inverse_with(&mut data, &mut scratch);
+/// assert!((data[0] - Complex64::ONE).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct Fft2dScratch {
+    /// Transposed column panels for the blocked column pass.
+    pub(crate) panel: Vec<Complex64>,
+    /// Row-transformed band rows (`p x n`) of the pruned padded inverse.
+    pub(crate) band: Vec<Complex64>,
+    /// Residue grid (`q x n`) of the pruned padded inverse, and the packed
+    /// row-pair buffer of the real-input forward pass.
+    pub(crate) grid: Vec<Complex64>,
+}
+
+impl Fft2dScratch {
+    /// Creates an empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total complex values currently held across all buffers.
+    pub fn capacity(&self) -> usize {
+        self.panel.len() + self.band.len() + self.grid.len()
+    }
+
+}
+
+thread_local! {
+    static ARENA: RefCell<Fft2dScratch> = RefCell::new(Fft2dScratch::new());
+}
+
+/// Runs `f` with this thread's shared FFT workspace.
+///
+/// The arena persists for the life of the thread, so repeated transforms of
+/// the same sizes allocate nothing. Re-entrant use (calling
+/// `with_thread_scratch` while already inside it) falls back to a fresh
+/// temporary workspace instead of panicking, so the convenience
+/// [`crate::Fft2d::forward`] API stays safe to call from anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::with_thread_scratch;
+///
+/// let cap = with_thread_scratch(|scratch| scratch.capacity());
+/// assert!(cap < usize::MAX);
+/// ```
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Fft2dScratch) -> R) -> R {
+    ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Fft2dScratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_monotonically_and_are_reused() {
+        let mut s = Fft2dScratch::new();
+        assert_eq!(s.capacity(), 0);
+        grown(&mut s.panel, 64);
+        let after_first = s.capacity();
+        grown(&mut s.panel, 32); // smaller request reuses the larger buffer
+        assert_eq!(s.capacity(), after_first);
+        grown(&mut s.panel, 128);
+        assert!(s.capacity() > after_first);
+    }
+
+    #[test]
+    fn thread_scratch_is_reentrant_safe() {
+        let nested = with_thread_scratch(|outer| {
+            grown(&mut outer.panel, 16);
+            with_thread_scratch(|inner| {
+                // The inner workspace is a fresh fallback, not the arena.
+                inner.capacity()
+            })
+        });
+        assert_eq!(nested, 0);
+    }
+}

@@ -78,15 +78,18 @@ pub fn freq_index(f: isize, len: usize) -> usize {
 pub fn crop_centered(spec: &[Complex64], n: usize, out: usize) -> Vec<Complex64> {
     assert!(out <= n, "crop size {out} exceeds source size {n}");
     assert_eq!(spec.len(), n * n, "spectrum must be n*n");
+    // Indices 0..oh carry frequencies 0..oh and map to the same source
+    // index; indices oh..out carry -ol..0 and map to the top end of the
+    // source axis. Two contiguous segments per axis means the whole crop is
+    // four block copies — this sits on the simulator's per-iteration path.
+    let oh = out - out / 2;
+    let ol = out / 2;
     let mut dst = vec![Complex64::ZERO; out * out];
-    for i in 0..out {
-        let fi = signed_freq(i, out);
-        let si = freq_index(fi, n);
-        for j in 0..out {
-            let fj = signed_freq(j, out);
-            let sj = freq_index(fj, n);
-            dst[i * out + j] = spec[si * n + sj];
-        }
+    for (i, drow) in dst.chunks_exact_mut(out).enumerate() {
+        let si = if i < oh { i } else { n - out + i };
+        let srow = &spec[si * n..(si + 1) * n];
+        drow[..oh].copy_from_slice(&srow[..oh]);
+        drow[oh..].copy_from_slice(&srow[n - ol..]);
     }
     dst
 }
@@ -116,12 +119,15 @@ pub fn pad_centered_into(spec: &[Complex64], p: usize, dst: &mut [Complex64], n:
     assert_eq!(spec.len(), p * p);
     assert_eq!(dst.len(), n * n);
     dst.fill(Complex64::ZERO);
-    for i in 0..p {
-        let ti = freq_index(signed_freq(i, p), n);
-        for j in 0..p {
-            let tj = freq_index(signed_freq(j, p), n);
-            dst[ti * n + tj] = spec[i * p + j];
-        }
+    // Mirror of `crop_centered`: four block copies instead of per-element
+    // signed-frequency arithmetic.
+    let ph = p - p / 2;
+    let pl = p / 2;
+    for (i, srow) in spec.chunks_exact(p).enumerate() {
+        let ti = if i < ph { i } else { n - p + i };
+        let drow = &mut dst[ti * n..(ti + 1) * n];
+        drow[..ph].copy_from_slice(&srow[..ph]);
+        drow[n - pl..].copy_from_slice(&srow[ph..]);
     }
 }
 

@@ -12,7 +12,7 @@
 //! layout, DC at `[0,0]`), directly multipliable against
 //! [`ilt_fft::crop_centered`] output.
 
-use ilt_fft::{pad_centered, Complex64, Fft2d};
+use ilt_fft::{Complex64, Fft2d};
 use ilt_field::Field2D;
 
 use crate::config::OpticsConfig;
@@ -170,8 +170,10 @@ impl KernelSet {
     /// Panics if `size` is not a power of two or is smaller than `P`.
     pub fn spatial_magnitude(&self, k: usize, size: usize) -> Field2D {
         assert!(size.is_power_of_two() && size >= self.p);
-        let mut buf = pad_centered(&self.spectra[k], self.p, size);
-        Fft2d::new(size, size).inverse(&mut buf);
+        // `Fft2d::new` shares plans through the global planner cache, and
+        // the pruned padded inverse skips the zero part of the spectrum.
+        let mut buf = vec![Complex64::ZERO; size * size];
+        Fft2d::new(size, size).inverse_padded(&self.spectra[k], self.p, &mut buf);
         let shifted = ilt_fft::fftshift(&buf, size);
         Field2D::from_vec(size, size, shifted.iter().map(|z| z.abs()).collect())
     }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use ilt_fft::{crop_centered, pad_centered_into, Complex64, Fft2d};
+use ilt_fft::{crop_centered, with_thread_scratch, Complex64, Fft2d, Fft2dScratch};
 use ilt_field::Field2D;
 
 use crate::config::OpticsConfig;
@@ -225,26 +225,39 @@ impl LithoSimulator {
     }
 
     /// Like [`LithoSimulator::aerial`], returning the adjoint cache as well.
+    ///
+    /// The hot path: one real-input forward FFT of the mask (Hermitian row
+    /// packing) plus one **pruned** padded inverse per kernel
+    /// ([`Fft2d::inverse_padded_with`]), all running on the calling thread's
+    /// reusable FFT workspace so batch workers never allocate scratch in the
+    /// per-kernel loop.
     pub fn aerial_with_cache(&self, mask: &Field2D, defocus: bool) -> (Field2D, AerialCache) {
+        with_thread_scratch(|scratch| self.aerial_with_cache_scratch(mask, defocus, scratch))
+    }
+
+    fn aerial_with_cache_scratch(
+        &self,
+        mask: &Field2D,
+        defocus: bool,
+        scratch: &mut Fft2dScratch,
+    ) -> (Field2D, AerialCache) {
         let m = self.check_mask(mask);
         let kernels = self.kernels(defocus);
         let p = kernels.p();
         let fft = self.fft(m);
 
-        let mut spec: Vec<Complex64> =
-            mask.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
-        fft.forward(&mut spec);
+        let mut spec = vec![Complex64::ZERO; m * m];
+        fft.forward_real_with(mask.as_slice(), &mut spec, scratch);
         let low = crop_centered(&spec, m, p);
 
         let mut intensity = vec![0.0; m * m];
-        let mut buf = vec![Complex64::ZERO; m * m];
+        let mut buf = spec; // reuse the spectrum buffer for the inverses
         let mut cached = Vec::with_capacity(kernels.num_kernels());
         for k in 0..kernels.num_kernels() {
             let w = kernels.weights()[k];
             let hk = kernels.spectrum(k);
             let sk: Vec<Complex64> = hk.iter().zip(&low).map(|(&h, &f)| h * f).collect();
-            pad_centered_into(&sk, p, &mut buf, m);
-            fft.inverse(&mut buf);
+            fft.inverse_padded_with(&sk, p, &mut buf, scratch);
             for (i, z) in buf.iter().enumerate() {
                 intensity[i] += w * z.norm_sqr();
             }
@@ -267,6 +280,15 @@ impl LithoSimulator {
     ///
     /// Panics if `grad` is not the cache's resolution.
     pub fn aerial_vjp(&self, cache: &AerialCache, grad: &Field2D) -> Field2D {
+        with_thread_scratch(|scratch| self.aerial_vjp_scratch(cache, grad, scratch))
+    }
+
+    fn aerial_vjp_scratch(
+        &self,
+        cache: &AerialCache,
+        grad: &Field2D,
+        scratch: &mut Fft2dScratch,
+    ) -> Field2D {
         let m = cache.m;
         assert_eq!(grad.shape(), (m, m), "gradient must match cached resolution {m}");
         let kernels = self.kernels(cache.defocus);
@@ -279,22 +301,23 @@ impl LithoSimulator {
         for (k, sk) in cache.spectra.iter().enumerate() {
             let w = kernels.weights()[k];
             let hk = kernels.spectrum(k);
-            // Recompute z_k from the tiny cached spectrum.
-            pad_centered_into(sk, p, &mut buf, m);
-            fft.inverse(&mut buf);
-            // u = g .* z_k, then back through the adjoint convolution.
+            // Recompute z_k from the tiny cached spectrum (pruned inverse).
+            fft.inverse_padded_with(sk, p, &mut buf, scratch);
+            // u = g .* z_k, then back through the adjoint convolution. The
+            // forward here stays on the dense complex path: its input is a
+            // full-band complex product, so neither pruning nor the real
+            // row packing applies.
             for (z, &gi) in buf.iter_mut().zip(g) {
                 *z = z.scale(gi);
             }
-            fft.forward(&mut buf);
+            fft.forward_with(&mut buf, scratch);
             let cropped = crop_centered(&buf, m, p);
             let scale = 2.0 * w;
             for ((a, &h), &c) in acc.iter_mut().zip(hk).zip(&cropped) {
                 *a += (h.conj() * c).scale(scale);
             }
         }
-        pad_centered_into(&acc, p, &mut buf, m);
-        fft.inverse(&mut buf);
+        fft.inverse_padded_with(&acc, p, &mut buf, scratch);
         Field2D::from_vec(m, m, buf.iter().map(|z| z.re).collect())
     }
 
@@ -319,26 +342,26 @@ impl LithoSimulator {
 
         let fft_n = self.fft(n);
         let fft_m = self.fft(m);
-        let mut spec: Vec<Complex64> =
-            mask.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
-        fft_n.forward(&mut spec);
-        let low = crop_centered(&spec, n, p);
-        let bridge = 1.0 / (s * s) as f64; // normalization change N -> N/s
+        with_thread_scratch(|scratch| {
+            let mut spec = vec![Complex64::ZERO; n * n];
+            fft_n.forward_real_with(mask.as_slice(), &mut spec, scratch);
+            let low = crop_centered(&spec, n, p);
+            let bridge = 1.0 / (s * s) as f64; // normalization change N -> N/s
 
-        let mut intensity = vec![0.0; m * m];
-        let mut buf = vec![Complex64::ZERO; m * m];
-        for k in 0..kernels.num_kernels() {
-            let w = kernels.weights()[k];
-            let hk = kernels.spectrum(k);
-            let sk: Vec<Complex64> =
-                hk.iter().zip(&low).map(|(&h, &f)| (h * f).scale(bridge)).collect();
-            pad_centered_into(&sk, p, &mut buf, m);
-            fft_m.inverse(&mut buf);
-            for (i, z) in buf.iter().enumerate() {
-                intensity[i] += w * z.norm_sqr();
+            let mut intensity = vec![0.0; m * m];
+            let mut buf = vec![Complex64::ZERO; m * m];
+            for k in 0..kernels.num_kernels() {
+                let w = kernels.weights()[k];
+                let hk = kernels.spectrum(k);
+                let sk: Vec<Complex64> =
+                    hk.iter().zip(&low).map(|(&h, &f)| (h * f).scale(bridge)).collect();
+                fft_m.inverse_padded_with(&sk, p, &mut buf, scratch);
+                for (i, z) in buf.iter().enumerate() {
+                    intensity[i] += w * z.norm_sqr();
+                }
             }
-        }
-        Field2D::from_vec(m, m, intensity)
+            Field2D::from_vec(m, m, intensity)
+        })
     }
 
     /// Constant-threshold resist (Eq. 1) with dose: `Z = [dose * I >= I_th]`.

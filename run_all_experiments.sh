@@ -3,6 +3,7 @@
 set -e
 ./verify_runtime.sh
 ./verify_server.sh
+./verify_perf.sh
 BIN=./target/release/tables
 OUT=bench-out
 mkdir -p $OUT

@@ -1,0 +1,101 @@
+//! End-to-end guard for the pruned spectral engine.
+//!
+//! The simulator's hot path now runs a real-input forward FFT and a pruned
+//! padded inverse per kernel. This test re-derives the aerial image through
+//! the textbook dense path — complex forward transform, explicit
+//! `pad_centered_into`, full-size inverse — and asserts the production
+//! pipeline matches to near machine precision, so the printed masks the rest
+//! of the repo reasons about are bit-for-bit unchanged by the optimization.
+
+use multilevel_ilt::fft::{crop_centered, pad_centered_into, Complex64, Fft2d};
+use multilevel_ilt::prelude::*;
+
+fn sim(grid: usize) -> LithoSimulator {
+    let cfg = OpticsConfig {
+        grid,
+        nm_per_px: 4.0,
+        num_kernels: 6,
+        ..OpticsConfig::default()
+    };
+    LithoSimulator::new(cfg).expect("valid optics")
+}
+
+fn test_mask(n: usize) -> Field2D {
+    // A via plus an L-bar: asymmetric on purpose so any index-convention
+    // slip in the pruned path shows up as a shifted image.
+    Field2D::from_fn(n, n, |r, c| {
+        let via = (n / 5..n / 5 + n / 8).contains(&r) && (n / 2..n / 2 + n / 8).contains(&c);
+        let bar = (n / 2..n * 3 / 4).contains(&r) && (n / 4..n / 4 + n / 16).contains(&c)
+            || (n * 3 / 4 - n / 16..n * 3 / 4).contains(&r) && (n / 4..n * 5 / 8).contains(&c);
+        if via || bar {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Dense reference aerial image: Eq. 3 with no pruning, no real-input
+/// packing, and per-call buffers. Deliberately naive.
+fn dense_aerial(sim: &LithoSimulator, mask: &Field2D, defocus: bool) -> Field2D {
+    let (m, _) = mask.shape();
+    let kernels = sim.kernels(defocus);
+    let p = kernels.p();
+    let fft = Fft2d::new(m, m);
+
+    let mut spec: Vec<Complex64> =
+        mask.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
+    fft.forward(&mut spec);
+    let low = crop_centered(&spec, m, p);
+
+    let mut intensity = vec![0.0; m * m];
+    let mut buf = vec![Complex64::ZERO; m * m];
+    for k in 0..kernels.num_kernels() {
+        let w = kernels.weights()[k];
+        let sk: Vec<Complex64> =
+            kernels.spectrum(k).iter().zip(&low).map(|(&h, &f)| h * f).collect();
+        pad_centered_into(&sk, p, &mut buf, m);
+        fft.inverse(&mut buf);
+        for (acc, z) in intensity.iter_mut().zip(&buf) {
+            *acc += w * z.norm_sqr();
+        }
+    }
+    Field2D::from_vec(m, m, intensity)
+}
+
+#[test]
+fn pruned_aerial_matches_dense_reference() {
+    let sim = sim(128);
+    let mask = test_mask(128);
+    for defocus in [false, true] {
+        let fast = sim.aerial(&mask, defocus);
+        let dense = dense_aerial(&sim, &mask, defocus);
+        let worst = fast
+            .as_slice()
+            .iter()
+            .zip(dense.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(worst <= 1e-12, "defocus={defocus}: aerial diverged by {worst:e}");
+    }
+}
+
+#[test]
+fn printed_masks_are_unchanged_by_the_pruned_engine() {
+    let sim = sim(128);
+    let mask = test_mask(128);
+    for cond in [
+        ProcessCondition::nominal(),
+        ProcessCondition::inner(),
+        ProcessCondition::outer(),
+    ] {
+        let fast = sim.print(&mask, cond);
+        let reference =
+            sim.resist_hard(&dense_aerial(&sim, &mask, cond.defocus), cond.dose);
+        assert_eq!(
+            fast.as_slice(),
+            reference.as_slice(),
+            "print differs from the dense reference under {cond:?}"
+        );
+    }
+}
