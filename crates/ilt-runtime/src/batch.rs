@@ -7,10 +7,21 @@
 //! and all simulators come from one shared [`SimulatorCache`] so each
 //! distinct optics configuration is built exactly once per process.
 //!
-//! Failed tiles degrade, not abort: their core region falls back to the
-//! target geometry (the no-correction mask) and the failure is journaled,
-//! so a single bad tile costs local mask quality instead of the batch.
+//! Failed tiles degrade, not abort: a tile that exhausts its retries first
+//! falls back to its coarse low-resolution ILT result (journaled as
+//! `Degraded`), and only if that also fails does its core fall back to the
+//! raw target geometry with a `Failed` record — a single bad tile costs
+//! local mask quality instead of the batch.
+//!
+//! With [`BatchConfig::checkpoint`] set, every finished job is persisted to
+//! a write-ahead log as it completes, and [`run_batch_resume`] can pick a
+//! crashed run back up: it verifies the recorded configuration fingerprint,
+//! restores every job with a durable successful checkpoint, and re-runs
+//! only the rest — producing masks and a journal byte-identical to an
+//! uninterrupted run.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use ilt_core::{schedules, IltConfig, Stage};
@@ -19,9 +30,11 @@ use ilt_metrics::{EpeChecker, EvalReport};
 use ilt_optics::OpticsConfig;
 
 use crate::cache::SimulatorCache;
+use crate::checkpoint::{config_fingerprint, load_wal, restore_output, CheckpointSink};
+use crate::fault::FaultPlan;
 use crate::job::IltJob;
-use crate::journal::RunReport;
-use crate::pool::{run_jobs, JobOutput, PoolConfig};
+use crate::journal::{JobStatus, RunReport};
+use crate::pool::{run_jobs_checkpointed, JobOutput, PoolConfig};
 use crate::tiler::{SeamPolicy, TileGrid};
 
 /// One input to a batch run: a named target clip.
@@ -64,9 +77,13 @@ pub struct BatchConfig {
     /// Evaluate each stitched full-size mask (builds a full-size simulator;
     /// disable for targets too large to simulate in one FFT).
     pub evaluate_stitched: bool,
-    /// Testing hook: `(job_id, n)` makes that job panic on its first `n`
-    /// attempts.
-    pub inject: Vec<(usize, u32)>,
+    /// After the retry budget, run the degraded low-res fallback pass.
+    pub degrade: bool,
+    /// Checkpoint directory: when set, finished jobs are persisted to a
+    /// write-ahead log there as they complete, enabling crash-safe resume.
+    pub checkpoint: Option<PathBuf>,
+    /// Deterministic fault injection (chaos testing); empty in production.
+    pub faults: FaultPlan,
 }
 
 impl Default for BatchConfig {
@@ -83,7 +100,9 @@ impl Default for BatchConfig {
             timeout: None,
             max_retries: 1,
             evaluate_stitched: true,
-            inject: Vec::new(),
+            degrade: true,
+            checkpoint: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -99,6 +118,8 @@ pub struct CaseResult {
     pub tiles: usize,
     /// Jobs that exhausted retries; their cores fell back to the target.
     pub failed_tiles: usize,
+    /// Jobs rescued by the degraded low-res fallback (usable, coarse mask).
+    pub degraded_tiles: usize,
     /// Full-size evaluation of the stitched mask, when requested.
     pub eval: Option<EvalReport>,
 }
@@ -110,6 +131,9 @@ pub struct BatchOutcome {
     pub report: RunReport,
     /// Stitched results, one per input case, input order.
     pub cases: Vec<CaseResult>,
+    /// Jobs restored from durable checkpoints instead of re-running
+    /// (always 0 for a fresh run).
+    pub restored_jobs: usize,
 }
 
 struct CasePlan {
@@ -129,6 +153,29 @@ pub fn run_batch(
     cases: &[BatchCase],
     config: &BatchConfig,
     cache: &SimulatorCache,
+) -> Result<BatchOutcome, String> {
+    run_batch_resume(cases, config, cache, false)
+}
+
+/// [`run_batch`] with optional resume from the checkpoint WAL in
+/// [`BatchConfig::checkpoint`].
+///
+/// On resume the WAL's recorded configuration fingerprint must match the
+/// current one; jobs whose checkpoints are durable (WAL success record +
+/// mask file matching the recorded hash) are restored without re-running,
+/// everything else — failed, missing, or torn — runs again. The merged
+/// outcome is byte-identical to an uninterrupted run of the same inputs.
+///
+/// # Errors
+///
+/// Everything [`run_batch`] rejects, plus: resume without a checkpoint
+/// directory, an unreadable WAL, a fingerprint mismatch, or a WAL that
+/// records more jobs than the current configuration plans.
+pub fn run_batch_resume(
+    cases: &[BatchCase],
+    config: &BatchConfig,
+    cache: &SimulatorCache,
+    resume: bool,
 ) -> Result<BatchOutcome, String> {
     if config.threads == 0 {
         return Err("batch needs at least one thread".into());
@@ -157,21 +204,73 @@ pub fn run_batch(
             plans.push(CasePlan { first_job, jobs: grid.len(), grid: Some(grid) });
         }
     }
-    for &(job_id, panics) in &config.inject {
-        let job = jobs
-            .get_mut(job_id)
-            .ok_or_else(|| format!("inject target {job_id} out of range"))?;
-        job.inject_panics = panics;
+    if let Some(max_target) = config.faults.max_job_id() {
+        if max_target >= jobs.len() {
+            return Err(format!(
+                "fault plan targets job {max_target}, but only {} jobs are planned",
+                jobs.len()
+            ));
+        }
     }
+
+    let fingerprint = config_fingerprint(cases, config);
+    let mut restored: HashMap<usize, JobOutput> = HashMap::new();
+    if resume {
+        let dir = config
+            .checkpoint
+            .as_deref()
+            .ok_or("resume requires a checkpoint directory")?;
+        let loaded = load_wal(dir)?;
+        if loaded.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: recorded {:016x}, current {fingerprint:016x} — \
+                 resume must use the same cases and result-affecting configuration",
+                loaded.fingerprint
+            ));
+        }
+        if let Some((&max_id, _)) = loaded.records.last_key_value() {
+            if max_id >= jobs.len() {
+                return Err(format!(
+                    "checkpoint WAL records job {max_id}, but only {} jobs are planned",
+                    jobs.len()
+                ));
+            }
+        }
+        for (id, rec) in &loaded.records {
+            if let Some(output) = restore_output(dir, rec) {
+                restored.insert(*id, output);
+            }
+        }
+    }
+
+    let sink = match &config.checkpoint {
+        Some(dir) => Some(
+            CheckpointSink::create(dir, fingerprint, jobs.len(), resume, config.faults.clone())
+                .map_err(|e| format!("cannot open checkpoint dir {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
 
     let pool = PoolConfig {
         threads: config.threads,
         timeout: config.timeout,
         max_retries: config.max_retries,
+        degrade: config.degrade,
+        faults: config.faults.clone(),
     };
+    let pending: Vec<IltJob> =
+        jobs.into_iter().filter(|j| !restored.contains_key(&j.id)).collect();
+    let restored_jobs = restored.len();
     let started = Instant::now();
-    let outputs = run_jobs(jobs, &pool, cache);
+    let fresh = run_jobs_checkpointed(pending, &pool, cache, sink.as_ref());
     let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Merge restored and fresh outputs back into job-id order.
+    let mut outputs: Vec<JobOutput> = restored
+        .into_values()
+        .chain(fresh)
+        .collect();
+    outputs.sort_by_key(|o| o.record.job_id);
 
     let mut results = Vec::with_capacity(cases.len());
     for (case, plan) in cases.iter().zip(&plans) {
@@ -182,7 +281,7 @@ pub fn run_batch(
         records: outputs.into_iter().map(|o| o.record).collect(),
         total_wall_ms,
     };
-    Ok(BatchOutcome { report, cases: results })
+    Ok(BatchOutcome { report, cases: results, restored_jobs })
 }
 
 fn make_job(
@@ -211,7 +310,6 @@ fn make_job(
         optics,
         ilt: config.ilt.clone(),
         schedule,
-        inject_panics: 0,
     }
 }
 
@@ -224,6 +322,10 @@ fn assemble_case(
 ) -> Result<CaseResult, String> {
     let slice = &outputs[plan.first_job..plan.first_job + plan.jobs];
     let failed_tiles = slice.iter().filter(|o| o.mask.is_none()).count();
+    let degraded_tiles = slice
+        .iter()
+        .filter(|o| matches!(o.record.status, JobStatus::Degraded(_)))
+        .count();
     // A failed tile's core falls back to the target geometry: the
     // uncorrected design is the safest stand-in for a missing correction.
     let binary_target = case.target.threshold(0.5);
@@ -269,6 +371,7 @@ fn assemble_case(
         mask,
         tiles: plan.jobs,
         failed_tiles,
+        degraded_tiles,
         eval,
     })
 }
@@ -276,6 +379,7 @@ fn assemble_case(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSpec};
 
     fn bar_case(name: &str, n: usize) -> BatchCase {
         let target = Field2D::from_fn(n, n, |r, c| {
@@ -307,6 +411,8 @@ mod tests {
         assert_eq!(out.report.records.len(), 1);
         assert_eq!(out.cases[0].tiles, 1);
         assert_eq!(out.cases[0].failed_tiles, 0);
+        assert_eq!(out.cases[0].degraded_tiles, 0);
+        assert_eq!(out.restored_jobs, 0);
         assert_eq!(out.cases[0].mask.shape(), (64, 64));
     }
 
@@ -341,12 +447,39 @@ mod tests {
         let cache = SimulatorCache::new();
         let mut config = small_config(1);
         config.max_retries = 0;
-        config.inject = vec![(0, u32::MAX)];
+        // The panic covers every attempt including the degraded fallback,
+        // so the tile truly fails and its core reverts to the target.
+        config.faults = FaultPlan::none().with(FaultSpec::always(0, FaultKind::Panic));
         let case = bar_case("clip", 64);
         let out = run_batch(&[case.clone()], &config, &cache).unwrap();
         assert_eq!(out.cases[0].failed_tiles, 1);
         assert_eq!(out.report.failed_jobs(), 1);
         assert_eq!(out.cases[0].mask, case.target.threshold(0.5));
+    }
+
+    #[test]
+    fn persistent_failure_degrades_to_low_res_result() {
+        let cache = SimulatorCache::new();
+        let mut config = small_config(1);
+        config.max_retries = 0;
+        // Attempt 1 panics; the degraded fallback (attempt 2) is clean.
+        config.faults = FaultPlan::none().with(FaultSpec::at(0, 1, FaultKind::Panic));
+        let case = bar_case("clip", 64);
+        let out = run_batch(&[case.clone()], &config, &cache).unwrap();
+        assert_eq!(out.cases[0].failed_tiles, 0);
+        assert_eq!(out.cases[0].degraded_tiles, 1);
+        assert_eq!(out.report.degraded_jobs(), 1);
+        assert_eq!(out.report.failed_jobs(), 0);
+        // The degraded result is a real optimized mask with metrics, and it
+        // matches what the coarse-only recipe computes directly.
+        let mut coarse = small_config(1);
+        coarse.schedule = vec![Stage::low_res(2, 3)];
+        let direct = run_batch(&[case], &coarse, &cache).unwrap();
+        assert_eq!(
+            out.report.records[0].metrics.unwrap().mask_hash,
+            direct.report.records[0].metrics.unwrap().mask_hash,
+            "degraded fallback is exactly the Eq. 8 coarse pass"
+        );
     }
 
     #[test]
@@ -363,8 +496,11 @@ mod tests {
         zero.threads = 0;
         assert!(run_batch(&[bar_case("x", 64)], &zero, &cache).is_err());
         let mut inject = small_config(1);
-        inject.inject = vec![(99, 1)];
+        inject.faults = FaultPlan::none().with(FaultSpec::always(99, FaultKind::Panic));
         assert!(run_batch(&[bar_case("x", 64)], &inject, &cache).is_err());
+        let mut resume = small_config(1);
+        resume.checkpoint = None;
+        assert!(run_batch_resume(&[bar_case("x", 64)], &resume, &cache, true).is_err());
     }
 
     #[test]

@@ -1,0 +1,650 @@
+//! Crash-safe checkpointing: the run journal as a durable write-ahead log.
+//!
+//! A checkpointed batch run maintains, next to its eventual journal, a
+//! checkpoint directory holding:
+//!
+//! - `wal.jsonl` — a write-ahead log: one header line carrying a
+//!   fingerprint of the run configuration, then one line per *completed*
+//!   job (success, degraded, or failed), appended with `fsync` as each job
+//!   finishes. Each line is the job's full journal record plus a `"ckpt"`
+//!   field naming the durable mask file (`null` when the mask could not be
+//!   persisted).
+//! - `job-<id>.pgm` — the finished mask of each successful job, written
+//!   atomically (temp file + `fsync` + rename, then a directory `fsync`).
+//!
+//! The invariant: at any instant — including halfway through a `kill -9` —
+//! the WAL plus the mask files form a consistent record of progress. A line
+//! torn by a crash can only be the *last* line, and the loader drops it;
+//! a mask file either exists complete (the rename happened after its data
+//! was on disk) or not at all. Resume therefore needs no repair step: it
+//! replays the WAL (duplicates last-wins, truncated tail tolerated),
+//! verifies each claimed mask against the record's bit-exact hash, and
+//! re-runs exactly the jobs without a durable success.
+//!
+//! The configuration fingerprint guards against resuming with different
+//! inputs: it hashes everything that determines job *results* (cases,
+//! tiling, optics, recipe) and deliberately excludes execution-only knobs
+//! (thread count, timeout, retry budget, fault plan), which may legally
+//! differ between the crashed run and its resume.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ilt_field::{parse_pgm, pgm_bytes};
+
+use crate::batch::{BatchCase, BatchConfig};
+use crate::fault::FaultPlan;
+use crate::journal::{
+    field_hash, fnv1a64, JobMetrics, JobRecord, JobStatus, StageTimes,
+};
+use crate::pool::JobOutput;
+
+/// Name of the write-ahead log inside a checkpoint directory.
+pub const WAL_FILE: &str = "wal.jsonl";
+
+/// Fingerprint of everything that determines job results: the cases (name,
+/// target bits, pitch) and the result-affecting configuration (tiling, seam
+/// policy, optics template, ILT hyper-parameters, schedule, pitch ceiling,
+/// stitched evaluation). Excludes threads, timeout, retries, faults, and
+/// the checkpoint location itself — those only change *how* the run
+/// executes, never what a job computes.
+pub fn config_fingerprint(cases: &[BatchCase], config: &BatchConfig) -> u64 {
+    let mut s = String::new();
+    for case in cases {
+        s.push_str(&format!(
+            "case:{}:{:016x}:{:?};",
+            case.name,
+            field_hash(&case.target),
+            case.nm_per_px
+        ));
+    }
+    s.push_str(&format!(
+        "tile:{};halo:{};seam:{:?};optics:{:?};ilt:{:?};schedule:{:?};max_eff_nm:{:?};eval:{}",
+        config.tile,
+        config.halo,
+        config.seam,
+        config.optics,
+        config.ilt,
+        config.schedule,
+        config.max_eff_nm,
+        config.evaluate_stitched
+    ));
+    fnv1a64(s.bytes())
+}
+
+/// The durable mask file name for a job.
+pub fn mask_file_name(job_id: usize) -> String {
+    format!("job-{job_id}.pgm")
+}
+
+fn fsync_dir(dir: &Path) {
+    // Linux allows fsync on a directory handle; best-effort elsewhere.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Writes `bytes` to `dir/name` atomically: temp file, data fsync, rename,
+/// directory fsync. After this returns `Ok`, the file survives a crash
+/// complete; before the rename, a crash leaves at most a stray `.tmp`.
+pub fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let dest = dir.join(name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &dest)?;
+    fsync_dir(dir);
+    Ok(())
+}
+
+/// The live end of the write-ahead log: workers push each finished job
+/// through [`CheckpointSink::persist`], which makes the mask durable, then
+/// the WAL line, in that order.
+pub struct CheckpointSink {
+    dir: PathBuf,
+    wal: Mutex<File>,
+    faults: FaultPlan,
+}
+
+impl CheckpointSink {
+    /// Opens (or continues) the WAL in `dir`. A fresh run truncates any
+    /// prior WAL and writes the header; a resume appends to the existing
+    /// log, whose fingerprint the caller has already verified.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the directory or the log.
+    pub fn create(
+        dir: &Path,
+        fingerprint: u64,
+        jobs: usize,
+        resume: bool,
+        faults: FaultPlan,
+    ) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = if resume && wal_path.exists() {
+            OpenOptions::new().append(true).open(&wal_path)?
+        } else {
+            let mut f = File::create(&wal_path)?;
+            f.write_all(
+                format!(
+                    "{{\"kind\":\"run_header\",\"version\":1,\"fingerprint\":\"{fingerprint:016x}\",\"jobs\":{jobs}}}\n"
+                )
+                .as_bytes(),
+            )?;
+            f.sync_data()?;
+            f
+        };
+        fsync_dir(dir);
+        Ok(Self { dir: dir.to_path_buf(), wal: Mutex::new(wal), faults })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Makes one finished job durable: mask first (atomic file), WAL line
+    /// second (fsynced append). Ordering matters — a WAL line claiming a
+    /// mask is written only after the mask itself survived. Persistence
+    /// failures never fail the job (the result is still good in memory);
+    /// they leave `"ckpt":null` so a later resume re-runs the job.
+    pub fn persist(&self, output: &JobOutput) {
+        let job_id = output.record.job_id;
+        let ckpt = match &output.mask {
+            Some(mask) if output.record.status.has_mask() => {
+                if self.faults.checkpoint_error(job_id) {
+                    eprintln!("checkpoint: injected write failure for job {job_id}");
+                    None
+                } else {
+                    let name = mask_file_name(job_id);
+                    match write_atomic(&self.dir, &name, &pgm_bytes(mask, 0.0, 1.0)) {
+                        Ok(()) => Some(name),
+                        Err(e) => {
+                            eprintln!("checkpoint: mask write failed for job {job_id}: {e}");
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        };
+        let line = output.record.to_json_wal(ckpt.as_deref());
+        {
+            let mut wal = self.wal.lock().expect("checkpoint WAL lock poisoned");
+            let durable = wal
+                .write_all(line.as_bytes())
+                .and_then(|()| wal.write_all(b"\n"))
+                .and_then(|()| wal.sync_data());
+            if let Err(e) = durable {
+                eprintln!("checkpoint: WAL append failed for job {job_id}: {e}");
+            }
+        }
+        if self.faults.crash_after_checkpoint(job_id) {
+            eprintln!("checkpoint: injected process crash after job {job_id} became durable");
+            std::process::abort();
+        }
+    }
+}
+
+/// One replayed WAL entry.
+#[derive(Clone, Debug)]
+pub struct LoadedRecord {
+    /// The job's journal record as last written.
+    pub record: JobRecord,
+    /// Durable mask file name, when the checkpoint write succeeded.
+    pub ckpt: Option<String>,
+}
+
+/// A replayed write-ahead log.
+#[derive(Debug)]
+pub struct LoadedRun {
+    /// Configuration fingerprint recorded at run start.
+    pub fingerprint: u64,
+    /// Number of jobs the original run planned.
+    pub jobs: usize,
+    /// Last record per job id (duplicates resolve last-wins).
+    pub records: BTreeMap<usize, LoadedRecord>,
+    /// True when a torn trailing line was dropped.
+    pub dropped_trailing: bool,
+}
+
+/// Replays the WAL in `dir`. Tolerates exactly the damage a crash can
+/// cause: a truncated *trailing* line is dropped; duplicate records for
+/// one job (a failure later resolved by a resume) resolve last-wins.
+/// Corruption anywhere else is an error — it means something other than a
+/// crash modified the log.
+///
+/// # Errors
+///
+/// Returns a message when the WAL is missing, its header is unreadable, or
+/// a non-trailing line is corrupt.
+pub fn load_wal(dir: &Path) -> Result<LoadedRun, String> {
+    let path = dir.join(WAL_FILE);
+    let bytes = fs::read(&path)
+        .map_err(|e| format!("cannot read checkpoint WAL {}: {e}", path.display()))?;
+    let text = String::from_utf8_lossy(&bytes);
+    let lines: Vec<&str> = text.split('\n').filter(|l| !l.trim().is_empty()).collect();
+    let header = lines
+        .first()
+        .ok_or_else(|| format!("checkpoint WAL {} is empty", path.display()))?;
+    let (fingerprint, jobs) = parse_header(header)
+        .map_err(|e| format!("checkpoint WAL {} header unreadable: {e}", path.display()))?;
+    let mut records = BTreeMap::new();
+    let mut dropped_trailing = false;
+    for (i, line) in lines[1..].iter().enumerate() {
+        match parse_wal_record(line) {
+            Ok(loaded) => {
+                records.insert(loaded.record.job_id, loaded);
+            }
+            Err(e) if i + 2 == lines.len() => {
+                // The torn final append of a crash — expected, drop it.
+                let _ = e;
+                dropped_trailing = true;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "checkpoint WAL {} line {} is corrupt: {e}",
+                    path.display(),
+                    i + 2
+                ));
+            }
+        }
+    }
+    Ok(LoadedRun { fingerprint, jobs, records, dropped_trailing })
+}
+
+/// Loads a checkpointed mask and re-binarizes it. PGM stores one byte per
+/// pixel, so `1.0` round-trips as `255 * (1/255)` — not guaranteed to be
+/// the bit pattern of `1.0`; masks are binary by construction, so a
+/// threshold restores the exact field and its exact [`field_hash`].
+pub fn load_mask(dir: &Path, name: &str) -> Result<ilt_field::Field2D, String> {
+    let path = dir.join(name);
+    let bytes =
+        fs::read(&path).map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+    Ok(parse_pgm(&bytes).map_err(|e| format!("{}: {e}", path.display()))?.threshold(0.5))
+}
+
+/// Turns a replayed record back into a pool output, but only when it is a
+/// *durable success*: status carries a mask, the mask file exists, and its
+/// bits hash to exactly what the record claims. Anything less returns
+/// `None` and the job re-runs.
+pub fn restore_output(dir: &Path, loaded: &LoadedRecord) -> Option<JobOutput> {
+    if !loaded.record.status.has_mask() {
+        return None;
+    }
+    let name = loaded.ckpt.as_deref()?;
+    let expected = loaded.record.metrics.as_ref()?.mask_hash;
+    let mask = load_mask(dir, name).ok()?;
+    if field_hash(&mask) != expected {
+        return None;
+    }
+    Some(JobOutput { record: loaded.record.clone(), mask: Some(mask) })
+}
+
+// ---------------------------------------------------------------------------
+// A minimal field extractor for the workspace's own hand-rolled JSON. Not a
+// general JSON parser: it relies on the writers in this workspace escaping
+// every `"` inside string values, which makes a bare `"key":` sequence
+// unambiguous outside strings.
+// ---------------------------------------------------------------------------
+
+/// Extracts the raw value of `key` from a single-object JSON line produced
+/// by this workspace's writers (`"…"` strings, flat `[…]` arrays, numbers,
+/// `null`, booleans). Returns `None` when the key is absent.
+pub fn json_field_raw<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let mut from = 0;
+    while let Some(pos) = obj[from..].find(&pat) {
+        let abs = from + pos;
+        if matches!(obj[..abs].chars().next_back(), Some('{') | Some(',')) {
+            return Some(json_value_prefix(&obj[abs + pat.len()..]));
+        }
+        from = abs + pat.len();
+    }
+    None
+}
+
+fn json_value_prefix(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    match bytes.first() {
+        Some(b'"') => {
+            let mut i = 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => return &s[..=i],
+                    _ => i += 1,
+                }
+            }
+            s // unterminated: a torn line; callers reject it downstream
+        }
+        Some(b'[') => s.find(']').map_or(s, |i| &s[..=i]),
+        _ => {
+            let end = s
+                .find(|c| c == ',' || c == '}')
+                .unwrap_or(s.len());
+            &s[..end]
+        }
+    }
+}
+
+/// Decodes a JSON string literal (with quotes) written by
+/// [`crate::journal::json_escape`].
+pub fn json_unescape(literal: &str) -> Result<String, String> {
+    let inner = literal
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("not a string literal: {literal}"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{0008}'),
+            Some('f') => out.push('\u{000c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let cp = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in {literal}"))?;
+                out.push(
+                    char::from_u32(cp).ok_or_else(|| format!("bad codepoint in {literal}"))?,
+                );
+            }
+            other => return Err(format!("bad escape \\{other:?} in {literal}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts `key` as a decoded string.
+pub fn json_field_str(obj: &str, key: &str) -> Result<String, String> {
+    json_unescape(json_field_raw(obj, key).ok_or_else(|| format!("missing field {key}"))?)
+}
+
+/// Extracts `key` as an unsigned integer.
+pub fn json_field_u64(obj: &str, key: &str) -> Result<u64, String> {
+    json_field_raw(obj, key)
+        .ok_or_else(|| format!("missing field {key}"))?
+        .trim()
+        .parse()
+        .map_err(|_| format!("field {key} is not an integer"))
+}
+
+/// Extracts `key` as an `f64`; JSON `null` (a defensively-mapped non-finite
+/// value) reads back as 0.
+pub fn json_field_f64(obj: &str, key: &str) -> Result<f64, String> {
+    let raw = json_field_raw(obj, key).ok_or_else(|| format!("missing field {key}"))?.trim();
+    if raw == "null" {
+        return Ok(0.0);
+    }
+    raw.parse().map_err(|_| format!("field {key} is not a number"))
+}
+
+fn parse_header(line: &str) -> Result<(u64, usize), String> {
+    if json_field_str(line, "kind")? != "run_header" {
+        return Err("first WAL line is not a run_header".into());
+    }
+    let fp = json_field_str(line, "fingerprint")?;
+    let fingerprint = u64::from_str_radix(&fp, 16)
+        .map_err(|_| format!("bad fingerprint {fp}"))?;
+    let jobs = json_field_u64(line, "jobs")? as usize;
+    Ok((fingerprint, jobs))
+}
+
+/// Parses one WAL record line back into its [`JobRecord`] + checkpoint name.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed field; a torn line
+/// (crash mid-append) fails here and is dropped by [`load_wal`] when — and
+/// only when — it is the trailing line.
+pub fn parse_wal_record(line: &str) -> Result<LoadedRecord, String> {
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err("line is not a complete JSON object".into());
+    }
+    let job_id = json_field_u64(line, "job_id")? as usize;
+    let case = json_field_str(line, "case")?;
+    let tile_raw = json_field_raw(line, "tile").ok_or("missing field tile")?;
+    let tile = if tile_raw.trim() == "null" {
+        None
+    } else {
+        let inner = tile_raw
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("bad tile {tile_raw}"))?;
+        let mut parts = inner.split(',');
+        let r: usize = parts
+            .next()
+            .and_then(|p| p.trim().parse().ok())
+            .ok_or_else(|| format!("bad tile {tile_raw}"))?;
+        let c: usize = parts
+            .next()
+            .and_then(|p| p.trim().parse().ok())
+            .ok_or_else(|| format!("bad tile {tile_raw}"))?;
+        Some((r, c))
+    };
+    let grid = json_field_u64(line, "grid")? as usize;
+    let attempts = json_field_u64(line, "attempts")? as u32;
+    let status = match json_field_str(line, "status")?.as_str() {
+        "done" => JobStatus::Done,
+        "degraded" => JobStatus::Degraded(json_field_str(line, "reason")?),
+        "failed" => JobStatus::Failed(json_field_str(line, "reason")?),
+        other => return Err(format!("unknown status {other}")),
+    };
+    let metrics = if json_field_raw(line, "mask_hash").is_some() {
+        Some(JobMetrics {
+            l2_nm2: json_field_f64(line, "l2_nm2")?,
+            pvband_nm2: json_field_f64(line, "pvband_nm2")?,
+            epe_violations: json_field_u64(line, "epe")? as usize,
+            shots: json_field_u64(line, "shots")? as usize,
+            iterations: json_field_u64(line, "iterations")? as usize,
+            mask_hash: u64::from_str_radix(&json_field_str(line, "mask_hash")?, 16)
+                .map_err(|_| "bad mask_hash")?,
+        })
+    } else {
+        None
+    };
+    let times = StageTimes {
+        sim_ms: json_field_f64(line, "sim_ms").unwrap_or(0.0),
+        optimize_ms: json_field_f64(line, "optimize_ms").unwrap_or(0.0),
+        evaluate_ms: json_field_f64(line, "evaluate_ms").unwrap_or(0.0),
+    };
+    let wall_ms = json_field_f64(line, "wall_ms").unwrap_or(0.0);
+    let ckpt_raw = json_field_raw(line, "ckpt").ok_or("missing field ckpt")?;
+    let ckpt = if ckpt_raw.trim() == "null" { None } else { Some(json_unescape(ckpt_raw)?) };
+    Ok(LoadedRecord {
+        record: JobRecord { job_id, case, tile, grid, attempts, status, metrics, times, wall_ms },
+        ckpt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_field::Field2D;
+
+    fn record(id: usize, status: JobStatus, with_metrics: bool) -> JobRecord {
+        JobRecord {
+            job_id: id,
+            case: "case \"x\"".into(),
+            tile: if id % 2 == 0 { Some((1, 2)) } else { None },
+            grid: 128,
+            attempts: 2,
+            status,
+            metrics: with_metrics.then_some(JobMetrics {
+                l2_nm2: 123.5,
+                pvband_nm2: 45.25,
+                epe_violations: 3,
+                shots: 77,
+                iterations: 12,
+                mask_hash: 0x0123_4567_89ab_cdef,
+            }),
+            times: StageTimes { sim_ms: 1.5, optimize_ms: 2.5, evaluate_ms: 0.5 },
+            wall_ms: 4.5,
+        }
+    }
+
+    #[test]
+    fn wal_record_round_trips() {
+        for (status, metrics, ckpt) in [
+            (JobStatus::Done, true, Some("job-0.pgm")),
+            (JobStatus::Degraded("numeric: NaN".into()), true, Some("job-0.pgm")),
+            (JobStatus::Failed("panic: \"quoted\"\nboom".into()), false, None),
+        ] {
+            let rec = record(0, status, metrics);
+            let line = rec.to_json_wal(ckpt);
+            let parsed = parse_wal_record(&line).expect(&line);
+            assert_eq!(parsed.record, rec, "round trip of {line}");
+            assert_eq!(parsed.ckpt.as_deref(), ckpt);
+        }
+    }
+
+    #[test]
+    fn field_extractor_skips_keys_inside_strings() {
+        // The value of "case" contains text that looks like other keys, but
+        // its quotes arrive escaped, so the extractor must not be fooled.
+        let rec = JobRecord {
+            case: "evil\",\"status\":\"done".into(),
+            ..record(7, JobStatus::Failed("why".into()), false)
+        };
+        let line = rec.to_json_wal(None);
+        let parsed = parse_wal_record(&line).unwrap();
+        assert_eq!(parsed.record.case, "evil\",\"status\":\"done");
+        assert!(matches!(parsed.record.status, JobStatus::Failed(_)));
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_dropped_and_midfile_corruption_is_not() {
+        let dir = std::env::temp_dir().join(format!("ilt-wal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let sink =
+            CheckpointSink::create(&dir, 0xabcd, 3, false, FaultPlan::none()).unwrap();
+        drop(sink);
+        let wal = dir.join(WAL_FILE);
+        let r0 = record(0, JobStatus::Done, true).to_json_wal(Some("job-0.pgm"));
+        let r1 = record(1, JobStatus::Failed("panic: x".into()), false).to_json_wal(None);
+        let torn = &r1[..r1.len() / 2];
+
+        let mut f = OpenOptions::new().append(true).open(&wal).unwrap();
+        writeln!(f, "{r0}").unwrap();
+        writeln!(f, "{r1}").unwrap();
+        write!(f, "{torn}").unwrap(); // crash mid-append: no newline, half a line
+        drop(f);
+        let run = load_wal(&dir).unwrap();
+        assert_eq!(run.fingerprint, 0xabcd);
+        assert_eq!(run.jobs, 3);
+        assert!(run.dropped_trailing);
+        assert_eq!(run.records.len(), 2);
+        assert!(run.records[&0].record.status.is_done());
+
+        // The same torn text in the *middle* of the log is real corruption.
+        let mut f = File::create(&wal).unwrap();
+        writeln!(f, "{{\"kind\":\"run_header\",\"version\":1,\"fingerprint\":\"000000000000abcd\",\"jobs\":3}}").unwrap();
+        writeln!(f, "{torn}").unwrap();
+        writeln!(f, "{r0}").unwrap();
+        drop(f);
+        assert!(load_wal(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_records_resolve_last_wins() {
+        let dir = std::env::temp_dir().join(format!("ilt-wal-dup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let sink = CheckpointSink::create(&dir, 1, 1, false, FaultPlan::none()).unwrap();
+        drop(sink);
+        let fail = record(0, JobStatus::Failed("panic: first try".into()), false);
+        let done = record(0, JobStatus::Done, true);
+        let mut f = OpenOptions::new().append(true).open(dir.join(WAL_FILE)).unwrap();
+        writeln!(f, "{}", fail.to_json_wal(None)).unwrap();
+        writeln!(f, "{}", done.to_json_wal(Some("job-0.pgm"))).unwrap();
+        drop(f);
+        let run = load_wal(&dir).unwrap();
+        assert_eq!(run.records.len(), 1);
+        assert!(run.records[&0].record.status.is_done(), "last record wins");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mask_persistence_is_hash_exact_through_pgm() {
+        let dir = std::env::temp_dir().join(format!("ilt-wal-mask-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mask = Field2D::from_fn(16, 16, |r, c| f64::from(u8::from((r + c) % 3 == 0)));
+        write_atomic(&dir, "job-0.pgm", &pgm_bytes(&mask, 0.0, 1.0)).unwrap();
+        let loaded = load_mask(&dir, "job-0.pgm").unwrap();
+        assert_eq!(field_hash(&loaded), field_hash(&mask), "binary masks round-trip bit-exact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_missing_or_corrupt_masks() {
+        let dir = std::env::temp_dir().join(format!("ilt-wal-restore-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mask = Field2D::from_fn(8, 8, |r, _| f64::from(u8::from(r < 4)));
+        let mut rec = record(0, JobStatus::Done, true);
+        rec.metrics.as_mut().unwrap().mask_hash = field_hash(&mask);
+        let loaded = LoadedRecord { record: rec.clone(), ckpt: Some("job-0.pgm".into()) };
+
+        // No file on disk yet: not durable.
+        assert!(restore_output(&dir, &loaded).is_none());
+        write_atomic(&dir, "job-0.pgm", &pgm_bytes(&mask, 0.0, 1.0)).unwrap();
+        let out = restore_output(&dir, &loaded).expect("durable checkpoint restores");
+        assert_eq!(field_hash(out.mask.as_ref().unwrap()), field_hash(&mask));
+
+        // A record whose hash disagrees with the file is not durable.
+        let mut bad = loaded.clone();
+        bad.record.metrics.as_mut().unwrap().mask_hash ^= 1;
+        assert!(restore_output(&dir, &bad).is_none());
+        // Failed records never restore, even with a file present.
+        let failed = LoadedRecord {
+            record: record(0, JobStatus::Failed("x".into()), false),
+            ckpt: Some("job-0.pgm".into()),
+        };
+        assert!(restore_output(&dir, &failed).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_results_not_execution() {
+        let case = BatchCase {
+            name: "c".into(),
+            target: Field2D::from_fn(64, 64, |r, _| f64::from(u8::from(r > 32))),
+            nm_per_px: 8.0,
+        };
+        let base = BatchConfig::default();
+        let fp = config_fingerprint(std::slice::from_ref(&case), &base);
+        // Execution-only knobs do not change identity.
+        let mut exec = base.clone();
+        exec.threads = 16;
+        exec.max_retries = 9;
+        exec.timeout = Some(std::time::Duration::from_secs(1));
+        assert_eq!(fp, config_fingerprint(std::slice::from_ref(&case), &exec));
+        // Result-affecting knobs do.
+        let mut tiled = base.clone();
+        tiled.halo = base.halo + 8;
+        assert_ne!(fp, config_fingerprint(std::slice::from_ref(&case), &tiled));
+        let mut renamed = case.clone();
+        renamed.name = "d".into();
+        assert_ne!(fp, config_fingerprint(&[renamed], &base));
+    }
+}

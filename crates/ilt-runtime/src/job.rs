@@ -6,6 +6,14 @@
 //! pure function of the job — no shared mutable state beyond the read-only
 //! simulator cache — which is what makes the pool's result deterministic
 //! under any thread count.
+//!
+//! Faults are injected here, at the attempt boundary, from the run's
+//! [`FaultPlan`]: a panic fires before any work, a delay stalls the attempt
+//! into its timeout, a build error poisons simulator acquisition, and a NaN
+//! poison corrupts the finished mask so the numeric guard below must catch
+//! it. The guard itself is not a test fixture: any non-finite value escaping
+//! the optimizer (poisoned or real) fails the attempt with a typed
+//! `"numeric"` reason instead of journaling a garbage mask.
 
 use std::time::Instant;
 
@@ -15,13 +23,14 @@ use ilt_metrics::{EpeChecker, EvalReport};
 use ilt_optics::OpticsConfig;
 
 use crate::cache::SimulatorCache;
+use crate::fault::FaultPlan;
 use crate::journal::{field_hash, JobMetrics, StageTimes};
 use crate::tiler::TileSpec;
 
 /// One schedulable unit: a whole clip or one tile of a larger field.
 #[derive(Clone, Debug)]
 pub struct IltJob {
-    /// Unique job id; results are ordered by it.
+    /// Unique job id; also the result-ordering key.
     pub id: usize,
     /// Case the job belongs to (journal label).
     pub case: String,
@@ -35,9 +44,23 @@ pub struct IltJob {
     pub ilt: IltConfig,
     /// Multi-level schedule, already clamped to the job's grid.
     pub schedule: Vec<Stage>,
-    /// Testing hook: panic on the first `n` attempts (0 = never). Exercises
-    /// the pool's panic isolation and retry policy without a real defect.
-    pub inject_panics: u32,
+}
+
+impl IltJob {
+    /// The degraded-fallback recipe: only the coarsest low-resolution stage
+    /// of the job's schedule (the paper's Eq. 8 scale-`s` path). A tile
+    /// that keeps failing its full recipe still gets a *corrected* mask
+    /// from the cheap coarse pass instead of raw target geometry. `None`
+    /// when the schedule is empty or already consists of exactly one
+    /// stage at the coarsest scale (the fallback would just repeat it).
+    pub fn degraded_schedule(&self) -> Option<Vec<Stage>> {
+        let coarsest = self.schedule.iter().max_by_key(|s| s.scale)?;
+        let fallback = vec![Stage::low_res(coarsest.scale, coarsest.iterations)];
+        if fallback == self.schedule {
+            return None;
+        }
+        Some(fallback)
+    }
 }
 
 /// The product of a successful attempt.
@@ -51,36 +74,62 @@ pub struct JobSuccess {
     pub times: StageTimes,
 }
 
-/// Runs one attempt of a job to completion.
+/// Runs one attempt of a job to completion, with `schedule` selecting the
+/// recipe (the job's own, or its degraded fallback).
 ///
 /// # Errors
 ///
 /// Returns the simulator-construction error for an invalid optics
-/// configuration.
+/// configuration, an injected `io:` build error, or a typed `numeric:`
+/// error when the result contains non-finite values.
 ///
 /// # Panics
 ///
-/// Panics when the injected-failure budget covers `attempt`, and on the
-/// usual contract violations (target/grid mismatch); the pool converts
-/// panics into failed attempts via `catch_unwind`.
-pub fn run_attempt(
+/// Panics when the fault plan targets `(job.id, attempt)` with a panic, and
+/// on the usual contract violations (target/grid mismatch); the pool
+/// converts panics into failed attempts via `catch_unwind`.
+fn run_scheduled_attempt(
     job: &IltJob,
+    schedule: &[Stage],
     attempt: u32,
     cache: &SimulatorCache,
+    faults: &FaultPlan,
 ) -> Result<JobSuccess, String> {
+    if let Some(stall) = faults.delay(job.id, attempt) {
+        std::thread::sleep(stall);
+    }
     assert!(
-        job.inject_panics < attempt,
+        !faults.should_panic(job.id, attempt),
         "injected failure: job {} attempt {attempt}",
         job.id
     );
 
     let t_sim = Instant::now();
+    if faults.build_error(job.id, attempt) {
+        return Err(format!(
+            "io: injected simulator acquisition failure (job {} attempt {attempt})",
+            job.id
+        ));
+    }
     let sim = cache.get_or_build(&job.optics)?;
     let sim_ms = t_sim.elapsed().as_secs_f64() * 1e3;
 
     let t_opt = Instant::now();
-    let result = MultiLevelIlt::new(sim.clone(), job.ilt.clone()).run(&job.target, &job.schedule);
+    let mut result = MultiLevelIlt::new(sim.clone(), job.ilt.clone()).run(&job.target, schedule);
     let optimize_ms = t_opt.elapsed().as_secs_f64() * 1e3;
+    if faults.poison_nan(job.id, attempt) {
+        result.mask[(0, 0)] = f64::NAN;
+    }
+    // Numeric guard: never let a non-finite value reach the journal or the
+    // stitcher. The reason is typed ("numeric") so the journal summary and
+    // the server's failure counters can track it separately; the failure is
+    // ordinary and retryable like any other.
+    if !result.mask.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(format!(
+            "numeric: non-finite values in optimized mask (job {} attempt {attempt})",
+            job.id
+        ));
+    }
 
     let t_eval = Instant::now();
     let corners = sim.print_corners(&result.mask);
@@ -95,6 +144,12 @@ pub fn run_attempt(
         t_opt.elapsed(),
     );
     let evaluate_ms = t_eval.elapsed().as_secs_f64() * 1e3;
+    if !(report.l2_nm2.is_finite() && report.pvband_nm2.is_finite()) {
+        return Err(format!(
+            "numeric: non-finite evaluation metrics (job {} attempt {attempt})",
+            job.id
+        ));
+    }
 
     let metrics = JobMetrics {
         l2_nm2: report.l2_nm2,
@@ -111,12 +166,48 @@ pub fn run_attempt(
     })
 }
 
+/// Runs one attempt of a job with its full recipe.
+///
+/// # Errors
+///
+/// See [`run_degraded_attempt`]; both surface the same error taxonomy.
+///
+/// # Panics
+///
+/// Panics when the fault plan targets `(job.id, attempt)` with a panic.
+pub fn run_attempt(
+    job: &IltJob,
+    attempt: u32,
+    cache: &SimulatorCache,
+    faults: &FaultPlan,
+) -> Result<JobSuccess, String> {
+    run_scheduled_attempt(job, &job.schedule, attempt, cache, faults)
+}
+
+/// Runs the degraded fallback: the coarsest low-resolution pass only.
+/// Returns `None` when the job has no cheaper recipe to fall back to.
+///
+/// # Errors
+///
+/// Same taxonomy as [`run_attempt`]; faults keyed to `attempt` still fire,
+/// so chaos plans can kill the fallback too.
+pub fn run_degraded_attempt(
+    job: &IltJob,
+    attempt: u32,
+    cache: &SimulatorCache,
+    faults: &FaultPlan,
+) -> Option<Result<JobSuccess, String>> {
+    let schedule = job.degraded_schedule()?;
+    Some(run_scheduled_attempt(job, &schedule, attempt, cache, faults))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSpec};
     use ilt_core::Stage;
 
-    fn small_job(inject: u32) -> IltJob {
+    fn small_job() -> IltJob {
         let n = 64;
         let target = Field2D::from_fn(n, n, |r, c| {
             if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
@@ -134,14 +225,17 @@ mod tests {
             },
             ilt: IltConfig::default(),
             schedule: vec![Stage::low_res(2, 4)],
-            inject_panics: inject,
         }
+    }
+
+    fn panics(n: u32) -> FaultPlan {
+        FaultPlan::none().with(FaultSpec::through(0, n, FaultKind::Panic))
     }
 
     #[test]
     fn attempt_produces_mask_and_metrics() {
         let cache = SimulatorCache::new();
-        let out = run_attempt(&small_job(0), 1, &cache).expect("job runs");
+        let out = run_attempt(&small_job(), 1, &cache, &FaultPlan::none()).expect("job runs");
         assert_eq!(out.mask.shape(), (64, 64));
         assert_eq!(out.metrics.iterations, 4);
         assert!(out.metrics.l2_nm2.is_finite());
@@ -151,8 +245,8 @@ mod tests {
     #[test]
     fn attempts_are_deterministic() {
         let cache = SimulatorCache::new();
-        let a = run_attempt(&small_job(0), 1, &cache).unwrap();
-        let b = run_attempt(&small_job(0), 1, &cache).unwrap();
+        let a = run_attempt(&small_job(), 1, &cache, &FaultPlan::none()).unwrap();
+        let b = run_attempt(&small_job(), 1, &cache, &FaultPlan::none()).unwrap();
         assert_eq!(a.metrics.mask_hash, b.metrics.mask_hash);
         assert_eq!(a.metrics.l2_nm2.to_bits(), b.metrics.l2_nm2.to_bits());
     }
@@ -161,20 +255,64 @@ mod tests {
     #[should_panic(expected = "injected failure")]
     fn injected_failure_panics_until_budget_spent() {
         let cache = SimulatorCache::new();
-        let _ = run_attempt(&small_job(1), 1, &cache);
+        let _ = run_attempt(&small_job(), 1, &cache, &panics(1));
     }
 
     #[test]
     fn injected_failure_clears_on_retry() {
         let cache = SimulatorCache::new();
-        assert!(run_attempt(&small_job(1), 2, &cache).is_ok());
+        assert!(run_attempt(&small_job(), 2, &cache, &panics(1)).is_ok());
     }
 
     #[test]
     fn bad_optics_is_an_error_not_a_panic() {
         let cache = SimulatorCache::new();
-        let mut job = small_job(0);
+        let mut job = small_job();
         job.optics.grid = 100; // not a power of two
-        assert!(run_attempt(&job, 1, &cache).is_err());
+        assert!(run_attempt(&job, 1, &cache, &FaultPlan::none()).is_err());
+    }
+
+    #[test]
+    fn poisoned_result_trips_the_numeric_guard() {
+        let cache = SimulatorCache::new();
+        let faults = FaultPlan::none().with(FaultSpec::at(0, 1, FaultKind::PoisonNan));
+        let err = run_attempt(&small_job(), 1, &cache, &faults).unwrap_err();
+        assert!(err.starts_with("numeric:"), "{err}");
+        // The next attempt (no fault) is clean.
+        assert!(run_attempt(&small_job(), 2, &cache, &faults).is_ok());
+    }
+
+    #[test]
+    fn injected_build_error_is_typed_io() {
+        let cache = SimulatorCache::new();
+        let faults = FaultPlan::none().with(FaultSpec::at(0, 1, FaultKind::BuildError));
+        let err = run_attempt(&small_job(), 1, &cache, &faults).unwrap_err();
+        assert!(err.starts_with("io:"), "{err}");
+        assert!(cache.is_empty(), "injected build error must not populate the cache");
+    }
+
+    #[test]
+    fn degraded_schedule_is_the_coarsest_low_res_stage() {
+        let mut job = small_job();
+        job.schedule = vec![Stage::low_res(4, 10), Stage::low_res(2, 5), Stage::high_res(1, 3)];
+        assert_eq!(job.degraded_schedule(), Some(vec![Stage::low_res(4, 10)]));
+        // A schedule that already *is* its own coarsest pass has no cheaper
+        // fallback.
+        job.schedule = vec![Stage::low_res(2, 4)];
+        assert!(job.degraded_schedule().is_none());
+        job.schedule.clear();
+        assert!(job.degraded_schedule().is_none());
+    }
+
+    #[test]
+    fn degraded_attempt_runs_the_fallback_recipe() {
+        let cache = SimulatorCache::new();
+        let mut job = small_job();
+        job.schedule = vec![Stage::low_res(2, 4), Stage::high_res(1, 2)];
+        let out = run_degraded_attempt(&job, 3, &cache, &FaultPlan::none())
+            .expect("fallback exists")
+            .expect("fallback runs");
+        assert_eq!(out.mask.shape(), (64, 64));
+        assert_eq!(out.metrics.iterations, 4, "only the coarse stage runs");
     }
 }

@@ -28,6 +28,10 @@ use ilt_field::Field2D;
 pub enum JobStatus {
     /// The job produced a mask and metrics.
     Done,
+    /// The job exhausted its retry budget but the degraded fallback — the
+    /// low-resolution (Eq. 8 scale-`s`) pass — succeeded; the reason the
+    /// full recipe kept failing is recorded. The mask is usable but coarse.
+    Degraded(String),
     /// The job exhausted its retry budget; the reason of the last attempt.
     Failed(String),
 }
@@ -36,6 +40,29 @@ impl JobStatus {
     /// True for [`JobStatus::Done`].
     pub fn is_done(&self) -> bool {
         matches!(self, JobStatus::Done)
+    }
+
+    /// True when the job ended with a usable mask ([`JobStatus::Done`] or
+    /// [`JobStatus::Degraded`]).
+    pub fn has_mask(&self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Degraded(_))
+    }
+}
+
+/// Classifies a failure reason into its typed kind, the label used by the
+/// journal summary and the server's `/metrics` failure counters: `panic`,
+/// `timeout`, `numeric`, `io`, or `other`.
+pub fn failure_kind(reason: &str) -> &'static str {
+    if reason.starts_with("panic") {
+        "panic"
+    } else if reason.contains("timed out") {
+        "timeout"
+    } else if reason.starts_with("numeric") {
+        "numeric"
+    } else if reason.starts_with("io") {
+        "io"
+    } else {
+        "other"
     }
 }
 
@@ -185,6 +212,10 @@ impl JobRecord {
         s.push_str(&format!("\"grid\":{},\"attempts\":{},", self.grid, self.attempts));
         match &self.status {
             JobStatus::Done => s.push_str("\"status\":\"done\","),
+            JobStatus::Degraded(why) => s.push_str(&format!(
+                "\"status\":\"degraded\",\"reason\":\"{}\",",
+                json_escape(why)
+            )),
             JobStatus::Failed(why) => {
                 s.push_str(&format!("\"status\":\"failed\",\"reason\":\"{}\",", json_escape(why)))
             }
@@ -216,6 +247,19 @@ impl JobRecord {
         s
     }
 
+    /// The record as one write-ahead-log line: the full timed record plus a
+    /// `"ckpt"` field naming the durable mask file (or `null` when the
+    /// result was not persisted). Parsed back by the checkpoint loader.
+    pub fn to_json_wal(&self, ckpt: Option<&str>) -> String {
+        let mut s = self.to_json_opts(true);
+        s.pop(); // the closing brace
+        match ckpt {
+            Some(name) => s.push_str(&format!(",\"ckpt\":\"{}\"}}", json_escape(name))),
+            None => s.push_str(",\"ckpt\":null}"),
+        }
+        s
+    }
+
     /// The deterministic fields only — identical across thread counts.
     pub fn digest(&self) -> String {
         let metrics = match &self.metrics {
@@ -233,6 +277,7 @@ impl JobRecord {
             self.grid,
             match &self.status {
                 JobStatus::Done => "done".into(),
+                JobStatus::Degraded(why) => format!("degraded({why})"),
                 JobStatus::Failed(why) => format!("failed({why})"),
             },
             metrics
@@ -243,7 +288,32 @@ impl JobRecord {
 impl RunReport {
     /// Number of jobs that ended [`JobStatus::Failed`].
     pub fn failed_jobs(&self) -> usize {
-        self.records.iter().filter(|r| !r.status.is_done()).count()
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, JobStatus::Failed(_)))
+            .count()
+    }
+
+    /// Number of jobs that ended [`JobStatus::Degraded`] (low-res fallback).
+    pub fn degraded_jobs(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, JobStatus::Degraded(_)))
+            .count()
+    }
+
+    /// Number of jobs whose terminal (or degrading) reason classifies as
+    /// the typed `"numeric"` failure — the NaN/Inf guard tripping.
+    pub fn numeric_failures(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| match &r.status {
+                JobStatus::Failed(why) | JobStatus::Degraded(why) => {
+                    failure_kind(why) == "numeric"
+                }
+                JobStatus::Done => false,
+            })
+            .count()
     }
 
     /// Total attempts beyond the first, across all jobs.
@@ -285,10 +355,12 @@ impl RunReport {
         }
         if timing {
             out.push_str(&format!(
-                "{{\"kind\":\"summary\",\"threads\":{},\"jobs\":{},\"failed\":{},\"retries\":{},\"serial_ms\":{},\"total_wall_ms\":{},\"speedup\":{}}}\n",
+                "{{\"kind\":\"summary\",\"threads\":{},\"jobs\":{},\"failed\":{},\"degraded\":{},\"numeric\":{},\"retries\":{},\"serial_ms\":{},\"total_wall_ms\":{},\"speedup\":{}}}\n",
                 self.threads,
                 self.records.len(),
                 self.failed_jobs(),
+                self.degraded_jobs(),
+                self.numeric_failures(),
                 self.total_retries(),
                 json_f64(self.serial_ms()),
                 json_f64(self.total_wall_ms),
@@ -296,9 +368,11 @@ impl RunReport {
             ));
         } else {
             out.push_str(&format!(
-                "{{\"kind\":\"summary\",\"jobs\":{},\"failed\":{},\"retries\":{}}}\n",
+                "{{\"kind\":\"summary\",\"jobs\":{},\"failed\":{},\"degraded\":{},\"numeric\":{},\"retries\":{}}}\n",
                 self.records.len(),
                 self.failed_jobs(),
+                self.degraded_jobs(),
+                self.numeric_failures(),
                 self.total_retries(),
             ));
         }
@@ -364,12 +438,27 @@ impl fmt::Display for RunReport {
                     r.attempts,
                     r.wall_ms
                 )?,
+                (JobStatus::Degraded(why), Some(m)) => writeln!(
+                    f,
+                    "{:>4} {:<14} {:>11} {:>6} {:>10.0} {:>10.0} {:>4} {:>6} {:>4} {:>9.1} DEGRADED: {}",
+                    r.job_id,
+                    r.case,
+                    tile,
+                    r.grid,
+                    m.l2_nm2,
+                    m.pvband_nm2,
+                    m.epe_violations,
+                    m.shots,
+                    r.attempts,
+                    r.wall_ms,
+                    why
+                )?,
                 (JobStatus::Failed(why), _) => writeln!(
                     f,
                     "{:>4} {:<14} {:>11} {:>6} FAILED after {} attempts: {}",
                     r.job_id, r.case, tile, r.grid, r.attempts, why
                 )?,
-                (JobStatus::Done, None) => writeln!(
+                (JobStatus::Done | JobStatus::Degraded(_), None) => writeln!(
                     f,
                     "{:>4} {:<14} {:>11} {:>6} done (no metrics)",
                     r.job_id, r.case, tile, r.grid
@@ -378,10 +467,11 @@ impl fmt::Display for RunReport {
         }
         writeln!(
             f,
-            "{} jobs on {} threads: {} failed, {} retries, serial {:.1} ms, wall {:.1} ms, speedup {:.2}x",
+            "{} jobs on {} threads: {} failed, {} degraded, {} retries, serial {:.1} ms, wall {:.1} ms, speedup {:.2}x",
             self.records.len(),
             self.threads,
             self.failed_jobs(),
+            self.degraded_jobs(),
             self.total_retries(),
             self.serial_ms(),
             self.total_wall_ms,
@@ -538,5 +628,40 @@ mod tests {
     fn fnv_matches_reference_vector() {
         // FNV-1a("a") = 0xaf63dc4c8601ec8c
         assert_eq!(fnv1a64([b'a']), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn degraded_record_keeps_metrics_and_reason() {
+        let r = record(2, JobStatus::Degraded("numeric: NaN in tile".into()));
+        let line = r.to_json();
+        assert!(line.contains("\"status\":\"degraded\""));
+        assert!(line.contains("\"reason\":\"numeric: NaN in tile\""));
+        assert!(line.contains("\"mask_hash\""), "degraded results carry metrics");
+        assert!(r.status.has_mask() && !r.status.is_done());
+        assert!(r.digest().contains("degraded(numeric"));
+        let report = RunReport { threads: 1, records: vec![r], total_wall_ms: 1.0 };
+        assert_eq!(report.failed_jobs(), 0);
+        assert_eq!(report.degraded_jobs(), 1);
+        assert_eq!(report.numeric_failures(), 1);
+        assert!(report.to_jsonl_opts(false).contains("\"degraded\":1,\"numeric\":1"));
+    }
+
+    #[test]
+    fn failure_kinds_classify() {
+        assert_eq!(failure_kind("panic: injected failure"), "panic");
+        assert_eq!(failure_kind("timed out after 1.0s (attempt thread abandoned)"), "timeout");
+        assert_eq!(failure_kind("numeric: non-finite values in tile result"), "numeric");
+        assert_eq!(failure_kind("io: injected simulator acquisition failure"), "io");
+        assert_eq!(failure_kind("grid must be a power of two"), "other");
+    }
+
+    #[test]
+    fn wal_line_appends_ckpt_field() {
+        let r = record(0, JobStatus::Done);
+        let with = r.to_json_wal(Some("job-0.pgm"));
+        assert!(with.ends_with(",\"ckpt\":\"job-0.pgm\"}"), "{with}");
+        let without = r.to_json_wal(None);
+        assert!(without.ends_with(",\"ckpt\":null}"), "{without}");
+        assert_eq!(with.matches('{').count(), with.matches('}').count());
     }
 }

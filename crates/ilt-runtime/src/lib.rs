@@ -48,17 +48,27 @@
 
 mod batch;
 mod cache;
+mod checkpoint;
+mod fault;
 mod job;
 mod journal;
 mod pool;
 mod tiler;
 
-pub use batch::{run_batch, BatchCase, BatchConfig, BatchOutcome, CaseResult};
-pub use cache::SimulatorCache;
-pub use job::{run_attempt, IltJob, JobSuccess};
-pub use journal::{
-    field_hash, fnv1a64, json_escape, json_f64, JobMetrics, JobRecord, JobStatus, RunReport,
-    StageTimes,
+pub use batch::{
+    run_batch, run_batch_resume, BatchCase, BatchConfig, BatchOutcome, CaseResult,
 };
-pub use pool::{run_jobs, JobOutput, PoolConfig};
+pub use cache::SimulatorCache;
+pub use checkpoint::{
+    config_fingerprint, json_field_f64, json_field_raw, json_field_str, json_field_u64,
+    json_unescape, load_mask, load_wal, mask_file_name, parse_wal_record, restore_output,
+    write_atomic, CheckpointSink, LoadedRecord, LoadedRun, WAL_FILE,
+};
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use job::{run_attempt, run_degraded_attempt, IltJob, JobSuccess};
+pub use journal::{
+    failure_kind, field_hash, fnv1a64, json_escape, json_f64, JobMetrics, JobRecord, JobStatus,
+    RunReport, StageTimes,
+};
+pub use pool::{run_jobs, run_jobs_checkpointed, JobOutput, PoolConfig};
 pub use tiler::{SeamPolicy, TileGrid, TileSpec};

@@ -11,9 +11,16 @@
 //!   abandoned to finish (or spin) in the background — the pool's throughput
 //!   degrades by one concurrent slot at worst, but the batch completes.
 //!
+//! When the retry budget runs dry and degradation is enabled, the worker
+//! makes one final attempt with the job's degraded recipe (the coarsest
+//! low-resolution pass); success yields a [`JobStatus::Degraded`] record
+//! whose mask is real, corrected output — just coarse.
+//!
 //! Results are collected into a vector indexed by submission order, so the
 //! output — and the journal built from it — is byte-identical no matter how
-//! many workers raced over the queue.
+//! many workers raced over the queue. Each finished job is optionally pushed
+//! through a [`CheckpointSink`] the moment it completes, making progress
+//! durable long before the pool drains.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -25,7 +32,9 @@ use std::time::{Duration, Instant};
 use ilt_field::Field2D;
 
 use crate::cache::SimulatorCache;
-use crate::job::{run_attempt, IltJob, JobSuccess};
+use crate::checkpoint::CheckpointSink;
+use crate::fault::FaultPlan;
+use crate::job::{run_attempt, run_degraded_attempt, IltJob, JobSuccess};
 use crate::journal::{JobRecord, JobStatus};
 
 /// Pool sizing and resilience policy.
@@ -37,11 +46,21 @@ pub struct PoolConfig {
     pub timeout: Option<Duration>,
     /// Extra attempts allowed after the first one fails.
     pub max_retries: u32,
+    /// Run the degraded low-res fallback after the retry budget is spent.
+    pub degrade: bool,
+    /// Deterministic fault injection for this run.
+    pub faults: FaultPlan,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        Self { threads: 1, timeout: None, max_retries: 1 }
+        Self {
+            threads: 1,
+            timeout: None,
+            max_retries: 1,
+            degrade: true,
+            faults: FaultPlan::none(),
+        }
     }
 }
 
@@ -56,6 +75,8 @@ pub struct JobOutput {
 
 struct Queued {
     job: IltJob,
+    /// Index into `outputs` (submission order, not job id).
+    slot: usize,
     /// 1-based attempt about to run.
     attempt: u32,
     /// Wall-time already burned by failed attempts, in ms.
@@ -77,20 +98,38 @@ struct Shared {
 /// Runs `jobs` to completion on `config.threads` workers.
 ///
 /// The returned vector is ordered like `jobs` regardless of scheduling; a
-/// job exhausted of retries yields a [`JobStatus::Failed`] record with no
+/// job exhausted of retries yields a [`JobStatus::Degraded`] record (when
+/// the fallback pass succeeds) or a [`JobStatus::Failed`] record with no
 /// mask rather than an `Err`, so one bad tile cannot sink a batch.
 ///
 /// # Panics
 ///
 /// Panics if `config.threads == 0` or if worker threads cannot be spawned.
 pub fn run_jobs(jobs: Vec<IltJob>, config: &PoolConfig, cache: &SimulatorCache) -> Vec<JobOutput> {
+    run_jobs_checkpointed(jobs, config, cache, None)
+}
+
+/// [`run_jobs`] with an optional checkpoint sink: every finished job is
+/// persisted (mask + WAL line) the moment its outcome is known, so a crash
+/// mid-run loses at most the jobs still in flight.
+///
+/// # Panics
+///
+/// Panics if `config.threads == 0` or if worker threads cannot be spawned.
+pub fn run_jobs_checkpointed(
+    jobs: Vec<IltJob>,
+    config: &PoolConfig,
+    cache: &SimulatorCache,
+    sink: Option<&CheckpointSink>,
+) -> Vec<JobOutput> {
     assert!(config.threads >= 1, "pool needs at least one worker");
     let n = jobs.len();
     let shared = Shared {
         state: Mutex::new(State {
             queue: jobs
                 .into_iter()
-                .map(|job| Queued { job, attempt: 1, spent_ms: 0.0 })
+                .enumerate()
+                .map(|(slot, job)| Queued { job, slot, attempt: 1, spent_ms: 0.0 })
                 .collect(),
             in_flight: 0,
             outputs: (0..n).map(|_| None).collect(),
@@ -103,7 +142,7 @@ pub fn run_jobs(jobs: Vec<IltJob>, config: &PoolConfig, cache: &SimulatorCache) 
             let shared = &shared;
             thread::Builder::new()
                 .name(format!("ilt-worker-{w}"))
-                .spawn_scoped(scope, move || worker_loop(shared, config, cache))
+                .spawn_scoped(scope, move || worker_loop(shared, config, cache, sink))
                 .expect("spawn worker thread");
         }
     });
@@ -116,7 +155,12 @@ pub fn run_jobs(jobs: Vec<IltJob>, config: &PoolConfig, cache: &SimulatorCache) 
         .collect()
 }
 
-fn worker_loop(shared: &Shared, config: &PoolConfig, cache: &SimulatorCache) {
+fn worker_loop(
+    shared: &Shared,
+    config: &PoolConfig,
+    cache: &SimulatorCache,
+    sink: Option<&CheckpointSink>,
+) {
     loop {
         let queued = {
             let mut state = shared.state.lock().expect("pool state lock poisoned");
@@ -133,26 +177,54 @@ fn worker_loop(shared: &Shared, config: &PoolConfig, cache: &SimulatorCache) {
         };
 
         let started = Instant::now();
-        let outcome = execute_attempt(&queued.job, queued.attempt, config.timeout, cache);
+        let outcome = execute_attempt(&queued.job, queued.attempt, false, config, cache);
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-        let slot = queued.job.id;
 
-        let mut state = shared.state.lock().expect("pool state lock poisoned");
-        match outcome {
-            Ok(success) => {
-                state.outputs[slot] = Some(finished(queued, success, elapsed_ms));
-            }
+        let finished_output = match outcome {
+            Ok(success) => Some(finished(&queued, success, elapsed_ms)),
             Err(_) if queued.attempt <= config.max_retries => {
+                let mut state = shared.state.lock().expect("pool state lock poisoned");
                 state.queue.push_back(Queued {
                     job: queued.job,
+                    slot: queued.slot,
                     attempt: queued.attempt + 1,
                     spent_ms: queued.spent_ms + elapsed_ms,
                 });
+                state.in_flight -= 1;
+                shared.wakeup.notify_all();
+                continue;
             }
             Err(error) => {
-                state.outputs[slot] = Some(failed(queued, error, elapsed_ms));
+                // Retry budget spent: one last stand with the degraded
+                // recipe, numbered as the next attempt so fault plans can
+                // target (and kill) the fallback too.
+                let fallback = if config.degrade {
+                    let t = Instant::now();
+                    let out =
+                        execute_attempt(&queued.job, queued.attempt + 1, true, config, cache);
+                    (out, t.elapsed().as_secs_f64() * 1e3)
+                } else {
+                    (Err(String::new()), 0.0)
+                };
+                match fallback {
+                    (Ok(success), degraded_ms) => {
+                        Some(degraded(&queued, success, error, elapsed_ms + degraded_ms))
+                    }
+                    (Err(_), degraded_ms) => {
+                        Some(failed(&queued, error, elapsed_ms + degraded_ms))
+                    }
+                }
             }
+        };
+
+        let output = finished_output.expect("non-retry outcomes always produce an output");
+        // Durability first, outside the pool lock: the WAL append and mask
+        // write are I/O and must not serialize the other workers.
+        if let Some(sink) = sink {
+            sink.persist(&output);
         }
+        let mut state = shared.state.lock().expect("pool state lock poisoned");
+        state.outputs[queued.slot] = Some(output);
         state.in_flight -= 1;
         // Wake peers: a retry was enqueued, or the pool may now be drained.
         shared.wakeup.notify_all();
@@ -163,17 +235,26 @@ fn worker_loop(shared: &Shared, config: &PoolConfig, cache: &SimulatorCache) {
 fn execute_attempt(
     job: &IltJob,
     attempt: u32,
-    timeout: Option<Duration>,
+    degraded: bool,
+    config: &PoolConfig,
     cache: &SimulatorCache,
 ) -> Result<JobSuccess, String> {
     let (tx, rx) = mpsc::channel();
     let job = job.clone();
     let cache = cache.clone();
+    let faults = config.faults.clone();
     let id = job.id;
     thread::Builder::new()
         .name(format!("ilt-job-{id}-a{attempt}"))
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| run_attempt(&job, attempt, &cache)));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if degraded {
+                    run_degraded_attempt(&job, attempt, &cache, &faults)
+                        .unwrap_or_else(|| Err("no degraded recipe for this job".into()))
+                } else {
+                    run_attempt(&job, attempt, &cache, &faults)
+                }
+            }));
             let flattened = match result {
                 Ok(run) => run,
                 Err(payload) => Err(format!("panic: {}", panic_message(payload.as_ref()))),
@@ -183,7 +264,7 @@ fn execute_attempt(
         })
         .expect("spawn job attempt thread");
 
-    match timeout {
+    match config.timeout {
         Some(budget) => rx.recv_timeout(budget).unwrap_or_else(|err| match err {
             mpsc::RecvTimeoutError::Timeout => Err(format!(
                 "timed out after {:.1}s (attempt thread abandoned)",
@@ -209,47 +290,46 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn finished(queued: Queued, success: JobSuccess, elapsed_ms: f64) -> JobOutput {
-    JobOutput {
-        record: JobRecord {
-            job_id: queued.job.id,
-            case: queued.job.case.clone(),
-            tile: queued.job.tile.as_ref().map(|t| (t.grid_row, t.grid_col)),
-            grid: queued.job.target.shape().0,
-            attempts: queued.attempt,
-            status: JobStatus::Done,
-            metrics: Some(success.metrics),
-            times: success.times,
-            wall_ms: queued.spent_ms + elapsed_ms,
-        },
-        mask: Some(success.mask),
+fn base_record(queued: &Queued, status: JobStatus, wall_ms: f64) -> JobRecord {
+    JobRecord {
+        job_id: queued.job.id,
+        case: queued.job.case.clone(),
+        tile: queued.job.tile.as_ref().map(|t| (t.grid_row, t.grid_col)),
+        grid: queued.job.target.shape().0,
+        attempts: queued.attempt,
+        status,
+        metrics: None,
+        times: Default::default(),
+        wall_ms: queued.spent_ms + wall_ms,
     }
 }
 
-fn failed(queued: Queued, error: String, elapsed_ms: f64) -> JobOutput {
-    JobOutput {
-        record: JobRecord {
-            job_id: queued.job.id,
-            case: queued.job.case.clone(),
-            tile: queued.job.tile.as_ref().map(|t| (t.grid_row, t.grid_col)),
-            grid: queued.job.target.shape().0,
-            attempts: queued.attempt,
-            status: JobStatus::Failed(error),
-            metrics: None,
-            times: Default::default(),
-            wall_ms: queued.spent_ms + elapsed_ms,
-        },
-        mask: None,
-    }
+fn finished(queued: &Queued, success: JobSuccess, elapsed_ms: f64) -> JobOutput {
+    let mut record = base_record(queued, JobStatus::Done, elapsed_ms);
+    record.metrics = Some(success.metrics);
+    record.times = success.times;
+    JobOutput { record, mask: Some(success.mask) }
+}
+
+fn degraded(queued: &Queued, success: JobSuccess, why: String, elapsed_ms: f64) -> JobOutput {
+    let mut record = base_record(queued, JobStatus::Degraded(why), elapsed_ms);
+    record.metrics = Some(success.metrics);
+    record.times = success.times;
+    JobOutput { record, mask: Some(success.mask) }
+}
+
+fn failed(queued: &Queued, error: String, elapsed_ms: f64) -> JobOutput {
+    JobOutput { record: base_record(queued, JobStatus::Failed(error), elapsed_ms), mask: None }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSpec};
     use ilt_core::{IltConfig, Stage};
     use ilt_optics::OpticsConfig;
 
-    fn job(id: usize, inject_panics: u32) -> IltJob {
+    fn job(id: usize) -> IltJob {
         let n = 64;
         let target = Field2D::from_fn(n, n, |r, c| {
             if (20 + id % 3..44).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
@@ -267,14 +347,20 @@ mod tests {
             },
             ilt: IltConfig::default(),
             schedule: vec![Stage::low_res(2, 3)],
-            inject_panics,
         }
+    }
+
+    /// A job whose schedule has a cheaper coarse stage to fall back to.
+    fn two_stage_job(id: usize) -> IltJob {
+        let mut j = job(id);
+        j.schedule = vec![Stage::low_res(2, 3), Stage::high_res(1, 2)];
+        j
     }
 
     #[test]
     fn pool_preserves_submission_order() {
         let cache = SimulatorCache::new();
-        let jobs: Vec<_> = (0..5).map(|i| job(i, 0)).collect();
+        let jobs: Vec<_> = (0..5).map(job).collect();
         let config = PoolConfig { threads: 3, ..PoolConfig::default() };
         let outputs = run_jobs(jobs, &config, &cache);
         assert_eq!(outputs.len(), 5);
@@ -291,8 +377,13 @@ mod tests {
     fn injected_panic_is_retried_and_succeeds() {
         let cache = SimulatorCache::new();
         let outputs = run_jobs(
-            vec![job(0, 1)],
-            &PoolConfig { threads: 1, max_retries: 1, ..PoolConfig::default() },
+            vec![job(0)],
+            &PoolConfig {
+                threads: 1,
+                max_retries: 1,
+                faults: FaultPlan::none().with(FaultSpec::through(0, 1, FaultKind::Panic)),
+                ..PoolConfig::default()
+            },
             &cache,
         );
         assert!(matches!(outputs[0].record.status, JobStatus::Done));
@@ -303,10 +394,16 @@ mod tests {
     #[test]
     fn retries_are_bounded_and_failure_is_isolated() {
         let cache = SimulatorCache::new();
-        // Job 0 always panics; job 1 is healthy — the batch still completes.
+        // Job 0 always panics (fallback included); job 1 is healthy — the
+        // batch still completes.
         let outputs = run_jobs(
-            vec![job(0, u32::MAX), job(1, 0)],
-            &PoolConfig { threads: 2, max_retries: 2, ..PoolConfig::default() },
+            vec![job(0), job(1)],
+            &PoolConfig {
+                threads: 2,
+                max_retries: 2,
+                faults: FaultPlan::none().with(FaultSpec::always(0, FaultKind::Panic)),
+                ..PoolConfig::default()
+            },
             &cache,
         );
         match &outputs[0].record.status {
@@ -319,10 +416,47 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_retries_fall_back_to_degraded_low_res() {
+        let cache = SimulatorCache::new();
+        // Panic on attempts 1..=2 (initial + the one retry); the degraded
+        // attempt is attempt 3 and is clean.
+        let outputs = run_jobs(
+            vec![two_stage_job(0)],
+            &PoolConfig {
+                threads: 1,
+                max_retries: 1,
+                faults: FaultPlan::none().with(FaultSpec::through(0, 2, FaultKind::Panic)),
+                ..PoolConfig::default()
+            },
+            &cache,
+        );
+        match &outputs[0].record.status {
+            JobStatus::Degraded(why) => assert!(why.contains("injected failure"), "{why}"),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        let metrics = outputs[0].record.metrics.expect("degraded results carry metrics");
+        assert_eq!(metrics.iterations, 3, "only the coarse stage ran");
+        assert!(outputs[0].mask.is_some(), "degraded results carry a usable mask");
+        // With degradation off the same run fails outright.
+        let outputs = run_jobs(
+            vec![two_stage_job(0)],
+            &PoolConfig {
+                threads: 1,
+                max_retries: 1,
+                degrade: false,
+                faults: FaultPlan::none().with(FaultSpec::through(0, 2, FaultKind::Panic)),
+                ..PoolConfig::default()
+            },
+            &cache,
+        );
+        assert!(matches!(outputs[0].record.status, JobStatus::Failed(_)));
+    }
+
+    #[test]
     fn results_identical_across_thread_counts() {
         let digest_with = |threads: usize| {
             let cache = SimulatorCache::new();
-            let jobs: Vec<_> = (0..4).map(|i| job(i, 0)).collect();
+            let jobs: Vec<_> = (0..4).map(job).collect();
             let outputs = run_jobs(
                 jobs,
                 &PoolConfig { threads, ..PoolConfig::default() },
@@ -339,7 +473,7 @@ mod tests {
     #[test]
     fn timeout_marks_job_failed() {
         let cache = SimulatorCache::new();
-        let mut j = job(0, 0);
+        let mut j = job(0);
         // Plenty of iterations at full resolution: will not finish in 1 ms.
         j.schedule = vec![Stage::high_res(1, 500)];
         let outputs = run_jobs(
@@ -348,12 +482,63 @@ mod tests {
                 threads: 1,
                 timeout: Some(Duration::from_millis(1)),
                 max_retries: 0,
+                degrade: false,
+                faults: FaultPlan::none(),
             },
             &cache,
         );
         match &outputs[0].record.status {
             JobStatus::Failed(msg) => assert!(msg.contains("timed out"), "{msg}"),
             other => panic!("expected timeout failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_delay_trips_the_timeout_then_recovers() {
+        let cache = SimulatorCache::new();
+        let j = job(0);
+        // Prewarm so the clean retry only pays for optimization, keeping
+        // the timeout budget honest in slow debug builds.
+        cache.get_or_build(&j.optics).unwrap();
+        let outputs = run_jobs(
+            vec![j],
+            &PoolConfig {
+                threads: 1,
+                timeout: Some(Duration::from_secs(5)),
+                max_retries: 1,
+                degrade: true,
+                faults: FaultPlan::none()
+                    .with(FaultSpec::at(0, 1, FaultKind::Delay { ms: 60_000 })),
+            },
+            &cache,
+        );
+        assert!(
+            matches!(outputs[0].record.status, JobStatus::Done),
+            "retry is clean, got {:?}",
+            outputs[0].record.status
+        );
+        assert_eq!(outputs[0].record.attempts, 2);
+        assert!(outputs[0].record.wall_ms >= 5_000.0, "attempt 1 burned the full timeout");
+    }
+
+    #[test]
+    fn nan_poison_retries_then_degrades_when_persistent() {
+        let cache = SimulatorCache::new();
+        // Poisoned on attempts 1..=2, clean on the degraded attempt 3.
+        let outputs = run_jobs(
+            vec![two_stage_job(0)],
+            &PoolConfig {
+                threads: 1,
+                max_retries: 1,
+                faults: FaultPlan::none()
+                    .with(FaultSpec::through(0, 2, FaultKind::PoisonNan)),
+                ..PoolConfig::default()
+            },
+            &cache,
+        );
+        match &outputs[0].record.status {
+            JobStatus::Degraded(why) => assert!(why.starts_with("numeric:"), "{why}"),
+            other => panic!("expected degraded-after-numeric, got {other:?}"),
         }
     }
 }

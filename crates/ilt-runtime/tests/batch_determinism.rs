@@ -5,7 +5,8 @@ use ilt_core::Stage;
 use ilt_layouts::iccad2013_case;
 use ilt_optics::OpticsConfig;
 use ilt_runtime::{
-    field_hash, run_batch, BatchCase, BatchConfig, SeamPolicy, SimulatorCache,
+    field_hash, run_batch, BatchCase, BatchConfig, FaultKind, FaultPlan, FaultSpec, SeamPolicy,
+    SimulatorCache,
 };
 
 fn m1_case(id: usize, grid: usize) -> BatchCase {
@@ -86,7 +87,8 @@ fn injected_failure_is_retried_and_journaled() {
     let cache = SimulatorCache::new();
     let mut cfg = config(2);
     cfg.max_retries = 1;
-    cfg.inject = vec![(0, 1)]; // first attempt of job 0 panics
+    // First attempt of job 0 panics.
+    cfg.faults = FaultPlan::none().with(FaultSpec::at(0, 1, FaultKind::Panic));
     let out = run_batch(&[m1_case(1, 128)], &cfg, &cache).expect("batch runs");
 
     assert_eq!(out.report.failed_jobs(), 0, "the retry must rescue the job");
@@ -105,7 +107,8 @@ fn exhausted_retries_degrade_only_the_failed_core() {
     let cache = SimulatorCache::new();
     let mut cfg = config(2);
     cfg.max_retries = 0;
-    cfg.inject = vec![(0, u32::MAX)];
+    // Every attempt panics, the degraded fallback included: a true failure.
+    cfg.faults = FaultPlan::none().with(FaultSpec::always(0, FaultKind::Panic));
     let case = m1_case(1, 128);
     let out = run_batch(&[case.clone()], &cfg, &cache).expect("batch runs");
 

@@ -47,6 +47,9 @@ mod server;
 mod store;
 
 pub use http::{base64_encode, HttpError, Limits, Request, Response};
-pub use metrics::{Counter, Gauges, Histogram, Metrics};
+pub use metrics::{Counter, FailureKinds, Gauges, Histogram, Metrics, FAILURE_KINDS};
 pub use server::{Server, ServerConfig};
-pub use store::{ExecPolicy, JobDone, JobParams, JobSource, JobState, JobStore, MaskFetch, SubmitError};
+pub use store::{
+    ExecPolicy, JobDone, JobParams, JobSource, JobState, JobStore, MaskFetch, RecoveryStats,
+    StateLog, SubmitError,
+};

@@ -21,9 +21,57 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` (bulk events: recovery, eviction sweeps).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The fixed vocabulary of tile-failure classifications, mirroring
+/// [`ilt_runtime::failure_kind`].
+pub const FAILURE_KINDS: [&str; 5] = ["panic", "timeout", "numeric", "io", "other"];
+
+/// Per-kind tile-failure counters, rendered as one labeled Prometheus
+/// family (`ilt_tile_failures_total{kind="..."}`).
+#[derive(Debug)]
+pub struct FailureKinds {
+    counts: [Counter; 5],
+}
+
+impl Default for FailureKinds {
+    fn default() -> Self {
+        Self { counts: std::array::from_fn(|_| Counter::default()) }
+    }
+}
+
+impl FailureKinds {
+    fn slot(kind: &str) -> usize {
+        FAILURE_KINDS.iter().position(|&k| k == kind).unwrap_or(FAILURE_KINDS.len() - 1)
+    }
+
+    /// Counts one failed tile attempt of the given kind (an unknown kind
+    /// lands in `other`).
+    pub fn inc(&self, kind: &str) {
+        self.counts[Self::slot(kind)].inc();
+    }
+
+    /// Current count for one kind.
+    pub fn get(&self, kind: &str) -> u64 {
+        self.counts[Self::slot(kind)].get()
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str(
+            "# HELP ilt_tile_failures_total Failed tile jobs by failure classification.\n# TYPE ilt_tile_failures_total counter\n",
+        );
+        for (kind, counter) in FAILURE_KINDS.iter().zip(&self.counts) {
+            out.push_str(&format!("ilt_tile_failures_total{{kind=\"{kind}\"}} {}\n", counter.get()));
+        }
     }
 }
 
@@ -108,6 +156,15 @@ pub struct Metrics {
     pub completed: Counter,
     /// Jobs that finished with at least one failed tile or an engine error.
     pub failed: Counter,
+    /// Jobs reconstructed from the state log at startup (finished restores
+    /// plus re-queued interruptions).
+    pub recovered: Counter,
+    /// Tiles rescued by the degraded low-res fallback.
+    pub degraded_tiles: Counter,
+    /// Result masks evicted by the TTL / residency sweep.
+    pub evicted: Counter,
+    /// Failed tile jobs, by failure classification.
+    pub tile_failures: FailureKinds,
     /// Simulator-acquisition latency per job (cache hit ≈ 0).
     pub sim_ms: Histogram,
     /// Optimization latency per job.
@@ -162,6 +219,10 @@ impl Metrics {
         counter(&mut out, "ilt_jobs_rejected_total", "Submissions rejected with 503.", self.rejected.get());
         counter(&mut out, "ilt_jobs_completed_total", "Jobs finished fully done.", self.completed.get());
         counter(&mut out, "ilt_jobs_failed_total", "Jobs finished failed (engine error or failed tiles).", self.failed.get());
+        counter(&mut out, "ilt_jobs_recovered_total", "Jobs reconstructed from the state log at startup.", self.recovered.get());
+        counter(&mut out, "ilt_tiles_degraded_total", "Tiles rescued by the degraded low-res fallback.", self.degraded_tiles.get());
+        counter(&mut out, "ilt_masks_evicted_total", "Result masks evicted by the TTL/residency sweep.", self.evicted.get());
+        self.tile_failures.render(&mut out);
         gauge(&mut out, "ilt_queue_depth", "Jobs waiting in the admission queue.", gauges.queue_depth);
         gauge(&mut out, "ilt_jobs_running", "Jobs currently executing.", gauges.running);
         gauge(&mut out, "ilt_cache_simulators", "Simulators resident in the cache.", gauges.cache_entries);
@@ -218,6 +279,29 @@ mod tests {
         assert!(text.contains("ilt_stage_latency_ms_count{stage=\"wall\"} 1\n"));
         // Prometheus text format: every line is either a comment or
         // `name{labels} value`.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.split_whitespace().count() == 2, "{line}");
+        }
+    }
+
+    #[test]
+    fn failure_kinds_render_as_one_labeled_family() {
+        let m = Metrics::default();
+        m.tile_failures.inc("panic");
+        m.tile_failures.inc("panic");
+        m.tile_failures.inc("numeric");
+        m.tile_failures.inc("something-new"); // unknown kinds land in `other`
+        m.degraded_tiles.inc();
+        m.evicted.add(3);
+        m.recovered.add(2);
+        let text = m.render(&Gauges::default());
+        assert!(text.contains("ilt_tile_failures_total{kind=\"panic\"} 2\n"), "{text}");
+        assert!(text.contains("ilt_tile_failures_total{kind=\"numeric\"} 1\n"));
+        assert!(text.contains("ilt_tile_failures_total{kind=\"timeout\"} 0\n"));
+        assert!(text.contains("ilt_tile_failures_total{kind=\"other\"} 1\n"));
+        assert!(text.contains("ilt_tiles_degraded_total 1\n"));
+        assert!(text.contains("ilt_masks_evicted_total 3\n"));
+        assert!(text.contains("ilt_jobs_recovered_total 2\n"));
         for line in text.lines() {
             assert!(line.starts_with('#') || line.split_whitespace().count() == 2, "{line}");
         }

@@ -17,11 +17,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ilt_runtime::{field_hash, run_batch, SimulatorCache};
+use ilt_runtime::{failure_kind, field_hash, run_batch, JobStatus, SimulatorCache};
 
 use crate::http::{HttpError, Limits, Request, Response};
 use crate::metrics::{Gauges, Metrics};
-use crate::store::{ExecPolicy, JobDone, JobParams, JobStore, MaskFetch, SubmitError};
+use crate::store::{
+    ExecPolicy, JobDone, JobParams, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
+};
 
 /// Everything tunable about a server instance.
 #[derive(Clone, Debug)]
@@ -46,6 +48,15 @@ pub struct ServerConfig {
     pub journal: Option<PathBuf>,
     /// LRU capacity of the shared simulator cache.
     pub cache_capacity: usize,
+    /// Durable job state directory: submissions and outcomes are logged
+    /// there and recovered on the next bind (crash-safe restart).
+    pub state_dir: Option<PathBuf>,
+    /// Evict result masks this long after their job finished; `None`
+    /// retains them for the life of the process.
+    pub result_ttl: Option<Duration>,
+    /// Hard cap on resident result masks; the oldest-finished are evicted
+    /// beyond it.
+    pub max_resident_masks: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +72,9 @@ impl Default for ServerConfig {
             policy: ExecPolicy::default(),
             journal: None,
             cache_capacity: 16,
+            state_dir: None,
+            result_ttl: None,
+            max_resident_masks: usize::MAX,
         }
     }
 }
@@ -84,10 +98,14 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener and opens the journal (truncating an old one).
+    /// With a state directory configured, the job table is first recovered
+    /// from its log: finished jobs come back with hash-verified masks,
+    /// interrupted ones are re-queued and run before any new submission.
     ///
     /// # Errors
     ///
-    /// Propagates bind and journal-creation failures.
+    /// Propagates bind and journal-creation failures, and state-log
+    /// corruption beyond a torn trailing line.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -95,9 +113,19 @@ impl Server {
             Some(path) => Some(std::fs::File::create(path)?),
             None => None,
         };
+        let (store, recovered) = match &config.state_dir {
+            None => (JobStore::new(config.queue_cap), RecoveryStats::default()),
+            Some(dir) => {
+                let state = StateLog::open(dir)?;
+                JobStore::recover(config.queue_cap, state, &config.policy)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            }
+        };
+        let metrics = Metrics::default();
+        metrics.recovered.add((recovered.restored + recovered.requeued) as u64);
         let shared = Arc::new(Shared {
-            store: JobStore::new(config.queue_cap),
-            metrics: Metrics::default(),
+            store,
+            metrics,
             cache: SimulatorCache::with_capacity(config.cache_capacity),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
@@ -190,14 +218,22 @@ fn worker_loop(shared: &Shared) {
             let result = out.cases.pop().expect("one case in, one result out");
             for record in &out.report.records {
                 shared.metrics.observe_stages(&record.times, record.wall_ms);
+                match &record.status {
+                    JobStatus::Failed(reason) => {
+                        shared.metrics.tile_failures.inc(failure_kind(reason));
+                    }
+                    JobStatus::Degraded(_) => shared.metrics.degraded_tiles.inc(),
+                    JobStatus::Done => {}
+                }
             }
             append_journal(shared, &out.report.records);
             JobDone {
                 mask_hash: field_hash(&result.mask),
-                mask: result.mask,
+                mask: Some(result.mask),
                 records: out.report.records,
                 tiles: result.tiles,
                 failed_tiles: result.failed_tiles,
+                degraded_tiles: result.degraded_tiles,
                 eval: result.eval,
                 wall_ms,
             }
@@ -212,7 +248,22 @@ fn worker_loop(shared: &Shared) {
             shared.metrics.completed.inc();
         }
         shared.store.finish(id, outcome);
+        sweep_results(shared);
     }
+}
+
+/// Applies the TTL / residency eviction policy; called after every finished
+/// job and on every metrics scrape (the only moments residency can change
+/// or expiry becomes observable).
+fn sweep_results(shared: &Shared) {
+    if shared.config.result_ttl.is_none()
+        && shared.config.max_resident_masks == usize::MAX
+    {
+        return;
+    }
+    let evicted =
+        shared.store.sweep(shared.config.result_ttl, shared.config.max_resident_masks);
+    shared.metrics.evicted.add(evicted as u64);
 }
 
 fn append_journal(shared: &Shared, records: &[ilt_runtime::JobRecord]) {
@@ -286,6 +337,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
         (_, ["healthz"]) => method_not_allowed("GET"),
 
         ("GET", ["metrics"]) => {
+            sweep_results(shared);
             let gauges = Gauges {
                 queue_depth: shared.store.queue_depth(),
                 running: shared.store.running(),
@@ -322,6 +374,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
                     409,
                     &format!("job {id} has no mask yet (state: {state:?})"),
                 ),
+                MaskFetch::Gone => Response::error(
+                    410,
+                    &format!("job {id} finished but its mask was evicted (TTL/residency)"),
+                ),
                 MaskFetch::NoSuchJob => Response::error(404, &format!("no job {id}")),
             },
         },
@@ -356,7 +412,7 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
             return Response::error(400, &why);
         }
     };
-    match shared.store.submit(params.name.clone(), case, config) {
+    match shared.store.submit_persisted(&params, case, config) {
         Ok(id) => {
             shared.metrics.accepted.inc();
             Response::json(

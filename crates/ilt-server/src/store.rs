@@ -5,21 +5,33 @@
 //! admission queue is *bounded*: a submission beyond capacity is refused at
 //! the door — the handler turns that into `503 Service Unavailable` with a
 //! `Retry-After` hint — so a flood of requests costs the flooder latency
-//! instead of costing the server memory. Results stay resident for the life
-//! of the process (job state is the API's only storage; there is no
-//! database), which is also bounded: completed masks are the only large
-//! retained objects and arrive at most queue-capacity + workers at a time.
+//! instead of costing the server memory. Completed masks (the only large
+//! retained objects) are bounded too: [`JobStore::sweep`] evicts masks past
+//! their TTL or beyond the residency cap, after which the mask endpoint
+//! answers `410 Gone` while the job's metadata stays queryable.
+//!
+//! With a state directory configured, the store doubles as a write-ahead
+//! log: every admission and every terminal outcome is appended to
+//! `state.jsonl` (masks written atomically beside it), and
+//! [`JobStore::recover`] rebuilds the job table on restart — finished jobs
+//! come back with their masks (hash-verified), interrupted ones are
+//! re-planned and re-queued.
 
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use ilt_core::{schedules, IltConfig, Stage};
-use ilt_field::{parse_pgm, Field2D};
+use ilt_field::{parse_pgm, pgm_bytes, Field2D};
 use ilt_layouts::{extended_case, iccad2013_case, via_pattern};
 use ilt_metrics::EvalReport;
 use ilt_optics::OpticsConfig;
 use ilt_runtime::{
-    json_escape, json_f64, BatchCase, BatchConfig, JobRecord, SeamPolicy,
+    field_hash, json_escape, json_f64, json_field_str, json_field_u64, load_mask,
+    mask_file_name, write_atomic, BatchCase, BatchConfig, FaultPlan, JobRecord, SeamPolicy,
 };
 
 use crate::http::Request;
@@ -44,11 +56,19 @@ pub struct ExecPolicy {
     pub default_retries: u32,
     /// Hard cap on per-job worker threads a request may ask for.
     pub max_threads_per_job: usize,
+    /// Accept the `inject=` fault-injection parameter (chaos testing only;
+    /// keep off in production).
+    pub allow_inject: bool,
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
-        Self { default_timeout_s: 0.0, default_retries: 1, max_threads_per_job: 4 }
+        Self {
+            default_timeout_s: 0.0,
+            default_retries: 1,
+            max_threads_per_job: 4,
+            allow_inject: false,
+        }
     }
 }
 
@@ -89,6 +109,46 @@ pub struct JobParams {
     pub retries: u32,
     /// Evaluate the stitched mask.
     pub evaluate: bool,
+    /// Deterministic fault plan (empty unless the request passed `inject=`
+    /// and the policy allows it).
+    pub faults: FaultPlan,
+}
+
+/// Percent-encodes a query *value* for the state log: the HTTP layer hands
+/// the store decoded strings, so free-text values (the job name) must be
+/// re-escaped before they re-enter query syntax.
+fn query_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`query_encode`]; malformed escapes pass through verbatim
+/// (the log is trusted local state, not hostile input).
+fn query_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+            if let Some(v) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 fn parse_num<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T, String> {
@@ -196,6 +256,14 @@ impl JobParams {
             "0" | "false" => false,
             other => return Err(format!("bad eval={other:?} (0 or 1)")),
         };
+        let faults = match req.query_param("inject") {
+            None => FaultPlan::none(),
+            Some(_) if !policy.allow_inject => {
+                return Err("fault injection is disabled (start the server with --allow-inject)"
+                    .into())
+            }
+            Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("bad inject: {e}"))?,
+        };
 
         Ok(JobParams {
             source,
@@ -213,7 +281,81 @@ impl JobParams {
             timeout_s,
             retries,
             evaluate,
+            faults,
         })
+    }
+
+    /// Serializes the parameters back into the query string
+    /// [`JobParams::from_request`] parses — the persistence format of the
+    /// state log. Inline targets are carried separately (as a PGM file).
+    pub fn to_query(&self) -> String {
+        let mut q = String::new();
+        match &self.source {
+            JobSource::Case(id) => q.push_str(&format!("case={id}")),
+            JobSource::Via(seed) => q.push_str(&format!("via={seed}")),
+            JobSource::Inline(_) => {}
+        }
+        let mut push = |kv: String| {
+            if !q.is_empty() {
+                q.push('&');
+            }
+            q.push_str(&kv);
+        };
+        push(format!("name={}", query_encode(&self.name)));
+        push(format!("grid={}", self.grid));
+        push(format!("clip_nm={}", self.clip_nm));
+        push(format!("kernels={}", self.kernels));
+        push(format!("tile={}", self.tile));
+        push(format!("halo={}", self.halo));
+        match self.seam {
+            SeamPolicy::Crop => push("seam=crop".into()),
+            SeamPolicy::Blend { band } => push(format!("seam=blend:{band}")),
+        }
+        push(format!("schedule={}", self.schedule));
+        if let Some(n) = self.iters {
+            push(format!("iters={n}"));
+        }
+        push(format!("max_eff_nm={}", self.max_eff_nm));
+        push(format!("threads={}", self.threads));
+        push(format!("timeout_s={}", self.timeout_s));
+        push(format!("retries={}", self.retries));
+        push(format!("eval={}", if self.evaluate { 1 } else { 0 }));
+        if !self.faults.is_empty() {
+            push(format!("inject={}", self.faults));
+        }
+        q
+    }
+
+    /// Reconstructs parameters from a persisted query string (plus the
+    /// saved target raster for inline jobs), re-using the full request
+    /// validation path.
+    ///
+    /// # Errors
+    ///
+    /// Same messages as [`JobParams::from_request`].
+    pub fn from_saved(
+        query: &str,
+        body: Vec<u8>,
+        policy: &ExecPolicy,
+    ) -> Result<JobParams, String> {
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/jobs".into(),
+            query: query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                    (k.to_string(), query_decode(v))
+                })
+                .collect(),
+            headers: Vec::new(),
+            body,
+        };
+        // Recovery must replay faults even on a locked-down restart; the
+        // original submission already passed the gate.
+        let relaxed = ExecPolicy { allow_inject: true, ..*policy };
+        JobParams::from_request(&req, &relaxed)
     }
 
     /// Materializes the batch-engine inputs. Mirrors `ilt batch` exactly:
@@ -262,7 +404,8 @@ impl JobParams {
                 .then(|| std::time::Duration::from_secs_f64(self.timeout_s)),
             max_retries: self.retries,
             evaluate_stitched: self.evaluate,
-            inject: Vec::new(),
+            faults: self.faults.clone(),
+            ..BatchConfig::default()
         };
         Ok((case, config))
     }
@@ -295,16 +438,20 @@ impl JobState {
 /// The retained product of a finished job.
 #[derive(Clone, Debug)]
 pub struct JobDone {
-    /// Stitched binary mask at the target grid.
-    pub mask: Field2D,
+    /// Stitched binary mask at the target grid; `None` after eviction (the
+    /// hash and journal remain).
+    pub mask: Option<Field2D>,
     /// FNV-1a hash of the mask bits.
     pub mask_hash: u64,
-    /// Per-tile journal records.
+    /// Per-tile journal records (empty for jobs restored from the state
+    /// log, which persists only the summary).
     pub records: Vec<JobRecord>,
     /// Tiles the job decomposed into.
     pub tiles: usize,
     /// Tiles that exhausted retries.
     pub failed_tiles: usize,
+    /// Tiles rescued by the degraded low-res fallback.
+    pub degraded_tiles: usize,
     /// Full-size evaluation of the stitched mask, when requested.
     pub eval: Option<EvalReport>,
     /// End-to-end wall-time of the job, ms.
@@ -319,6 +466,8 @@ struct JobEntry {
     /// Pending work, taken by the worker that starts the job.
     work: Option<(BatchCase, BatchConfig)>,
     result: Option<JobDone>,
+    /// When the terminal state was recorded; the TTL clock for eviction.
+    finished_at: Option<Instant>,
 }
 
 struct Inner {
@@ -326,6 +475,7 @@ struct Inner {
     queue: VecDeque<usize>,
     accepting: bool,
     running: usize,
+    evicted: usize,
 }
 
 /// Why a submission was refused.
@@ -346,8 +496,108 @@ pub enum MaskFetch {
     Ready(Vec<u8>),
     /// The job exists but has not produced a mask yet.
     NotReady(JobState),
+    /// The job finished but its mask was evicted (TTL / residency cap).
+    Gone,
     /// No job with that id.
     NoSuchJob,
+}
+
+/// Append-only persistence of the job table: one `state.jsonl` line per
+/// admission and per terminal outcome, masks and inline targets as
+/// atomically-written PGM files beside it.
+pub struct StateLog {
+    dir: PathBuf,
+    file: Mutex<File>,
+}
+
+impl StateLog {
+    /// Opens (creating if needed) the state log in `dir`, appending to any
+    /// existing log so recovery and continuation share one file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/file creation failures.
+    pub fn open(dir: &Path) -> std::io::Result<StateLog> {
+        std::fs::create_dir_all(dir)?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("state.jsonl"))?;
+        Ok(StateLog { dir: dir.to_path_buf(), file: Mutex::new(file) })
+    }
+
+    /// The directory holding `state.jsonl` and its PGM side files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn append(&self, line: &str) {
+        let mut file = self.file.lock().expect("state log lock poisoned");
+        // Persistence failures must never fail the job; a lost line only
+        // means the job is re-run (or forgotten) after a restart.
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.write_all(b"\n");
+        let _ = file.sync_data();
+    }
+
+    fn log_submit(&self, id: usize, params: &JobParams) {
+        let mut line = format!(
+            "{{\"kind\":\"submit\",\"id\":{id},\"query\":\"{}\"",
+            json_escape(&params.to_query())
+        );
+        if let JobSource::Inline(img) = &params.source {
+            let name = format!("job-{id}-target.pgm");
+            // The target must be durable before the line that references it.
+            if write_atomic(&self.dir, &name, &pgm_bytes(img, 0.0, 1.0)).is_ok() {
+                line.push_str(&format!(",\"target\":\"{name}\""));
+            } else {
+                return; // without the raster the submission can't be replayed
+            }
+        }
+        line.push('}');
+        self.append(&line);
+    }
+
+    fn log_finish(&self, id: usize, outcome: &Result<JobDone, String>) {
+        let line = match outcome {
+            Ok(done) => {
+                let mut line = format!("{{\"kind\":\"finish\",\"id\":{id},\"ok\":true");
+                if let Some(mask) = &done.mask {
+                    let name = mask_file_name(id);
+                    // Mask first, then the line claiming it exists.
+                    if write_atomic(&self.dir, &name, &pgm_bytes(mask, 0.0, 1.0)).is_ok() {
+                        line.push_str(&format!(
+                            ",\"mask\":\"{name}\",\"mask_hash\":\"{:016x}\"",
+                            done.mask_hash
+                        ));
+                    }
+                }
+                line.push_str(&format!(
+                    ",\"tiles\":{},\"failed_tiles\":{},\"degraded_tiles\":{},\"wall_ms\":{}}}",
+                    done.tiles,
+                    done.failed_tiles,
+                    done.degraded_tiles,
+                    json_f64(done.wall_ms)
+                ));
+                line
+            }
+            Err(e) => format!(
+                "{{\"kind\":\"finish\",\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+                json_escape(e)
+            ),
+        };
+        self.append(&line);
+    }
+}
+
+/// What [`JobStore::recover`] reconstructed from a state directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Finished jobs restored with a hash-verified mask (or a recorded
+    /// failure).
+    pub restored: usize,
+    /// Interrupted jobs re-planned and re-queued.
+    pub requeued: usize,
 }
 
 /// The shared job table plus its bounded admission queue.
@@ -355,21 +605,148 @@ pub struct JobStore {
     inner: Mutex<Inner>,
     wakeup: Condvar,
     queue_cap: usize,
+    state: Option<StateLog>,
 }
 
 impl JobStore {
     /// Creates an empty store admitting at most `queue_cap` waiting jobs.
     pub fn new(queue_cap: usize) -> Self {
+        Self::with_state(queue_cap, None)
+    }
+
+    /// Creates an empty store that persists admissions and outcomes to
+    /// `state`.
+    pub fn with_state(queue_cap: usize, state: Option<StateLog>) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 jobs: Vec::new(),
                 queue: VecDeque::new(),
                 accepting: true,
                 running: 0,
+                evicted: 0,
             }),
             wakeup: Condvar::new(),
             queue_cap: queue_cap.max(1),
+            state,
         }
+    }
+
+    /// Rebuilds a store from `state`'s log: jobs with a recorded outcome
+    /// come back finished (masks loaded and hash-verified), jobs that were
+    /// queued or running when the process died are re-planned from their
+    /// persisted parameters and re-queued (bypassing the admission cap —
+    /// they were already admitted once). A torn trailing line (crash
+    /// mid-append) is tolerated; that job is simply re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unreadable or mid-file-corrupt log.
+    pub fn recover(
+        queue_cap: usize,
+        state: StateLog,
+        policy: &ExecPolicy,
+    ) -> Result<(JobStore, RecoveryStats), String> {
+        let raw = std::fs::read_to_string(state.dir.join("state.jsonl"))
+            .map_err(|e| format!("read state log: {e}"))?;
+        let lines: Vec<&str> = raw.lines().collect();
+
+        // Replay: submissions in log order, outcomes folded in last-wins.
+        let mut submits: Vec<(usize, String, Option<String>)> = Vec::new();
+        let mut finishes: std::collections::BTreeMap<usize, &str> = Default::default();
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = (|| -> Option<()> {
+                match json_field_str(line, "kind").ok()?.as_str() {
+                    "submit" => {
+                        let id = json_field_u64(line, "id").ok()? as usize;
+                        let query = json_field_str(line, "query").ok()?;
+                        let target = json_field_str(line, "target").ok();
+                        submits.push((id, query, target));
+                    }
+                    "finish" => {
+                        let id = json_field_u64(line, "id").ok()? as usize;
+                        finishes.insert(id, line);
+                    }
+                    _ => {} // future record kinds are not an error
+                }
+                Some(())
+            })();
+            if parsed.is_none() {
+                if i + 1 == lines.len() {
+                    break; // torn trailing line: the crash we exist to survive
+                }
+                return Err(format!("state log line {} is corrupt: {line}", i + 1));
+            }
+        }
+
+        let failed_entry = |id: usize, error: String| JobEntry {
+            id,
+            name: format!("job{id}"),
+            state: JobState::Failed,
+            error: Some(error),
+            work: None,
+            result: None,
+            finished_at: Some(Instant::now()),
+        };
+
+        let store = JobStore::with_state(queue_cap, Some(state));
+        let mut stats = RecoveryStats::default();
+        {
+            let dir = store.state.as_ref().expect("state is set").dir.clone();
+            let mut inner = store.lock();
+            for (id, query, target) in submits {
+                // Ids are Vec indices; pad over ids lost to log damage.
+                while inner.jobs.len() < id {
+                    let lost = inner.jobs.len();
+                    stats.restored += 1;
+                    inner
+                        .jobs
+                        .push(failed_entry(lost, "submission record lost to state-log damage".into()));
+                }
+                if inner.jobs.len() > id {
+                    continue; // duplicate submit line; first wins
+                }
+                let body = match &target {
+                    Some(t) => std::fs::read(dir.join(t)).unwrap_or_default(),
+                    None => Vec::new(),
+                };
+                let planned = JobParams::from_saved(&query, body, policy)
+                    .and_then(|p| p.plan().map(|cc| (p, cc)));
+                let entry = match planned {
+                    Err(why) => {
+                        stats.restored += 1;
+                        failed_entry(id, format!("unreplayable after restart: {why}"))
+                    }
+                    Ok((params, (case, config))) => {
+                        let finished = finishes
+                            .get(&id)
+                            .and_then(|fin| restore_finished(&dir, id, params.name.clone(), fin));
+                        match finished {
+                            Some(entry) => {
+                                stats.restored += 1;
+                                entry
+                            }
+                            // No durable outcome (or an unverifiable mask):
+                            // the job runs again with its original id.
+                            None => {
+                                stats.requeued += 1;
+                                inner.queue.push_back(id);
+                                JobEntry {
+                                    id,
+                                    name: params.name,
+                                    state: JobState::Queued,
+                                    error: None,
+                                    work: Some((case, config)),
+                                    result: None,
+                                    finished_at: None,
+                                }
+                            }
+                        }
+                    }
+                };
+                inner.jobs.push(entry);
+            }
+        }
+        Ok((store, stats))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -389,6 +766,27 @@ impl JobStore {
         case: BatchCase,
         config: BatchConfig,
     ) -> Result<usize, SubmitError> {
+        self.submit_inner(name, case, config, None)
+    }
+
+    /// [`JobStore::submit`], additionally persisting the submission to the
+    /// state log (when one is configured) so it survives a restart.
+    pub fn submit_persisted(
+        &self,
+        params: &JobParams,
+        case: BatchCase,
+        config: BatchConfig,
+    ) -> Result<usize, SubmitError> {
+        self.submit_inner(params.name.clone(), case, config, Some(params))
+    }
+
+    fn submit_inner(
+        &self,
+        name: String,
+        case: BatchCase,
+        config: BatchConfig,
+        params: Option<&JobParams>,
+    ) -> Result<usize, SubmitError> {
         let mut inner = self.lock();
         if !inner.accepting {
             return Err(SubmitError::Draining);
@@ -397,6 +795,10 @@ impl JobStore {
             return Err(SubmitError::Full { capacity: self.queue_cap });
         }
         let id = inner.jobs.len();
+        // Logged under the lock so state-log order matches id order.
+        if let (Some(state), Some(params)) = (&self.state, params) {
+            state.log_submit(id, params);
+        }
         inner.jobs.push(JobEntry {
             id,
             name,
@@ -404,6 +806,7 @@ impl JobStore {
             error: None,
             work: Some((case, config)),
             result: None,
+            finished_at: None,
         });
         inner.queue.push_back(id);
         drop(inner);
@@ -431,8 +834,13 @@ impl JobStore {
         }
     }
 
-    /// Records a claimed job's terminal state.
+    /// Records a claimed job's terminal state (persisting it first, mask
+    /// before log line, when a state log is configured).
     pub fn finish(&self, id: usize, outcome: Result<JobDone, String>) {
+        // Persist outside the lock: mask writes are large and fsynced.
+        if let Some(state) = &self.state {
+            state.log_finish(id, &outcome);
+        }
         let mut inner = self.lock();
         inner.running -= 1;
         let entry = &mut inner.jobs[id];
@@ -451,9 +859,50 @@ impl JobStore {
                 entry.error = Some(e);
             }
         }
+        entry.finished_at = Some(Instant::now());
         drop(inner);
         // finish() may have emptied the pipeline a drain is waiting on.
         self.wakeup.notify_all();
+    }
+
+    /// Evicts resident masks that finished more than `ttl` ago, then the
+    /// oldest-finished masks beyond `max_resident`. Evicted jobs keep all
+    /// metadata; their mask endpoint answers `410 Gone`. Returns the number
+    /// evicted by this sweep.
+    pub fn sweep(&self, ttl: Option<Duration>, max_resident: usize) -> usize {
+        let mut inner = self.lock();
+        let mut evicted = 0usize;
+        let mut resident: Vec<(Instant, usize)> = Vec::new();
+        for entry in &mut inner.jobs {
+            let Some(done) = &mut entry.result else { continue };
+            if done.mask.is_none() {
+                continue;
+            }
+            let finished = entry.finished_at.unwrap_or_else(Instant::now);
+            if ttl.is_some_and(|ttl| finished.elapsed() > ttl) {
+                done.mask = None;
+                evicted += 1;
+            } else {
+                resident.push((finished, entry.id));
+            }
+        }
+        if resident.len() > max_resident {
+            resident.sort_by_key(|&(at, _)| at);
+            let excess = resident.len() - max_resident;
+            for &(_, id) in resident.iter().take(excess) {
+                if let Some(done) = &mut inner.jobs[id].result {
+                    done.mask = None;
+                    evicted += 1;
+                }
+            }
+        }
+        inner.evicted += evicted;
+        evicted
+    }
+
+    /// Masks evicted since start.
+    pub fn evictions(&self) -> usize {
+        self.lock().evicted
     }
 
     /// Stops admissions and wakes every worker so the queue drains.
@@ -471,6 +920,7 @@ impl JobStore {
             entry.state = JobState::Failed;
             entry.error = Some("dropped at shutdown before a worker picked it up".into());
             entry.work = None;
+            entry.finished_at = Some(Instant::now());
         }
     }
 
@@ -526,11 +976,13 @@ impl JobStore {
                 ));
             }
             if mask_base64 {
-                let pgm = ilt_field::pgm_bytes(&done.mask, 0.0, 1.0);
-                s.push_str(&format!(
-                    ",\"mask_pgm_base64\":\"{}\"",
-                    crate::http::base64_encode(&pgm)
-                ));
+                if let Some(mask) = &done.mask {
+                    let pgm = ilt_field::pgm_bytes(mask, 0.0, 1.0);
+                    s.push_str(&format!(
+                        ",\"mask_pgm_base64\":\"{}\"",
+                        crate::http::base64_encode(&pgm)
+                    ));
+                }
             }
         }
         s.push('}');
@@ -543,11 +995,71 @@ impl JobStore {
         match inner.jobs.get(id) {
             None => MaskFetch::NoSuchJob,
             Some(entry) => match &entry.result {
-                Some(done) => MaskFetch::Ready(ilt_field::pgm_bytes(&done.mask, 0.0, 1.0)),
+                Some(done) => match &done.mask {
+                    Some(mask) => MaskFetch::Ready(ilt_field::pgm_bytes(mask, 0.0, 1.0)),
+                    None => MaskFetch::Gone,
+                },
                 None => MaskFetch::NotReady(entry.state.clone()),
             },
         }
     }
+}
+
+/// Reconstructs a terminal [`JobEntry`] from a persisted finish line.
+/// Returns `None` when the outcome claims a mask that is missing or fails
+/// hash verification — the caller re-queues the job instead of serving a
+/// mask the log can't vouch for.
+fn restore_finished(dir: &Path, id: usize, name: String, line: &str) -> Option<JobEntry> {
+    let ok = ilt_runtime::json_field_raw(line, "ok")? == "true";
+    if !ok {
+        let error = json_field_str(line, "error").unwrap_or_default();
+        return Some(JobEntry {
+            id,
+            name,
+            state: JobState::Failed,
+            error: Some(error),
+            work: None,
+            result: None,
+            finished_at: Some(Instant::now()),
+        });
+    }
+    let mask = match json_field_str(line, "mask") {
+        Err(_) => return None, // success without a durable mask: re-run
+        Ok(file) => {
+            let loaded = load_mask(dir, &file).ok()?;
+            let recorded = json_field_str(line, "mask_hash")
+                .ok()
+                .and_then(|h| u64::from_str_radix(&h, 16).ok())?;
+            if field_hash(&loaded) != recorded {
+                return None;
+            }
+            loaded
+        }
+    };
+    let tiles = json_field_u64(line, "tiles").ok()? as usize;
+    let failed_tiles = json_field_u64(line, "failed_tiles").ok()? as usize;
+    let degraded_tiles = json_field_u64(line, "degraded_tiles").unwrap_or(0) as usize;
+    let wall_ms = ilt_runtime::json_field_f64(line, "wall_ms").unwrap_or(0.0);
+    let error = (failed_tiles > 0)
+        .then(|| format!("{failed_tiles} of {tiles} tile(s) failed"));
+    Some(JobEntry {
+        id,
+        name,
+        state: if failed_tiles == 0 { JobState::Done } else { JobState::Failed },
+        error,
+        work: None,
+        result: Some(JobDone {
+            mask_hash: field_hash(&mask),
+            mask: Some(mask),
+            records: Vec::new(),
+            tiles,
+            failed_tiles,
+            degraded_tiles,
+            eval: None,
+            wall_ms,
+        }),
+        finished_at: Some(Instant::now()),
+    })
 }
 
 fn render_summary(entry: &JobEntry) -> String {
@@ -558,7 +1070,13 @@ fn render_summary(entry: &JobEntry) -> String {
         entry.state.as_str()
     );
     if let Some(done) = &entry.result {
-        s.push_str(&format!(",\"tiles\":{},\"failed_tiles\":{}", done.tiles, done.failed_tiles));
+        s.push_str(&format!(
+            ",\"tiles\":{},\"failed_tiles\":{},\"degraded_tiles\":{},\"mask_resident\":{}",
+            done.tiles,
+            done.failed_tiles,
+            done.degraded_tiles,
+            done.mask.is_some()
+        ));
     }
     if let Some(error) = &entry.error {
         s.push_str(&format!(",\"error\":\"{}\"", json_escape(error)));
@@ -621,10 +1139,11 @@ mod tests {
         let mask = case.target.threshold(0.5);
         let done = JobDone {
             mask_hash: ilt_runtime::field_hash(&mask),
-            mask,
+            mask: Some(mask),
             records: Vec::new(),
             tiles: 1,
             failed_tiles: 0,
+            degraded_tiles: 0,
             eval: None,
             wall_ms: 12.0,
         };
@@ -652,10 +1171,11 @@ mod tests {
             id,
             Ok(JobDone {
                 mask_hash: ilt_runtime::field_hash(&mask),
-                mask,
+                mask: Some(mask),
                 records: Vec::new(),
                 tiles: 9,
                 failed_tiles: 2,
+                degraded_tiles: 0,
                 eval: None,
                 wall_ms: 1.0,
             }),
@@ -741,6 +1261,197 @@ mod tests {
                 "query {bad:?} must be rejected"
             );
         }
+    }
+
+    fn done_for(case: &BatchCase, tiles: usize) -> JobDone {
+        let mask = case.target.threshold(0.5);
+        JobDone {
+            mask_hash: field_hash(&mask),
+            mask: Some(mask),
+            records: Vec::new(),
+            tiles,
+            failed_tiles: 0,
+            degraded_tiles: 0,
+            eval: None,
+            wall_ms: 5.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ilt-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ttl_sweep_evicts_masks_but_keeps_metadata() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("a");
+        store.submit("a".into(), c.clone(), cfg).unwrap();
+        let (id, case, _) = store.take_next().unwrap();
+        store.finish(id, Ok(done_for(&case, 1)));
+
+        // A generous TTL keeps the mask; a zero TTL evicts it.
+        assert_eq!(store.sweep(Some(Duration::from_secs(3600)), usize::MAX), 0);
+        assert!(matches!(store.mask_pgm(0), MaskFetch::Ready(_)));
+        assert_eq!(store.sweep(Some(Duration::ZERO), usize::MAX), 1);
+        assert_eq!(store.evictions(), 1);
+        assert!(matches!(store.mask_pgm(0), MaskFetch::Gone));
+        // Metadata and hash survive; only the pixels are gone.
+        let detail = store.render_detail(0, true).unwrap();
+        assert!(detail.contains("\"mask_resident\":false"), "{detail}");
+        assert!(detail.contains("\"mask_hash\""), "{detail}");
+        assert!(!detail.contains("mask_pgm_base64"), "{detail}");
+        // Re-sweeping does not double-count.
+        assert_eq!(store.sweep(Some(Duration::ZERO), usize::MAX), 0);
+    }
+
+    #[test]
+    fn residency_cap_evicts_oldest_finished_first() {
+        let store = JobStore::new(8);
+        let (c, cfg) = tiny_case("a");
+        for i in 0..3 {
+            store.submit(format!("j{i}"), c.clone(), cfg.clone()).unwrap();
+        }
+        for _ in 0..3 {
+            let (id, case, _) = store.take_next().unwrap();
+            store.finish(id, Ok(done_for(&case, 1)));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(store.sweep(None, 1), 2, "two oldest evicted");
+        assert!(matches!(store.mask_pgm(0), MaskFetch::Gone));
+        assert!(matches!(store.mask_pgm(1), MaskFetch::Gone));
+        assert!(matches!(store.mask_pgm(2), MaskFetch::Ready(_)));
+    }
+
+    #[test]
+    fn params_round_trip_through_the_query_codec() {
+        let req = request_with_query(
+            "via=9&grid=64&kernels=3&tile=32&halo=8&seam=blend:4&schedule=via&iters=7&eval=0",
+        );
+        let p = JobParams::from_request(&req, &ExecPolicy::default()).unwrap();
+        let q = JobParams::from_saved(&p.to_query(), Vec::new(), &ExecPolicy::default()).unwrap();
+        assert_eq!(format!("{:?}", p), format!("{:?}", q));
+        // Names with query metacharacters survive the round trip.
+        let mut named = p.clone();
+        named.name = "we&ird=na me%".into();
+        let r =
+            JobParams::from_saved(&named.to_query(), Vec::new(), &ExecPolicy::default()).unwrap();
+        assert_eq!(r.name, "we&ird=na me%");
+    }
+
+    #[test]
+    fn inject_param_is_gated_by_policy() {
+        let req = request_with_query("case=case1&inject=panic@0:1");
+        let err = JobParams::from_request(&req, &ExecPolicy::default()).unwrap_err();
+        assert!(err.contains("disabled"), "{err}");
+
+        let open = ExecPolicy { allow_inject: true, ..ExecPolicy::default() };
+        let p = JobParams::from_request(&req, &open).unwrap();
+        assert!(!p.faults.is_empty());
+        let (_, config) = p.plan().unwrap();
+        assert!(!config.faults.is_empty(), "the plan carries the fault plan");
+        // The fault plan round-trips through the persistence query even
+        // under a locked-down policy (recovery replays it).
+        let r = JobParams::from_saved(&p.to_query(), Vec::new(), &ExecPolicy::default()).unwrap();
+        assert_eq!(format!("{}", r.faults), format!("{}", p.faults));
+
+        // A malformed spec is a 400-class error even when allowed.
+        let bad = request_with_query("case=case1&inject=explode@zero");
+        assert!(JobParams::from_request(&bad, &open).is_err());
+    }
+
+    #[test]
+    fn state_log_recovers_done_and_requeues_interrupted() {
+        let dir = temp_dir("recover");
+        let (c, cfg) = tiny_case("a");
+        {
+            let store =
+                JobStore::with_state(8, Some(StateLog::open(&dir).unwrap()));
+            let params = JobParams::from_request(
+                &request_with_query("case=case1&grid=64&kernels=3&name=done-job"),
+                &ExecPolicy::default(),
+            )
+            .unwrap();
+            store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
+            let interrupted = JobParams::from_request(
+                &request_with_query("case=case2&grid=64&kernels=3&name=interrupted"),
+                &ExecPolicy::default(),
+            )
+            .unwrap();
+            store.submit_persisted(&interrupted, c.clone(), cfg.clone()).unwrap();
+            // Job 0 finishes; job 1 is taken but never finished (the crash).
+            let (id, case, _) = store.take_next().unwrap();
+            store.finish(id, Ok(done_for(&case, 1)));
+            let _ = store.take_next().unwrap();
+        }
+
+        let (store, stats) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(stats, RecoveryStats { restored: 1, requeued: 1 });
+        // Job 0 came back finished, mask verified byte-identical.
+        let detail = store.render_detail(0, false).unwrap();
+        assert!(detail.contains("\"state\":\"done\""), "{detail}");
+        assert!(detail.contains("done-job"), "{detail}");
+        match store.mask_pgm(0) {
+            MaskFetch::Ready(bytes) => {
+                assert_eq!(bytes, pgm_bytes(&c.target.threshold(0.5), 0.0, 1.0));
+            }
+            _ => panic!("recovered mask must be ready"),
+        }
+        // Job 1 is queued again under its original id and params.
+        let (id, case, _) = store.take_next().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(case.name, "interrupted");
+
+        // A finish line whose mask file was corrupted is not trusted.
+        let mask_path = dir.join(mask_file_name(0));
+        let mut bytes = std::fs::read(&mask_path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        std::fs::write(&mask_path, bytes).unwrap();
+        let (store, stats) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(stats, RecoveryStats { restored: 0, requeued: 2 });
+        assert_eq!(store.queue_depth(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_state_line_is_tolerated() {
+        let dir = temp_dir("torn");
+        {
+            let store = JobStore::with_state(8, Some(StateLog::open(&dir).unwrap()));
+            let (c, cfg) = tiny_case("a");
+            let params = JobParams::from_request(
+                &request_with_query("case=case1&grid=64&kernels=3"),
+                &ExecPolicy::default(),
+            )
+            .unwrap();
+            store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
+            store.submit_persisted(&params, c, cfg).unwrap();
+        }
+        // Chop the last line in half: a crash mid-append.
+        let path = dir.join("state.jsonl");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let keep = raw.len() - raw.lines().last().unwrap().len() / 2 - 1;
+        std::fs::write(&path, &raw.as_bytes()[..keep]).unwrap();
+
+        let (store, stats) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(stats, RecoveryStats { restored: 0, requeued: 1 });
+        assert_eq!(store.len(), 1, "the torn submission is simply forgotten");
+
+        // Mid-file corruption, by contrast, refuses to recover.
+        std::fs::write(&path, "{\"kind\":\"submit\",\"id\":garbage\nnot json either\n").unwrap();
+        let err = match JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default())
+        {
+            Err(e) => e,
+            Ok(_) => panic!("mid-file corruption must refuse recovery"),
+        };
+        assert!(err.contains("corrupt"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -98,6 +98,7 @@ fn fast_params(target: Field2D) -> JobParams {
         timeout_s: 0.0,
         retries: 1,
         evaluate: true,
+        faults: ilt_runtime::FaultPlan::none(),
     }
 }
 
@@ -265,6 +266,76 @@ fn end_to_end_round_trip_matches_the_batch_engine_bit_for_bit() {
     assert!(lines[0].contains("\"case\":\"inline\""), "{journal_text}");
     assert!(lines[0].contains("\"status\":\"done\""), "{journal_text}");
     let _ = std::fs::remove_file(&journal);
+}
+
+/// Restarting with the same state directory must bring finished jobs back
+/// (mask byte-identical), and a TTL of zero must evict resident masks into
+/// `410 Gone` while their metadata stays queryable.
+#[test]
+fn restart_recovers_state_and_ttl_evicts_masks() {
+    let state_dir = std::env::temp_dir()
+        .join(format!("ilt_server_e2e_state_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let pgm = ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0);
+
+    // First life: run one job to completion, then drain.
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (status, _, body) = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
+    assert_eq!(status, 202, "{}", body_text(&body));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, _, body) = get(addr, "/v1/jobs/0");
+        let text = body_text(&body);
+        if text.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(!text.contains("\"state\":\"failed\""), "{text}");
+        assert!(Instant::now() < deadline, "job did not finish: {text}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (_, _, first_mask) = get(addr, "/v1/jobs/0/mask");
+    shutdown(addr, handle);
+
+    // Second life: same state dir; the job is back without re-running.
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (status, _, body) = get(addr, "/v1/jobs/0");
+    assert_eq!(status, 200);
+    let text = body_text(&body);
+    assert!(text.contains("\"state\":\"done\""), "{text}");
+    let (status, _, mask) = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(status, 200);
+    assert_eq!(mask, first_mask, "recovered mask must be byte-identical");
+    let (_, _, body) = get(addr, "/metrics");
+    assert!(body_text(&body).contains("ilt_jobs_recovered_total 1\n"), "{}", body_text(&body));
+    shutdown(addr, handle);
+
+    // Third life: an aggressive TTL evicts the recovered mask on the first
+    // scrape; the mask endpoint answers 410, the metadata stays.
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        state_dir: Some(state_dir.clone()),
+        result_ttl: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    });
+    let (_, _, body) = get(addr, "/metrics");
+    assert!(body_text(&body).contains("ilt_masks_evicted_total 1\n"), "{}", body_text(&body));
+    let (status, _, body) = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(status, 410, "{}", body_text(&body));
+    let (status, _, body) = get(addr, "/v1/jobs/0");
+    assert_eq!(status, 200);
+    let text = body_text(&body);
+    assert!(text.contains("\"mask_resident\":false"), "{text}");
+    assert!(text.contains("\"mask_hash\""), "{text}");
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&state_dir);
 }
 
 #[test]

@@ -2,6 +2,7 @@
 # Regenerates every table and figure; used to populate EXPERIMENTS.md.
 set -e
 ./verify_runtime.sh
+./verify_resume.sh
 ./verify_server.sh
 ./verify_perf.sh
 BIN=./target/release/tables

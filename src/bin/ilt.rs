@@ -6,10 +6,13 @@
 //! ilt run      --target design.pgm --clip-nm 2048 ...
 //! ilt batch    [--threads 4] [--tile 512] [--halo 64] [--seam crop|blend:K]
 //!              [--journal run.jsonl] [--no-timing] [--retries 1]
-//!              [--timeout-s 0] [--no-eval] case1 case2 via3 design.pgm ...
+//!              [--timeout-s 0] [--no-eval] [--checkpoint] [--resume]
+//!              [--inject SPEC[,SPEC...]] [--no-degrade]
+//!              case1 case2 via3 design.pgm ...
 //! ilt serve    [--addr 127.0.0.1:8080] [--threads 2] [--queue 16]
 //!              [--journal served.jsonl] [--retries 1] [--timeout-s 0]
-//!              [--cache 16]
+//!              [--cache 16] [--state-dir DIR] [--result-ttl-s 0]
+//!              [--max-masks 0] [--allow-inject]
 //! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
 //! ilt fracture --mask mask.pgm
 //! ilt kernels  [--grid 512] [--kernels 10]
@@ -24,8 +27,19 @@
 //! pool with a shared simulator cache, and journals one JSON line per job;
 //! it exits non-zero if any job exhausts its retries. `--no-timing` drops
 //! the wall-clock fields from the journal so runs diff byte-for-byte.
+//! `--checkpoint` persists each finished tile mask durably under
+//! `<journal>.ckpt/` (atomic write + fsynced write-ahead log), and
+//! `--resume` reruns the same command after a crash, restoring every tile
+//! the WAL can vouch for and recomputing only the rest; the resumed
+//! journal and masks are byte-identical to an uninterrupted run.
+//! `--inject` drives the deterministic fault plan (`panic@J[:A[-B]]`,
+//! `delay@J:A=MS`, `build@J:A`, `nan@J:A`, `ckpt@J`, `crash@J`) for chaos
+//! testing, and `--no-degrade` disables the low-resolution fallback that
+//! otherwise rescues tiles which exhaust their retry budget.
 //! `serve` turns the same engine into a long-lived HTTP job service (see
-//! the `ilt-server` crate docs for the API). `bench-fft` is the hermetic,
+//! the `ilt-server` crate docs for the API); `--state-dir` makes job state
+//! survive restarts, and `--result-ttl-s`/`--max-masks` bound how long
+//! finished masks stay resident before eviction. `bench-fft` is the hermetic,
 //! std-only spectral micro-benchmark: it times the dense pad+inverse path
 //! against the pruned [`ilt_fft::Fft2d::inverse_padded`] path and the
 //! complex forward against the real-input forward at N in {256, 512, 1024,
@@ -59,9 +73,17 @@ struct Cli {
     retries: u32,
     timeout_s: f64,
     no_eval: bool,
+    checkpoint: bool,
+    resume: bool,
+    inject: Option<String>,
+    no_degrade: bool,
     addr: String,
     queue: usize,
     cache: usize,
+    state_dir: Option<String>,
+    result_ttl_s: f64,
+    max_masks: usize,
+    allow_inject: bool,
     json: Option<String>,
     reps: usize,
     bench_p: usize,
@@ -92,9 +114,17 @@ impl Cli {
             retries: 1,
             timeout_s: 0.0,
             no_eval: false,
+            checkpoint: false,
+            resume: false,
+            inject: None,
+            no_degrade: false,
             addr: "127.0.0.1:8080".into(),
             queue: 16,
             cache: 16,
+            state_dir: None,
+            result_ttl_s: 0.0,
+            max_masks: 0,
+            allow_inject: false,
             json: None,
             reps: 5,
             bench_p: 25,
@@ -122,9 +152,17 @@ impl Cli {
                 "--retries" => cli.retries = value()?.parse()?,
                 "--timeout-s" => cli.timeout_s = value()?.parse()?,
                 "--no-eval" => cli.no_eval = true,
+                "--checkpoint" => cli.checkpoint = true,
+                "--resume" => cli.resume = true,
+                "--inject" => cli.inject = Some(value()?),
+                "--no-degrade" => cli.no_degrade = true,
                 "--addr" => cli.addr = value()?,
                 "--queue" => cli.queue = value()?.parse()?,
                 "--cache" => cli.cache = value()?.parse()?,
+                "--state-dir" => cli.state_dir = Some(value()?),
+                "--result-ttl-s" => cli.result_ttl_s = value()?.parse()?,
+                "--max-masks" => cli.max_masks = value()?.parse()?,
+                "--allow-inject" => cli.allow_inject = true,
                 "--json" => cli.json = Some(value()?),
                 "--reps" => cli.reps = value()?.parse()?,
                 "--p" => cli.bench_p = value()?.parse()?,
@@ -296,6 +334,16 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
         "via" => schedules::via_recipe(),
         other => return Err(format!("unknown schedule {other} (fast|exact|via)").into()),
     };
+    let faults = match &cli.inject {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("bad --inject {spec}: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    let journal_path = cli
+        .journal
+        .clone()
+        .unwrap_or_else(|| format!("{}_journal.jsonl", cli.out));
+    let checkpoint = (cli.checkpoint || cli.resume)
+        .then(|| std::path::PathBuf::from(format!("{journal_path}.ckpt")));
     let config = BatchConfig {
         threads: cli.threads,
         tile: cli.tile,
@@ -308,7 +356,9 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
         timeout: (cli.timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(cli.timeout_s)),
         max_retries: cli.retries,
         evaluate_stitched: !cli.no_eval,
-        inject: Vec::new(),
+        degrade: !cli.no_degrade,
+        checkpoint,
+        faults,
     };
     println!(
         "batch: {} case(s), {} thread(s), tile {} px, halo {} px, schedule {}",
@@ -318,9 +368,18 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
         config.halo,
         cli.schedule
     );
+    if let Some(dir) = &config.checkpoint {
+        println!("checkpoint: {}", dir.display());
+    }
 
     let cache = SimulatorCache::new();
-    let outcome = run_batch(&cases, &config, &cache)?;
+    let outcome = run_batch_resume(&cases, &config, &cache, cli.resume)?;
+    if cli.resume {
+        println!(
+            "resume: {} job(s) restored from durable checkpoints",
+            outcome.restored_jobs
+        );
+    }
     print!("{}", outcome.report);
     println!(
         "simulator cache: {} build(s), {} hit(s)",
@@ -334,20 +393,16 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
             .map_err(|e| format!("cannot write {mask_path}: {e}"))?;
         match &case.eval {
             Some(eval) => println!(
-                "{}: {} tile(s), {} failed -> {mask_path}\n{eval}",
-                case.name, case.tiles, case.failed_tiles
+                "{}: {} tile(s), {} failed, {} degraded -> {mask_path}\n{eval}",
+                case.name, case.tiles, case.failed_tiles, case.degraded_tiles
             ),
             None => println!(
-                "{}: {} tile(s), {} failed -> {mask_path}",
-                case.name, case.tiles, case.failed_tiles
+                "{}: {} tile(s), {} failed, {} degraded -> {mask_path}",
+                case.name, case.tiles, case.failed_tiles, case.degraded_tiles
             ),
         }
     }
 
-    let journal_path = cli
-        .journal
-        .clone()
-        .unwrap_or_else(|| format!("{}_journal.jsonl", cli.out));
     outcome
         .report
         .write_jsonl_opts(&journal_path, !cli.no_timing)
@@ -371,12 +426,20 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
         policy: multilevel_ilt::server::ExecPolicy {
             default_timeout_s: cli.timeout_s,
             default_retries: cli.retries,
+            allow_inject: cli.allow_inject,
             ..multilevel_ilt::server::ExecPolicy::default()
         },
+        state_dir: cli.state_dir.clone().map(Into::into),
+        result_ttl: (cli.result_ttl_s > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(cli.result_ttl_s)),
+        max_resident_masks: if cli.max_masks == 0 { usize::MAX } else { cli.max_masks },
         ..ServerConfig::default()
     };
     let workers = config.workers;
     let queue = config.queue_cap;
+    if let Some(dir) = &config.state_dir {
+        println!("state: {}", dir.display());
+    }
     let server = Server::bind(config)?;
     // The verify script parses this line to find the ephemeral port.
     println!("listening on http://{}", server.local_addr());

@@ -67,7 +67,8 @@ pub mod prelude {
         KernelSet, LithoSimulator, OpticsConfig, ProcessCondition, SourceSpec,
     };
     pub use ilt_runtime::{
-        run_batch, BatchCase, BatchConfig, RunReport, SeamPolicy, SimulatorCache,
+        run_batch, run_batch_resume, BatchCase, BatchConfig, FaultPlan, RunReport, SeamPolicy,
+        SimulatorCache,
     };
     pub use ilt_server::{Server, ServerConfig};
 }

@@ -1,0 +1,65 @@
+#!/bin/bash
+# Verifies crash-safe checkpoint/resume end to end, fully offline:
+#   1. Run A: an uninterrupted batch with checkpointing on, `--no-timing`
+#      so the journal is byte-stable — this is the reference output.
+#   2. Run B: the same batch with injected faults — `panic@2` makes job 2
+#      fail every attempt and `crash@4` aborts the whole process the
+#      instant job 4's checkpoint becomes durable. The run dies mid-flight:
+#      no canonical journal, only the write-ahead log and the per-tile
+#      checkpoint masks it managed to make durable.
+#   3. Resume: the same command again with `--resume` and no faults. Jobs
+#      with durable checkpoints are restored, the rest recomputed.
+#   4. The resumed journal and stitched mask must be BYTE-IDENTICAL to the
+#      uninterrupted run's — crash + resume is indistinguishable from
+#      never crashing.
+set -e
+BIN=./target/release/ilt
+OUT=bench-out/resume
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+COMMON="batch --threads 2 --grid 128 --tile 64 --halo 8 --kernels 4 --no-timing case1"
+
+# --- Run A: uninterrupted reference. -------------------------------------
+"$BIN" $COMMON --checkpoint --out "$OUT/a" --journal "$OUT/a.jsonl" \
+    > "$OUT/a.log" 2>&1
+[ -f "$OUT/a.jsonl" ] || { echo "RESUME_FAILED: reference journal missing"; exit 1; }
+
+# --- Run B: deterministic faults, process aborts mid-run. ----------------
+set +e
+"$BIN" $COMMON --checkpoint --out "$OUT/b" --journal "$OUT/b.jsonl" \
+    --inject "panic@2,crash@4" > "$OUT/b-crash.log" 2>&1
+CRASH_RC=$?
+set -e
+[ "$CRASH_RC" -ne 0 ] || { echo "RESUME_FAILED: injected crash did not kill run B"; exit 1; }
+grep -q "injected process crash" "$OUT/b-crash.log" \
+    || { echo "RESUME_FAILED: crash fault never fired"; cat "$OUT/b-crash.log"; exit 1; }
+[ ! -f "$OUT/b.jsonl" ] \
+    || { echo "RESUME_FAILED: crashed run still wrote a canonical journal"; exit 1; }
+[ -f "$OUT/b.jsonl.ckpt/wal.jsonl" ] \
+    || { echo "RESUME_FAILED: no write-ahead log survived the crash"; exit 1; }
+
+# --- Resume run B; only non-durable jobs recompute. ----------------------
+"$BIN" $COMMON --resume --out "$OUT/b" --journal "$OUT/b.jsonl" \
+    > "$OUT/b-resume.log" 2>&1
+RESTORED=$(sed -n 's/^resume: \([0-9]*\) job(s) restored.*/\1/p' "$OUT/b-resume.log")
+[ -n "$RESTORED" ] && [ "$RESTORED" -ge 1 ] \
+    || { echo "RESUME_FAILED: nothing restored from checkpoints"; cat "$OUT/b-resume.log"; exit 1; }
+echo "resume restored $RESTORED job(s) from the crashed run"
+
+# --- Byte-identical to the uninterrupted run. ----------------------------
+cmp "$OUT/a.jsonl" "$OUT/b.jsonl" \
+    || { echo "RESUME_FAILED: journals differ after resume"; exit 1; }
+cmp "$OUT/a_case1_mask.pgm" "$OUT/b_case1_mask.pgm" \
+    || { echo "RESUME_FAILED: masks differ after resume"; exit 1; }
+
+# --- A fingerprint mismatch must be rejected, not silently absorbed. -----
+set +e
+"$BIN" batch --threads 2 --grid 128 --tile 64 --halo 16 --kernels 4 --no-timing case1 \
+    --resume --out "$OUT/b" --journal "$OUT/b.jsonl" > "$OUT/b-mismatch.log" 2>&1
+MISMATCH_RC=$?
+set -e
+[ "$MISMATCH_RC" -ne 0 ] && grep -q "fingerprint mismatch" "$OUT/b-mismatch.log" \
+    || { echo "RESUME_FAILED: incompatible resume was not rejected"; cat "$OUT/b-mismatch.log"; exit 1; }
+
+echo "RESUME_VERIFIED: crash + resume is byte-identical to an uninterrupted run"
