@@ -30,6 +30,7 @@ use ilt_metrics::{EpeChecker, EvalReport};
 use ilt_optics::OpticsConfig;
 
 use crate::cache::SimulatorCache;
+use crate::cancel::{CancelToken, Progress};
 use crate::checkpoint::{config_fingerprint, load_wal, restore_output, CheckpointSink};
 use crate::fault::FaultPlan;
 use crate::job::IltJob;
@@ -84,6 +85,15 @@ pub struct BatchConfig {
     pub checkpoint: Option<PathBuf>,
     /// Deterministic fault injection (chaos testing); empty in production.
     pub faults: FaultPlan,
+    /// Cooperative cancellation: set from any thread to stop the run at the
+    /// next tile boundary. Tiles not yet started end as `cancelled` records
+    /// (their cores fall back to the target geometry when stitching).
+    /// Excluded from the configuration fingerprint — it never affects what
+    /// a job computes, only whether it runs.
+    pub cancel: CancelToken,
+    /// Live tile counter: ticks once per executed tile as its outcome lands,
+    /// readable from other threads while the batch runs.
+    pub progress: Progress,
 }
 
 impl Default for BatchConfig {
@@ -103,6 +113,8 @@ impl Default for BatchConfig {
             degrade: true,
             checkpoint: None,
             faults: FaultPlan::none(),
+            cancel: CancelToken::new(),
+            progress: Progress::new(),
         }
     }
 }
@@ -120,6 +132,8 @@ pub struct CaseResult {
     pub failed_tiles: usize,
     /// Jobs rescued by the degraded low-res fallback (usable, coarse mask).
     pub degraded_tiles: usize,
+    /// Jobs cancelled before running (cores fell back to the target).
+    pub cancelled_tiles: usize,
     /// Full-size evaluation of the stitched mask, when requested.
     pub eval: Option<EvalReport>,
 }
@@ -257,6 +271,8 @@ pub fn run_batch_resume(
         max_retries: config.max_retries,
         degrade: config.degrade,
         faults: config.faults.clone(),
+        cancel: config.cancel.clone(),
+        progress: config.progress.clone(),
     };
     let pending: Vec<IltJob> =
         jobs.into_iter().filter(|j| !restored.contains_key(&j.id)).collect();
@@ -321,7 +337,11 @@ fn assemble_case(
     cache: &SimulatorCache,
 ) -> Result<CaseResult, String> {
     let slice = &outputs[plan.first_job..plan.first_job + plan.jobs];
-    let failed_tiles = slice.iter().filter(|o| o.mask.is_none()).count();
+    let cancelled_tiles = slice
+        .iter()
+        .filter(|o| matches!(o.record.status, JobStatus::Cancelled))
+        .count();
+    let failed_tiles = slice.iter().filter(|o| o.mask.is_none()).count() - cancelled_tiles;
     let degraded_tiles = slice
         .iter()
         .filter(|o| matches!(o.record.status, JobStatus::Degraded(_)))
@@ -372,8 +392,33 @@ fn assemble_case(
         tiles: plan.jobs,
         failed_tiles,
         degraded_tiles,
+        cancelled_tiles,
         eval,
     })
+}
+
+/// Number of pool jobs a case will decompose into under `config` — the
+/// denominator of a "tiles done so far" progress report, computable before
+/// the batch runs.
+///
+/// # Errors
+///
+/// Rejects the same malformed inputs as [`run_batch`] (non-square or
+/// non-power-of-two target, bad tile geometry).
+pub fn planned_jobs(case: &BatchCase, config: &BatchConfig) -> Result<usize, String> {
+    let (rows, cols) = case.target.shape();
+    if rows != cols || !rows.is_power_of_two() {
+        return Err(format!(
+            "case {}: target must be square power-of-two, got {rows}x{cols}",
+            case.name
+        ));
+    }
+    if rows <= config.tile {
+        return Ok(1);
+    }
+    let grid = TileGrid::new(rows, config.tile, config.halo)
+        .map_err(|e| format!("case {}: {e}", case.name))?;
+    Ok(grid.len())
 }
 
 #[cfg(test)]
@@ -501,6 +546,24 @@ mod tests {
         let mut resume = small_config(1);
         resume.checkpoint = None;
         assert!(run_batch_resume(&[bar_case("x", 64)], &resume, &cache, true).is_err());
+    }
+
+    #[test]
+    fn cancelled_batch_reports_cancelled_tiles_and_falls_back_to_target() {
+        let cache = SimulatorCache::new();
+        let config = small_config(2);
+        config.cancel.cancel();
+        let case = bar_case("big", 128);
+        let out = run_batch(&[case.clone()], &config, &cache).unwrap();
+        assert_eq!(out.cases[0].tiles, 9);
+        assert_eq!(out.cases[0].cancelled_tiles, 9);
+        assert_eq!(out.cases[0].failed_tiles, 0, "cancelled tiles are not failures");
+        assert_eq!(out.report.cancelled_jobs(), 9);
+        assert_eq!(out.report.failed_jobs(), 0);
+        assert_eq!(config.progress.done(), 0);
+        assert_eq!(out.cases[0].mask, case.target.threshold(0.5));
+        assert_eq!(planned_jobs(&case, &config).unwrap(), 9);
+        assert_eq!(planned_jobs(&bar_case("clip", 64), &config).unwrap(), 1);
     }
 
     #[test]

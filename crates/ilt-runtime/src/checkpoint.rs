@@ -447,6 +447,7 @@ pub fn parse_wal_record(line: &str) -> Result<LoadedRecord, String> {
         "done" => JobStatus::Done,
         "degraded" => JobStatus::Degraded(json_field_str(line, "reason")?),
         "failed" => JobStatus::Failed(json_field_str(line, "reason")?),
+        "cancelled" => JobStatus::Cancelled,
         other => return Err(format!("unknown status {other}")),
     };
     let metrics = if json_field_raw(line, "mask_hash").is_some() {

@@ -268,6 +268,14 @@ impl FaultPlan {
                 ("nan", None) => FaultKind::PoisonNan,
                 ("ckpt", None) => FaultKind::CheckpointError,
                 ("crash", None) => {
+                    // A crash fires once, when the job's checkpoint lands;
+                    // silently dropping an attempt range here would make
+                    // parse → Display → parse lossy, so reject it instead.
+                    if attempts_tok.is_some() {
+                        return Err(format!(
+                            "fault spec `{entry}`: crash takes no attempt range"
+                        ));
+                    }
                     plan.crash_after_checkpoint = Some(job_id);
                     continue;
                 }
@@ -361,8 +369,39 @@ mod tests {
     }
 
     #[test]
+    fn every_kind_round_trips_parse_display_parse() {
+        // The grammar must be a fixed point: parse → Display reproduces the
+        // input exactly, and Display → parse reproduces the plan exactly,
+        // for every kind and every attempt-address form.
+        for spec in [
+            "panic@0",
+            "panic@0:2",
+            "panic@0:2-3",
+            "delay@1=250",
+            "delay@1:2=250",
+            "delay@1:2-4=250",
+            "build@2",
+            "build@2:1",
+            "nan@3",
+            "nan@3:1-3",
+            "ckpt@4",
+            "ckpt@4:2",
+            "crash@5",
+            "panic@0:2,delay@1:2=250,crash@5",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let display = plan.to_string();
+            assert_eq!(display, spec, "Display must reproduce the input");
+            let reparsed = FaultPlan::parse(&display).unwrap();
+            assert_eq!(plan, reparsed, "parse(Display) must reproduce the plan");
+        }
+    }
+
+    #[test]
     fn parse_rejects_malformed_specs() {
-        for bad in ["panic", "panic@x", "delay@1:1", "warp@0", "panic@1:0", "panic@1:3-2"] {
+        for bad in
+            ["panic", "panic@x", "delay@1:1", "warp@0", "panic@1:0", "panic@1:3-2", "crash@5:2"]
+        {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
         }
         assert!(FaultPlan::parse("").unwrap().is_empty());

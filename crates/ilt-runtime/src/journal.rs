@@ -34,6 +34,9 @@ pub enum JobStatus {
     Degraded(String),
     /// The job exhausted its retry budget; the reason of the last attempt.
     Failed(String),
+    /// The run was cancelled before this job started; no attempt ran and
+    /// there is no mask. Cancelled jobs are terminal but not failures.
+    Cancelled,
 }
 
 impl JobStatus {
@@ -219,6 +222,7 @@ impl JobRecord {
             JobStatus::Failed(why) => {
                 s.push_str(&format!("\"status\":\"failed\",\"reason\":\"{}\",", json_escape(why)))
             }
+            JobStatus::Cancelled => s.push_str("\"status\":\"cancelled\","),
         }
         match &self.metrics {
             Some(m) => s.push_str(&format!(
@@ -279,6 +283,7 @@ impl JobRecord {
                 JobStatus::Done => "done".into(),
                 JobStatus::Degraded(why) => format!("degraded({why})"),
                 JobStatus::Failed(why) => format!("failed({why})"),
+                JobStatus::Cancelled => "cancelled".into(),
             },
             metrics
         )
@@ -302,6 +307,14 @@ impl RunReport {
             .count()
     }
 
+    /// Number of jobs that ended [`JobStatus::Cancelled`] (never ran).
+    pub fn cancelled_jobs(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, JobStatus::Cancelled))
+            .count()
+    }
+
     /// Number of jobs whose terminal (or degrading) reason classifies as
     /// the typed `"numeric"` failure — the NaN/Inf guard tripping.
     pub fn numeric_failures(&self) -> usize {
@@ -311,7 +324,7 @@ impl RunReport {
                 JobStatus::Failed(why) | JobStatus::Degraded(why) => {
                     failure_kind(why) == "numeric"
                 }
-                JobStatus::Done => false,
+                JobStatus::Done | JobStatus::Cancelled => false,
             })
             .count()
     }
@@ -457,6 +470,11 @@ impl fmt::Display for RunReport {
                     f,
                     "{:>4} {:<14} {:>11} {:>6} FAILED after {} attempts: {}",
                     r.job_id, r.case, tile, r.grid, r.attempts, why
+                )?,
+                (JobStatus::Cancelled, _) => writeln!(
+                    f,
+                    "{:>4} {:<14} {:>11} {:>6} CANCELLED before any attempt ran",
+                    r.job_id, r.case, tile, r.grid
                 )?,
                 (JobStatus::Done | JobStatus::Degraded(_), None) => writeln!(
                     f,
@@ -644,6 +662,23 @@ mod tests {
         assert_eq!(report.degraded_jobs(), 1);
         assert_eq!(report.numeric_failures(), 1);
         assert!(report.to_jsonl_opts(false).contains("\"degraded\":1,\"numeric\":1"));
+    }
+
+    #[test]
+    fn cancelled_record_serializes_and_counts() {
+        let mut r = record(5, JobStatus::Cancelled);
+        r.metrics = None;
+        let line = r.to_json();
+        assert!(line.contains("\"status\":\"cancelled\""), "{line}");
+        assert!(line.contains("\"metrics\":null"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(!r.status.has_mask() && !r.status.is_done());
+        assert!(r.digest().contains("status=cancelled"));
+        let report = RunReport { threads: 1, records: vec![r], total_wall_ms: 1.0 };
+        assert_eq!(report.failed_jobs(), 0);
+        assert_eq!(report.cancelled_jobs(), 1);
+        assert_eq!(report.numeric_failures(), 0);
+        assert!(report.to_string().contains("CANCELLED"));
     }
 
     #[test]

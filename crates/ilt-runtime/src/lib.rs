@@ -48,6 +48,7 @@
 
 mod batch;
 mod cache;
+mod cancel;
 mod checkpoint;
 mod fault;
 mod job;
@@ -56,9 +57,10 @@ mod pool;
 mod tiler;
 
 pub use batch::{
-    run_batch, run_batch_resume, BatchCase, BatchConfig, BatchOutcome, CaseResult,
+    planned_jobs, run_batch, run_batch_resume, BatchCase, BatchConfig, BatchOutcome, CaseResult,
 };
 pub use cache::SimulatorCache;
+pub use cancel::{CancelToken, Progress};
 pub use checkpoint::{
     config_fingerprint, json_field_f64, json_field_raw, json_field_str, json_field_u64,
     json_unescape, load_mask, load_wal, mask_file_name, parse_wal_record, restore_output,

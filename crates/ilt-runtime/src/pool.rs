@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use ilt_field::Field2D;
 
 use crate::cache::SimulatorCache;
+use crate::cancel::{CancelToken, Progress};
 use crate::checkpoint::CheckpointSink;
 use crate::fault::FaultPlan;
 use crate::job::{run_attempt, run_degraded_attempt, IltJob, JobSuccess};
@@ -50,6 +51,13 @@ pub struct PoolConfig {
     pub degrade: bool,
     /// Deterministic fault injection for this run.
     pub faults: FaultPlan,
+    /// Cooperative cancellation: once set, workers stop starting new
+    /// attempts and drain the remaining queue as `cancelled` records.
+    /// In-flight attempts finish (or time out) normally.
+    pub cancel: CancelToken,
+    /// Incremented once per job whose outcome is known (done, degraded, or
+    /// failed — not cancelled); a caller's live "tiles done" counter.
+    pub progress: Progress,
 }
 
 impl Default for PoolConfig {
@@ -60,6 +68,8 @@ impl Default for PoolConfig {
             max_retries: 1,
             degrade: true,
             faults: FaultPlan::none(),
+            cancel: CancelToken::new(),
+            progress: Progress::new(),
         }
     }
 }
@@ -176,6 +186,21 @@ fn worker_loop(
             }
         };
 
+        // The tile boundary: a cancellation observed here turns the popped
+        // job (and, one by one, the rest of the queue) into a cancelled
+        // record without starting its attempt. Retries of an in-flight job
+        // land back on the queue and are swept up the same way. Cancelled
+        // outputs are deliberately not checkpointed — on a resume they are
+        // exactly the jobs that should run.
+        if config.cancel.is_cancelled() {
+            let output = cancelled(&queued);
+            let mut state = shared.state.lock().expect("pool state lock poisoned");
+            state.outputs[queued.slot] = Some(output);
+            state.in_flight -= 1;
+            shared.wakeup.notify_all();
+            continue;
+        }
+
         let started = Instant::now();
         let outcome = execute_attempt(&queued.job, queued.attempt, false, config, cache);
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -223,6 +248,7 @@ fn worker_loop(
         if let Some(sink) = sink {
             sink.persist(&output);
         }
+        config.progress.tick();
         let mut state = shared.state.lock().expect("pool state lock poisoned");
         state.outputs[queued.slot] = Some(output);
         state.in_flight -= 1;
@@ -320,6 +346,13 @@ fn degraded(queued: &Queued, success: JobSuccess, why: String, elapsed_ms: f64) 
 
 fn failed(queued: &Queued, error: String, elapsed_ms: f64) -> JobOutput {
     JobOutput { record: base_record(queued, JobStatus::Failed(error), elapsed_ms), mask: None }
+}
+
+fn cancelled(queued: &Queued) -> JobOutput {
+    let mut record = base_record(queued, JobStatus::Cancelled, 0.0);
+    // No attempt ran for this pop; report only the attempts already spent.
+    record.attempts = queued.attempt.saturating_sub(1);
+    JobOutput { record, mask: None }
 }
 
 #[cfg(test)]
@@ -484,6 +517,7 @@ mod tests {
                 max_retries: 0,
                 degrade: false,
                 faults: FaultPlan::none(),
+                ..PoolConfig::default()
             },
             &cache,
         );
@@ -509,6 +543,7 @@ mod tests {
                 degrade: true,
                 faults: FaultPlan::none()
                     .with(FaultSpec::at(0, 1, FaultKind::Delay { ms: 60_000 })),
+                ..PoolConfig::default()
             },
             &cache,
         );
@@ -519,6 +554,57 @@ mod tests {
         );
         assert_eq!(outputs[0].record.attempts, 2);
         assert!(outputs[0].record.wall_ms >= 5_000.0, "attempt 1 burned the full timeout");
+    }
+
+    #[test]
+    fn pre_cancelled_pool_drains_without_running_anything() {
+        let cache = SimulatorCache::new();
+        let config = PoolConfig { threads: 2, ..PoolConfig::default() };
+        config.cancel.cancel();
+        let outputs = run_jobs((0..4).map(job).collect(), &config, &cache);
+        assert_eq!(outputs.len(), 4);
+        for out in &outputs {
+            assert!(matches!(out.record.status, JobStatus::Cancelled), "{:?}", out.record);
+            assert!(out.mask.is_none());
+        }
+        assert_eq!(cache.len(), 0, "no attempt ever touched the simulator");
+        assert_eq!(config.progress.done(), 0, "cancelled jobs are not progress");
+    }
+
+    #[test]
+    fn mid_run_cancellation_finishes_the_in_flight_job_only() {
+        let cache = SimulatorCache::new();
+        // Job 0 sleeps 400 ms before running; the cancel lands during that
+        // window, so job 0 (already in flight) completes while jobs 1..3
+        // are swept off the queue as cancelled.
+        let config = PoolConfig {
+            threads: 1,
+            faults: FaultPlan::none().with(FaultSpec::at(0, 1, FaultKind::Delay { ms: 400 })),
+            ..PoolConfig::default()
+        };
+        let token = config.cancel.clone();
+        let canceller = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        });
+        let outputs = run_jobs((0..4).map(job).collect(), &config, &cache);
+        canceller.join().unwrap();
+        assert!(matches!(outputs[0].record.status, JobStatus::Done), "{:?}", outputs[0].record);
+        for out in &outputs[1..] {
+            assert!(matches!(out.record.status, JobStatus::Cancelled), "{:?}", out.record);
+        }
+        assert_eq!(config.progress.done(), 1, "only the in-flight job counts");
+    }
+
+    #[test]
+    fn progress_counts_every_executed_job() {
+        let cache = SimulatorCache::new();
+        let config = PoolConfig { threads: 2, ..PoolConfig::default() };
+        let progress = config.progress.clone();
+        assert_eq!(progress.done(), 0);
+        let outputs = run_jobs((0..5).map(job).collect(), &config, &cache);
+        assert_eq!(outputs.len(), 5);
+        assert_eq!(progress.done(), 5, "failed and done jobs both tick progress");
     }
 
     #[test]

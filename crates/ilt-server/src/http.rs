@@ -1,11 +1,14 @@
 //! A minimal HTTP/1.1 request parser and response writer over `TcpStream`.
 //!
-//! Only the subset the job service needs: one request per connection
-//! (`Connection: close` is always sent back), request-line + header parsing
-//! with a hard size cap, `Content-Length` bodies with their own cap, and
-//! percent-decoded query strings. Robustness limits are explicit inputs
-//! ([`Limits`]) so every handler path is testable without a server; socket
-//! read/write timeouts are set by the caller on the stream itself.
+//! Only the subset the job service needs: request-line + header parsing
+//! with a hard size cap, `Content-Length` bodies with their own cap,
+//! percent-decoded query strings, and HTTP/1.1 persistent connections —
+//! [`Request::read_from_buffered`] carries pipelined bytes between requests
+//! and reports whether the client permits keep-alive, while the server
+//! bounds each connection with a request cap and an idle timeout.
+//! Robustness limits are explicit inputs ([`Limits`]) so every handler path
+//! is testable without a server; socket read/write timeouts are set by the
+//! caller on the stream itself.
 
 use std::io::{self, Read, Write};
 
@@ -77,7 +80,29 @@ impl Request {
     /// See [`HttpError`]; on any error the connection should be answered
     /// with the matching status (when possible) and closed.
     pub fn read_from(stream: &mut impl Read, limits: &Limits) -> Result<Request, HttpError> {
-        let (head, mut tail) = read_head(stream, limits)?;
+        let mut carry = Vec::new();
+        Request::read_from_buffered(stream, &mut carry, limits).map(|(req, _)| req)
+    }
+
+    /// Reads one request from `stream`, consuming any bytes left in `carry`
+    /// by the previous request first and leaving pipelined surplus there
+    /// for the next call — the building block of a keep-alive connection
+    /// loop. Also reports whether the client permits the connection to stay
+    /// open (`HTTP/1.1` without `Connection: close`, or an explicit
+    /// `Connection: keep-alive`).
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`]. A clean close at a request boundary (empty buffer,
+    /// zero-byte read) surfaces as [`HttpError::Io`] with
+    /// [`io::ErrorKind::UnexpectedEof`]: the connection simply ended, and no
+    /// response should be written.
+    pub fn read_from_buffered(
+        stream: &mut impl Read,
+        carry: &mut Vec<u8>,
+        limits: &Limits,
+    ) -> Result<(Request, bool), HttpError> {
+        let (head, mut tail) = read_head_buffered(stream, carry, limits)?;
         let head = std::str::from_utf8(&head)
             .map_err(|_| HttpError::BadRequest("non-utf8 request head".into()))?;
         let mut lines = head.split("\r\n");
@@ -129,8 +154,9 @@ impl Request {
             return Err(HttpError::PayloadTooLarge(content_length));
         }
         if tail.len() > content_length {
-            // More bytes than declared: pipelining is unsupported.
-            tail.truncate(content_length);
+            // Bytes past this request's body are the next pipelined
+            // request; they wait in the carry buffer.
+            *carry = tail.split_off(content_length);
         }
         let mut body = tail;
         while body.len() < content_length {
@@ -146,20 +172,41 @@ impl Request {
             body.extend_from_slice(&chunk[..n]);
         }
 
-        Ok(Request {
-            method: method.to_ascii_uppercase(),
-            path,
-            query,
-            headers,
-            body,
-        })
+        let connection = headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .map(|(_, v)| v.to_ascii_lowercase());
+        let keep_alive = match connection.as_deref() {
+            Some(v) => {
+                let tokens: Vec<&str> = v.split(',').map(str::trim).collect();
+                !tokens.contains(&"close")
+                    && (version == "HTTP/1.1" || tokens.contains(&"keep-alive"))
+            }
+            None => version == "HTTP/1.1",
+        };
+
+        Ok((
+            Request {
+                method: method.to_ascii_uppercase(),
+                path,
+                query,
+                headers,
+                body,
+            },
+            keep_alive,
+        ))
     }
 }
 
-/// Reads up to and including the `\r\n\r\n` head terminator; returns the
-/// head (without the terminator) and any body bytes read past it.
-fn read_head(stream: &mut impl Read, limits: &Limits) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    let mut buf = Vec::with_capacity(512);
+/// Reads up to and including the `\r\n\r\n` head terminator, starting from
+/// whatever `carry` holds; returns the head (without the terminator) and
+/// any body bytes read past it.
+fn read_head_buffered(
+    stream: &mut impl Read,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf = std::mem::take(carry);
     loop {
         if let Some(end) = find_terminator(&buf) {
             let tail = buf.split_off(end + 4);
@@ -172,7 +219,13 @@ fn read_head(stream: &mut impl Read, limits: &Limits) -> Result<(Vec<u8>, Vec<u8
         let mut chunk = [0u8; 1024];
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(HttpError::BadRequest("connection closed mid-head".into()));
+            return Err(if buf.is_empty() {
+                // A clean close between requests: the end of a keep-alive
+                // connection, not a protocol error.
+                HttpError::Io(io::Error::from(io::ErrorKind::UnexpectedEof))
+            } else {
+                HttpError::BadRequest("connection closed mid-head".into())
+            });
         }
         buf.extend_from_slice(&chunk[..n]);
     }
@@ -280,18 +333,31 @@ impl Response {
         self
     }
 
-    /// Serializes status line, headers, and body onto `w`.
+    /// Serializes status line, headers, and body onto `w`, closing the
+    /// connection (`Connection: close`).
     ///
     /// # Errors
     ///
     /// Propagates socket write errors (including write timeouts).
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        self.write_with_connection(w, false)
+    }
+
+    /// [`Response::write_to`] with an explicit connection disposition:
+    /// `keep_alive` announces `Connection: keep-alive` so the client may
+    /// send another request on the same socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors (including write timeouts).
+    pub fn write_with_connection(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         );
         for (name, value) in &self.headers {
             head.push_str(&format!("{name}: {value}\r\n"));
@@ -426,6 +492,52 @@ mod tests {
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"id\":1}\n"));
+    }
+
+    #[test]
+    fn pipelined_requests_share_one_carry_buffer() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /next HTTP/1.1\r\n\r\n";
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        let mut carry = Vec::new();
+        let (first, keep) =
+            Request::read_from_buffered(&mut cursor, &mut carry, &Limits::default()).unwrap();
+        assert_eq!(first.body, b"abc");
+        assert!(keep, "1.1 without connection: close stays open");
+        assert!(!carry.is_empty(), "the pipelined request waits in the carry");
+        let (second, _) =
+            Request::read_from_buffered(&mut cursor, &mut carry, &Limits::default()).unwrap();
+        assert_eq!(second.path, "/next");
+        assert!(carry.is_empty());
+        // Exhausted input at a request boundary: a clean EOF, not a 400.
+        match Request::read_from_buffered(&mut cursor, &mut carry, &Limits::default()) {
+            Err(HttpError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected clean EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_connection() {
+        let cases: [(&[u8], bool); 4] = [
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+        ];
+        for (raw, expect) in cases {
+            let mut cursor = io::Cursor::new(raw.to_vec());
+            let mut carry = Vec::new();
+            let (_, keep) =
+                Request::read_from_buffered(&mut cursor, &mut carry, &Limits::default()).unwrap();
+            assert_eq!(keep, expect, "{:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn keep_alive_response_announces_it() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_with_connection(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]

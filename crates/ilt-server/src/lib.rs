@@ -18,6 +18,16 @@
 //!   counters, queue depth, simulator-cache hit/miss/eviction counts, and
 //!   per-stage latency histograms fed by the same `StageTimes` the journal
 //!   records ([`metrics`]).
+//! - **Cancellation**: `DELETE /v1/jobs/{id}` kills a queued job on the
+//!   spot and cooperatively stops a running one at its next tile boundary;
+//!   `GET /v1/jobs/{id}` streams `tiles_done`/`tiles_planned` progress
+//!   while a job runs.
+//! - **Keep-alive**: HTTP/1.1 persistent connections with a per-connection
+//!   request cap and idle timeout; pipelined requests are served in order.
+//! - **Bounded state**: with a state directory, every admission, outcome,
+//!   and cancellation is logged for crash-safe restart, and the log is
+//!   compacted (live jobs snapshot to `state.snapshot.jsonl`, log
+//!   truncated) once it outgrows a configured threshold.
 //! - **Graceful drain**: `POST /v1/shutdown` (the SIGTERM-equivalent hook)
 //!   stops admissions, finishes queued and in-flight jobs, flushes the
 //!   JSON Lines journal, then lets [`Server::run`] return.
@@ -50,6 +60,6 @@ pub use http::{base64_encode, HttpError, Limits, Request, Response};
 pub use metrics::{Counter, FailureKinds, Gauges, Histogram, Metrics, FAILURE_KINDS};
 pub use server::{Server, ServerConfig};
 pub use store::{
-    ExecPolicy, JobDone, JobParams, JobSource, JobState, JobStore, MaskFetch, RecoveryStats,
-    StateLog, SubmitError,
+    CancelOutcome, ExecPolicy, JobDone, JobParams, JobSource, JobState, JobStore, MaskFetch,
+    RecoveryStats, StateLog, SubmitError, SNAPSHOT_FILE,
 };

@@ -156,6 +156,8 @@ pub struct Metrics {
     pub completed: Counter,
     /// Jobs that finished with at least one failed tile or an engine error.
     pub failed: Counter,
+    /// Jobs cancelled by `DELETE /v1/jobs/{id}` (queued or running).
+    pub cancelled: Counter,
     /// Jobs reconstructed from the state log at startup (finished restores
     /// plus re-queued interruptions).
     pub recovered: Counter,
@@ -219,6 +221,7 @@ impl Metrics {
         counter(&mut out, "ilt_jobs_rejected_total", "Submissions rejected with 503.", self.rejected.get());
         counter(&mut out, "ilt_jobs_completed_total", "Jobs finished fully done.", self.completed.get());
         counter(&mut out, "ilt_jobs_failed_total", "Jobs finished failed (engine error or failed tiles).", self.failed.get());
+        counter(&mut out, "ilt_jobs_cancelled_total", "Jobs cancelled via DELETE /v1/jobs/{id}.", self.cancelled.get());
         counter(&mut out, "ilt_jobs_recovered_total", "Jobs reconstructed from the state log at startup.", self.recovered.get());
         counter(&mut out, "ilt_tiles_degraded_total", "Tiles rescued by the degraded low-res fallback.", self.degraded_tiles.get());
         counter(&mut out, "ilt_masks_evicted_total", "Result masks evicted by the TTL/residency sweep.", self.evicted.get());
@@ -291,6 +294,7 @@ mod tests {
         m.tile_failures.inc("panic");
         m.tile_failures.inc("numeric");
         m.tile_failures.inc("something-new"); // unknown kinds land in `other`
+        m.cancelled.inc();
         m.degraded_tiles.inc();
         m.evicted.add(3);
         m.recovered.add(2);
@@ -299,6 +303,7 @@ mod tests {
         assert!(text.contains("ilt_tile_failures_total{kind=\"numeric\"} 1\n"));
         assert!(text.contains("ilt_tile_failures_total{kind=\"timeout\"} 0\n"));
         assert!(text.contains("ilt_tile_failures_total{kind=\"other\"} 1\n"));
+        assert!(text.contains("ilt_jobs_cancelled_total 1\n"));
         assert!(text.contains("ilt_tiles_degraded_total 1\n"));
         assert!(text.contains("ilt_masks_evicted_total 3\n"));
         assert!(text.contains("ilt_jobs_recovered_total 2\n"));

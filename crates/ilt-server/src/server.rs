@@ -22,7 +22,8 @@ use ilt_runtime::{failure_kind, field_hash, run_batch, JobStatus, SimulatorCache
 use crate::http::{HttpError, Limits, Request, Response};
 use crate::metrics::{Gauges, Metrics};
 use crate::store::{
-    ExecPolicy, JobDone, JobParams, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
+    CancelOutcome, ExecPolicy, JobDone, JobParams, JobStore, MaskFetch, RecoveryStats, StateLog,
+    SubmitError,
 };
 
 /// Everything tunable about a server instance.
@@ -57,6 +58,15 @@ pub struct ServerConfig {
     /// Hard cap on resident result masks; the oldest-finished are evicted
     /// beyond it.
     pub max_resident_masks: usize,
+    /// Maximum requests served per keep-alive connection before the server
+    /// closes it (bounds how long one client can pin a handler thread).
+    pub keep_alive_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Compact the state log (snapshot live jobs, truncate `state.jsonl`)
+    /// once it exceeds this many bytes; 0 disables compaction.
+    pub compact_state_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +85,9 @@ impl Default for ServerConfig {
             state_dir: None,
             result_ttl: None,
             max_resident_masks: usize::MAX,
+            keep_alive_requests: 32,
+            idle_timeout: Duration::from_secs(5),
+            compact_state_bytes: 0,
         }
     }
 }
@@ -116,7 +129,7 @@ impl Server {
         let (store, recovered) = match &config.state_dir {
             None => (JobStore::new(config.queue_cap), RecoveryStats::default()),
             Some(dir) => {
-                let state = StateLog::open(dir)?;
+                let state = StateLog::open_with_compaction(dir, config.compact_state_bytes)?;
                 JobStore::recover(config.queue_cap, state, &config.policy)
                     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
             }
@@ -214,6 +227,21 @@ fn worker_loop(shared: &Shared) {
         let started = Instant::now();
         let outcome = run_batch(&[case], &config, &shared.cache);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        // A cancelled run (token set, at least one tile skipped) is a
+        // distinct terminal state: no mask, no failure. A job that managed
+        // to complete every tile despite a late cancel stays Done —
+        // cancellation is best-effort by design.
+        if config.cancel.is_cancelled() {
+            if let Ok(out) = &outcome {
+                if out.cases.first().is_some_and(|c| c.cancelled_tiles > 0) {
+                    append_journal(shared, &out.report.records);
+                    shared.metrics.cancelled.inc();
+                    shared.store.finish_cancelled(id);
+                    sweep_results(shared);
+                    continue;
+                }
+            }
+        }
         let outcome = outcome.map(|mut out| {
             let result = out.cases.pop().expect("one case in, one result out");
             for record in &out.report.records {
@@ -223,7 +251,7 @@ fn worker_loop(shared: &Shared) {
                         shared.metrics.tile_failures.inc(failure_kind(reason));
                     }
                     JobStatus::Degraded(_) => shared.metrics.degraded_tiles.inc(),
-                    JobStatus::Done => {}
+                    JobStatus::Done | JobStatus::Cancelled => {}
                 }
             }
             append_journal(shared, &out.report.records);
@@ -281,46 +309,80 @@ fn append_journal(shared: &Shared, records: &[ilt_runtime::JobRecord]) {
     }
 }
 
+/// Serves one connection: a keep-alive loop bounded by the configured
+/// per-connection request cap and idle timeout. Pipelined bytes carry over
+/// between iterations; any protocol error answers with `Connection: close`
+/// and ends the loop.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    // `refused` marks requests rejected before their input was fully read;
-    // those sockets need draining below or the close would RST the client.
-    let (response, refused) = match Request::read_from(&mut stream, &shared.config.limits) {
-        Ok(request) => (route(shared, &request), false),
-        Err(HttpError::BadRequest(why)) => (Response::error(400, &why), true),
-        Err(HttpError::PayloadTooLarge(n)) => (
-            Response::error(
-                413,
-                &format!("body of {n} bytes exceeds the {}-byte limit", shared.config.limits.max_body_bytes),
-            ),
-            true,
-        ),
-        Err(HttpError::HeadTooLarge) => (Response::error(431, "request head too large"), true),
-        // Socket error or timeout mid-read: nothing trustworthy to answer.
-        Err(HttpError::Io(_)) => return,
-    };
-    let _ = response.write_to(&mut stream);
-    if refused {
-        // Closing with unread input in the receive buffer sends RST, which
-        // can discard the error response before the client reads it. Send
-        // FIN first, then sink the rest of the client's request (bounded,
-        // so a hostile sender can't pin the thread).
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-        let mut sink = [0u8; 8192];
-        let mut drained = 0usize;
-        loop {
-            match std::io::Read::read(&mut stream, &mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => {
-                    drained += n;
-                    if drained > shared.config.limits.max_body_bytes {
-                        break;
+    let mut carry = Vec::new();
+    let mut served = 0usize;
+    loop {
+        // `refused` marks requests rejected before their input was fully
+        // read; those sockets need draining below or the close would RST
+        // the client.
+        let (response, refused) =
+            match Request::read_from_buffered(&mut stream, &mut carry, &shared.config.limits) {
+                Ok((request, client_keep_alive)) => {
+                    let response = route(shared, &request);
+                    served += 1;
+                    let keep_alive = client_keep_alive
+                        && served < shared.config.keep_alive_requests
+                        && !shared.shutdown.load(Ordering::SeqCst);
+                    if keep_alive {
+                        if response.write_with_connection(&mut stream, true).is_err() {
+                            return;
+                        }
+                        // Between requests the (usually longer) idle
+                        // timeout governs how long the socket may sit open.
+                        let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+                        continue;
+                    }
+                    (response, false)
+                }
+                Err(HttpError::BadRequest(why)) => (Response::error(400, &why), true),
+                Err(HttpError::PayloadTooLarge(n)) => (
+                    Response::error(
+                        413,
+                        &format!(
+                            "body of {n} bytes exceeds the {}-byte limit",
+                            shared.config.limits.max_body_bytes
+                        ),
+                    ),
+                    true,
+                ),
+                Err(HttpError::HeadTooLarge) => {
+                    (Response::error(431, "request head too large"), true)
+                }
+                // Socket error, idle timeout, or a clean close between
+                // requests: nothing trustworthy (or nothing at all) to
+                // answer.
+                Err(HttpError::Io(_)) => return,
+            };
+        let _ = response.write_to(&mut stream);
+        if refused {
+            // Closing with unread input in the receive buffer sends RST,
+            // which can discard the error response before the client reads
+            // it. Send FIN first, then sink the rest of the client's
+            // request (bounded, so a hostile sender can't pin the thread).
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut sink = [0u8; 8192];
+            let mut drained = 0usize;
+            loop {
+                match std::io::Read::read(&mut stream, &mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        drained += n;
+                        if drained > shared.config.limits.max_body_bytes {
+                            break;
+                        }
                     }
                 }
             }
         }
+        return;
     }
 }
 
@@ -364,7 +426,11 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 }
             }
         },
-        (_, ["v1", "jobs", _]) => method_not_allowed("GET"),
+        ("DELETE", ["v1", "jobs", id]) => match id.parse::<usize>() {
+            Err(_) => Response::error(400, &format!("bad job id {id:?}")),
+            Ok(id) => cancel_job(shared, id),
+        },
+        (_, ["v1", "jobs", _]) => method_not_allowed("GET, DELETE"),
 
         ("GET", ["v1", "jobs", id, "mask"]) => match id.parse::<usize>() {
             Err(_) => Response::error(400, &format!("bad job id {id:?}")),
@@ -395,6 +461,27 @@ fn route(shared: &Shared, req: &Request) -> Response {
 
 fn method_not_allowed(allow: &str) -> Response {
     Response::error(405, "method not allowed").with_header("allow", allow)
+}
+
+/// `DELETE /v1/jobs/{id}`: a queued job dies immediately, a running job is
+/// asked to stop at its next tile boundary — both answer `202 Accepted`
+/// (cancellation of a running job is asynchronous and best-effort). A job
+/// already in a terminal state answers `409 Conflict` stating that state.
+fn cancel_job(shared: &Shared, id: usize) -> Response {
+    match shared.store.cancel(id) {
+        CancelOutcome::Cancelled => {
+            shared.metrics.cancelled.inc();
+            Response::json(202, format!("{{\"id\":{id},\"state\":\"cancelled\"}}"))
+        }
+        CancelOutcome::Cancelling => {
+            Response::json(202, format!("{{\"id\":{id},\"state\":\"cancelling\"}}"))
+        }
+        CancelOutcome::AlreadyFinished(state) => Response::error(
+            409,
+            &format!("job {id} already finished (state: {state:?})"),
+        ),
+        CancelOutcome::NoSuchJob => Response::error(404, &format!("no job {id}")),
+    }
 }
 
 fn submit_job(shared: &Shared, req: &Request) -> Response {

@@ -16,11 +16,27 @@
 //! [`JobStore::recover`] rebuilds the job table on restart — finished jobs
 //! come back with their masks (hash-verified), interrupted ones are
 //! re-planned and re-queued.
+//!
+//! Two lifecycle extensions keep a long-lived server bounded:
+//!
+//! - **Cancellation** ([`JobStore::cancel`]): a queued job is pulled out of
+//!   the queue and turns terminal immediately; a running job has its
+//!   cooperative [`CancelToken`] set and stops at the next tile boundary
+//!   (the worker then records it via [`JobStore::finish_cancelled`]). Both
+//!   paths append a `cancel` record so a restart does not resurrect the job.
+//! - **Compaction** ([`JobStore::maybe_compact`]): once `state.jsonl` grows
+//!   past a configured byte threshold, the live job table is snapshot to
+//!   `state.snapshot.jsonl` (written atomically) and the log is truncated,
+//!   so restart replay stays proportional to *live* jobs — cancelled jobs
+//!   and evicted masks are dropped from the snapshot and answer 404 after
+//!   the next restart. A crash between snapshot and truncate is safe:
+//!   recovery replays the snapshot first, then the log, idempotently.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -31,7 +47,8 @@ use ilt_metrics::EvalReport;
 use ilt_optics::OpticsConfig;
 use ilt_runtime::{
     field_hash, json_escape, json_f64, json_field_str, json_field_u64, load_mask,
-    mask_file_name, write_atomic, BatchCase, BatchConfig, FaultPlan, JobRecord, SeamPolicy,
+    mask_file_name, planned_jobs, write_atomic, BatchCase, BatchConfig, CancelToken, FaultPlan,
+    JobRecord, Progress, SeamPolicy,
 };
 
 use crate::http::Request;
@@ -422,6 +439,8 @@ pub enum JobState {
     Done,
     /// Finished with an error or failed tiles.
     Failed,
+    /// Cancelled before completion; terminal, never produces a mask.
+    Cancelled,
 }
 
 impl JobState {
@@ -431,8 +450,27 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// What `DELETE /v1/jobs/{id}` accomplished.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: it is terminal now, no work ever ran.
+    Cancelled,
+    /// The job is running: its cancel token is set and it will stop at the
+    /// next tile boundary (the handler answers `202 Accepted`).
+    Cancelling,
+    /// The job already reached a terminal state; nothing to cancel.
+    AlreadyFinished(JobState),
+    /// No job with that id.
+    NoSuchJob,
 }
 
 /// The retained product of a finished job.
@@ -468,10 +506,25 @@ struct JobEntry {
     result: Option<JobDone>,
     /// When the terminal state was recorded; the TTL clock for eviction.
     finished_at: Option<Instant>,
+    /// Cooperative cancel token shared with the job's `BatchConfig`.
+    cancel: CancelToken,
+    /// Tiles completed so far, shared with the job's pool workers.
+    progress: Progress,
+    /// Tiles the job decomposes into (for the progress denominator).
+    tiles_planned: usize,
+    /// Persistence query of the submission, retained so compaction can
+    /// regenerate the submit line; `None` for non-persisted submissions.
+    query: Option<String>,
+    /// Side file holding an inline target's raster, when there is one.
+    target_file: Option<String>,
 }
 
 struct Inner {
-    jobs: Vec<JobEntry>,
+    /// Job table keyed by id. A map, not a vector: compaction drops
+    /// cancelled ids from persistence, so after a restart the id space has
+    /// holes (dropped ids answer 404).
+    jobs: BTreeMap<usize, JobEntry>,
+    next_id: usize,
     queue: VecDeque<usize>,
     accepting: bool,
     running: usize,
@@ -502,28 +555,60 @@ pub enum MaskFetch {
     NoSuchJob,
 }
 
+/// The compaction snapshot beside `state.jsonl`; always written atomically.
+pub const SNAPSHOT_FILE: &str = "state.snapshot.jsonl";
+
 /// Append-only persistence of the job table: one `state.jsonl` line per
-/// admission and per terminal outcome, masks and inline targets as
-/// atomically-written PGM files beside it.
+/// admission, cancellation, and terminal outcome, masks and inline targets
+/// as atomically-written PGM files beside it. Once the log grows past
+/// `compact_bytes` (0 disables), [`JobStore::maybe_compact`] folds the live
+/// table into [`SNAPSHOT_FILE`] and truncates the log.
 pub struct StateLog {
     dir: PathBuf,
     file: Mutex<File>,
+    /// Bytes currently in `state.jsonl`; drives the compaction trigger.
+    bytes: AtomicU64,
+    compact_bytes: u64,
+    /// Terminal transitions mid-persist (line appended, job table not yet
+    /// updated). Compaction refuses to truncate while any are in flight —
+    /// it would snapshot the job as unfinished *and* discard its outcome
+    /// line, losing the result across a restart.
+    persisting: AtomicU64,
 }
 
 impl StateLog {
     /// Opens (creating if needed) the state log in `dir`, appending to any
-    /// existing log so recovery and continuation share one file.
+    /// existing log so recovery and continuation share one file. Compaction
+    /// is disabled; see [`StateLog::open_with_compaction`].
     ///
     /// # Errors
     ///
     /// Propagates directory/file creation failures.
     pub fn open(dir: &Path) -> std::io::Result<StateLog> {
+        Self::open_with_compaction(dir, 0)
+    }
+
+    /// [`StateLog::open`] with a compaction threshold: once `state.jsonl`
+    /// exceeds `compact_bytes` bytes, the next terminal transition folds the
+    /// log into a snapshot. `0` disables compaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/file creation failures.
+    pub fn open_with_compaction(dir: &Path, compact_bytes: u64) -> std::io::Result<StateLog> {
         std::fs::create_dir_all(dir)?;
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(dir.join("state.jsonl"))?;
-        Ok(StateLog { dir: dir.to_path_buf(), file: Mutex::new(file) })
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(StateLog {
+            dir: dir.to_path_buf(),
+            file: Mutex::new(file),
+            bytes: AtomicU64::new(bytes),
+            compact_bytes,
+            persisting: AtomicU64::new(0),
+        })
     }
 
     /// The directory holding `state.jsonl` and its PGM side files.
@@ -538,6 +623,37 @@ impl StateLog {
         let _ = file.write_all(line.as_bytes());
         let _ = file.write_all(b"\n");
         let _ = file.sync_data();
+        self.bytes.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+    }
+
+    fn wants_compaction(&self) -> bool {
+        self.compact_bytes > 0 && self.bytes.load(Ordering::Relaxed) >= self.compact_bytes
+    }
+
+    fn begin_persist(&self) {
+        self.persisting.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn end_persist(&self) {
+        self.persisting.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Atomically installs `snapshot` as [`SNAPSHOT_FILE`] and truncates
+    /// `state.jsonl`. The file lock is held across both steps so no append
+    /// can land between them; a crash in between leaves snapshot *plus* the
+    /// full log, which recovery replays idempotently. Refuses (harmlessly —
+    /// the next terminal transition retries) while another thread is
+    /// between appending an outcome line and updating the job table.
+    fn replace_with_snapshot(&self, snapshot: &[u8]) -> std::io::Result<()> {
+        let file = self.file.lock().expect("state log lock poisoned");
+        if self.persisting.load(Ordering::SeqCst) > 0 {
+            return Err(std::io::Error::other("terminal transition mid-persist"));
+        }
+        write_atomic(&self.dir, SNAPSHOT_FILE, snapshot)?;
+        file.set_len(0)?;
+        file.sync_data()?;
+        self.bytes.store(0, Ordering::Relaxed);
+        Ok(())
     }
 
     fn log_submit(&self, id: usize, params: &JobParams) {
@@ -561,33 +677,51 @@ impl StateLog {
     fn log_finish(&self, id: usize, outcome: &Result<JobDone, String>) {
         let line = match outcome {
             Ok(done) => {
-                let mut line = format!("{{\"kind\":\"finish\",\"id\":{id},\"ok\":true");
+                let mut mask_file = None;
                 if let Some(mask) = &done.mask {
                     let name = mask_file_name(id);
                     // Mask first, then the line claiming it exists.
                     if write_atomic(&self.dir, &name, &pgm_bytes(mask, 0.0, 1.0)).is_ok() {
-                        line.push_str(&format!(
-                            ",\"mask\":\"{name}\",\"mask_hash\":\"{:016x}\"",
-                            done.mask_hash
-                        ));
+                        mask_file = Some(name);
                     }
                 }
-                line.push_str(&format!(
-                    ",\"tiles\":{},\"failed_tiles\":{},\"degraded_tiles\":{},\"wall_ms\":{}}}",
-                    done.tiles,
-                    done.failed_tiles,
-                    done.degraded_tiles,
-                    json_f64(done.wall_ms)
-                ));
-                line
+                finish_line_ok(id, done, mask_file.as_deref())
             }
-            Err(e) => format!(
-                "{{\"kind\":\"finish\",\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
-                json_escape(e)
-            ),
+            Err(e) => finish_line_err(id, e),
         };
         self.append(&line);
     }
+
+    fn log_cancel(&self, id: usize) {
+        self.append(&format!("{{\"kind\":\"cancel\",\"id\":{id}}}"));
+    }
+}
+
+/// The `finish` record of a successful job; `mask_file` references a PGM
+/// already durable in the state directory.
+fn finish_line_ok(id: usize, done: &JobDone, mask_file: Option<&str>) -> String {
+    let mut line = format!("{{\"kind\":\"finish\",\"id\":{id},\"ok\":true");
+    if let Some(name) = mask_file {
+        line.push_str(&format!(
+            ",\"mask\":\"{name}\",\"mask_hash\":\"{:016x}\"",
+            done.mask_hash
+        ));
+    }
+    line.push_str(&format!(
+        ",\"tiles\":{},\"failed_tiles\":{},\"degraded_tiles\":{},\"wall_ms\":{}}}",
+        done.tiles,
+        done.failed_tiles,
+        done.degraded_tiles,
+        json_f64(done.wall_ms)
+    ));
+    line
+}
+
+fn finish_line_err(id: usize, error: &str) -> String {
+    format!(
+        "{{\"kind\":\"finish\",\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+        json_escape(error)
+    )
 }
 
 /// What [`JobStore::recover`] reconstructed from a state directory.
@@ -619,7 +753,8 @@ impl JobStore {
     pub fn with_state(queue_cap: usize, state: Option<StateLog>) -> Self {
         Self {
             inner: Mutex::new(Inner {
-                jobs: Vec::new(),
+                jobs: BTreeMap::new(),
+                next_id: 0,
                 queue: VecDeque::new(),
                 accepting: true,
                 running: 0,
@@ -631,62 +766,83 @@ impl JobStore {
         }
     }
 
-    /// Rebuilds a store from `state`'s log: jobs with a recorded outcome
-    /// come back finished (masks loaded and hash-verified), jobs that were
-    /// queued or running when the process died are re-planned from their
-    /// persisted parameters and re-queued (bypassing the admission cap —
-    /// they were already admitted once). A torn trailing line (crash
-    /// mid-append) is tolerated; that job is simply re-run.
+    /// Rebuilds a store from `state`'s snapshot + log: jobs with a recorded
+    /// outcome come back finished (masks loaded and hash-verified), jobs
+    /// with a recorded cancellation come back terminal-cancelled, and jobs
+    /// that were queued or running when the process died are re-planned
+    /// from their persisted parameters and re-queued (bypassing the
+    /// admission cap — they were already admitted once). The compaction
+    /// snapshot, when present, is replayed before `state.jsonl`; duplicate
+    /// submit records are first-win and outcomes are folded in on top, so a
+    /// crash between snapshot installation and log truncation replays to
+    /// the same table. A torn trailing *log* line (crash mid-append) is
+    /// tolerated; that job is simply re-run.
     ///
     /// # Errors
     ///
-    /// Returns a message for an unreadable or mid-file-corrupt log.
+    /// Returns a message for an unreadable or mid-file-corrupt log or
+    /// snapshot.
     pub fn recover(
         queue_cap: usize,
         state: StateLog,
         policy: &ExecPolicy,
     ) -> Result<(JobStore, RecoveryStats), String> {
+        let snapshot = match std::fs::read_to_string(state.dir.join(SNAPSHOT_FILE)) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("read state snapshot: {e}")),
+        };
         let raw = std::fs::read_to_string(state.dir.join("state.jsonl"))
             .map_err(|e| format!("read state log: {e}"))?;
-        let lines: Vec<&str> = raw.lines().collect();
 
-        // Replay: submissions in log order, outcomes folded in last-wins.
+        // Replay: submissions in record order (first submit per id wins, so
+        // the snapshot takes precedence over a stale untruncated log),
+        // outcomes and cancellations folded in by id.
         let mut submits: Vec<(usize, String, Option<String>)> = Vec::new();
-        let mut finishes: std::collections::BTreeMap<usize, &str> = Default::default();
-        for (i, line) in lines.iter().enumerate() {
-            let parsed = (|| -> Option<()> {
-                match json_field_str(line, "kind").ok()?.as_str() {
-                    "submit" => {
-                        let id = json_field_u64(line, "id").ok()? as usize;
-                        let query = json_field_str(line, "query").ok()?;
-                        let target = json_field_str(line, "target").ok();
-                        submits.push((id, query, target));
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut finishes: BTreeMap<usize, String> = BTreeMap::new();
+        let mut cancels: BTreeSet<usize> = BTreeSet::new();
+        let mut next_id_floor = 0usize;
+        // The snapshot is written atomically, so damage there is real
+        // corruption; only the appended log can have a torn tail.
+        for (tolerate_tail, text, what) in
+            [(false, snapshot.as_str(), "state snapshot"), (true, raw.as_str(), "state log")]
+        {
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                let parsed = (|| -> Option<()> {
+                    match json_field_str(line, "kind").ok()?.as_str() {
+                        "submit" => {
+                            let id = json_field_u64(line, "id").ok()? as usize;
+                            let query = json_field_str(line, "query").ok()?;
+                            let target = json_field_str(line, "target").ok();
+                            if seen.insert(id) {
+                                submits.push((id, query, target));
+                            }
+                        }
+                        "finish" => {
+                            let id = json_field_u64(line, "id").ok()? as usize;
+                            finishes.insert(id, line.to_string());
+                        }
+                        "cancel" => {
+                            cancels.insert(json_field_u64(line, "id").ok()? as usize);
+                        }
+                        "compact" => {
+                            let next = json_field_u64(line, "next_id").ok()? as usize;
+                            next_id_floor = next_id_floor.max(next);
+                        }
+                        _ => {} // future record kinds are not an error
                     }
-                    "finish" => {
-                        let id = json_field_u64(line, "id").ok()? as usize;
-                        finishes.insert(id, line);
+                    Some(())
+                })();
+                if parsed.is_none() {
+                    if tolerate_tail && i + 1 == lines.len() {
+                        break; // torn trailing line: the crash we exist to survive
                     }
-                    _ => {} // future record kinds are not an error
+                    return Err(format!("{what} line {} is corrupt: {line}", i + 1));
                 }
-                Some(())
-            })();
-            if parsed.is_none() {
-                if i + 1 == lines.len() {
-                    break; // torn trailing line: the crash we exist to survive
-                }
-                return Err(format!("state log line {} is corrupt: {line}", i + 1));
             }
         }
-
-        let failed_entry = |id: usize, error: String| JobEntry {
-            id,
-            name: format!("job{id}"),
-            state: JobState::Failed,
-            error: Some(error),
-            work: None,
-            result: None,
-            finished_at: Some(Instant::now()),
-        };
 
         let store = JobStore::with_state(queue_cap, Some(state));
         let mut stats = RecoveryStats::default();
@@ -694,29 +850,23 @@ impl JobStore {
             let dir = store.state.as_ref().expect("state is set").dir.clone();
             let mut inner = store.lock();
             for (id, query, target) in submits {
-                // Ids are Vec indices; pad over ids lost to log damage.
-                while inner.jobs.len() < id {
-                    let lost = inner.jobs.len();
-                    stats.restored += 1;
-                    inner
-                        .jobs
-                        .push(failed_entry(lost, "submission record lost to state-log damage".into()));
-                }
-                if inner.jobs.len() > id {
-                    continue; // duplicate submit line; first wins
-                }
                 let body = match &target {
                     Some(t) => std::fs::read(dir.join(t)).unwrap_or_default(),
                     None => Vec::new(),
                 };
                 let planned = JobParams::from_saved(&query, body, policy)
                     .and_then(|p| p.plan().map(|cc| (p, cc)));
-                let entry = match planned {
+                let mut entry = match planned {
                     Err(why) => {
                         stats.restored += 1;
-                        failed_entry(id, format!("unreplayable after restart: {why}"))
+                        terminal_entry(
+                            id,
+                            format!("job{id}"),
+                            JobState::Failed,
+                            Some(format!("unreplayable after restart: {why}")),
+                        )
                     }
-                    Ok((params, (case, config))) => {
+                    Ok((params, (case, mut config))) => {
                         let finished = finishes
                             .get(&id)
                             .and_then(|fin| restore_finished(&dir, id, params.name.clone(), fin));
@@ -725,11 +875,22 @@ impl JobStore {
                                 stats.restored += 1;
                                 entry
                             }
+                            // A cancellation with no durable outcome stays
+                            // cancelled; the job never re-runs.
+                            None if cancels.contains(&id) => {
+                                stats.restored += 1;
+                                terminal_entry(id, params.name, JobState::Cancelled, None)
+                            }
                             // No durable outcome (or an unverifiable mask):
                             // the job runs again with its original id.
                             None => {
                                 stats.requeued += 1;
                                 inner.queue.push_back(id);
+                                let cancel = CancelToken::new();
+                                let progress = Progress::new();
+                                config.cancel = cancel.clone();
+                                config.progress = progress.clone();
+                                let tiles_planned = planned_jobs(&case, &config).unwrap_or(1);
                                 JobEntry {
                                     id,
                                     name: params.name,
@@ -738,13 +899,22 @@ impl JobStore {
                                     work: Some((case, config)),
                                     result: None,
                                     finished_at: None,
+                                    cancel,
+                                    progress,
+                                    tiles_planned,
+                                    query: None,
+                                    target_file: None,
                                 }
                             }
                         }
                     }
                 };
-                inner.jobs.push(entry);
+                entry.query = Some(query);
+                entry.target_file = target;
+                inner.jobs.insert(id, entry);
             }
+            inner.next_id =
+                next_id_floor.max(inner.jobs.keys().next_back().map_or(0, |&id| id + 1));
         }
         Ok((store, stats))
     }
@@ -784,7 +954,7 @@ impl JobStore {
         &self,
         name: String,
         case: BatchCase,
-        config: BatchConfig,
+        mut config: BatchConfig,
         params: Option<&JobParams>,
     ) -> Result<usize, SubmitError> {
         let mut inner = self.lock();
@@ -794,20 +964,40 @@ impl JobStore {
         if inner.queue.len() >= self.queue_cap {
             return Err(SubmitError::Full { capacity: self.queue_cap });
         }
-        let id = inner.jobs.len();
+        let id = inner.next_id;
+        inner.next_id += 1;
         // Logged under the lock so state-log order matches id order.
         if let (Some(state), Some(params)) = (&self.state, params) {
             state.log_submit(id, params);
         }
-        inner.jobs.push(JobEntry {
-            id,
-            name,
-            state: JobState::Queued,
-            error: None,
-            work: Some((case, config)),
-            result: None,
-            finished_at: None,
+        // Every job gets its own cancel token and progress counter, wired
+        // into the batch config the worker will execute.
+        let cancel = CancelToken::new();
+        let progress = Progress::new();
+        config.cancel = cancel.clone();
+        config.progress = progress.clone();
+        let tiles_planned = planned_jobs(&case, &config).unwrap_or(1);
+        let target_file = params.and_then(|p| match &p.source {
+            JobSource::Inline(_) => Some(format!("job-{id}-target.pgm")),
+            _ => None,
         });
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                id,
+                name,
+                state: JobState::Queued,
+                error: None,
+                work: Some((case, config)),
+                result: None,
+                finished_at: None,
+                cancel,
+                progress,
+                tiles_planned,
+                query: params.map(|p| p.to_query()),
+                target_file,
+            },
+        );
         inner.queue.push_back(id);
         drop(inner);
         self.wakeup.notify_one();
@@ -822,7 +1012,7 @@ impl JobStore {
         loop {
             if let Some(id) = inner.queue.pop_front() {
                 inner.running += 1;
-                let entry = &mut inner.jobs[id];
+                let entry = inner.jobs.get_mut(&id).expect("queued id exists");
                 entry.state = JobState::Running;
                 let (case, config) = entry.work.take().expect("queued job retains its work");
                 return Some((id, case, config));
@@ -837,13 +1027,16 @@ impl JobStore {
     /// Records a claimed job's terminal state (persisting it first, mask
     /// before log line, when a state log is configured).
     pub fn finish(&self, id: usize, outcome: Result<JobDone, String>) {
-        // Persist outside the lock: mask writes are large and fsynced.
+        // Persist outside the lock: mask writes are large and fsynced. The
+        // persist guard keeps a concurrent compaction from truncating this
+        // outcome line away before the table below reflects it.
         if let Some(state) = &self.state {
+            state.begin_persist();
             state.log_finish(id, &outcome);
         }
         let mut inner = self.lock();
         inner.running -= 1;
-        let entry = &mut inner.jobs[id];
+        let entry = inner.jobs.get_mut(&id).expect("finished id exists");
         match outcome {
             Ok(done) => {
                 entry.state =
@@ -861,8 +1054,118 @@ impl JobStore {
         }
         entry.finished_at = Some(Instant::now());
         drop(inner);
+        if let Some(state) = &self.state {
+            state.end_persist();
+        }
         // finish() may have emptied the pipeline a drain is waiting on.
         self.wakeup.notify_all();
+        self.maybe_compact();
+    }
+
+    /// Records a claimed job as cancelled: the worker observed the cancel
+    /// token and stopped at a tile boundary without a usable result. The
+    /// `cancel` record was already persisted by [`JobStore::cancel`].
+    pub fn finish_cancelled(&self, id: usize) {
+        let mut inner = self.lock();
+        inner.running -= 1;
+        let entry = inner.jobs.get_mut(&id).expect("cancelled id exists");
+        entry.state = JobState::Cancelled;
+        entry.finished_at = Some(Instant::now());
+        drop(inner);
+        self.wakeup.notify_all();
+        self.maybe_compact();
+    }
+
+    /// Cancels a job: queued jobs leave the queue and turn terminal
+    /// immediately; running jobs have their cooperative token set and stop
+    /// at the next tile boundary. Terminal jobs and unknown ids report what
+    /// they are. The cancellation is persisted (for queued *and* running
+    /// jobs) so a restart does not resurrect the job.
+    pub fn cancel(&self, id: usize) -> CancelOutcome {
+        let mut inner = self.lock();
+        let Some(entry) = inner.jobs.get_mut(&id) else {
+            return CancelOutcome::NoSuchJob;
+        };
+        let outcome = match entry.state {
+            JobState::Queued => {
+                entry.state = JobState::Cancelled;
+                entry.work = None;
+                entry.finished_at = Some(Instant::now());
+                inner.queue.retain(|&q| q != id);
+                CancelOutcome::Cancelled
+            }
+            JobState::Running => {
+                entry.cancel.cancel();
+                CancelOutcome::Cancelling
+            }
+            ref terminal => return CancelOutcome::AlreadyFinished(terminal.clone()),
+        };
+        // Begun under the table lock (compaction also holds it), so the
+        // cancel record cannot be lost to a concurrent truncation.
+        if let Some(state) = &self.state {
+            state.begin_persist();
+        }
+        drop(inner);
+        if let Some(state) = &self.state {
+            state.log_cancel(id);
+            state.end_persist();
+        }
+        if outcome == CancelOutcome::Cancelled {
+            self.maybe_compact();
+        }
+        outcome
+    }
+
+    /// Folds the state log into [`SNAPSHOT_FILE`] and truncates it, once it
+    /// has outgrown the configured threshold. Cancelled jobs and jobs whose
+    /// mask was evicted are dropped from the snapshot — after the next
+    /// restart those ids answer 404. Returns whether a compaction ran.
+    pub fn maybe_compact(&self) -> bool {
+        let Some(state) = &self.state else { return false };
+        if !state.wants_compaction() {
+            return false;
+        }
+        // Built and installed under the table lock: the snapshot is a
+        // consistent point-in-time view, and appends (which also take the
+        // store lock on every path that logs) cannot interleave.
+        let inner = self.lock();
+        let mut snapshot = format!("{{\"kind\":\"compact\",\"next_id\":{}}}\n", inner.next_id);
+        for entry in inner.jobs.values() {
+            let Some(query) = &entry.query else { continue }; // never persisted
+            if entry.state == JobState::Cancelled {
+                continue; // dropped: compaction is how cancelled ids age out
+            }
+            if entry.result.as_ref().is_some_and(|d| d.mask.is_none()) {
+                continue; // mask evicted: not worth resurrecting either
+            }
+            snapshot.push_str(&format!(
+                "{{\"kind\":\"submit\",\"id\":{},\"query\":\"{}\"",
+                entry.id,
+                json_escape(query)
+            ));
+            if let Some(target) = &entry.target_file {
+                snapshot.push_str(&format!(",\"target\":\"{target}\""));
+            }
+            snapshot.push_str("}\n");
+            if entry.state.is_terminal() {
+                let line = match (&entry.result, &entry.error) {
+                    (Some(done), _) => {
+                        // The mask PGM was made durable by log_finish before
+                        // its original finish line was appended.
+                        let mask_file =
+                            done.mask.as_ref().map(|_| mask_file_name(entry.id));
+                        finish_line_ok(entry.id, done, mask_file.as_deref())
+                    }
+                    (None, Some(error)) => finish_line_err(entry.id, error),
+                    (None, None) => finish_line_err(entry.id, "unknown failure"),
+                };
+                snapshot.push_str(&line);
+                snapshot.push('\n');
+            }
+        }
+        let ok = state.replace_with_snapshot(snapshot.as_bytes()).is_ok();
+        drop(inner);
+        ok
     }
 
     /// Evicts resident masks that finished more than `ttl` ago, then the
@@ -873,7 +1176,7 @@ impl JobStore {
         let mut inner = self.lock();
         let mut evicted = 0usize;
         let mut resident: Vec<(Instant, usize)> = Vec::new();
-        for entry in &mut inner.jobs {
+        for entry in inner.jobs.values_mut() {
             let Some(done) = &mut entry.result else { continue };
             if done.mask.is_none() {
                 continue;
@@ -890,7 +1193,7 @@ impl JobStore {
             resident.sort_by_key(|&(at, _)| at);
             let excess = resident.len() - max_resident;
             for &(_, id) in resident.iter().take(excess) {
-                if let Some(done) = &mut inner.jobs[id].result {
+                if let Some(done) = inner.jobs.get_mut(&id).and_then(|e| e.result.as_mut()) {
                     done.mask = None;
                     evicted += 1;
                 }
@@ -916,7 +1219,7 @@ impl JobStore {
     pub fn abandon_queued(&self) {
         let mut inner = self.lock();
         while let Some(id) = inner.queue.pop_front() {
-            let entry = &mut inner.jobs[id];
+            let entry = inner.jobs.get_mut(&id).expect("queued id exists");
             entry.state = JobState::Failed;
             entry.error = Some("dropped at shutdown before a worker picked it up".into());
             entry.work = None;
@@ -947,7 +1250,7 @@ impl JobStore {
     /// JSON summary array for `GET /v1/jobs`.
     pub fn render_list(&self) -> String {
         let inner = self.lock();
-        let items: Vec<String> = inner.jobs.iter().map(render_summary).collect();
+        let items: Vec<String> = inner.jobs.values().map(render_summary).collect();
         format!("{{\"jobs\":[{}],\"queue_depth\":{}}}", items.join(","), inner.queue.len())
     }
 
@@ -955,7 +1258,7 @@ impl JobStore {
     /// With `mask_base64` the finished mask is inlined as a base64 PGM.
     pub fn render_detail(&self, id: usize, mask_base64: bool) -> Option<String> {
         let inner = self.lock();
-        let entry = inner.jobs.get(id)?;
+        let entry = inner.jobs.get(&id)?;
         let mut s = render_summary(entry);
         s.pop(); // strip the closing brace to extend the object
         if let Some(done) = &entry.result {
@@ -992,7 +1295,7 @@ impl JobStore {
     /// The finished mask as PGM bytes, for `GET /v1/jobs/{id}/mask`.
     pub fn mask_pgm(&self, id: usize) -> MaskFetch {
         let inner = self.lock();
-        match inner.jobs.get(id) {
+        match inner.jobs.get(&id) {
             None => MaskFetch::NoSuchJob,
             Some(entry) => match &entry.result {
                 Some(done) => match &done.mask {
@@ -1005,6 +1308,24 @@ impl JobStore {
     }
 }
 
+/// A terminal [`JobEntry`] with no retained work or result.
+fn terminal_entry(id: usize, name: String, state: JobState, error: Option<String>) -> JobEntry {
+    JobEntry {
+        id,
+        name,
+        state,
+        error,
+        work: None,
+        result: None,
+        finished_at: Some(Instant::now()),
+        cancel: CancelToken::new(),
+        progress: Progress::new(),
+        tiles_planned: 0,
+        query: None,
+        target_file: None,
+    }
+}
+
 /// Reconstructs a terminal [`JobEntry`] from a persisted finish line.
 /// Returns `None` when the outcome claims a mask that is missing or fails
 /// hash verification — the caller re-queues the job instead of serving a
@@ -1013,15 +1334,7 @@ fn restore_finished(dir: &Path, id: usize, name: String, line: &str) -> Option<J
     let ok = ilt_runtime::json_field_raw(line, "ok")? == "true";
     if !ok {
         let error = json_field_str(line, "error").unwrap_or_default();
-        return Some(JobEntry {
-            id,
-            name,
-            state: JobState::Failed,
-            error: Some(error),
-            work: None,
-            result: None,
-            finished_at: Some(Instant::now()),
-        });
+        return Some(terminal_entry(id, name, JobState::Failed, Some(error)));
     }
     let mask = match json_field_str(line, "mask") {
         Err(_) => return None, // success without a durable mask: re-run
@@ -1042,24 +1355,19 @@ fn restore_finished(dir: &Path, id: usize, name: String, line: &str) -> Option<J
     let wall_ms = ilt_runtime::json_field_f64(line, "wall_ms").unwrap_or(0.0);
     let error = (failed_tiles > 0)
         .then(|| format!("{failed_tiles} of {tiles} tile(s) failed"));
-    Some(JobEntry {
-        id,
-        name,
-        state: if failed_tiles == 0 { JobState::Done } else { JobState::Failed },
-        error,
-        work: None,
-        result: Some(JobDone {
-            mask_hash: field_hash(&mask),
-            mask: Some(mask),
-            records: Vec::new(),
-            tiles,
-            failed_tiles,
-            degraded_tiles,
-            eval: None,
-            wall_ms,
-        }),
-        finished_at: Some(Instant::now()),
-    })
+    let state = if failed_tiles == 0 { JobState::Done } else { JobState::Failed };
+    let mut entry = terminal_entry(id, name, state, error);
+    entry.result = Some(JobDone {
+        mask_hash: field_hash(&mask),
+        mask: Some(mask),
+        records: Vec::new(),
+        tiles,
+        failed_tiles,
+        degraded_tiles,
+        eval: None,
+        wall_ms,
+    });
+    Some(entry)
 }
 
 fn render_summary(entry: &JobEntry) -> String {
@@ -1076,6 +1384,14 @@ fn render_summary(entry: &JobEntry) -> String {
             done.failed_tiles,
             done.degraded_tiles,
             done.mask.is_some()
+        ));
+    } else if !entry.state.is_terminal() {
+        // Streaming progress for queued/running jobs: tiles completed so
+        // far out of the planned decomposition.
+        s.push_str(&format!(
+            ",\"tiles_done\":{},\"tiles_planned\":{}",
+            entry.progress.done(),
+            entry.tiles_planned
         ));
     }
     if let Some(error) = &entry.error {
@@ -1363,6 +1679,30 @@ mod tests {
     }
 
     #[test]
+    fn fault_grammar_round_trips_through_the_http_query_form() {
+        // Every fault kind must survive the real wire parser (percent
+        // decoding and all) → JobParams → to_query → from_saved, the path
+        // a recovered job's fault plan takes across a restart. `--inject`
+        // shares the same grammar, pinned in ilt-runtime's fault tests.
+        let open = ExecPolicy { allow_inject: true, ..ExecPolicy::default() };
+        for spec in ["panic@0", "delay@1:2=250", "build@2:1", "nan@3:1-3", "ckpt@4", "crash@5"] {
+            let raw = format!(
+                "POST /v1/jobs?case=case1&inject={spec} HTTP/1.1\r\ncontent-length: 0\r\n\r\n"
+            );
+            let req = crate::http::Request::read_from(
+                &mut raw.as_bytes(),
+                &crate::http::Limits::default(),
+            )
+            .unwrap_or_else(|e| panic!("{spec}: {e:?}"));
+            let p = JobParams::from_request(&req, &open).expect(spec);
+            assert_eq!(p.faults.to_string(), spec, "wire parse must be lossless");
+            let saved = JobParams::from_saved(&p.to_query(), Vec::new(), &ExecPolicy::default())
+                .expect(spec);
+            assert_eq!(saved.faults.to_string(), spec, "persistence round trip");
+        }
+    }
+
+    #[test]
     fn state_log_recovers_done_and_requeues_interrupted() {
         let dir = temp_dir("recover");
         let (c, cfg) = tiny_case("a");
@@ -1451,6 +1791,240 @@ mod tests {
             Ok(_) => panic!("mid-file corruption must refuse recovery"),
         };
         assert!(err.contains("corrupt"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_queued_job_is_immediately_terminal() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("a");
+        store.submit("a".into(), c.clone(), cfg.clone()).unwrap();
+        store.submit("b".into(), c, cfg).unwrap();
+        assert_eq!(store.cancel(1), CancelOutcome::Cancelled);
+        assert_eq!(store.queue_depth(), 1, "only job 0 remains queued");
+        let detail = store.render_detail(1, false).unwrap();
+        assert!(detail.contains("\"state\":\"cancelled\""), "{detail}");
+        assert!(matches!(store.mask_pgm(1), MaskFetch::NotReady(JobState::Cancelled)));
+        // Cancelling again (or a bogus id) reports what happened.
+        assert_eq!(
+            store.cancel(1),
+            CancelOutcome::AlreadyFinished(JobState::Cancelled)
+        );
+        assert_eq!(store.cancel(99), CancelOutcome::NoSuchJob);
+        // The untouched job still hands out normally.
+        let (id, ..) = store.take_next().unwrap();
+        assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn cancel_running_job_sets_the_token_and_lands_cancelled() {
+        let store = JobStore::new(4);
+        let (c, cfg) = tiny_case("a");
+        store.submit("a".into(), c, cfg).unwrap();
+        let (id, _case, config) = store.take_next().unwrap();
+        assert!(!config.cancel.is_cancelled());
+        assert_eq!(store.cancel(id), CancelOutcome::Cancelling);
+        assert!(config.cancel.is_cancelled(), "the worker's token is the same token");
+        // The worker observes the token at a tile boundary and reports in.
+        store.finish_cancelled(id);
+        assert_eq!(store.running(), 0);
+        let detail = store.render_detail(id, false).unwrap();
+        assert!(detail.contains("\"state\":\"cancelled\""), "{detail}");
+        assert_eq!(
+            store.cancel(id),
+            CancelOutcome::AlreadyFinished(JobState::Cancelled)
+        );
+    }
+
+    #[test]
+    fn progress_counters_render_for_live_jobs_only() {
+        let store = JobStore::new(4);
+        let target = Field2D::from_fn(64, 64, |r, _| if r < 32 { 1.0 } else { 0.0 });
+        let case = BatchCase { name: "p".into(), target, nm_per_px: 8.0 };
+        let config = BatchConfig { tile: 32, halo: 8, ..BatchConfig::default() };
+        store.submit("p".into(), case, config).unwrap();
+        let detail = store.render_detail(0, false).unwrap();
+        assert!(detail.contains("\"tiles_done\":0"), "{detail}");
+        assert!(
+            detail.contains("\"tiles_planned\":16"),
+            "64px field over 16px cores (tile 32 - 2*halo 8) = 4x4: {detail}"
+        );
+        let (id, case, config) = store.take_next().unwrap();
+        config.progress.tick();
+        config.progress.tick();
+        let detail = store.render_detail(id, false).unwrap();
+        assert!(detail.contains("\"tiles_done\":2"), "{detail}");
+        store.finish(id, Ok(done_for(&case, 4)));
+        let detail = store.render_detail(id, false).unwrap();
+        assert!(!detail.contains("tiles_done"), "terminal jobs report tiles, not progress: {detail}");
+        assert!(detail.contains("\"tiles\":4"), "{detail}");
+    }
+
+    #[test]
+    fn cancelled_job_survives_restart_as_cancelled() {
+        let dir = temp_dir("cancel-restart");
+        let (c, cfg) = tiny_case("a");
+        {
+            let store = JobStore::with_state(8, Some(StateLog::open(&dir).unwrap()));
+            let params = JobParams::from_request(
+                &request_with_query("case=case1&grid=64&kernels=3&name=doomed"),
+                &ExecPolicy::default(),
+            )
+            .unwrap();
+            store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
+            store.submit_persisted(&params, c, cfg).unwrap();
+            assert_eq!(store.cancel(0), CancelOutcome::Cancelled);
+        }
+        let (store, stats) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(stats, RecoveryStats { restored: 1, requeued: 1 });
+        let detail = store.render_detail(0, false).unwrap();
+        assert!(detail.contains("\"state\":\"cancelled\""), "never re-runs: {detail}");
+        assert_eq!(store.queue_depth(), 1, "only the uncancelled job is requeued");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_snapshots_live_jobs_truncates_log_and_drops_cancelled() {
+        let dir = temp_dir("compact");
+        let (c, cfg) = tiny_case("a");
+        let params = |name: &str| {
+            JobParams::from_request(
+                &request_with_query(&format!("case=case1&grid=64&kernels=3&name={name}")),
+                &ExecPolicy::default(),
+            )
+            .unwrap()
+        };
+        {
+            // Threshold 1 byte: every terminal transition compacts.
+            let state = StateLog::open_with_compaction(&dir, 1).unwrap();
+            let store = JobStore::with_state(8, Some(state));
+            store.submit_persisted(&params("keeper"), c.clone(), cfg.clone()).unwrap();
+            store.submit_persisted(&params("doomed"), c.clone(), cfg.clone()).unwrap();
+            store.submit_persisted(&params("pending"), c.clone(), cfg.clone()).unwrap();
+            let (id, case, _) = store.take_next().unwrap();
+            store.finish(id, Ok(done_for(&case, 1))); // compacts
+            assert_eq!(store.cancel(1), CancelOutcome::Cancelled); // compacts again
+        }
+        let snapshot = std::fs::read_to_string(dir.join(SNAPSHOT_FILE)).unwrap();
+        assert!(snapshot.starts_with("{\"kind\":\"compact\",\"next_id\":3}"), "{snapshot}");
+        assert!(snapshot.contains("keeper"), "{snapshot}");
+        assert!(snapshot.contains("pending"), "{snapshot}");
+        assert!(!snapshot.contains("doomed"), "cancelled jobs age out: {snapshot}");
+        let log = std::fs::read_to_string(dir.join("state.jsonl")).unwrap();
+        assert!(log.is_empty(), "truncated after the last compaction: {log:?}");
+
+        let (store, stats) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(stats, RecoveryStats { restored: 1, requeued: 1 });
+        // The finished job is byte-identical across the compaction boundary.
+        match store.mask_pgm(0) {
+            MaskFetch::Ready(bytes) => {
+                assert_eq!(bytes, pgm_bytes(&c.target.threshold(0.5), 0.0, 1.0));
+            }
+            _ => panic!("compacted mask must recover"),
+        }
+        // The cancelled id is gone for good; ids never recycle.
+        assert!(store.render_detail(1, false).is_none());
+        let (sc, scfg) = tiny_case("next");
+        assert_eq!(store.submit("next".into(), sc, scfg), Ok(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_untruncated_log_after_snapshot_replays_idempotently() {
+        // A crash exactly between snapshot installation and log truncation
+        // leaves the snapshot AND the full pre-compaction log. Recovery
+        // must fold both into the same table a clean compaction produces.
+        let dir = temp_dir("compact-crash");
+        let (c, cfg) = tiny_case("a");
+        let params = JobParams::from_request(
+            &request_with_query("case=case1&grid=64&kernels=3&name=surviv"),
+            &ExecPolicy::default(),
+        )
+        .unwrap();
+        let pre_compaction_log;
+        {
+            let store = JobStore::with_state(8, Some(StateLog::open(&dir).unwrap()));
+            store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
+            store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
+            let (id, case, _) = store.take_next().unwrap();
+            store.finish(id, Ok(done_for(&case, 1)));
+            pre_compaction_log = std::fs::read_to_string(dir.join("state.jsonl")).unwrap();
+        }
+        {
+            // Compact for real...
+            let state = StateLog::open_with_compaction(&dir, 1).unwrap();
+            let store = JobStore::recover(8, state, &ExecPolicy::default()).unwrap().0;
+            assert!(store.maybe_compact());
+        }
+        // ...then simulate the crash by restoring the un-truncated log.
+        std::fs::write(dir.join("state.jsonl"), &pre_compaction_log).unwrap();
+        let (store, stats) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(stats, RecoveryStats { restored: 1, requeued: 1 });
+        assert_eq!(store.len(), 2, "no duplicates from replaying both files");
+        assert!(matches!(store.mask_pgm(0), MaskFetch::Ready(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_log_truncation_fuzz_always_recovers() {
+        // Seeded torn-tail fuzz (mirrors the runtime WAL fuzz): a crash can
+        // only tear the trailing line, so recovery must tolerate EVERY
+        // truncation point — never an error, never a phantom job.
+        use ilt_layouts::Xorshift64Star;
+        let dir = temp_dir("state-fuzz");
+        let (c, cfg) = tiny_case("a");
+        {
+            let store = JobStore::with_state(8, Some(StateLog::open(&dir).unwrap()));
+            for i in 0..4 {
+                let params = JobParams::from_request(
+                    &request_with_query(&format!("case=case1&grid=64&kernels=3&name=f{i}")),
+                    &ExecPolicy::default(),
+                )
+                .unwrap();
+                store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
+            }
+            for _ in 0..2 {
+                let (id, case, _) = store.take_next().unwrap();
+                store.finish(id, Ok(done_for(&case, 1)));
+            }
+            store.cancel(2);
+        }
+        let path = dir.join("state.jsonl");
+        let healthy = std::fs::read(&path).unwrap();
+        let full_lines = healthy.iter().filter(|&&b| b == b'\n').count();
+        let mut rng = Xorshift64Star::new(0x5eed_10c);
+        for round in 0..150 {
+            let cut = (rng.next_u64() as usize) % healthy.len() + 1;
+            std::fs::write(&path, &healthy[..cut]).unwrap();
+            let (store, _) =
+                JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default())
+                    .unwrap_or_else(|e| panic!("round {round}: cut {cut} must recover: {e}"));
+            // Every fully-intact submit record materializes as a job; at
+            // most the torn trailing line can add one more (its fields may
+            // still field-parse without the closing brace).
+            let submit_starts = healthy[..cut]
+                .split(|&b| b == b'\n')
+                .filter(|l| l.starts_with(b"{\"kind\":\"submit\""))
+                .count();
+            let intact_submits = healthy[..cut]
+                .split(|&b| b == b'\n')
+                .filter(|l| l.starts_with(b"{\"kind\":\"submit\"") && l.ends_with(b"}"))
+                .count();
+            assert!(
+                store.len() >= intact_submits && store.len() <= submit_starts,
+                "round {round}: cut {cut}: {} jobs from {intact_submits}..={submit_starts} submits",
+                store.len()
+            );
+        }
+        // The undamaged log still replays everything.
+        std::fs::write(&path, &healthy).unwrap();
+        let (store, _) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert_eq!(store.len(), 4);
+        assert!(full_lines >= 7, "submits + finishes + cancel all logged");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

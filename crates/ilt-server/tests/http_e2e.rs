@@ -1,133 +1,47 @@
 //! Loopback integration tests: the server is exercised through real TCP
-//! sockets with a tiny hand-rolled HTTP client, covering the robustness
-//! paths (malformed requests, oversized bodies, queue-full backpressure)
-//! and the full submit → poll → fetch-mask round trip, whose result must
-//! be byte-identical to running the batch engine in-process.
+//! sockets with a tiny hand-rolled HTTP client (shared with the lifecycle
+//! suite in `util`), covering the robustness paths (malformed requests,
+//! oversized bodies, queue-full backpressure) and the full submit → poll →
+//! fetch-mask round trip, whose result must be byte-identical to running
+//! the batch engine in-process.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+mod util;
 
-use ilt_field::Field2D;
-use ilt_runtime::{run_batch, SeamPolicy, SimulatorCache};
-use ilt_server::{base64_encode, JobParams, JobSource, Limits, Server, ServerConfig};
+use std::time::Duration;
 
-/// One raw HTTP exchange; returns (status, headers, body).
-fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
-    stream.write_all(raw).expect("send request");
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response).expect("read response");
-    let split = response
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("response head terminator");
-    let head = String::from_utf8(response[..split].to_vec()).expect("utf8 head");
-    let body = response[split + 4..].to_vec();
-    let mut lines = head.split("\r\n");
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split(' ').nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    (status, headers, body)
-}
-
-fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
-    exchange(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
-}
-
-fn post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
-    let mut raw =
-        format!("POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n", body.len())
-            .into_bytes();
-    raw.extend_from_slice(body);
-    exchange(addr, &raw)
-}
-
-fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
-}
-
-fn body_text(body: &[u8]) -> String {
-    String::from_utf8_lossy(body).into_owned()
-}
-
-fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
-    let server = Server::bind(config).expect("bind loopback");
-    let addr = server.local_addr();
-    let handle = std::thread::spawn(move || server.run());
-    (addr, handle)
-}
-
-fn shutdown(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
-    let (status, _, _) = post(addr, "/v1/shutdown", b"");
-    assert_eq!(status, 202);
-    handle.join().expect("server thread").expect("clean drain");
-}
-
-fn tiny_target() -> Field2D {
-    Field2D::from_fn(64, 64, |r, c| {
-        if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
-    })
-}
-
-/// Query params for a job small enough to finish in well under a second.
-const FAST_JOB: &str = "clip_nm=512&kernels=3&iters=2";
-
-fn fast_params(target: Field2D) -> JobParams {
-    JobParams {
-        source: JobSource::Inline(target),
-        name: "inline".into(),
-        grid: 512,
-        clip_nm: 512.0,
-        kernels: 3,
-        tile: 512,
-        halo: 64,
-        seam: SeamPolicy::Crop,
-        schedule: "fast".into(),
-        iters: Some(2),
-        max_eff_nm: 8.0,
-        threads: 1,
-        timeout_s: 0.0,
-        retries: 1,
-        evaluate: true,
-        faults: ilt_runtime::FaultPlan::none(),
-    }
-}
+use ilt_runtime::{run_batch, SimulatorCache};
+use ilt_server::{base64_encode, Limits, ServerConfig};
+use util::{
+    delete, exchange, fast_params, get, post, shutdown, start, tiny_pgm, tiny_target, FAST_JOB,
+};
 
 #[test]
 fn rejects_malformed_and_unroutable_requests() {
     let (addr, handle) = start(ServerConfig { workers: 0, ..ServerConfig::default() });
 
-    let (status, _, body) = exchange(addr, b"BOGUS\r\nhost: t\r\n\r\n");
-    assert_eq!(status, 400, "{}", body_text(&body));
-    let (status, _, _) = exchange(addr, b"GET /healthz SPDY/9\r\n\r\n");
-    assert_eq!(status, 400);
+    let reply = exchange(addr, b"BOGUS\r\nhost: t\r\n\r\n");
+    assert_eq!(reply.status, 400, "{}", reply.text());
+    let reply = exchange(addr, b"GET /healthz SPDY/9\r\n\r\n");
+    assert_eq!(reply.status, 400);
 
-    let (status, _, body) = get(addr, "/no/such/route");
-    assert_eq!(status, 404, "{}", body_text(&body));
-    let (status, _, _) = get(addr, "/v1/jobs/notanumber");
-    assert_eq!(status, 400);
-    let (status, _, body) = get(addr, "/v1/jobs/999");
-    assert_eq!(status, 404, "{}", body_text(&body));
-    let (status, _, _) = get(addr, "/v1/jobs/999/mask");
-    assert_eq!(status, 404);
+    let reply = get(addr, "/no/such/route");
+    assert_eq!(reply.status, 404, "{}", reply.text());
+    let reply = get(addr, "/v1/jobs/notanumber");
+    assert_eq!(reply.status, 400);
+    let reply = get(addr, "/v1/jobs/999");
+    assert_eq!(reply.status, 404, "{}", reply.text());
+    let reply = get(addr, "/v1/jobs/999/mask");
+    assert_eq!(reply.status, 404);
 
-    let (status, headers, _) = exchange(addr, b"DELETE /v1/jobs HTTP/1.1\r\n\r\n");
-    assert_eq!(status, 405);
-    assert_eq!(header(&headers, "allow"), Some("GET, POST"));
+    // The collection endpoint takes GET/POST only; DELETE targets one job.
+    let reply = delete(addr, "/v1/jobs");
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow"), Some("GET, POST"));
 
-    let (status, _, body) = post(addr, "/v1/jobs", b"");
-    assert_eq!(status, 400, "no source given: {}", body_text(&body));
-    let (status, _, _) = post(addr, "/v1/jobs?case=case1&grid=100", b"");
-    assert_eq!(status, 400);
+    let reply = post(addr, "/v1/jobs", b"");
+    assert_eq!(reply.status, 400, "no source given: {}", reply.text());
+    let reply = post(addr, "/v1/jobs?case=case1&grid=100", b"");
+    assert_eq!(reply.status, 400);
 
     shutdown(addr, handle);
 }
@@ -139,15 +53,15 @@ fn oversized_bodies_and_heads_are_refused() {
 
     // Declared too large: refused from the Content-Length alone.
     let raw = b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
-    let (status, _, body) = exchange(addr, raw);
-    assert_eq!(status, 413, "{}", body_text(&body));
+    let reply = exchange(addr, raw);
+    assert_eq!(reply.status, 413, "{}", reply.text());
 
     // Oversized head.
     let mut raw = b"GET /v1/jobs?x=".to_vec();
     raw.extend(std::iter::repeat(b'a').take(4096));
     raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
-    let (status, _, _) = exchange(addr, &raw);
-    assert_eq!(status, 431);
+    let reply = exchange(addr, &raw);
+    assert_eq!(reply.status, 431);
 
     shutdown(addr, handle);
 }
@@ -158,28 +72,28 @@ fn queue_overflow_gets_503_with_retry_after_and_metrics_count_it() {
     let (addr, handle) =
         start(ServerConfig { workers: 0, queue_cap: 2, ..ServerConfig::default() });
     let submit = format!("/v1/jobs?{FAST_JOB}");
-    let pgm = ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0);
+    let pgm = tiny_pgm();
 
-    let (status, _, body) = post(addr, &submit, &pgm);
-    assert_eq!(status, 202, "{}", body_text(&body));
-    assert!(body_text(&body).contains("\"id\":0"));
-    let (status, _, _) = post(addr, &submit, &pgm);
-    assert_eq!(status, 202);
+    let reply = post(addr, &submit, &pgm);
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    assert!(reply.text().contains("\"id\":0"));
+    let reply = post(addr, &submit, &pgm);
+    assert_eq!(reply.status, 202);
 
     for _ in 0..3 {
-        let (status, headers, body) = post(addr, &submit, &pgm);
-        assert_eq!(status, 503, "{}", body_text(&body));
-        assert_eq!(header(&headers, "retry-after"), Some("1"));
-        assert!(body_text(&body).contains("queue full"));
+        let reply = post(addr, &submit, &pgm);
+        assert_eq!(reply.status, 503, "{}", reply.text());
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert!(reply.text().contains("queue full"));
     }
 
     // A queued (not yet run) job has no mask: 409, not 404.
-    let (status, _, _) = get(addr, "/v1/jobs/0/mask");
-    assert_eq!(status, 409);
+    let reply = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(reply.status, 409);
 
-    let (status, _, body) = get(addr, "/metrics");
-    assert_eq!(status, 200);
-    let text = body_text(&body);
+    let reply = get(addr, "/metrics");
+    assert_eq!(reply.status, 200);
+    let text = reply.text();
     assert!(text.contains("ilt_jobs_accepted_total 2\n"), "{text}");
     assert!(text.contains("ilt_jobs_rejected_total 3\n"), "{text}");
     assert!(text.contains("ilt_queue_depth 2\n"), "{text}");
@@ -197,33 +111,18 @@ fn end_to_end_round_trip_matches_the_batch_engine_bit_for_bit() {
         ..ServerConfig::default()
     });
 
-    let (status, _, body) = get(addr, "/healthz");
-    assert_eq!(status, 200);
-    assert_eq!(body_text(&body), "ok\n");
+    let reply = get(addr, "/healthz");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.text(), "ok\n");
 
     // Submit an inline 64x64 target.
     let target = tiny_target();
-    let pgm = ilt_field::pgm_bytes(&target, 0.0, 1.0);
-    let (status, headers, body) = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
-    assert_eq!(status, 202, "{}", body_text(&body));
-    assert_eq!(header(&headers, "location"), Some("/v1/jobs/0"));
+    let pgm = tiny_pgm();
+    let reply = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    assert_eq!(reply.header("location"), Some("/v1/jobs/0"));
 
-    // Poll to completion.
-    let deadline = Instant::now() + Duration::from_secs(120);
-    let detail = loop {
-        let (status, _, body) = get(addr, "/v1/jobs/0");
-        assert_eq!(status, 200);
-        let text = body_text(&body);
-        if text.contains("\"state\":\"done\"") {
-            break text;
-        }
-        assert!(
-            !text.contains("\"state\":\"failed\""),
-            "job failed unexpectedly: {text}"
-        );
-        assert!(Instant::now() < deadline, "job did not finish in time: {text}");
-        std::thread::sleep(Duration::from_millis(25));
-    };
+    let detail = util::wait_for_state(addr, 0, "done");
     assert!(detail.contains("\"records\":[{"), "{detail}");
     assert!(detail.contains("\"eval\":{"), "{detail}");
 
@@ -232,25 +131,27 @@ fn end_to_end_round_trip_matches_the_batch_engine_bit_for_bit() {
     let reference = run_batch(&[case], &config, &SimulatorCache::new()).unwrap();
     let expected_pgm = ilt_field::pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
 
-    let (status, headers, mask) = get(addr, "/v1/jobs/0/mask");
-    assert_eq!(status, 200);
-    assert_eq!(header(&headers, "content-type"), Some("image/x-portable-graymap"));
-    assert_eq!(mask, expected_pgm, "served mask differs from batch output");
+    let reply = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("image/x-portable-graymap"));
+    assert_eq!(reply.body, expected_pgm, "served mask differs from batch output");
 
     // The base64 view inlines exactly the same bytes.
-    let (status, _, body) = get(addr, "/v1/jobs/0?mask=base64");
-    assert_eq!(status, 200);
+    let reply = get(addr, "/v1/jobs/0?mask=base64");
+    assert_eq!(reply.status, 200);
     assert!(
-        body_text(&body).contains(&format!("\"mask_pgm_base64\":\"{}\"", base64_encode(&expected_pgm))),
+        reply
+            .text()
+            .contains(&format!("\"mask_pgm_base64\":\"{}\"", base64_encode(&expected_pgm))),
         "base64 mask mismatch"
     );
 
     // Listing shows the finished job; metrics agree with one accepted,
     // one completed, zero failed.
-    let (_, _, body) = get(addr, "/v1/jobs");
-    assert!(body_text(&body).contains("\"state\":\"done\""));
-    let (_, _, body) = get(addr, "/metrics");
-    let text = body_text(&body);
+    let reply = get(addr, "/v1/jobs");
+    assert!(reply.text().contains("\"state\":\"done\""));
+    let reply = get(addr, "/metrics");
+    let text = reply.text();
     assert!(text.contains("ilt_jobs_accepted_total 1\n"), "{text}");
     assert!(text.contains("ilt_jobs_completed_total 1\n"), "{text}");
     assert!(text.contains("ilt_jobs_failed_total 0\n"), "{text}");
@@ -273,10 +174,8 @@ fn end_to_end_round_trip_matches_the_batch_engine_bit_for_bit() {
 /// `410 Gone` while their metadata stays queryable.
 #[test]
 fn restart_recovers_state_and_ttl_evicts_masks() {
-    let state_dir = std::env::temp_dir()
-        .join(format!("ilt_server_e2e_state_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&state_dir);
-    let pgm = ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0);
+    let state_dir = util::temp_dir("e2e_state");
+    let pgm = tiny_pgm();
 
     // First life: run one job to completion, then drain.
     let (addr, handle) = start(ServerConfig {
@@ -284,20 +183,10 @@ fn restart_recovers_state_and_ttl_evicts_masks() {
         state_dir: Some(state_dir.clone()),
         ..ServerConfig::default()
     });
-    let (status, _, body) = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
-    assert_eq!(status, 202, "{}", body_text(&body));
-    let deadline = Instant::now() + Duration::from_secs(120);
-    loop {
-        let (_, _, body) = get(addr, "/v1/jobs/0");
-        let text = body_text(&body);
-        if text.contains("\"state\":\"done\"") {
-            break;
-        }
-        assert!(!text.contains("\"state\":\"failed\""), "{text}");
-        assert!(Instant::now() < deadline, "job did not finish: {text}");
-        std::thread::sleep(Duration::from_millis(25));
-    }
-    let (_, _, first_mask) = get(addr, "/v1/jobs/0/mask");
+    let reply = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    util::wait_for_state(addr, 0, "done");
+    let first_mask = get(addr, "/v1/jobs/0/mask").body;
     shutdown(addr, handle);
 
     // Second life: same state dir; the job is back without re-running.
@@ -306,15 +195,15 @@ fn restart_recovers_state_and_ttl_evicts_masks() {
         state_dir: Some(state_dir.clone()),
         ..ServerConfig::default()
     });
-    let (status, _, body) = get(addr, "/v1/jobs/0");
-    assert_eq!(status, 200);
-    let text = body_text(&body);
+    let reply = get(addr, "/v1/jobs/0");
+    assert_eq!(reply.status, 200);
+    let text = reply.text();
     assert!(text.contains("\"state\":\"done\""), "{text}");
-    let (status, _, mask) = get(addr, "/v1/jobs/0/mask");
-    assert_eq!(status, 200);
-    assert_eq!(mask, first_mask, "recovered mask must be byte-identical");
-    let (_, _, body) = get(addr, "/metrics");
-    assert!(body_text(&body).contains("ilt_jobs_recovered_total 1\n"), "{}", body_text(&body));
+    let reply = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body, first_mask, "recovered mask must be byte-identical");
+    let reply = get(addr, "/metrics");
+    assert!(reply.text().contains("ilt_jobs_recovered_total 1\n"), "{}", reply.text());
     shutdown(addr, handle);
 
     // Third life: an aggressive TTL evicts the recovered mask on the first
@@ -325,13 +214,13 @@ fn restart_recovers_state_and_ttl_evicts_masks() {
         result_ttl: Some(Duration::ZERO),
         ..ServerConfig::default()
     });
-    let (_, _, body) = get(addr, "/metrics");
-    assert!(body_text(&body).contains("ilt_masks_evicted_total 1\n"), "{}", body_text(&body));
-    let (status, _, body) = get(addr, "/v1/jobs/0/mask");
-    assert_eq!(status, 410, "{}", body_text(&body));
-    let (status, _, body) = get(addr, "/v1/jobs/0");
-    assert_eq!(status, 200);
-    let text = body_text(&body);
+    let reply = get(addr, "/metrics");
+    assert!(reply.text().contains("ilt_masks_evicted_total 1\n"), "{}", reply.text());
+    let reply = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(reply.status, 410, "{}", reply.text());
+    let reply = get(addr, "/v1/jobs/0");
+    assert_eq!(reply.status, 200);
+    let text = reply.text();
     assert!(text.contains("\"mask_resident\":false"), "{text}");
     assert!(text.contains("\"mask_hash\""), "{text}");
     shutdown(addr, handle);
@@ -341,15 +230,15 @@ fn restart_recovers_state_and_ttl_evicts_masks() {
 #[test]
 fn draining_server_refuses_new_work_but_finishes_queued_jobs() {
     let (addr, handle) = start(ServerConfig { workers: 1, ..ServerConfig::default() });
-    let pgm = ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0);
+    let pgm = tiny_pgm();
 
-    let (status, _, _) = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
-    assert_eq!(status, 202);
+    let reply = post(addr, &format!("/v1/jobs?{FAST_JOB}"), &pgm);
+    assert_eq!(reply.status, 202);
 
     // Start the drain, then verify the already-submitted job completed:
     // run() only returns once the queue is empty and workers exited.
-    let (status, _, body) = post(addr, "/v1/shutdown", b"");
-    assert_eq!(status, 202);
-    assert!(body_text(&body).contains("draining"));
+    let reply = post(addr, "/v1/shutdown", b"");
+    assert_eq!(reply.status, 202);
+    assert!(reply.text().contains("draining"));
     handle.join().expect("server thread").expect("clean drain");
 }

@@ -1,0 +1,254 @@
+//! Shared loopback harness for the ilt-server integration suites.
+//!
+//! Two client shapes, matching the two things the tests need to exercise:
+//!
+//! - [`exchange`] / [`get`] / [`post`] / [`delete`]: one fresh connection
+//!   per request. The convenience verbs send `Connection: close` so the
+//!   server hangs up after replying and read-to-EOF framing stays valid
+//!   even though the server defaults to keep-alive. [`exchange`] sends raw
+//!   bytes verbatim — the tool for malformed-request tests.
+//! - [`Conn`]: one persistent connection, responses framed by their
+//!   `Content-Length` — the tool for keep-alive, pipelining, and idle
+//!   timeout tests, where reading to EOF would deadlock or lie.
+
+#![allow(dead_code)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ilt_field::Field2D;
+use ilt_runtime::SeamPolicy;
+use ilt_server::{JobParams, JobSource, Server, ServerConfig};
+
+/// One parsed HTTP response.
+pub struct Reply {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn parse_head(head: &str) -> (u16, Vec<(String, String)>) {
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers)
+}
+
+/// One raw exchange on a fresh connection: sends `raw` verbatim, reads the
+/// response to EOF. The request must make the server close the connection
+/// (send `Connection: close`, or be malformed — errors always close).
+pub fn exchange(addr: SocketAddr, raw: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(raw).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = String::from_utf8(response[..split].to_vec()).expect("utf8 head");
+    let (status, headers) = parse_head(&head);
+    Reply { status, headers, body: response[split + 4..].to_vec() }
+}
+
+pub fn get(addr: SocketAddr, path: &str) -> Reply {
+    exchange(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> Reply {
+    let mut raw = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    exchange(addr, &raw)
+}
+
+pub fn delete(addr: SocketAddr, path: &str) -> Reply {
+    exchange(
+        addr,
+        format!("DELETE {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+/// A persistent client connection framing responses by `Content-Length`.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    pub fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Conn { stream, buf: Vec::new() }
+    }
+
+    /// Writes raw bytes without reading anything back (for pipelining).
+    pub fn send_raw(&mut self, raw: &[u8]) -> io::Result<()> {
+        self.stream.write_all(raw)
+    }
+
+    /// Sends one framed request (no `Connection` header: HTTP/1.1 default
+    /// keep-alive applies) and reads its reply.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Reply> {
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(body);
+        self.send_raw(&raw)?;
+        self.read_reply()
+    }
+
+    /// Reads one `Content-Length`-framed response from the connection.
+    pub fn read_reply(&mut self) -> io::Result<Reply> {
+        let split = loop {
+            if let Some(p) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response head",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..split].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))?;
+        let (status, headers) = parse_head(&head);
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("server responses always carry content-length");
+        self.buf.drain(..split + 4);
+        while self.buf.len() < len {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body: Vec<u8> = self.buf.drain(..len).collect();
+        Ok(Reply { status, headers, body })
+    }
+
+    /// Reads one byte, expecting the server to have closed the connection
+    /// (EOF) rather than sent anything.
+    pub fn expect_closed(&mut self) -> bool {
+        assert!(self.buf.is_empty(), "unread pipelined data: {:?}", self.buf);
+        let mut one = [0u8; 1];
+        matches!(self.stream.read(&mut one), Ok(0))
+    }
+}
+
+pub fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<io::Result<()>>) {
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+pub fn shutdown(addr: SocketAddr, handle: JoinHandle<io::Result<()>>) {
+    let reply = post(addr, "/v1/shutdown", b"");
+    assert_eq!(reply.status, 202);
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+pub fn tiny_target() -> Field2D {
+    Field2D::from_fn(64, 64, |r, c| {
+        if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
+    })
+}
+
+pub fn tiny_pgm() -> Vec<u8> {
+    ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0)
+}
+
+/// Query params for a job small enough to finish in well under a second.
+pub const FAST_JOB: &str = "clip_nm=512&kernels=3&iters=2";
+
+pub fn fast_params(target: Field2D) -> JobParams {
+    JobParams {
+        source: JobSource::Inline(target),
+        name: "inline".into(),
+        grid: 512,
+        clip_nm: 512.0,
+        kernels: 3,
+        tile: 512,
+        halo: 64,
+        seam: SeamPolicy::Crop,
+        schedule: "fast".into(),
+        iters: Some(2),
+        max_eff_nm: 8.0,
+        threads: 1,
+        timeout_s: 0.0,
+        retries: 1,
+        evaluate: true,
+        faults: ilt_runtime::FaultPlan::none(),
+    }
+}
+
+/// Polls `GET /v1/jobs/{id}` until its state equals `want`; returns the
+/// final detail JSON. Panics if the job lands in a different terminal
+/// state or the deadline passes.
+pub fn wait_for_state(addr: SocketAddr, id: usize, want: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = get(addr, &format!("/v1/jobs/{id}"));
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let text = reply.text();
+        if text.contains(&format!("\"state\":\"{want}\"")) {
+            return text;
+        }
+        for terminal in ["done", "failed", "cancelled"] {
+            assert!(
+                terminal == want || !text.contains(&format!("\"state\":\"{terminal}\"")),
+                "job {id} landed `{terminal}` while waiting for `{want}`: {text}"
+            );
+        }
+        assert!(Instant::now() < deadline, "job {id} never reached `{want}`: {text}");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+/// A fresh scratch directory under the system temp dir, unique per test.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ilt_server_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

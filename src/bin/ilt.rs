@@ -12,7 +12,8 @@
 //! ilt serve    [--addr 127.0.0.1:8080] [--threads 2] [--queue 16]
 //!              [--journal served.jsonl] [--retries 1] [--timeout-s 0]
 //!              [--cache 16] [--state-dir DIR] [--result-ttl-s 0]
-//!              [--max-masks 0] [--allow-inject]
+//!              [--max-masks 0] [--allow-inject] [--compact-bytes 0]
+//!              [--keep-alive 32] [--idle-timeout-s 5]
 //! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
 //! ilt fracture --mask mask.pgm
 //! ilt kernels  [--grid 512] [--kernels 10]
@@ -39,7 +40,11 @@
 //! `serve` turns the same engine into a long-lived HTTP job service (see
 //! the `ilt-server` crate docs for the API); `--state-dir` makes job state
 //! survive restarts, and `--result-ttl-s`/`--max-masks` bound how long
-//! finished masks stay resident before eviction. `bench-fft` is the hermetic,
+//! finished masks stay resident before eviction. `--compact-bytes` sets
+//! the state-log size past which live jobs are snapshotted and the log
+//! truncated (0 = never compact); `--keep-alive` caps requests served per
+//! connection and `--idle-timeout-s` bounds how long a persistent
+//! connection may sit idle. `bench-fft` is the hermetic,
 //! std-only spectral micro-benchmark: it times the dense pad+inverse path
 //! against the pruned [`ilt_fft::Fft2d::inverse_padded`] path and the
 //! complex forward against the real-input forward at N in {256, 512, 1024,
@@ -84,6 +89,9 @@ struct Cli {
     result_ttl_s: f64,
     max_masks: usize,
     allow_inject: bool,
+    compact_bytes: u64,
+    keep_alive: usize,
+    idle_timeout_s: f64,
     json: Option<String>,
     reps: usize,
     bench_p: usize,
@@ -125,6 +133,9 @@ impl Cli {
             result_ttl_s: 0.0,
             max_masks: 0,
             allow_inject: false,
+            compact_bytes: 0,
+            keep_alive: 32,
+            idle_timeout_s: 5.0,
             json: None,
             reps: 5,
             bench_p: 25,
@@ -163,6 +174,9 @@ impl Cli {
                 "--result-ttl-s" => cli.result_ttl_s = value()?.parse()?,
                 "--max-masks" => cli.max_masks = value()?.parse()?,
                 "--allow-inject" => cli.allow_inject = true,
+                "--compact-bytes" => cli.compact_bytes = value()?.parse()?,
+                "--keep-alive" => cli.keep_alive = value()?.parse()?,
+                "--idle-timeout-s" => cli.idle_timeout_s = value()?.parse()?,
                 "--json" => cli.json = Some(value()?),
                 "--reps" => cli.reps = value()?.parse()?,
                 "--p" => cli.bench_p = value()?.parse()?,
@@ -359,6 +373,7 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
         degrade: !cli.no_degrade,
         checkpoint,
         faults,
+        ..BatchConfig::default()
     };
     println!(
         "batch: {} case(s), {} thread(s), tile {} px, halo {} px, schedule {}",
@@ -433,6 +448,9 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
         result_ttl: (cli.result_ttl_s > 0.0)
             .then(|| std::time::Duration::from_secs_f64(cli.result_ttl_s)),
         max_resident_masks: if cli.max_masks == 0 { usize::MAX } else { cli.max_masks },
+        compact_state_bytes: cli.compact_bytes,
+        keep_alive_requests: cli.keep_alive.max(1),
+        idle_timeout: std::time::Duration::from_secs_f64(cli.idle_timeout_s.max(0.05)),
         ..ServerConfig::default()
     };
     let workers = config.workers;

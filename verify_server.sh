@@ -1,17 +1,30 @@
 #!/bin/bash
-# Verifies the HTTP job service end to end, loopback-only and offline:
+# Smoke-verifies the HTTP job service end to end, loopback-only and
+# offline. The deterministic lifecycle coverage — cancellation races,
+# state-log compaction across restarts, keep-alive limits, restart
+# recovery, TTL eviction, malformed HTTP — lives in-tree
+# (crates/ilt-server/tests/{http_e2e,lifecycle}.rs); this script is a thin
+# wrapper that runs those tests first and then exercises the *release
+# binary* through real curl:
 #   1. `ilt serve` starts, binds an ephemeral port, and answers /healthz;
 #   2. a job submitted over HTTP produces a mask byte-identical to the
 #      same configuration run through `ilt batch`;
 #   3. /metrics is consistent: accepted == completed, nothing failed;
-#   4. flooding past the admission queue yields 503s (backpressure), never
+#   4. a queued job dies on DELETE, the state log compacts to a snapshot,
+#      and a restart replays the live set (cancellation + compaction);
+#   5. flooding past the admission queue yields 503s (backpressure), never
 #      a crash — the server still answers and drains cleanly afterwards;
-#   5. the server journal holds one line per completed job.
+#   6. the server journal holds one line per completed job.
 set -e
 BIN=./target/release/ilt
 OUT=bench-out/server
 mkdir -p "$OUT"
 CURL="curl -sS --max-time 30"
+
+# --- The in-tree port of these scenarios is the source of truth. ---------
+cargo test -q -p ilt-server -p ilt-runtime > "$OUT/cargo-test.log" 2>&1 \
+    || { echo "SERVER_FAILED: in-tree server/runtime tests"; tail -40 "$OUT/cargo-test.log"; exit 1; }
+echo "in-tree server + runtime tests passed"
 
 # --- Reference: the batch CLI on the same case/configuration. ------------
 "$BIN" batch --threads 1 --grid 128 --kernels 4 --out "$OUT/ref" \
@@ -67,6 +80,70 @@ if [ "$ACCEPTED_Q" != "$COMPLETED_Q" ] || [ "$FAILED_Q" != 0 ]; then
     exit 1
 fi
 echo "metrics: accepted=$ACCEPTED_Q completed=$COMPLETED_Q failed=$FAILED_Q"
+
+# --- Cancellation + compaction smoke, on a second server instance. -------
+# One worker, aggressive compaction: a long job pins the worker, a queued
+# job is DELETEd (202, immediate), and every terminal event snapshots the
+# live set and truncates state.jsonl. A restart must replay the finished
+# job and 404 the compacted-away cancelled one.
+STATE="$OUT/state"
+rm -rf "$STATE"
+"$BIN" serve --addr 127.0.0.1:0 --threads 1 --queue 8 \
+    --state-dir "$STATE" --compact-bytes 1 > "$OUT/serve-lifecycle.log" 2>&1 &
+LIFE_PID=$!
+cleanup_life() { kill "$LIFE_PID" 2>/dev/null || true; cleanup; }
+trap cleanup_life EXIT
+for _ in $(seq 50); do
+    LBASE=$(sed -n 's#^listening on \(http://.*\)$#\1#p' "$OUT/serve-lifecycle.log")
+    [ -n "$LBASE" ] && break
+    sleep 0.1
+done
+[ -n "$LBASE" ] || { echo "SERVER_FAILED: lifecycle instance never listened"; exit 1; }
+
+$CURL -X POST "$LBASE/v1/jobs?case=case1&grid=128&kernels=4" > /dev/null
+VICTIM=$($CURL -X POST "$LBASE/v1/jobs?case=case1&grid=128&kernels=4&iters=50")
+VICTIM_ID=$(echo "$VICTIM" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+CANCEL=$($CURL -X DELETE "$LBASE/v1/jobs/$VICTIM_ID")
+echo "$CANCEL" | grep -q '"state":"cancell' \
+    || { echo "SERVER_FAILED: cancel answered: $CANCEL"; exit 1; }
+
+for _ in $(seq 600); do
+    LSTATE=$($CURL "$LBASE/v1/jobs/0" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$LSTATE" = done ] && break
+    [ "$LSTATE" = failed ] && { echo "SERVER_FAILED: lifecycle job failed"; exit 1; }
+    sleep 0.5
+done
+[ "$LSTATE" = done ] || { echo "SERVER_FAILED: lifecycle job stuck in $LSTATE"; exit 1; }
+LMETRICS=$($CURL "$LBASE/metrics")
+echo "$LMETRICS" | grep -q 'ilt_jobs_cancelled_total [1-9]' \
+    || { echo "SERVER_FAILED: cancelled counter never moved"; exit 1; }
+
+$CURL -X POST "$LBASE/v1/shutdown" > /dev/null
+wait "$LIFE_PID" || { echo "SERVER_FAILED: lifecycle instance dirty exit"; exit 1; }
+[ -s "$STATE/state.snapshot.jsonl" ] \
+    || { echo "SERVER_FAILED: no compaction snapshot written"; exit 1; }
+[ ! -s "$STATE/state.jsonl" ] \
+    || { echo "SERVER_FAILED: state.jsonl not truncated by compaction"; exit 1; }
+
+"$BIN" serve --addr 127.0.0.1:0 --threads 1 --queue 8 \
+    --state-dir "$STATE" --compact-bytes 1 > "$OUT/serve-replay.log" 2>&1 &
+LIFE_PID=$!
+for _ in $(seq 50); do
+    RBASE=$(sed -n 's#^listening on \(http://.*\)$#\1#p' "$OUT/serve-replay.log")
+    [ -n "$RBASE" ] && break
+    sleep 0.1
+done
+[ -n "$RBASE" ] || { echo "SERVER_FAILED: replay instance never listened"; exit 1; }
+REPLAYED=$($CURL "$RBASE/v1/jobs/0")
+echo "$REPLAYED" | grep -q '"state":"done"' \
+    || { echo "SERVER_FAILED: finished job lost across compaction restart"; exit 1; }
+CODE=$($CURL -o /dev/null -w '%{http_code}' "$RBASE/v1/jobs/$VICTIM_ID")
+[ "$CODE" = 404 ] \
+    || { echo "SERVER_FAILED: cancelled job survived compaction ($CODE)"; exit 1; }
+$CURL -X POST "$RBASE/v1/shutdown" > /dev/null
+wait "$LIFE_PID" || { echo "SERVER_FAILED: replay instance dirty exit"; exit 1; }
+trap cleanup EXIT
+echo "cancellation + compaction: queued job cancelled, log compacted, restart replayed the live set"
 
 # --- Flood the bounded queue: expect 503s, no crash. ---------------------
 # Queue capacity is 4 with 2 workers on a slow job; 30 rapid submissions
