@@ -1,0 +1,613 @@
+//! The coordinator half of sharded execution: splits one job's planned
+//! tile set across worker replicas, supervises the shards, and merges the
+//! per-tile outputs for central stitching.
+//!
+//! Fault handling composes the existing single-process machinery instead
+//! of inventing new state:
+//!
+//! - **Death detection**: a monitor thread probes every worker's
+//!   `GET /healthz` on a fixed interval; after a configured number of
+//!   consecutive failures the worker is marked dead (and revived on the
+//!   next successful probe).
+//! - **Re-dispatch**: a shard whose worker dies or drops the connection is
+//!   re-sent — same shard id, same job ids — to the next live worker. The
+//!   shard id keys the worker-side checkpoint WAL directory, so a replica
+//!   that already holds partial results for that shard restores them
+//!   instead of recomputing.
+//! - **Cancel fan-out**: when the job's [`CancelToken`] fires, each
+//!   in-flight shard gets a `DELETE /v1/shards/<sid>`; the coordinator
+//!   then *keeps waiting* (bounded by the cancel grace period) for the
+//!   worker to come back with its cancelled-at-tile-boundary records, so
+//!   the job only turns terminal after every shard acknowledged or timed
+//!   out. Shards that can no longer answer synthesize local `cancelled`
+//!   records.
+//! - **Lost shards**: when no live worker remains, the shard's jobs become
+//!   synthesized `failed` records — the job finishes (degraded cores fall
+//!   back to target geometry in stitching) rather than hanging.
+//!
+//! Determinism: per-tile masks are bit-exact regardless of which replica
+//! computed them (hash-verified in [`crate::wire`]), outputs are merged in
+//! job-id order, and stitching/evaluation happen centrally — so any worker
+//! count, split, or crash/re-dispatch history yields byte-identical masks
+//! to a single-process `ilt batch` run.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ilt_runtime::{
+    CancelToken, JobOutput, JobRecord, JobStatus, PlannedJob, Progress, StageTimes,
+};
+
+use crate::stats::ClusterStats;
+use crate::wire::{encode_job_ids, parse_shard_header, parse_shard_job};
+
+/// Cluster topology and supervision tuning.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Worker replica addresses (`host:port`).
+    pub workers: Vec<String>,
+    /// Heartbeat probe interval; also the liveness-poll granularity while
+    /// waiting on an in-flight shard.
+    pub heartbeat: Duration,
+    /// Consecutive failed probes before a worker is declared dead.
+    pub heartbeat_failures: u32,
+    /// Per-connection connect timeout.
+    pub connect_timeout: Duration,
+    /// After cancel fan-out, how long to keep waiting for a worker's
+    /// cancelled records before synthesizing them locally.
+    pub cancel_grace: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: Vec::new(),
+            heartbeat: Duration::from_millis(500),
+            heartbeat_failures: 3,
+            connect_timeout: Duration::from_secs(2),
+            cancel_grace: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One worker replica's live state.
+#[derive(Debug)]
+struct WorkerSlot {
+    addr: String,
+    /// Last successful resolution, reused when DNS/parse succeeds once.
+    alive: AtomicBool,
+    consecutive_fails: AtomicU32,
+}
+
+/// Supervises a fixed set of worker replicas and executes jobs across
+/// them. Owned by the serving process; dropped (stopping the heartbeat
+/// monitor) on shutdown.
+pub struct Coordinator {
+    config: ClusterConfig,
+    slots: Vec<Arc<WorkerSlot>>,
+    stats: Arc<ClusterStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Coordinator {
+    /// Builds the coordinator and starts its heartbeat monitor thread.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty worker list.
+    pub fn new(config: ClusterConfig) -> Result<Coordinator, String> {
+        if config.workers.is_empty() {
+            return Err("cluster mode needs at least one worker address".into());
+        }
+        let slots: Vec<Arc<WorkerSlot>> = config
+            .workers
+            .iter()
+            .map(|addr| {
+                Arc::new(WorkerSlot {
+                    addr: addr.clone(),
+                    // Optimistically alive: the first probe (or the first
+                    // dispatch failure) corrects this within one interval.
+                    alive: AtomicBool::new(true),
+                    consecutive_fails: AtomicU32::new(0),
+                })
+            })
+            .collect();
+        let stats = Arc::new(ClusterStats::default());
+        stats.workers_alive.store(slots.len() as u64, Ordering::Relaxed);
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let slots = slots.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::spawn(move || monitor_loop(&config, &slots, &stats, &stop));
+        }
+        Ok(Coordinator { config, slots, stats, stop })
+    }
+
+    /// The live cluster metrics, for `/metrics` rendering.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Number of configured worker replicas.
+    pub fn workers_configured(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Executes one job's full tile plan across the cluster and returns
+    /// the merged per-tile outputs in job-id order, ready for
+    /// [`ilt_runtime::assemble_batch`].
+    ///
+    /// `query` is the job's persisted parameter query (fault injection
+    /// stripped — faults stay local to workers); `body` carries the target
+    /// PGM for inline sources. `progress` ticks once per executed
+    /// (non-synthesized, non-cancelled) tile as shards complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the plan is empty or replicas disagree on
+    /// the configuration fingerprint (version/parameter skew); lost shards
+    /// are NOT errors — they synthesize failed or cancelled records.
+    pub fn run_job(
+        &self,
+        job_id: usize,
+        query: &str,
+        body: &[u8],
+        plan: &[PlannedJob],
+        cancel: &CancelToken,
+        progress: &Progress,
+    ) -> Result<Vec<JobOutput>, String> {
+        if plan.is_empty() {
+            return Err("job plans no tiles".into());
+        }
+        let shard_count = self.slots.len().min(plan.len());
+        let mut assignments: Vec<Vec<&PlannedJob>> = vec![Vec::new(); shard_count];
+        for job in plan {
+            assignments[job.id % shard_count].push(job);
+        }
+
+        let results: Vec<(usize, ShardResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .enumerate()
+                .map(|(shard_idx, jobs)| {
+                    scope.spawn(move || {
+                        let sid = format!("{job_id}-{shard_idx}");
+                        (shard_idx, self.run_shard_supervised(&sid, shard_idx, query, body, jobs, cancel))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard supervisor panicked")).collect()
+        });
+
+        let mut outputs: Vec<JobOutput> = Vec::with_capacity(plan.len());
+        let mut fingerprint: Option<u64> = None;
+        for (shard_idx, result) in results {
+            match result {
+                ShardResult::Done { outputs: shard_outputs, fingerprint: fp } => {
+                    match fingerprint {
+                        None => fingerprint = Some(fp),
+                        Some(seen) if seen != fp => {
+                            return Err(format!(
+                                "workers disagree on configuration fingerprint \
+                                 ({seen:016x} vs {fp:016x}) — replica version or parameter skew"
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                    for output in shard_outputs {
+                        if output.record.status != JobStatus::Cancelled {
+                            progress.tick();
+                        }
+                        outputs.push(output);
+                    }
+                }
+                ShardResult::Lost(reason) => {
+                    // The shard can no longer be computed anywhere; finish
+                    // the job with terminal records instead of hanging.
+                    let status = if cancel.is_cancelled() {
+                        JobStatus::Cancelled
+                    } else {
+                        JobStatus::Failed(format!("shard lost: {reason}"))
+                    };
+                    for job in &assignments[shard_idx] {
+                        outputs.push(synthesize(job, status.clone()));
+                    }
+                }
+            }
+        }
+        outputs.sort_by_key(|o| o.record.job_id);
+        Ok(outputs)
+    }
+
+    /// Runs one shard to completion: dispatch, supervise, re-dispatch on
+    /// worker death, fan out cancellation.
+    fn run_shard_supervised(
+        &self,
+        sid: &str,
+        shard_idx: usize,
+        query: &str,
+        body: &[u8],
+        jobs: &[&PlannedJob],
+        cancel: &CancelToken,
+    ) -> ShardResult {
+        let ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
+        let path = format!(
+            "/v1/shards?shard={sid}&jobs={}{}{query}",
+            encode_job_ids(&ids),
+            if query.is_empty() { "" } else { "&" }
+        );
+        let mut dispatched = 0u32;
+        let max_dispatches = (self.slots.len() as u32) * 2;
+        let preferred = shard_idx % self.slots.len();
+        let mut skip = 0usize;
+        let mut last_error = String::from("no live worker");
+        loop {
+            if cancel.is_cancelled() && dispatched == 0 {
+                // Never *start* work for a cancelled job; in-flight shards
+                // are handled inside the exchange below.
+                return ShardResult::Lost("cancelled before dispatch".into());
+            }
+            let Some((slot_index, slot)) = self.pick_alive(shard_idx + skip) else {
+                return ShardResult::Lost(last_error);
+            };
+            // Any dispatch that is not the shard's first attempt on its
+            // preferred replica is a re-dispatch — whether the preferred
+            // worker died mid-shard or was already marked dead.
+            if dispatched > 0 || slot_index != preferred {
+                self.stats.shards_redispatched.inc();
+            }
+            if dispatched >= max_dispatches {
+                return ShardResult::Lost(format!(
+                    "gave up after {dispatched} dispatches; last error: {last_error}"
+                ));
+            }
+            dispatched += 1;
+            let started = Instant::now();
+            match self.exchange_shard(slot, sid, &path, body, &ids, cancel) {
+                Ok((fingerprint, outputs)) => {
+                    self.stats.shard_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+                    return ShardResult::Done { outputs, fingerprint };
+                }
+                Err(ShardError::Permanent(reason)) => {
+                    // Deterministic rejection (bad parameters, refused
+                    // dispatch): every replica would answer the same.
+                    return ShardResult::Lost(reason);
+                }
+                Err(ShardError::Retry(reason)) => {
+                    // Connection-level failure: declare this worker suspect
+                    // immediately (the monitor confirms or revives it) and
+                    // move to the next replica.
+                    mark_probe(slot, false, &self.config, &self.stats);
+                    self.publish_alive();
+                    last_error = reason;
+                    skip += 1;
+                }
+            }
+        }
+    }
+
+    /// Next live worker at or after `preferred` (round-robin with wrap).
+    fn pick_alive(&self, preferred: usize) -> Option<(usize, &Arc<WorkerSlot>)> {
+        let n = self.slots.len();
+        (0..n)
+            .map(|i| (preferred + i) % n)
+            .map(|idx| (idx, &self.slots[idx]))
+            .find(|(_, s)| s.alive.load(Ordering::Relaxed))
+    }
+
+    /// One dispatch attempt: POST the shard, wait for the streamed result,
+    /// polling liveness and the cancel token while the worker computes.
+    fn exchange_shard(
+        &self,
+        slot: &WorkerSlot,
+        sid: &str,
+        path: &str,
+        body: &[u8],
+        expected_ids: &[usize],
+        cancel: &CancelToken,
+    ) -> Result<(u64, Vec<JobOutput>), ShardError> {
+        let mut stream = connect(&slot.addr, self.config.connect_timeout)
+            .map_err(ShardError::Retry)?;
+        write_request(&mut stream, "POST", path, body).map_err(ShardError::Retry)?;
+        // Short read timeouts turn the blocking wait into a poll loop so
+        // cancellation and worker death interrupt a long compute.
+        let _ = stream.set_read_timeout(Some(self.config.heartbeat.max(Duration::from_millis(10))));
+        let mut raw = Vec::new();
+        let mut cancel_sent = false;
+        let mut cancel_deadline: Option<Instant> = None;
+        loop {
+            let mut chunk = [0u8; 65536];
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if cancel.is_cancelled() && !cancel_sent {
+                        // Fan the cancellation out to the worker, then keep
+                        // waiting (bounded) for its cancelled records: the
+                        // job must not turn terminal while a replica still
+                        // computes on its behalf.
+                        self.send_cancel(&slot.addr, sid);
+                        cancel_sent = true;
+                        cancel_deadline = Some(Instant::now() + self.config.cancel_grace);
+                    }
+                    if let Some(deadline) = cancel_deadline {
+                        if Instant::now() >= deadline {
+                            return Err(ShardError::Permanent(
+                                "worker did not acknowledge cancellation in time".into(),
+                            ));
+                        }
+                    }
+                    if !slot.alive.load(Ordering::Relaxed) {
+                        return Err(ShardError::Retry(format!(
+                            "worker {} died mid-shard (heartbeat)",
+                            slot.addr
+                        )));
+                    }
+                }
+                Err(e) => {
+                    return Err(ShardError::Retry(format!(
+                        "worker {} connection failed mid-shard: {e}",
+                        slot.addr
+                    )))
+                }
+            }
+        }
+
+        let (status, response_body) = parse_response(&raw).map_err(ShardError::Retry)?;
+        if status != 200 {
+            let reason = format!(
+                "worker {} refused shard {sid}: HTTP {status} {}",
+                slot.addr,
+                String::from_utf8_lossy(&response_body).trim()
+            );
+            // 4xx is deterministic (bad dispatch); anything else might be
+            // replica-local (mid-shutdown, resource pressure) and is worth
+            // one try elsewhere.
+            return Err(if (400..500).contains(&status) {
+                ShardError::Permanent(reason)
+            } else {
+                ShardError::Retry(reason)
+            });
+        }
+        let text = std::str::from_utf8(&response_body)
+            .map_err(|_| ShardError::Retry("non-utf8 shard response".into()))?;
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| ShardError::Retry("empty shard response".into()))
+            .and_then(|l| parse_shard_header(l).map_err(ShardError::Retry))?;
+        let mut outputs = Vec::with_capacity(header.jobs);
+        for line in lines {
+            outputs.push(parse_shard_job(line).map_err(ShardError::Retry)?);
+        }
+        outputs.sort_by_key(|o| o.record.job_id);
+        let got: Vec<usize> = outputs.iter().map(|o| o.record.job_id).collect();
+        let mut want = expected_ids.to_vec();
+        want.sort_unstable();
+        if got != want || outputs.len() != header.jobs {
+            return Err(ShardError::Retry(format!(
+                "shard {sid} answered jobs {got:?}, expected {want:?}"
+            )));
+        }
+        Ok((header.fingerprint, outputs))
+    }
+
+    /// Best-effort cancel fan-out to one worker.
+    fn send_cancel(&self, addr: &str, sid: &str) {
+        let Ok(mut stream) = connect(addr, self.config.connect_timeout) else { return };
+        let _ = stream.set_read_timeout(Some(self.config.connect_timeout));
+        if write_request(&mut stream, "DELETE", &format!("/v1/shards/{sid}"), &[]).is_ok() {
+            // Drain the (tiny) ack so the worker never blocks on us; a 404
+            // means the shard already finished, which is an ack too.
+            let mut sink = [0u8; 1024];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    /// Recomputes the `workers_alive` gauge from the slots.
+    fn publish_alive(&self) {
+        let alive = self.slots.iter().filter(|s| s.alive.load(Ordering::Relaxed)).count();
+        self.stats.workers_alive.store(alive as u64, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+enum ShardResult {
+    Done { outputs: Vec<JobOutput>, fingerprint: u64 },
+    Lost(String),
+}
+
+enum ShardError {
+    /// Worth re-dispatching to another replica.
+    Retry(String),
+    /// Deterministic or final; re-dispatch cannot help.
+    Permanent(String),
+}
+
+/// Terminal record for a job whose shard could not be computed.
+fn synthesize(job: &PlannedJob, status: JobStatus) -> JobOutput {
+    JobOutput {
+        record: JobRecord {
+            job_id: job.id,
+            case: job.case.clone(),
+            tile: job.tile,
+            grid: job.grid,
+            attempts: 0,
+            status,
+            metrics: None,
+            times: StageTimes::default(),
+            wall_ms: 0.0,
+        },
+        mask: None,
+    }
+}
+
+fn monitor_loop(
+    config: &ClusterConfig,
+    slots: &[Arc<WorkerSlot>],
+    stats: &ClusterStats,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        for slot in slots {
+            let ok = probe(&slot.addr, config);
+            mark_probe(slot, ok, config, stats);
+        }
+        let alive = slots.iter().filter(|s| s.alive.load(Ordering::Relaxed)).count();
+        stats.workers_alive.store(alive as u64, Ordering::Relaxed);
+        // Sleep in small steps so drop() stops the thread promptly.
+        let deadline = Instant::now() + config.heartbeat;
+        while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// Applies one probe (or dispatch-failure) observation to a slot.
+fn mark_probe(slot: &WorkerSlot, ok: bool, config: &ClusterConfig, stats: &ClusterStats) {
+    if ok {
+        slot.consecutive_fails.store(0, Ordering::Relaxed);
+        slot.alive.store(true, Ordering::Relaxed);
+    } else {
+        stats.heartbeat_failures.inc();
+        let fails = slot.consecutive_fails.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails >= config.heartbeat_failures {
+            slot.alive.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One `GET /healthz` probe.
+fn probe(addr: &str, config: &ClusterConfig) -> bool {
+    let Ok(mut stream) = connect(addr, config.connect_timeout) else { return false };
+    let _ = stream.set_read_timeout(Some(config.connect_timeout));
+    if write_request(&mut stream, "GET", "/healthz", &[]).is_err() {
+        return false;
+    }
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    matches!(parse_response(&raw), Ok((200, _)))
+}
+
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let targets: Vec<SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve worker {addr}: {e}"))?
+        .collect();
+    let mut last = format!("worker {addr} resolves to no address");
+    for target in targets {
+        match TcpStream::connect_timeout(&target, timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => last = format!("cannot connect to worker {addr}: {e}"),
+        }
+    }
+    Err(last)
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(), String> {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: worker\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send request: {e}"))
+}
+
+/// Minimal HTTP/1.1 response parse: status code + body. The worker always
+/// answers `connection: close`, so the caller reads to EOF first.
+fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("truncated response head")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-utf8 response head")?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parse_extracts_status_and_body() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n\r\nhello";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"hello");
+        assert!(parse_response(b"HTTP/1.1 200").is_err());
+    }
+
+    #[test]
+    fn probe_failures_accumulate_to_death_and_recovery_resets() {
+        let config = ClusterConfig { heartbeat_failures: 2, ..ClusterConfig::default() };
+        let stats = ClusterStats::default();
+        let slot = WorkerSlot {
+            addr: "x".into(),
+            alive: AtomicBool::new(true),
+            consecutive_fails: AtomicU32::new(0),
+        };
+        mark_probe(&slot, false, &config, &stats);
+        assert!(slot.alive.load(Ordering::Relaxed), "one failure is not death");
+        mark_probe(&slot, false, &config, &stats);
+        assert!(!slot.alive.load(Ordering::Relaxed), "threshold reached");
+        assert_eq!(stats.heartbeat_failures.get(), 2);
+        mark_probe(&slot, true, &config, &stats);
+        assert!(slot.alive.load(Ordering::Relaxed), "a good probe revives");
+        assert_eq!(slot.consecutive_fails.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn coordinator_rejects_empty_worker_list() {
+        assert!(Coordinator::new(ClusterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn synthesized_records_carry_plan_identity() {
+        let job = PlannedJob { id: 7, case: "c".into(), tile: Some((1, 2)), grid: 64 };
+        let out = synthesize(&job, JobStatus::Cancelled);
+        assert_eq!(out.record.job_id, 7);
+        assert_eq!(out.record.tile, Some((1, 2)));
+        assert_eq!(out.record.status, JobStatus::Cancelled);
+        assert!(out.mask.is_none());
+    }
+}

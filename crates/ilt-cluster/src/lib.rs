@@ -1,0 +1,45 @@
+//! Sharded multi-process execution for the ILT batch engine.
+//!
+//! One `ilt serve` process can only scale to its own cores. This crate
+//! adds a coordinator/worker topology on top of the existing runtime:
+//!
+//! - [`transport`] — the std-only HTTP/1.1 parser/writer and keep-alive
+//!   connection loop shared by the job service and the worker (extracted
+//!   from `ilt-server` so both speak the identical wire dialect).
+//! - [`params`] — the validated job specification ([`JobParams`]) whose
+//!   query serialization doubles as the dispatch format: every process
+//!   plans the job through the same code path, which is what makes
+//!   sharded output byte-identical to single-process output.
+//! - [`wire`] — the shard dispatch/result codec (JSON Lines over HTTP,
+//!   masks as hash-verified base64 PGM).
+//! - [`worker`] — the `ilt worker` service: executes designated tile
+//!   subsets via [`ilt_runtime::run_shard`], checkpoints them to the
+//!   standard WAL, and honors cooperative cancellation per shard.
+//! - [`coordinator`] — shards a job's tile plan across replicas,
+//!   supervises them with heartbeats, re-dispatches shards of dead
+//!   workers, fans out cancellation, and merges outputs for central
+//!   stitching via [`ilt_runtime::assemble_batch`].
+//! - [`stats`] — lock-free counters/histograms (shared with the server's
+//!   `/metrics`) plus the cluster-health families.
+//!
+//! Everything is `std`-only; no registry dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod params;
+pub mod stats;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, Coordinator};
+pub use params::{query_decode, query_encode, ExecPolicy, JobParams, JobSource};
+pub use stats::{ClusterStats, Counter, FailureKinds, Histogram, FAILURE_KINDS, LATENCY_BUCKETS_MS};
+pub use transport::{
+    base64_decode, base64_encode, serve_connection, ConnOptions, HttpError, Limits, Request,
+    Response,
+};
+pub use wire::{ShardHeader, SHARD_PATH};
+pub use worker::{Worker, WorkerConfig};

@@ -1,0 +1,394 @@
+//! Job parameterization shared by the coordinator, the job service, and
+//! the cluster worker.
+//!
+//! [`JobParams`] is the single validated description of one ILT job: it is
+//! decoded from a `POST /v1/jobs` submission, serialized back to the query
+//! syntax for the state log ([`JobParams::to_query`]), and shipped over the
+//! wire verbatim when the coordinator dispatches tile shards to workers —
+//! every process re-derives identical [`BatchCase`]/[`BatchConfig`] inputs
+//! via [`JobParams::plan`], which is what makes sharded output byte-equal
+//! to a single-process run.
+
+use ilt_core::{schedules, IltConfig, Stage};
+use ilt_field::{parse_pgm, Field2D};
+use ilt_layouts::{extended_case, iccad2013_case, via_pattern};
+use ilt_optics::OpticsConfig;
+use ilt_runtime::{BatchCase, BatchConfig, FaultPlan, SeamPolicy};
+
+use crate::transport::Request;
+
+/// Where a job's target geometry comes from.
+#[derive(Clone, Debug)]
+pub enum JobSource {
+    /// A built-in benchmark case (`case1`..`case20`).
+    Case(usize),
+    /// A generated via pattern with the given seed.
+    Via(u64),
+    /// An inline PGM raster submitted in the request body.
+    Inline(Field2D),
+}
+
+/// Per-request execution policy bounds, owned by the server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecPolicy {
+    /// Default per-attempt timeout, seconds; 0 = none.
+    pub default_timeout_s: f64,
+    /// Default retry budget per tile job.
+    pub default_retries: u32,
+    /// Hard cap on per-job worker threads a request may ask for.
+    pub max_threads_per_job: usize,
+    /// Accept the `inject=` fault-injection parameter (chaos testing only;
+    /// keep off in production).
+    pub allow_inject: bool,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self {
+            default_timeout_s: 0.0,
+            default_retries: 1,
+            max_threads_per_job: 4,
+            allow_inject: false,
+        }
+    }
+}
+
+/// A fully validated job specification, decoded from one `POST /v1/jobs`.
+///
+/// Defaults mirror the `ilt batch` CLI exactly, so a served job with no
+/// overrides produces a mask byte-identical to the batch command for the
+/// same case (which `verify_server.sh` asserts).
+#[derive(Clone, Debug)]
+pub struct JobParams {
+    /// Target geometry.
+    pub source: JobSource,
+    /// Display / journal name.
+    pub name: String,
+    /// Rasterization grid for generated layouts.
+    pub grid: usize,
+    /// Physical clip width for inline targets, nm.
+    pub clip_nm: f64,
+    /// SOCS kernel count.
+    pub kernels: usize,
+    /// Tile window size.
+    pub tile: usize,
+    /// Tile guard band.
+    pub halo: usize,
+    /// Seam policy for stitched masks.
+    pub seam: SeamPolicy,
+    /// Schedule name (`fast`, `exact`, `via`).
+    pub schedule: String,
+    /// Optional per-stage iteration override.
+    pub iters: Option<usize>,
+    /// Coarsest admissible effective pitch, nm.
+    pub max_eff_nm: f64,
+    /// Worker threads inside this job's pool (clamped by [`ExecPolicy`]).
+    pub threads: usize,
+    /// Per-attempt timeout, seconds; 0 = none.
+    pub timeout_s: f64,
+    /// Retry budget per tile.
+    pub retries: u32,
+    /// Evaluate the stitched mask.
+    pub evaluate: bool,
+    /// Deterministic fault plan (empty unless the request passed `inject=`
+    /// and the policy allows it).
+    pub faults: FaultPlan,
+}
+
+/// Percent-encodes a query *value* for the state log: the HTTP layer hands
+/// the store decoded strings, so free-text values (the job name) must be
+/// re-escaped before they re-enter query syntax.
+pub fn query_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`query_encode`]; malformed escapes pass through verbatim
+/// (the log is trusted local state, not hostile input).
+pub fn query_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+            if let Some(v) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_num<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T, String> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad {key}={raw:?}")),
+    }
+}
+
+impl JobParams {
+    /// Decodes and validates a submission request (query parameters plus an
+    /// optional inline PGM body).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter; the
+    /// handler maps it to `400 Bad Request`.
+    pub fn from_request(req: &Request, policy: &ExecPolicy) -> Result<JobParams, String> {
+        let source = match (req.query_param("case"), req.query_param("via"), req.body.is_empty()) {
+            (Some(c), None, true) => {
+                let id: usize = c
+                    .strip_prefix("case")
+                    .unwrap_or(c)
+                    .parse()
+                    .map_err(|_| format!("bad case={c:?}"))?;
+                if !(1..=20).contains(&id) {
+                    return Err(format!("case ids are 1..=10 (ICCAD) or 11..=20 (extended), got {id}"));
+                }
+                JobSource::Case(id)
+            }
+            (None, Some(v), true) => {
+                let seed: u64 = v
+                    .strip_prefix("via")
+                    .unwrap_or(v)
+                    .parse()
+                    .map_err(|_| format!("bad via={v:?}"))?;
+                JobSource::Via(seed)
+            }
+            (None, None, false) => {
+                let img = parse_pgm(&req.body).map_err(|e| format!("bad PGM body: {e}"))?;
+                let (rows, cols) = img.shape();
+                if rows != cols || !rows.is_power_of_two() {
+                    return Err(format!(
+                        "inline target must be square power-of-two, got {rows}x{cols}"
+                    ));
+                }
+                JobSource::Inline(img.threshold(0.5))
+            }
+            (None, None, true) => {
+                return Err("submit one of ?case=N, ?via=SEED, or an inline PGM body".into())
+            }
+            _ => return Err("pass exactly one of ?case, ?via, or an inline PGM body".into()),
+        };
+
+        let name = match req.query_param("name") {
+            Some(n) if !n.is_empty() => n.to_string(),
+            _ => match &source {
+                JobSource::Case(id) => format!("case{id}"),
+                JobSource::Via(seed) => format!("via{seed}"),
+                JobSource::Inline(_) => "inline".to_string(),
+            },
+        };
+
+        let grid: usize = parse_num(req, "grid", 512)?;
+        if !grid.is_power_of_two() || !(32..=4096).contains(&grid) {
+            return Err(format!("grid must be a power of two in 32..=4096, got {grid}"));
+        }
+        let clip_nm: f64 = parse_num(req, "clip_nm", 2048.0)?;
+        if !(clip_nm > 0.0) {
+            return Err(format!("clip_nm must be positive, got {clip_nm}"));
+        }
+        let kernels: usize = parse_num(req, "kernels", 10)?;
+        if !(1..=50).contains(&kernels) {
+            return Err(format!("kernels must be in 1..=50, got {kernels}"));
+        }
+        let tile: usize = parse_num(req, "tile", 512)?;
+        let halo: usize = parse_num(req, "halo", 64)?;
+        let seam = match req.query_param("seam").unwrap_or("crop") {
+            "crop" => SeamPolicy::Crop,
+            other => match other.strip_prefix("blend:").and_then(|b| b.parse::<usize>().ok()) {
+                Some(band) => SeamPolicy::Blend { band },
+                None => return Err(format!("bad seam={other:?} (crop or blend:K)")),
+            },
+        };
+        let schedule = req.query_param("schedule").unwrap_or("fast").to_string();
+        if !matches!(schedule.as_str(), "fast" | "exact" | "via") {
+            return Err(format!("unknown schedule {schedule:?} (fast|exact|via)"));
+        }
+        let iters = match req.query_param("iters") {
+            None => None,
+            Some(raw) => {
+                let n: usize = raw.parse().map_err(|_| format!("bad iters={raw:?}"))?;
+                if !(1..=10_000).contains(&n) {
+                    return Err(format!("iters must be in 1..=10000, got {n}"));
+                }
+                Some(n)
+            }
+        };
+        let max_eff_nm: f64 = parse_num(req, "max_eff_nm", 8.0)?;
+        let threads = parse_num(req, "threads", 1usize)?.clamp(1, policy.max_threads_per_job.max(1));
+        let timeout_s: f64 = parse_num(req, "timeout_s", policy.default_timeout_s)?;
+        let retries: u32 = parse_num(req, "retries", policy.default_retries)?.min(10);
+        let evaluate = match req.query_param("eval").unwrap_or("1") {
+            "1" | "true" => true,
+            "0" | "false" => false,
+            other => return Err(format!("bad eval={other:?} (0 or 1)")),
+        };
+        let faults = match req.query_param("inject") {
+            None => FaultPlan::none(),
+            Some(_) if !policy.allow_inject => {
+                return Err("fault injection is disabled (start the server with --allow-inject)"
+                    .into())
+            }
+            Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("bad inject: {e}"))?,
+        };
+
+        Ok(JobParams {
+            source,
+            name,
+            grid,
+            clip_nm,
+            kernels,
+            tile,
+            halo,
+            seam,
+            schedule,
+            iters,
+            max_eff_nm,
+            threads,
+            timeout_s,
+            retries,
+            evaluate,
+            faults,
+        })
+    }
+
+    /// Serializes the parameters back into the query string
+    /// [`JobParams::from_request`] parses — the persistence format of the
+    /// state log and the dispatch format of the cluster wire protocol.
+    /// Inline targets are carried separately (as a PGM file or body).
+    pub fn to_query(&self) -> String {
+        let mut q = String::new();
+        match &self.source {
+            JobSource::Case(id) => q.push_str(&format!("case={id}")),
+            JobSource::Via(seed) => q.push_str(&format!("via={seed}")),
+            JobSource::Inline(_) => {}
+        }
+        let mut push = |kv: String| {
+            if !q.is_empty() {
+                q.push('&');
+            }
+            q.push_str(&kv);
+        };
+        push(format!("name={}", query_encode(&self.name)));
+        push(format!("grid={}", self.grid));
+        push(format!("clip_nm={}", self.clip_nm));
+        push(format!("kernels={}", self.kernels));
+        push(format!("tile={}", self.tile));
+        push(format!("halo={}", self.halo));
+        match self.seam {
+            SeamPolicy::Crop => push("seam=crop".into()),
+            SeamPolicy::Blend { band } => push(format!("seam=blend:{band}")),
+        }
+        push(format!("schedule={}", self.schedule));
+        if let Some(n) = self.iters {
+            push(format!("iters={n}"));
+        }
+        push(format!("max_eff_nm={}", self.max_eff_nm));
+        push(format!("threads={}", self.threads));
+        push(format!("timeout_s={}", self.timeout_s));
+        push(format!("retries={}", self.retries));
+        push(format!("eval={}", if self.evaluate { 1 } else { 0 }));
+        if !self.faults.is_empty() {
+            push(format!("inject={}", self.faults));
+        }
+        q
+    }
+
+    /// Reconstructs parameters from a persisted query string (plus the
+    /// saved target raster for inline jobs), re-using the full request
+    /// validation path.
+    ///
+    /// # Errors
+    ///
+    /// Same messages as [`JobParams::from_request`].
+    pub fn from_saved(
+        query: &str,
+        body: Vec<u8>,
+        policy: &ExecPolicy,
+    ) -> Result<JobParams, String> {
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/jobs".into(),
+            query: query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                    (k.to_string(), query_decode(v))
+                })
+                .collect(),
+            headers: Vec::new(),
+            body,
+        };
+        // Recovery must replay faults even on a locked-down restart; the
+        // original submission already passed the gate.
+        let relaxed = ExecPolicy { allow_inject: true, ..*policy };
+        JobParams::from_request(&req, &relaxed)
+    }
+
+    /// Materializes the batch-engine inputs. Mirrors `ilt batch` exactly:
+    /// same optics template, same `IltConfig`, same schedule lookup.
+    ///
+    /// # Errors
+    ///
+    /// Currently none beyond construction; kept fallible for future
+    /// validation that needs the rasterized target.
+    pub fn plan(&self) -> Result<(BatchCase, BatchConfig), String> {
+        let (target, nm_per_px) = match &self.source {
+            JobSource::Case(id) => {
+                let layout = if *id <= 10 { iccad2013_case(*id) } else { extended_case(*id) };
+                (layout.rasterize(self.grid), layout.nm_per_px(self.grid))
+            }
+            JobSource::Via(seed) => {
+                let layout = via_pattern(*seed);
+                (layout.rasterize(self.grid), layout.nm_per_px(self.grid))
+            }
+            JobSource::Inline(img) => {
+                let n = img.shape().0;
+                (img.clone(), self.clip_nm / n as f64)
+            }
+        };
+        let case = BatchCase { name: self.name.clone(), target, nm_per_px };
+        let mut schedule: Vec<Stage> = match self.schedule.as_str() {
+            "exact" => schedules::our_exact(),
+            "via" => schedules::via_recipe(),
+            _ => schedules::our_fast(),
+        };
+        if let Some(n) = self.iters {
+            for stage in &mut schedule {
+                stage.iterations = n;
+            }
+        }
+        let config = BatchConfig {
+            threads: self.threads,
+            tile: self.tile,
+            halo: self.halo,
+            seam: self.seam,
+            optics: OpticsConfig { num_kernels: self.kernels, ..OpticsConfig::default() },
+            ilt: IltConfig { early_exit_window: Some(15), ..IltConfig::default() },
+            schedule,
+            max_eff_nm: self.max_eff_nm,
+            timeout: (self.timeout_s > 0.0)
+                .then(|| std::time::Duration::from_secs_f64(self.timeout_s)),
+            max_retries: self.retries,
+            evaluate_stitched: self.evaluate,
+            faults: self.faults.clone(),
+            ..BatchConfig::default()
+        };
+        Ok((case, config))
+    }
+}

@@ -1,0 +1,217 @@
+//! Lock-free counters and latency histograms shared by the job service's
+//! `/metrics` endpoint and the cluster coordinator.
+//!
+//! Everything is atomics so the hot paths (admission, job completion, shard
+//! completion) never contend with scrapes. Histogram buckets are cumulative
+//! (`le` semantics) exactly as Prometheus text exposition format (version
+//! 0.0.4) expects.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (bulk events: recovery, eviction sweeps).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The fixed vocabulary of tile-failure classifications, mirroring
+/// [`ilt_runtime::failure_kind`].
+pub const FAILURE_KINDS: [&str; 5] = ["panic", "timeout", "numeric", "io", "other"];
+
+/// Per-kind tile-failure counters, rendered as one labeled Prometheus
+/// family (`ilt_tile_failures_total{kind="..."}`).
+#[derive(Debug)]
+pub struct FailureKinds {
+    counts: [Counter; 5],
+}
+
+impl Default for FailureKinds {
+    fn default() -> Self {
+        Self { counts: std::array::from_fn(|_| Counter::default()) }
+    }
+}
+
+impl FailureKinds {
+    fn slot(kind: &str) -> usize {
+        FAILURE_KINDS.iter().position(|&k| k == kind).unwrap_or(FAILURE_KINDS.len() - 1)
+    }
+
+    /// Counts one failed tile attempt of the given kind (an unknown kind
+    /// lands in `other`).
+    pub fn inc(&self, kind: &str) {
+        self.counts[Self::slot(kind)].inc();
+    }
+
+    /// Current count for one kind.
+    pub fn get(&self, kind: &str) -> u64 {
+        self.counts[Self::slot(kind)].get()
+    }
+
+    /// Appends the family (`# HELP`/`# TYPE` plus one line per kind) to a
+    /// Prometheus text exposition.
+    pub fn render(&self, out: &mut String) {
+        out.push_str(
+            "# HELP ilt_tile_failures_total Failed tile jobs by failure classification.\n# TYPE ilt_tile_failures_total counter\n",
+        );
+        for (kind, counter) in FAILURE_KINDS.iter().zip(&self.counts) {
+            out.push_str(&format!("ilt_tile_failures_total{{kind=\"{kind}\"}} {}\n", counter.get()));
+        }
+    }
+}
+
+/// Upper bounds (inclusive, milliseconds) of the latency buckets; an
+/// implicit `+Inf` bucket follows.
+pub const LATENCY_BUCKETS_MS: [f64; 10] =
+    [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 60000.0];
+
+/// A fixed-bucket latency histogram (milliseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Non-cumulative per-bucket counts; the last slot is the overflow
+    /// (`+Inf`) bucket.
+    counts: Vec<AtomicU64>,
+    sum_ms_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..=LATENCY_BUCKETS_MS.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_ms_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, ms: f64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // Atomic f64 accumulation via compare-exchange on the bit pattern.
+        let mut current = self.sum_ms_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + ms).to_bits();
+            match self.sum_ms_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations, ms.
+    pub fn sum_ms(&self) -> f64 {
+        f64::from_bits(self.sum_ms_bits.load(Ordering::Relaxed))
+    }
+
+    /// Appends the `_bucket`/`_sum`/`_count` series for one labeled stage
+    /// to a Prometheus text exposition (`# HELP`/`# TYPE` are the caller's
+    /// responsibility, so several stages can share one family).
+    pub fn render(&self, name: &str, stage: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum{{stage=\"{stage}\"}} {}\n", self.sum_ms()));
+        out.push_str(&format!("{name}_count{{stage=\"{stage}\"}} {cumulative}\n"));
+    }
+}
+
+/// Live cluster-health metrics owned by the coordinator; the job service
+/// appends them to its `/metrics` exposition when a cluster is configured.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Worker replicas currently passing heartbeats (a gauge, written by
+    /// the heartbeat monitor).
+    pub workers_alive: AtomicU64,
+    /// Shards re-dispatched to another worker after their worker died or
+    /// became unreachable mid-shard.
+    pub shards_redispatched: Counter,
+    /// Heartbeat probes that failed (each probe, not each declared death).
+    pub heartbeat_failures: Counter,
+    /// End-to-end shard round-trip latency (dispatch to fully parsed
+    /// response), labeled `stage="shard"`.
+    pub shard_ms: Histogram,
+}
+
+impl ClusterStats {
+    /// Appends the cluster families to a Prometheus text exposition.
+    pub fn render(&self, workers_configured: usize, out: &mut String) {
+        out.push_str(&format!(
+            "# HELP ilt_workers_configured Worker replicas configured at startup.\n# TYPE ilt_workers_configured gauge\nilt_workers_configured {workers_configured}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_workers_alive Worker replicas currently passing heartbeats.\n# TYPE ilt_workers_alive gauge\nilt_workers_alive {}\n",
+            self.workers_alive.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_shards_redispatched_total Shards re-dispatched after a worker death.\n# TYPE ilt_shards_redispatched_total counter\nilt_shards_redispatched_total {}\n",
+            self.shards_redispatched.get()
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_worker_heartbeat_failures_total Failed worker heartbeat probes.\n# TYPE ilt_worker_heartbeat_failures_total counter\nilt_worker_heartbeat_failures_total {}\n",
+            self.heartbeat_failures.get()
+        ));
+        out.push_str(
+            "# HELP ilt_shard_latency_ms Shard dispatch round-trip latency, milliseconds.\n# TYPE ilt_shard_latency_ms histogram\n",
+        );
+        self.shard_ms.render("ilt_shard_latency_ms", "shard", out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_stats_render_is_prometheus_clean() {
+        let stats = ClusterStats::default();
+        stats.workers_alive.store(2, Ordering::Relaxed);
+        stats.shards_redispatched.inc();
+        stats.heartbeat_failures.add(3);
+        stats.shard_ms.observe(42.0);
+        let mut out = String::new();
+        stats.render(2, &mut out);
+        assert!(out.contains("ilt_workers_configured 2\n"), "{out}");
+        assert!(out.contains("ilt_workers_alive 2\n"), "{out}");
+        assert!(out.contains("ilt_shards_redispatched_total 1\n"));
+        assert!(out.contains("ilt_worker_heartbeat_failures_total 3\n"));
+        assert!(out.contains("ilt_shard_latency_ms_bucket{stage=\"shard\",le=\"50\"} 1\n"));
+        assert!(out.contains("ilt_shard_latency_ms_count{stage=\"shard\"} 1\n"));
+        // Prometheus text format: every line is either a comment or
+        // `name{labels} value`.
+        for line in out.lines() {
+            assert!(line.starts_with('#') || line.split_whitespace().count() == 2, "{line}");
+        }
+    }
+}

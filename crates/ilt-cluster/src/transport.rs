@@ -1,16 +1,21 @@
-//! A minimal HTTP/1.1 request parser and response writer over `TcpStream`.
+//! A minimal HTTP/1.1 request parser and response writer over `TcpStream` —
+//! the shared wire transport of the job service (`ilt serve`) and the
+//! cluster worker (`ilt worker`).
 //!
-//! Only the subset the job service needs: request-line + header parsing
-//! with a hard size cap, `Content-Length` bodies with their own cap,
+//! Only the subset those services need: request-line + header parsing with
+//! a hard size cap, `Content-Length` bodies with their own cap,
 //! percent-decoded query strings, and HTTP/1.1 persistent connections —
 //! [`Request::read_from_buffered`] carries pipelined bytes between requests
-//! and reports whether the client permits keep-alive, while the server
-//! bounds each connection with a request cap and an idle timeout.
-//! Robustness limits are explicit inputs ([`Limits`]) so every handler path
-//! is testable without a server; socket read/write timeouts are set by the
-//! caller on the stream itself.
+//! and reports whether the client permits keep-alive, while
+//! [`serve_connection`] bounds each connection with a request cap and an
+//! idle timeout. Robustness limits are explicit inputs ([`Limits`]) so
+//! every handler path is testable without a server; socket read/write
+//! timeouts are set on the stream by [`serve_connection`] (or by the caller
+//! when driving the parser directly).
 
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 /// Hard caps applied while reading one request.
 #[derive(Clone, Copy, Debug)]
@@ -320,6 +325,16 @@ impl Response {
         }
     }
 
+    /// A JSON Lines response (shard result streams).
+    pub fn jsonl(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "application/jsonl",
+        }
+    }
+
     /// An error response with a JSON `{"error": ...}` body, using the
     /// workspace-shared escaping helper.
     pub fn error(status: u16, message: &str) -> Response {
@@ -388,8 +403,122 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Per-connection service options for [`serve_connection`]; both the job
+/// service and the cluster worker derive one from their own configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnOptions {
+    /// HTTP parsing limits (head/body size caps).
+    pub limits: Limits,
+    /// Socket read timeout while receiving a request.
+    pub read_timeout: Duration,
+    /// Socket write timeout per response.
+    pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before it is closed.
+    pub idle_timeout: Duration,
+    /// Maximum requests served per keep-alive connection (bounds how long
+    /// one client can pin a handler thread).
+    pub keep_alive_requests: usize,
+}
+
+impl Default for ConnOptions {
+    fn default() -> Self {
+        Self {
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            keep_alive_requests: 32,
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive loop bounded by the configured
+/// per-connection request cap and idle timeout. Pipelined bytes carry over
+/// between iterations; any protocol error answers with `Connection: close`
+/// and ends the loop. `keep_open` is polled after each served request —
+/// returning `false` (e.g. during a drain) downgrades the connection to
+/// close after the in-flight response.
+pub fn serve_connection(
+    mut stream: TcpStream,
+    options: &ConnOptions,
+    mut route: impl FnMut(&Request) -> Response,
+    keep_open: impl Fn() -> bool,
+) {
+    let _ = stream.set_read_timeout(Some(options.read_timeout));
+    let _ = stream.set_write_timeout(Some(options.write_timeout));
+    let mut carry = Vec::new();
+    let mut served = 0usize;
+    loop {
+        // `refused` marks requests rejected before their input was fully
+        // read; those sockets need draining below or the close would RST
+        // the client.
+        let (response, refused) =
+            match Request::read_from_buffered(&mut stream, &mut carry, &options.limits) {
+                Ok((request, client_keep_alive)) => {
+                    let response = route(&request);
+                    served += 1;
+                    let keep_alive = client_keep_alive
+                        && served < options.keep_alive_requests
+                        && keep_open();
+                    if keep_alive {
+                        if response.write_with_connection(&mut stream, true).is_err() {
+                            return;
+                        }
+                        // Between requests the (usually longer) idle
+                        // timeout governs how long the socket may sit open.
+                        let _ = stream.set_read_timeout(Some(options.idle_timeout));
+                        continue;
+                    }
+                    (response, false)
+                }
+                Err(HttpError::BadRequest(why)) => (Response::error(400, &why), true),
+                Err(HttpError::PayloadTooLarge(n)) => (
+                    Response::error(
+                        413,
+                        &format!(
+                            "body of {n} bytes exceeds the {}-byte limit",
+                            options.limits.max_body_bytes
+                        ),
+                    ),
+                    true,
+                ),
+                Err(HttpError::HeadTooLarge) => {
+                    (Response::error(431, "request head too large"), true)
+                }
+                // Socket error, idle timeout, or a clean close between
+                // requests: nothing trustworthy (or nothing at all) to
+                // answer.
+                Err(HttpError::Io(_)) => return,
+            };
+        let _ = response.write_to(&mut stream);
+        if refused {
+            // Closing with unread input in the receive buffer sends RST,
+            // which can discard the error response before the client reads
+            // it. Send FIN first, then sink the rest of the client's
+            // request (bounded, so a hostile sender can't pin the thread).
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut sink = [0u8; 8192];
+            let mut drained = 0usize;
+            loop {
+                match std::io::Read::read(&mut stream, &mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        drained += n;
+                        if drained > options.limits.max_body_bytes {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+}
+
 /// Standard (RFC 4648) base64 with padding; used to inline mask images in
-/// JSON job views.
+/// JSON job views and shard result lines.
 pub fn base64_encode(bytes: &[u8]) -> String {
     const ALPHABET: &[u8; 64] =
         b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
@@ -407,6 +536,54 @@ pub fn base64_encode(bytes: &[u8]) -> String {
         }
     }
     out
+}
+
+/// Inverse of [`base64_encode`]: standard RFC 4648 base64 with padding.
+///
+/// # Errors
+///
+/// Returns a message for a length that is not a multiple of four, a byte
+/// outside the alphabet, or misplaced padding.
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    fn sextet(c: u8) -> Result<u8, String> {
+        match c {
+            b'A'..=b'Z' => Ok(c - b'A'),
+            b'a'..=b'z' => Ok(c - b'a' + 26),
+            b'0'..=b'9' => Ok(c - b'0' + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("byte {c:#04x} is not base64")),
+        }
+    }
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(format!("base64 length {} is not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (c, chunk) in bytes.chunks(4).enumerate() {
+        let pad = match (chunk[2], chunk[3]) {
+            (b'=', b'=') => 2,
+            (b'=', _) => return Err("misplaced base64 padding".into()),
+            (_, b'=') => 1,
+            _ => 0,
+        };
+        if pad > 0 && (c + 1) * 4 != bytes.len() {
+            return Err("base64 padding before the final group".into());
+        }
+        let mut n: u32 = 0;
+        for &b in &chunk[..4 - pad] {
+            n = (n << 6) | u32::from(sextet(b)?);
+        }
+        n <<= 6 * pad;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -550,5 +727,19 @@ mod tests {
         assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
         assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
         assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_decode_round_trips_and_rejects_damage() {
+        for v in [&b""[..], b"f", b"fo", b"foo", b"foob", b"fooba", b"foobar"] {
+            assert_eq!(base64_decode(&base64_encode(v)).unwrap(), v, "{v:?}");
+        }
+        // Every byte value survives the round trip.
+        let all: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&all)).unwrap(), all);
+        assert!(base64_decode("Zg=").is_err(), "bad length");
+        assert!(base64_decode("Z!==").is_err(), "bad alphabet");
+        assert!(base64_decode("Zg==Zm8=").is_err(), "padding mid-stream");
+        assert!(base64_decode("=g==").is_err(), "padding in data position");
     }
 }

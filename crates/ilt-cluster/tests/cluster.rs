@@ -1,0 +1,195 @@
+//! Loopback cluster integration: shard-boundary determinism, dead-worker
+//! re-dispatch, and cancellation fan-out — all in-process (real sockets,
+//! no child processes; process-crash chaos lives in the root `cluster_e2e`
+//! test, which can afford to lose a worker process).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use ilt_cluster::{
+    ClusterConfig, Coordinator, ExecPolicy, JobParams, Worker, WorkerConfig,
+};
+use ilt_field::pgm_bytes;
+use ilt_runtime::{
+    assemble_batch, planned_job_list, run_batch, FaultPlan, JobStatus, SimulatorCache,
+};
+
+/// Binds one worker replica on an ephemeral loopback port and serves it
+/// from a background thread until `shutdown` is called on its address.
+fn spawn_worker(faults: FaultPlan) -> (String, std::thread::JoinHandle<()>) {
+    let worker = Worker::bind(WorkerConfig {
+        addr: "127.0.0.1:0".into(),
+        faults,
+        ..WorkerConfig::default()
+    })
+    .expect("bind worker");
+    let addr = worker.local_addr().expect("worker addr").to_string();
+    let handle = std::thread::spawn(move || worker.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: &str) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(
+            format!(
+                "POST /v1/shutdown HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        );
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+}
+
+/// A small multi-tile job: 128 px via clip split into 64 px tiles with an
+/// 8 px halo, 2 iterations — enough tiles to shard three ways, small
+/// enough to run in seconds.
+fn tiny_params() -> JobParams {
+    JobParams::from_saved(
+        "via=7&grid=128&kernels=3&tile=64&halo=8&iters=2&threads=1&eval=0",
+        Vec::new(),
+        &ExecPolicy::default(),
+    )
+    .expect("valid params")
+}
+
+#[test]
+fn sharded_masks_are_byte_identical_across_worker_counts() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+
+    // Reference: the single-process batch engine.
+    let cache = SimulatorCache::new();
+    let reference = run_batch(std::slice::from_ref(&case), &config, &cache)
+        .expect("local batch");
+    let reference_pgm = pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
+
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+    assert!(plan.len() >= 3, "need enough tiles to shard: got {}", plan.len());
+
+    for replicas in [1usize, 2, 3] {
+        let workers: Vec<_> =
+            (0..replicas).map(|_| spawn_worker(FaultPlan::none())).collect();
+        let coordinator = Coordinator::new(ClusterConfig {
+            workers: workers.iter().map(|(addr, _)| addr.clone()).collect(),
+            ..ClusterConfig::default()
+        })
+        .expect("coordinator");
+        let outputs = coordinator
+            .run_job(1, &query, &[], &plan, &config.cancel, &config.progress)
+            .expect("clustered run");
+        let outcome = assemble_batch(
+            std::slice::from_ref(&case),
+            &config,
+            outputs,
+            &cache,
+            0.0,
+        )
+        .expect("assemble");
+        assert_eq!(outcome.cases[0].failed_tiles, 0, "{replicas} replica(s)");
+        assert_eq!(
+            pgm_bytes(&outcome.cases[0].mask, 0.0, 1.0),
+            reference_pgm,
+            "{replicas}-replica mask must be byte-identical to ilt batch"
+        );
+        for (addr, handle) in workers {
+            shutdown(&addr);
+            handle.join().expect("worker thread");
+        }
+    }
+}
+
+#[test]
+fn dead_worker_shards_are_redispatched_to_survivors() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+    let cache = SimulatorCache::new();
+    let reference = run_batch(std::slice::from_ref(&case), &config, &cache)
+        .expect("local batch");
+    let reference_pgm = pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+
+    // A port that was bound and released: connecting gets refused, which is
+    // exactly what a crashed worker looks like to the coordinator.
+    let dead_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("probe port");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let (live_addr, handle) = spawn_worker(FaultPlan::none());
+
+    let coordinator = Coordinator::new(ClusterConfig {
+        workers: vec![dead_addr, live_addr.clone()],
+        heartbeat: Duration::from_millis(50),
+        heartbeat_failures: 1,
+        ..ClusterConfig::default()
+    })
+    .expect("coordinator");
+    let outputs = coordinator
+        .run_job(1, &query, &[], &plan, &config.cancel, &config.progress)
+        .expect("clustered run despite a dead replica");
+    let outcome =
+        assemble_batch(std::slice::from_ref(&case), &config, outputs, &cache, 0.0)
+            .expect("assemble");
+    assert_eq!(outcome.cases[0].failed_tiles, 0);
+    assert_eq!(
+        pgm_bytes(&outcome.cases[0].mask, 0.0, 1.0),
+        reference_pgm,
+        "re-dispatched shards must not change the mask"
+    );
+    assert!(
+        coordinator.stats().shards_redispatched.get() >= 1,
+        "the dead replica's shard must be re-dispatched"
+    );
+    assert_eq!(
+        coordinator.stats().workers_alive.load(Ordering::Relaxed),
+        1,
+        "the heartbeat monitor must see exactly one live replica"
+    );
+    shutdown(&live_addr);
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn cancellation_fans_out_to_workers() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+
+    // The worker stalls its first tile for 30 s; the coordinator-side
+    // cancel must cut the shard short long before that budget elapses.
+    let faults = FaultPlan::parse("delay@0:1=30000").expect("fault plan");
+    let (addr, handle) = spawn_worker(faults);
+    let coordinator = Coordinator::new(ClusterConfig {
+        workers: vec![addr.clone()],
+        heartbeat: Duration::from_millis(50),
+        cancel_grace: Duration::from_secs(3),
+        ..ClusterConfig::default()
+    })
+    .expect("coordinator");
+
+    let cancel = config.cancel.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        cancel.cancel();
+    });
+    let started = std::time::Instant::now();
+    let outputs = coordinator
+        .run_job(1, &query, &[], &plan, &config.cancel, &config.progress)
+        .expect("cancelled run still merges");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "cancellation must cut the 30 s stall short"
+    );
+    assert_eq!(outputs.len(), plan.len(), "every planned job gets a record");
+    assert!(
+        outputs.iter().any(|o| o.record.status == JobStatus::Cancelled),
+        "cancellation must reach the worker's tiles"
+    );
+    shutdown(&addr);
+    handle.join().expect("worker thread");
+}

@@ -156,6 +156,77 @@ struct CasePlan {
     grid: Option<TileGrid>,
 }
 
+/// Validates a case's geometry and plans its tile decomposition without
+/// building any job (no window extraction): the shared front half of
+/// [`run_batch_resume`], [`planned_job_list`], and [`assemble_batch`].
+fn plan_case(case: &BatchCase, config: &BatchConfig, first_job: usize) -> Result<CasePlan, String> {
+    let (rows, cols) = case.target.shape();
+    if rows != cols || !rows.is_power_of_two() {
+        return Err(format!(
+            "case {}: target must be square power-of-two, got {rows}x{cols}",
+            case.name
+        ));
+    }
+    if rows <= config.tile {
+        Ok(CasePlan { first_job, jobs: 1, grid: None })
+    } else {
+        let grid = TileGrid::new(rows, config.tile, config.halo)
+            .map_err(|e| format!("case {}: {e}", case.name))?;
+        Ok(CasePlan { first_job, jobs: grid.len(), grid: Some(grid) })
+    }
+}
+
+/// One entry of a batch's job plan, as exposed to a dispatcher that farms
+/// jobs out (e.g. the cluster coordinator): enough identity to label —
+/// and, when a shard is lost, to synthesize a terminal record for — each
+/// job without materializing its target window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedJob {
+    /// Global job id within the batch (the tile/journal id).
+    pub id: usize,
+    /// Case label.
+    pub case: String,
+    /// Tile-grid coordinates, `None` for a whole-clip job.
+    pub tile: Option<(usize, usize)>,
+    /// Simulation grid of the job's window, px.
+    pub grid: usize,
+}
+
+/// The full job plan of a batch, in job-id order — exactly the jobs
+/// [`run_batch`] would create for the same inputs.
+///
+/// # Errors
+///
+/// Rejects the same malformed inputs as [`run_batch`].
+pub fn planned_job_list(
+    cases: &[BatchCase],
+    config: &BatchConfig,
+) -> Result<Vec<PlannedJob>, String> {
+    let mut out = Vec::new();
+    for case in cases {
+        let plan = plan_case(case, config, out.len())?;
+        match &plan.grid {
+            None => out.push(PlannedJob {
+                id: plan.first_job,
+                case: case.name.clone(),
+                tile: None,
+                grid: case.target.shape().0,
+            }),
+            Some(grid) => {
+                for spec in grid.specs() {
+                    out.push(PlannedJob {
+                        id: plan.first_job + spec.index,
+                        case: case.name.clone(),
+                        tile: Some((spec.grid_row, spec.grid_col)),
+                        grid: grid.tile(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Runs every case through the tiled ILT pool and stitches the results.
 ///
 /// # Errors
@@ -197,26 +268,9 @@ pub fn run_batch_resume(
     let mut jobs = Vec::new();
     let mut plans = Vec::with_capacity(cases.len());
     for case in cases {
-        let (rows, cols) = case.target.shape();
-        if rows != cols || !rows.is_power_of_two() {
-            return Err(format!(
-                "case {}: target must be square power-of-two, got {rows}x{cols}",
-                case.name
-            ));
-        }
-        let first_job = jobs.len();
-        if rows <= config.tile {
-            jobs.push(make_job(jobs.len(), case, None, case.target.clone(), rows, config));
-            plans.push(CasePlan { first_job, jobs: 1, grid: None });
-        } else {
-            let grid = TileGrid::new(rows, config.tile, config.halo)
-                .map_err(|e| format!("case {}: {e}", case.name))?;
-            for spec in grid.specs() {
-                let window = grid.extract(&case.target, &spec);
-                jobs.push(make_job(jobs.len(), case, Some(spec), window, grid.tile(), config));
-            }
-            plans.push(CasePlan { first_job, jobs: grid.len(), grid: Some(grid) });
-        }
+        let plan = plan_case(case, config, jobs.len())?;
+        build_case_jobs(case, &plan, config, &mut jobs);
+        plans.push(plan);
     }
     if let Some(max_target) = config.faults.max_job_id() {
         if max_target >= jobs.len() {
@@ -298,6 +352,193 @@ pub fn run_batch_resume(
         total_wall_ms,
     };
     Ok(BatchOutcome { report, cases: results, restored_jobs })
+}
+
+/// Materializes a planned case into pool jobs (extracting tile windows),
+/// appending them to `jobs` in global job-id order.
+fn build_case_jobs(case: &BatchCase, plan: &CasePlan, config: &BatchConfig, jobs: &mut Vec<IltJob>) {
+    match &plan.grid {
+        None => {
+            let rows = case.target.shape().0;
+            jobs.push(make_job(plan.first_job, case, None, case.target.clone(), rows, config));
+        }
+        Some(grid) => {
+            for spec in grid.specs() {
+                let window = grid.extract(&case.target, &spec);
+                jobs.push(make_job(
+                    plan.first_job + spec.index,
+                    case,
+                    Some(spec),
+                    window,
+                    grid.tile(),
+                    config,
+                ));
+            }
+        }
+    }
+}
+
+/// The outputs of one shard of a case's job plan.
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// One output per requested job id, sorted by job id.
+    pub outputs: Vec<JobOutput>,
+    /// Jobs restored from the shard's checkpoint WAL instead of re-running.
+    pub restored_jobs: usize,
+}
+
+/// Runs a designated subset of a case's planned tile jobs — the worker half
+/// of the cluster's sharded execution. Jobs are planned exactly as
+/// [`run_batch`] plans them for the same `(case, config)` (ids are the
+/// global batch job ids), then only `job_ids` run; the per-tile results are
+/// returned un-stitched for central reassembly via [`assemble_batch`].
+///
+/// With [`BatchConfig::checkpoint`] set, the shard writes the same WAL
+/// [`run_batch_resume`] uses; `resume` restores any job in `job_ids` whose
+/// checkpoint is durable, so a restarted worker re-runs only what it lost.
+///
+/// # Errors
+///
+/// Everything [`run_batch`] rejects, plus an empty, duplicate, or
+/// out-of-range `job_ids`, and the resume errors of [`run_batch_resume`].
+pub fn run_shard(
+    case: &BatchCase,
+    config: &BatchConfig,
+    cache: &SimulatorCache,
+    job_ids: &[usize],
+    resume: bool,
+) -> Result<ShardOutcome, String> {
+    if config.threads == 0 {
+        return Err("shard needs at least one thread".into());
+    }
+    if job_ids.is_empty() {
+        return Err("shard has no job ids".into());
+    }
+    let cases = std::slice::from_ref(case);
+    let plan = plan_case(case, config, 0)?;
+    let mut all_jobs = Vec::with_capacity(plan.jobs);
+    build_case_jobs(case, &plan, config, &mut all_jobs);
+    let mut wanted: Vec<usize> = job_ids.to_vec();
+    wanted.sort_unstable();
+    wanted.dedup();
+    if wanted.len() != job_ids.len() {
+        return Err("shard job ids contain duplicates".into());
+    }
+    if let Some(&max) = wanted.last() {
+        if max >= all_jobs.len() {
+            return Err(format!(
+                "shard targets job {max}, but only {} jobs are planned",
+                all_jobs.len()
+            ));
+        }
+    }
+    if let Some(max_target) = config.faults.max_job_id() {
+        if max_target >= all_jobs.len() {
+            return Err(format!(
+                "fault plan targets job {max_target}, but only {} jobs are planned",
+                all_jobs.len()
+            ));
+        }
+    }
+    let jobs: Vec<IltJob> =
+        all_jobs.into_iter().filter(|j| wanted.binary_search(&j.id).is_ok()).collect();
+
+    let fingerprint = config_fingerprint(cases, config);
+    let mut restored: HashMap<usize, JobOutput> = HashMap::new();
+    if resume {
+        let dir = config
+            .checkpoint
+            .as_deref()
+            .ok_or("resume requires a checkpoint directory")?;
+        let loaded = load_wal(dir)?;
+        if loaded.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: recorded {:016x}, current {fingerprint:016x} — \
+                 resume must use the same case and result-affecting configuration",
+                loaded.fingerprint
+            ));
+        }
+        for (id, rec) in &loaded.records {
+            // Restore only this shard's jobs; a reused checkpoint dir may
+            // hold records from a differently-shaped predecessor shard.
+            if wanted.binary_search(id).is_ok() {
+                if let Some(output) = restore_output(dir, rec) {
+                    restored.insert(*id, output);
+                }
+            }
+        }
+    }
+
+    let sink = match &config.checkpoint {
+        Some(dir) => Some(
+            CheckpointSink::create(dir, fingerprint, jobs.len(), resume, config.faults.clone())
+                .map_err(|e| format!("cannot open checkpoint dir {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+    let pool = PoolConfig {
+        threads: config.threads,
+        timeout: config.timeout,
+        max_retries: config.max_retries,
+        degrade: config.degrade,
+        faults: config.faults.clone(),
+        cancel: config.cancel.clone(),
+        progress: config.progress.clone(),
+    };
+    let pending: Vec<IltJob> =
+        jobs.into_iter().filter(|j| !restored.contains_key(&j.id)).collect();
+    let restored_jobs = restored.len();
+    let fresh = run_jobs_checkpointed(pending, &pool, cache, sink.as_ref());
+    let mut outputs: Vec<JobOutput> = restored.into_values().chain(fresh).collect();
+    outputs.sort_by_key(|o| o.record.job_id);
+    Ok(ShardOutcome { outputs, restored_jobs })
+}
+
+/// Reassembles a batch outcome from per-job outputs produced elsewhere
+/// (e.g. collected from cluster workers via [`run_shard`]): stitches each
+/// case with the same halo crop/blend policy [`run_batch`] applies and runs
+/// the same optional full-size evaluation, so the result is byte-identical
+/// to a single-process run of the same inputs.
+///
+/// `outputs` must hold exactly one output per planned job, in any order.
+///
+/// # Errors
+///
+/// Rejects the malformed inputs [`run_batch`] rejects, plus an output set
+/// whose job ids do not match the plan.
+pub fn assemble_batch(
+    cases: &[BatchCase],
+    config: &BatchConfig,
+    mut outputs: Vec<JobOutput>,
+    cache: &SimulatorCache,
+    total_wall_ms: f64,
+) -> Result<BatchOutcome, String> {
+    let mut plans = Vec::with_capacity(cases.len());
+    let mut total = 0usize;
+    for case in cases {
+        let plan = plan_case(case, config, total)?;
+        total += plan.jobs;
+        plans.push(plan);
+    }
+    outputs.sort_by_key(|o| o.record.job_id);
+    if outputs.len() != total
+        || outputs.iter().enumerate().any(|(i, o)| o.record.job_id != i)
+    {
+        return Err(format!(
+            "assemble: expected outputs for jobs 0..{total}, got {} outputs",
+            outputs.len()
+        ));
+    }
+    let mut results = Vec::with_capacity(cases.len());
+    for (case, plan) in cases.iter().zip(&plans) {
+        results.push(assemble_case(case, plan, &outputs, config, cache)?);
+    }
+    let report = RunReport {
+        threads: config.threads,
+        records: outputs.into_iter().map(|o| o.record).collect(),
+        total_wall_ms,
+    };
+    Ok(BatchOutcome { report, cases: results, restored_jobs: 0 })
 }
 
 fn make_job(

@@ -57,7 +57,8 @@ mod pool;
 mod tiler;
 
 pub use batch::{
-    planned_jobs, run_batch, run_batch_resume, BatchCase, BatchConfig, BatchOutcome, CaseResult,
+    assemble_batch, planned_job_list, planned_jobs, run_batch, run_batch_resume, run_shard,
+    BatchCase, BatchConfig, BatchOutcome, CaseResult, PlannedJob, ShardOutcome,
 };
 pub use cache::SimulatorCache;
 pub use cancel::{CancelToken, Progress};

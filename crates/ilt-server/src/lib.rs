@@ -51,15 +51,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod http;
+pub use ilt_cluster::transport as http;
 pub mod metrics;
 mod server;
 mod store;
 
 pub use http::{base64_encode, HttpError, Limits, Request, Response};
+pub use ilt_cluster::params::{ExecPolicy, JobParams, JobSource};
 pub use metrics::{Counter, FailureKinds, Gauges, Histogram, Metrics, FAILURE_KINDS};
 pub use server::{Server, ServerConfig};
 pub use store::{
-    CancelOutcome, ExecPolicy, JobDone, JobParams, JobSource, JobState, JobStore, MaskFetch,
-    RecoveryStats, StateLog, SubmitError, SNAPSHOT_FILE,
+    CancelOutcome, JobDone, JobState, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
+    SNAPSHOT_FILE,
 };

@@ -7,143 +7,12 @@
 //! run journal's `StageTimes`, so batch CLI runs and served jobs measure
 //! the same quantities with the same code.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use ilt_runtime::StageTimes;
 
-/// A monotonically increasing counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Adds one.
-    pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n` (bulk events: recovery, eviction sweeps).
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// The fixed vocabulary of tile-failure classifications, mirroring
-/// [`ilt_runtime::failure_kind`].
-pub const FAILURE_KINDS: [&str; 5] = ["panic", "timeout", "numeric", "io", "other"];
-
-/// Per-kind tile-failure counters, rendered as one labeled Prometheus
-/// family (`ilt_tile_failures_total{kind="..."}`).
-#[derive(Debug)]
-pub struct FailureKinds {
-    counts: [Counter; 5],
-}
-
-impl Default for FailureKinds {
-    fn default() -> Self {
-        Self { counts: std::array::from_fn(|_| Counter::default()) }
-    }
-}
-
-impl FailureKinds {
-    fn slot(kind: &str) -> usize {
-        FAILURE_KINDS.iter().position(|&k| k == kind).unwrap_or(FAILURE_KINDS.len() - 1)
-    }
-
-    /// Counts one failed tile attempt of the given kind (an unknown kind
-    /// lands in `other`).
-    pub fn inc(&self, kind: &str) {
-        self.counts[Self::slot(kind)].inc();
-    }
-
-    /// Current count for one kind.
-    pub fn get(&self, kind: &str) -> u64 {
-        self.counts[Self::slot(kind)].get()
-    }
-
-    fn render(&self, out: &mut String) {
-        out.push_str(
-            "# HELP ilt_tile_failures_total Failed tile jobs by failure classification.\n# TYPE ilt_tile_failures_total counter\n",
-        );
-        for (kind, counter) in FAILURE_KINDS.iter().zip(&self.counts) {
-            out.push_str(&format!("ilt_tile_failures_total{{kind=\"{kind}\"}} {}\n", counter.get()));
-        }
-    }
-}
-
-/// Upper bounds (inclusive, milliseconds) of the latency buckets; an
-/// implicit `+Inf` bucket follows.
-pub const LATENCY_BUCKETS_MS: [f64; 10] =
-    [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 60000.0];
-
-/// A fixed-bucket latency histogram (milliseconds).
-#[derive(Debug)]
-pub struct Histogram {
-    /// Non-cumulative per-bucket counts; the last slot is the overflow
-    /// (`+Inf`) bucket.
-    counts: Vec<AtomicU64>,
-    sum_ms_bits: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self {
-            counts: (0..=LATENCY_BUCKETS_MS.len()).map(|_| AtomicU64::new(0)).collect(),
-            sum_ms_bits: AtomicU64::new(0f64.to_bits()),
-        }
-    }
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn observe(&self, ms: f64) {
-        let idx = LATENCY_BUCKETS_MS
-            .iter()
-            .position(|&b| ms <= b)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        // Atomic f64 accumulation via compare-exchange on the bit pattern.
-        let mut current = self.sum_ms_bits.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(current) + ms).to_bits();
-            match self.sum_ms_bits.compare_exchange_weak(
-                current,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(seen) => current = seen,
-            }
-        }
-    }
-
-    /// Total number of observations.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Sum of all observations, ms.
-    pub fn sum_ms(&self) -> f64 {
-        f64::from_bits(self.sum_ms_bits.load(Ordering::Relaxed))
-    }
-
-    fn render(&self, name: &str, stage: &str, out: &mut String) {
-        let mut cumulative = 0u64;
-        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
-            cumulative += self.counts[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {cumulative}\n"));
-        }
-        cumulative += self.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum{{stage=\"{stage}\"}} {}\n", self.sum_ms()));
-        out.push_str(&format!("{name}_count{{stage=\"{stage}\"}} {cumulative}\n"));
-    }
-}
+// The primitive instruments moved to `ilt-cluster` (the coordinator
+// observes shard health with them); re-exported here so every existing
+// `ilt_server::metrics::*` import keeps working.
+pub use ilt_cluster::stats::{Counter, FailureKinds, Histogram, FAILURE_KINDS, LATENCY_BUCKETS_MS};
 
 /// Every live metric the server exports.
 #[derive(Debug, Default)]

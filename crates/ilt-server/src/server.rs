@@ -17,13 +17,17 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ilt_runtime::{failure_kind, field_hash, run_batch, JobStatus, SimulatorCache};
+use ilt_cluster::{ClusterConfig, Coordinator, ExecPolicy, JobParams};
+use ilt_field::pgm_bytes;
+use ilt_runtime::{
+    assemble_batch, failure_kind, field_hash, planned_job_list, run_batch, BatchCase, BatchConfig,
+    BatchOutcome, JobStatus, SimulatorCache,
+};
 
-use crate::http::{HttpError, Limits, Request, Response};
+use crate::http::{ConnOptions, Limits, Request, Response};
 use crate::metrics::{Gauges, Metrics};
 use crate::store::{
-    CancelOutcome, ExecPolicy, JobDone, JobParams, JobStore, MaskFetch, RecoveryStats, StateLog,
-    SubmitError,
+    CancelOutcome, JobDone, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
 };
 
 /// Everything tunable about a server instance.
@@ -67,6 +71,11 @@ pub struct ServerConfig {
     /// Compact the state log (snapshot live jobs, truncate `state.jsonl`)
     /// once it exceeds this many bytes; 0 disables compaction.
     pub compact_state_bytes: u64,
+    /// When set, this instance is a cluster coordinator: each job's tile
+    /// plan is sharded across the configured `ilt worker` replicas and the
+    /// per-tile results are reassembled centrally (byte-identical stitching
+    /// to a local run). `None` executes jobs in-process as before.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +97,7 @@ impl Default for ServerConfig {
             keep_alive_requests: 32,
             idle_timeout: Duration::from_secs(5),
             compact_state_bytes: 0,
+            cluster: None,
         }
     }
 }
@@ -97,6 +107,7 @@ struct Shared {
     store: JobStore,
     metrics: Metrics,
     cache: SimulatorCache,
+    coordinator: Option<Coordinator>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     journal: Mutex<Option<std::fs::File>>,
@@ -136,10 +147,18 @@ impl Server {
         };
         let metrics = Metrics::default();
         metrics.recovered.add((recovered.restored + recovered.requeued) as u64);
+        let coordinator = match &config.cluster {
+            None => None,
+            Some(cluster) => Some(
+                Coordinator::new(cluster.clone())
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+            ),
+        };
         let shared = Arc::new(Shared {
             store,
             metrics,
             cache: SimulatorCache::with_capacity(config.cache_capacity),
+            coordinator,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             journal: Mutex::new(journal),
@@ -223,9 +242,17 @@ impl Server {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some((id, case, config)) = shared.store.take_next() {
+    while let Some((id, case, config, query)) = shared.store.take_next() {
         let started = Instant::now();
-        let outcome = run_batch(&[case], &config, &shared.cache);
+        let cases = [case];
+        let outcome = match (&shared.coordinator, &query) {
+            // Recovered pre-cluster submissions have no stored query; they
+            // fall through to local execution rather than being guessed at.
+            (Some(coordinator), Some(query)) => {
+                run_clustered(shared, coordinator, id, &cases, &config, query)
+            }
+            _ => run_batch(&cases, &config, &shared.cache),
+        };
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         // A cancelled run (token set, at least one tile skipped) is a
         // distinct terminal state: no mask, no failure. A job that managed
@@ -280,6 +307,54 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Executes one job by sharding its tile plan across the cluster's worker
+/// replicas and reassembling the streamed per-tile results centrally.
+/// Stitching, seam policy, and whole-clip evaluation run through the exact
+/// same [`assemble_batch`] path a local `run_batch` uses, so the output
+/// mask is byte-identical to single-process execution of the same request.
+fn run_clustered(
+    shared: &Shared,
+    coordinator: &Coordinator,
+    id: usize,
+    cases: &[BatchCase; 1],
+    config: &BatchConfig,
+    query: &str,
+) -> Result<BatchOutcome, String> {
+    let started = Instant::now();
+    // Fault injection stays local to each process: the coordinator strips
+    // `inject=` from the dispatched query, and a worker started with its
+    // own `--inject` plan applies that one instead.
+    let wire_query = strip_query_param(query, "inject");
+    let plan = planned_job_list(cases, config)?;
+    // Inline-target submissions carry the raster in the dispatch body;
+    // case/via sources are re-resolved by name on the worker side.
+    let named_source = query
+        .split('&')
+        .any(|pair| pair.starts_with("case=") || pair.starts_with("via="));
+    let body =
+        if named_source { Vec::new() } else { pgm_bytes(&cases[0].target, 0.0, 1.0) };
+    let outputs = coordinator.run_job(
+        id,
+        &wire_query,
+        &body,
+        &plan,
+        &config.cancel,
+        &config.progress,
+    )?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    assemble_batch(cases, config, outputs, &shared.cache, wall_ms)
+}
+
+/// Drops every `key=...` pair from a URL query string (used to keep fault
+/// plans out of cluster dispatches).
+fn strip_query_param(query: &str, key: &str) -> String {
+    query
+        .split('&')
+        .filter(|pair| pair.split_once('=').map_or(*pair, |(k, _)| k) != key)
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
 /// Applies the TTL / residency eviction policy; called after every finished
 /// job and on every metrics scrape (the only moments residency can change
 /// or expiry becomes observable).
@@ -309,81 +384,23 @@ fn append_journal(shared: &Shared, records: &[ilt_runtime::JobRecord]) {
     }
 }
 
-/// Serves one connection: a keep-alive loop bounded by the configured
-/// per-connection request cap and idle timeout. Pipelined bytes carry over
-/// between iterations; any protocol error answers with `Connection: close`
-/// and ends the loop.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut carry = Vec::new();
-    let mut served = 0usize;
-    loop {
-        // `refused` marks requests rejected before their input was fully
-        // read; those sockets need draining below or the close would RST
-        // the client.
-        let (response, refused) =
-            match Request::read_from_buffered(&mut stream, &mut carry, &shared.config.limits) {
-                Ok((request, client_keep_alive)) => {
-                    let response = route(shared, &request);
-                    served += 1;
-                    let keep_alive = client_keep_alive
-                        && served < shared.config.keep_alive_requests
-                        && !shared.shutdown.load(Ordering::SeqCst);
-                    if keep_alive {
-                        if response.write_with_connection(&mut stream, true).is_err() {
-                            return;
-                        }
-                        // Between requests the (usually longer) idle
-                        // timeout governs how long the socket may sit open.
-                        let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
-                        continue;
-                    }
-                    (response, false)
-                }
-                Err(HttpError::BadRequest(why)) => (Response::error(400, &why), true),
-                Err(HttpError::PayloadTooLarge(n)) => (
-                    Response::error(
-                        413,
-                        &format!(
-                            "body of {n} bytes exceeds the {}-byte limit",
-                            shared.config.limits.max_body_bytes
-                        ),
-                    ),
-                    true,
-                ),
-                Err(HttpError::HeadTooLarge) => {
-                    (Response::error(431, "request head too large"), true)
-                }
-                // Socket error, idle timeout, or a clean close between
-                // requests: nothing trustworthy (or nothing at all) to
-                // answer.
-                Err(HttpError::Io(_)) => return,
-            };
-        let _ = response.write_to(&mut stream);
-        if refused {
-            // Closing with unread input in the receive buffer sends RST,
-            // which can discard the error response before the client reads
-            // it. Send FIN first, then sink the rest of the client's
-            // request (bounded, so a hostile sender can't pin the thread).
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-            let mut sink = [0u8; 8192];
-            let mut drained = 0usize;
-            loop {
-                match std::io::Read::read(&mut stream, &mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => {
-                        drained += n;
-                        if drained > shared.config.limits.max_body_bytes {
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-        return;
-    }
+/// Serves one connection through the shared transport keep-alive loop
+/// ([`crate::http::serve_connection`], the same machinery cluster workers
+/// use); draining downgrades in-flight connections to `Connection: close`.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let options = ConnOptions {
+        limits: shared.config.limits,
+        read_timeout: shared.config.read_timeout,
+        write_timeout: shared.config.write_timeout,
+        idle_timeout: shared.config.idle_timeout,
+        keep_alive_requests: shared.config.keep_alive_requests,
+    };
+    crate::http::serve_connection(
+        stream,
+        &options,
+        |request| route(shared, request),
+        || !shared.shutdown.load(Ordering::SeqCst),
+    );
 }
 
 fn route(shared: &Shared, req: &Request) -> Response {
@@ -408,7 +425,11 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 cache_misses: shared.cache.misses(),
                 cache_evictions: shared.cache.evictions(),
             };
-            Response::text(200, shared.metrics.render(&gauges))
+            let mut body = shared.metrics.render(&gauges);
+            if let Some(coordinator) = &shared.coordinator {
+                coordinator.stats().render(coordinator.workers_configured(), &mut body);
+            }
+            Response::text(200, body)
         }
         (_, ["metrics"]) => method_not_allowed("GET"),
 

@@ -40,393 +40,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use ilt_core::{schedules, IltConfig, Stage};
-use ilt_field::{parse_pgm, pgm_bytes, Field2D};
-use ilt_layouts::{extended_case, iccad2013_case, via_pattern};
+use ilt_field::{pgm_bytes, Field2D};
 use ilt_metrics::EvalReport;
-use ilt_optics::OpticsConfig;
 use ilt_runtime::{
     field_hash, json_escape, json_f64, json_field_str, json_field_u64, load_mask,
-    mask_file_name, planned_jobs, write_atomic, BatchCase, BatchConfig, CancelToken, FaultPlan,
-    JobRecord, Progress, SeamPolicy,
+    mask_file_name, planned_jobs, write_atomic, BatchCase, BatchConfig, CancelToken, JobRecord,
+    Progress,
 };
 
-use crate::http::Request;
-
-/// Where a job's target geometry comes from.
-#[derive(Clone, Debug)]
-pub enum JobSource {
-    /// A built-in benchmark case (`case1`..`case20`).
-    Case(usize),
-    /// A generated via pattern with the given seed.
-    Via(u64),
-    /// An inline PGM raster submitted in the request body.
-    Inline(Field2D),
-}
-
-/// Per-request execution policy bounds, owned by the server configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct ExecPolicy {
-    /// Default per-attempt timeout, seconds; 0 = none.
-    pub default_timeout_s: f64,
-    /// Default retry budget per tile job.
-    pub default_retries: u32,
-    /// Hard cap on per-job worker threads a request may ask for.
-    pub max_threads_per_job: usize,
-    /// Accept the `inject=` fault-injection parameter (chaos testing only;
-    /// keep off in production).
-    pub allow_inject: bool,
-}
-
-impl Default for ExecPolicy {
-    fn default() -> Self {
-        Self {
-            default_timeout_s: 0.0,
-            default_retries: 1,
-            max_threads_per_job: 4,
-            allow_inject: false,
-        }
-    }
-}
-
-/// A fully validated job specification, decoded from one `POST /v1/jobs`.
-///
-/// Defaults mirror the `ilt batch` CLI exactly, so a served job with no
-/// overrides produces a mask byte-identical to the batch command for the
-/// same case (which `verify_server.sh` asserts).
-#[derive(Clone, Debug)]
-pub struct JobParams {
-    /// Target geometry.
-    pub source: JobSource,
-    /// Display / journal name.
-    pub name: String,
-    /// Rasterization grid for generated layouts.
-    pub grid: usize,
-    /// Physical clip width for inline targets, nm.
-    pub clip_nm: f64,
-    /// SOCS kernel count.
-    pub kernels: usize,
-    /// Tile window size.
-    pub tile: usize,
-    /// Tile guard band.
-    pub halo: usize,
-    /// Seam policy for stitched masks.
-    pub seam: SeamPolicy,
-    /// Schedule name (`fast`, `exact`, `via`).
-    pub schedule: String,
-    /// Optional per-stage iteration override.
-    pub iters: Option<usize>,
-    /// Coarsest admissible effective pitch, nm.
-    pub max_eff_nm: f64,
-    /// Worker threads inside this job's pool (clamped by [`ExecPolicy`]).
-    pub threads: usize,
-    /// Per-attempt timeout, seconds; 0 = none.
-    pub timeout_s: f64,
-    /// Retry budget per tile.
-    pub retries: u32,
-    /// Evaluate the stitched mask.
-    pub evaluate: bool,
-    /// Deterministic fault plan (empty unless the request passed `inject=`
-    /// and the policy allows it).
-    pub faults: FaultPlan,
-}
-
-/// Percent-encodes a query *value* for the state log: the HTTP layer hands
-/// the store decoded strings, so free-text values (the job name) must be
-/// re-escaped before they re-enter query syntax.
-fn query_encode(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for b in s.bytes() {
-        match b {
-            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
-                out.push(b as char)
-            }
-            _ => out.push_str(&format!("%{b:02X}")),
-        }
-    }
-    out
-}
-
-/// Inverse of [`query_encode`]; malformed escapes pass through verbatim
-/// (the log is trusted local state, not hostile input).
-fn query_decode(s: &str) -> String {
-    let bytes = s.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' && i + 2 < bytes.len() {
-            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
-            if let Some(v) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
-                out.push(v);
-                i += 3;
-                continue;
-            }
-        }
-        out.push(bytes[i]);
-        i += 1;
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn parse_num<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T, String> {
-    match req.query_param(key) {
-        None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("bad {key}={raw:?}")),
-    }
-}
-
-impl JobParams {
-    /// Decodes and validates a submission request (query parameters plus an
-    /// optional inline PGM body).
-    ///
-    /// # Errors
-    ///
-    /// Returns a message describing the first invalid parameter; the
-    /// handler maps it to `400 Bad Request`.
-    pub fn from_request(req: &Request, policy: &ExecPolicy) -> Result<JobParams, String> {
-        let source = match (req.query_param("case"), req.query_param("via"), req.body.is_empty()) {
-            (Some(c), None, true) => {
-                let id: usize = c
-                    .strip_prefix("case")
-                    .unwrap_or(c)
-                    .parse()
-                    .map_err(|_| format!("bad case={c:?}"))?;
-                if !(1..=20).contains(&id) {
-                    return Err(format!("case ids are 1..=10 (ICCAD) or 11..=20 (extended), got {id}"));
-                }
-                JobSource::Case(id)
-            }
-            (None, Some(v), true) => {
-                let seed: u64 = v
-                    .strip_prefix("via")
-                    .unwrap_or(v)
-                    .parse()
-                    .map_err(|_| format!("bad via={v:?}"))?;
-                JobSource::Via(seed)
-            }
-            (None, None, false) => {
-                let img = parse_pgm(&req.body).map_err(|e| format!("bad PGM body: {e}"))?;
-                let (rows, cols) = img.shape();
-                if rows != cols || !rows.is_power_of_two() {
-                    return Err(format!(
-                        "inline target must be square power-of-two, got {rows}x{cols}"
-                    ));
-                }
-                JobSource::Inline(img.threshold(0.5))
-            }
-            (None, None, true) => {
-                return Err("submit one of ?case=N, ?via=SEED, or an inline PGM body".into())
-            }
-            _ => return Err("pass exactly one of ?case, ?via, or an inline PGM body".into()),
-        };
-
-        let name = match req.query_param("name") {
-            Some(n) if !n.is_empty() => n.to_string(),
-            _ => match &source {
-                JobSource::Case(id) => format!("case{id}"),
-                JobSource::Via(seed) => format!("via{seed}"),
-                JobSource::Inline(_) => "inline".to_string(),
-            },
-        };
-
-        let grid: usize = parse_num(req, "grid", 512)?;
-        if !grid.is_power_of_two() || !(32..=4096).contains(&grid) {
-            return Err(format!("grid must be a power of two in 32..=4096, got {grid}"));
-        }
-        let clip_nm: f64 = parse_num(req, "clip_nm", 2048.0)?;
-        if !(clip_nm > 0.0) {
-            return Err(format!("clip_nm must be positive, got {clip_nm}"));
-        }
-        let kernels: usize = parse_num(req, "kernels", 10)?;
-        if !(1..=50).contains(&kernels) {
-            return Err(format!("kernels must be in 1..=50, got {kernels}"));
-        }
-        let tile: usize = parse_num(req, "tile", 512)?;
-        let halo: usize = parse_num(req, "halo", 64)?;
-        let seam = match req.query_param("seam").unwrap_or("crop") {
-            "crop" => SeamPolicy::Crop,
-            other => match other.strip_prefix("blend:").and_then(|b| b.parse::<usize>().ok()) {
-                Some(band) => SeamPolicy::Blend { band },
-                None => return Err(format!("bad seam={other:?} (crop or blend:K)")),
-            },
-        };
-        let schedule = req.query_param("schedule").unwrap_or("fast").to_string();
-        if !matches!(schedule.as_str(), "fast" | "exact" | "via") {
-            return Err(format!("unknown schedule {schedule:?} (fast|exact|via)"));
-        }
-        let iters = match req.query_param("iters") {
-            None => None,
-            Some(raw) => {
-                let n: usize = raw.parse().map_err(|_| format!("bad iters={raw:?}"))?;
-                if !(1..=10_000).contains(&n) {
-                    return Err(format!("iters must be in 1..=10000, got {n}"));
-                }
-                Some(n)
-            }
-        };
-        let max_eff_nm: f64 = parse_num(req, "max_eff_nm", 8.0)?;
-        let threads = parse_num(req, "threads", 1usize)?.clamp(1, policy.max_threads_per_job.max(1));
-        let timeout_s: f64 = parse_num(req, "timeout_s", policy.default_timeout_s)?;
-        let retries: u32 = parse_num(req, "retries", policy.default_retries)?.min(10);
-        let evaluate = match req.query_param("eval").unwrap_or("1") {
-            "1" | "true" => true,
-            "0" | "false" => false,
-            other => return Err(format!("bad eval={other:?} (0 or 1)")),
-        };
-        let faults = match req.query_param("inject") {
-            None => FaultPlan::none(),
-            Some(_) if !policy.allow_inject => {
-                return Err("fault injection is disabled (start the server with --allow-inject)"
-                    .into())
-            }
-            Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("bad inject: {e}"))?,
-        };
-
-        Ok(JobParams {
-            source,
-            name,
-            grid,
-            clip_nm,
-            kernels,
-            tile,
-            halo,
-            seam,
-            schedule,
-            iters,
-            max_eff_nm,
-            threads,
-            timeout_s,
-            retries,
-            evaluate,
-            faults,
-        })
-    }
-
-    /// Serializes the parameters back into the query string
-    /// [`JobParams::from_request`] parses — the persistence format of the
-    /// state log. Inline targets are carried separately (as a PGM file).
-    pub fn to_query(&self) -> String {
-        let mut q = String::new();
-        match &self.source {
-            JobSource::Case(id) => q.push_str(&format!("case={id}")),
-            JobSource::Via(seed) => q.push_str(&format!("via={seed}")),
-            JobSource::Inline(_) => {}
-        }
-        let mut push = |kv: String| {
-            if !q.is_empty() {
-                q.push('&');
-            }
-            q.push_str(&kv);
-        };
-        push(format!("name={}", query_encode(&self.name)));
-        push(format!("grid={}", self.grid));
-        push(format!("clip_nm={}", self.clip_nm));
-        push(format!("kernels={}", self.kernels));
-        push(format!("tile={}", self.tile));
-        push(format!("halo={}", self.halo));
-        match self.seam {
-            SeamPolicy::Crop => push("seam=crop".into()),
-            SeamPolicy::Blend { band } => push(format!("seam=blend:{band}")),
-        }
-        push(format!("schedule={}", self.schedule));
-        if let Some(n) = self.iters {
-            push(format!("iters={n}"));
-        }
-        push(format!("max_eff_nm={}", self.max_eff_nm));
-        push(format!("threads={}", self.threads));
-        push(format!("timeout_s={}", self.timeout_s));
-        push(format!("retries={}", self.retries));
-        push(format!("eval={}", if self.evaluate { 1 } else { 0 }));
-        if !self.faults.is_empty() {
-            push(format!("inject={}", self.faults));
-        }
-        q
-    }
-
-    /// Reconstructs parameters from a persisted query string (plus the
-    /// saved target raster for inline jobs), re-using the full request
-    /// validation path.
-    ///
-    /// # Errors
-    ///
-    /// Same messages as [`JobParams::from_request`].
-    pub fn from_saved(
-        query: &str,
-        body: Vec<u8>,
-        policy: &ExecPolicy,
-    ) -> Result<JobParams, String> {
-        let req = Request {
-            method: "POST".into(),
-            path: "/v1/jobs".into(),
-            query: query
-                .split('&')
-                .filter(|p| !p.is_empty())
-                .map(|p| {
-                    let (k, v) = p.split_once('=').unwrap_or((p, ""));
-                    (k.to_string(), query_decode(v))
-                })
-                .collect(),
-            headers: Vec::new(),
-            body,
-        };
-        // Recovery must replay faults even on a locked-down restart; the
-        // original submission already passed the gate.
-        let relaxed = ExecPolicy { allow_inject: true, ..*policy };
-        JobParams::from_request(&req, &relaxed)
-    }
-
-    /// Materializes the batch-engine inputs. Mirrors `ilt batch` exactly:
-    /// same optics template, same `IltConfig`, same schedule lookup.
-    ///
-    /// # Errors
-    ///
-    /// Currently none beyond construction; kept fallible for future
-    /// validation that needs the rasterized target.
-    pub fn plan(&self) -> Result<(BatchCase, BatchConfig), String> {
-        let (target, nm_per_px) = match &self.source {
-            JobSource::Case(id) => {
-                let layout = if *id <= 10 { iccad2013_case(*id) } else { extended_case(*id) };
-                (layout.rasterize(self.grid), layout.nm_per_px(self.grid))
-            }
-            JobSource::Via(seed) => {
-                let layout = via_pattern(*seed);
-                (layout.rasterize(self.grid), layout.nm_per_px(self.grid))
-            }
-            JobSource::Inline(img) => {
-                let n = img.shape().0;
-                (img.clone(), self.clip_nm / n as f64)
-            }
-        };
-        let case = BatchCase { name: self.name.clone(), target, nm_per_px };
-        let mut schedule: Vec<Stage> = match self.schedule.as_str() {
-            "exact" => schedules::our_exact(),
-            "via" => schedules::via_recipe(),
-            _ => schedules::our_fast(),
-        };
-        if let Some(n) = self.iters {
-            for stage in &mut schedule {
-                stage.iterations = n;
-            }
-        }
-        let config = BatchConfig {
-            threads: self.threads,
-            tile: self.tile,
-            halo: self.halo,
-            seam: self.seam,
-            optics: OpticsConfig { num_kernels: self.kernels, ..OpticsConfig::default() },
-            ilt: IltConfig { early_exit_window: Some(15), ..IltConfig::default() },
-            schedule,
-            max_eff_nm: self.max_eff_nm,
-            timeout: (self.timeout_s > 0.0)
-                .then(|| std::time::Duration::from_secs_f64(self.timeout_s)),
-            max_retries: self.retries,
-            evaluate_stitched: self.evaluate,
-            faults: self.faults.clone(),
-            ..BatchConfig::default()
-        };
-        Ok((case, config))
-    }
-}
+use ilt_cluster::params::{ExecPolicy, JobParams, JobSource};
 
 /// Lifecycle of a job inside the store.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -1007,7 +629,10 @@ impl JobStore {
     /// Blocks until a job is available and claims it, or returns `None`
     /// when the store is draining and the queue is empty (worker exit
     /// signal). In-flight and already-queued jobs are always drained.
-    pub fn take_next(&self) -> Option<(usize, BatchCase, BatchConfig)> {
+    /// The fourth element is the job's persisted parameter query (present
+    /// for every HTTP submission) — the cluster coordinator re-dispatches
+    /// from it so workers re-plan through the identical validation path.
+    pub fn take_next(&self) -> Option<(usize, BatchCase, BatchConfig, Option<String>)> {
         let mut inner = self.lock();
         loop {
             if let Some(id) = inner.queue.pop_front() {
@@ -1015,7 +640,8 @@ impl JobStore {
                 let entry = inner.jobs.get_mut(&id).expect("queued id exists");
                 entry.state = JobState::Running;
                 let (case, config) = entry.work.take().expect("queued job retains its work");
-                return Some((id, case, config));
+                let query = entry.query.clone();
+                return Some((id, case, config, query));
             }
             if !inner.accepting {
                 return None;
@@ -1130,6 +756,9 @@ impl JobStore {
         // store lock on every path that logs) cannot interleave.
         let inner = self.lock();
         let mut snapshot = format!("{{\"kind\":\"compact\",\"next_id\":{}}}\n", inner.next_id);
+        // Side files referenced by snapshot entries; everything else in the
+        // state directory is orphaned by this compaction and swept after.
+        let mut keep: BTreeSet<String> = BTreeSet::new();
         for entry in inner.jobs.values() {
             let Some(query) = &entry.query else { continue }; // never persisted
             if entry.state == JobState::Cancelled {
@@ -1145,6 +774,10 @@ impl JobStore {
             ));
             if let Some(target) = &entry.target_file {
                 snapshot.push_str(&format!(",\"target\":\"{target}\""));
+                keep.insert(target.clone());
+            }
+            if entry.result.as_ref().is_some_and(|d| d.mask.is_some()) {
+                keep.insert(mask_file_name(entry.id));
             }
             snapshot.push_str("}\n");
             if entry.state.is_terminal() {
@@ -1164,6 +797,12 @@ impl JobStore {
             }
         }
         let ok = state.replace_with_snapshot(snapshot.as_bytes()).is_ok();
+        if ok {
+            // Still under the table lock (no submit/finish can be writing
+            // new side files), delete the PGM files the snapshot no longer
+            // references: masks and targets of compacted-away jobs.
+            gc_state_files(&state.dir, &keep);
+        }
         drop(inner);
         ok
     }
@@ -1308,6 +947,22 @@ impl JobStore {
     }
 }
 
+/// Deletes `job-*.pgm` side files (masks and inline targets) that the
+/// just-installed compaction snapshot no longer references. Runs under the
+/// job-table lock, so no concurrent submission or finish can be writing a
+/// new side file while the directory is swept; `wal.jsonl`, `state.jsonl`,
+/// the snapshot itself, and any foreign files are never touched.
+fn gc_state_files(dir: &Path, keep: &BTreeSet<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("job-") && name.ends_with(".pgm") && !keep.contains(name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// A terminal [`JobEntry`] with no retained work or result.
 fn terminal_entry(id: usize, name: String, state: JobState, error: Option<String>) -> JobEntry {
     JobEntry {
@@ -1404,6 +1059,7 @@ fn render_summary(entry: &JobEntry) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::http::Request;
 
     fn tiny_case(name: &str) -> (BatchCase, BatchConfig) {
         let target = Field2D::from_fn(64, 64, |r, c| {
@@ -1451,7 +1107,7 @@ mod tests {
         let store = JobStore::new(4);
         let (c, cfg) = tiny_case("m1 \"quoted\"");
         store.submit("m1 \"quoted\"".into(), c, cfg).unwrap();
-        let (id, case, _) = store.take_next().unwrap();
+        let (id, case, _, _) = store.take_next().unwrap();
         let mask = case.target.threshold(0.5);
         let done = JobDone {
             mask_hash: ilt_runtime::field_hash(&mask),
@@ -1481,7 +1137,7 @@ mod tests {
         let store = JobStore::new(4);
         let (c, cfg) = tiny_case("a");
         store.submit("a".into(), c, cfg).unwrap();
-        let (id, case, _) = store.take_next().unwrap();
+        let (id, case, _, _) = store.take_next().unwrap();
         let mask = case.target.threshold(0.5);
         store.finish(
             id,
@@ -1605,7 +1261,7 @@ mod tests {
         let store = JobStore::new(4);
         let (c, cfg) = tiny_case("a");
         store.submit("a".into(), c.clone(), cfg).unwrap();
-        let (id, case, _) = store.take_next().unwrap();
+        let (id, case, _, _) = store.take_next().unwrap();
         store.finish(id, Ok(done_for(&case, 1)));
 
         // A generous TTL keeps the mask; a zero TTL evicts it.
@@ -1631,7 +1287,7 @@ mod tests {
             store.submit(format!("j{i}"), c.clone(), cfg.clone()).unwrap();
         }
         for _ in 0..3 {
-            let (id, case, _) = store.take_next().unwrap();
+            let (id, case, _, _) = store.take_next().unwrap();
             store.finish(id, Ok(done_for(&case, 1)));
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -1722,7 +1378,7 @@ mod tests {
             .unwrap();
             store.submit_persisted(&interrupted, c.clone(), cfg.clone()).unwrap();
             // Job 0 finishes; job 1 is taken but never finished (the crash).
-            let (id, case, _) = store.take_next().unwrap();
+            let (id, case, _, _) = store.take_next().unwrap();
             store.finish(id, Ok(done_for(&case, 1)));
             let _ = store.take_next().unwrap();
         }
@@ -1741,7 +1397,7 @@ mod tests {
             _ => panic!("recovered mask must be ready"),
         }
         // Job 1 is queued again under its original id and params.
-        let (id, case, _) = store.take_next().unwrap();
+        let (id, case, _, _) = store.take_next().unwrap();
         assert_eq!(id, 1);
         assert_eq!(case.name, "interrupted");
 
@@ -1821,7 +1477,7 @@ mod tests {
         let store = JobStore::new(4);
         let (c, cfg) = tiny_case("a");
         store.submit("a".into(), c, cfg).unwrap();
-        let (id, _case, config) = store.take_next().unwrap();
+        let (id, _case, config, _) = store.take_next().unwrap();
         assert!(!config.cancel.is_cancelled());
         assert_eq!(store.cancel(id), CancelOutcome::Cancelling);
         assert!(config.cancel.is_cancelled(), "the worker's token is the same token");
@@ -1849,7 +1505,7 @@ mod tests {
             detail.contains("\"tiles_planned\":16"),
             "64px field over 16px cores (tile 32 - 2*halo 8) = 4x4: {detail}"
         );
-        let (id, case, config) = store.take_next().unwrap();
+        let (id, case, config, _) = store.take_next().unwrap();
         config.progress.tick();
         config.progress.tick();
         let detail = store.render_detail(id, false).unwrap();
@@ -1902,7 +1558,7 @@ mod tests {
             store.submit_persisted(&params("keeper"), c.clone(), cfg.clone()).unwrap();
             store.submit_persisted(&params("doomed"), c.clone(), cfg.clone()).unwrap();
             store.submit_persisted(&params("pending"), c.clone(), cfg.clone()).unwrap();
-            let (id, case, _) = store.take_next().unwrap();
+            let (id, case, _, _) = store.take_next().unwrap();
             store.finish(id, Ok(done_for(&case, 1))); // compacts
             assert_eq!(store.cancel(1), CancelOutcome::Cancelled); // compacts again
         }
@@ -1932,6 +1588,63 @@ mod tests {
     }
 
     #[test]
+    fn compaction_gc_deletes_orphaned_state_files() {
+        let dir = temp_dir("gc");
+        let img = Field2D::from_fn(64, 64, |r, _| if r < 32 { 1.0 } else { 0.0 });
+        let submit = |store: &JobStore, name: &str| {
+            let mut req = request_with_query(&format!("clip_nm=512&grid=64&kernels=3&name={name}"));
+            req.body = pgm_bytes(&img, 0.0, 1.0);
+            let p = JobParams::from_request(&req, &ExecPolicy::default()).unwrap();
+            let (case, cfg) = p.plan().unwrap();
+            store.submit_persisted(&p, case, cfg).unwrap()
+        };
+        let exists = |name: &str| dir.join(name).exists();
+
+        // Threshold 1 byte: every terminal transition compacts + sweeps.
+        let state = StateLog::open_with_compaction(&dir, 1).unwrap();
+        let store = JobStore::with_state(8, Some(state));
+        submit(&store, "done-a");
+        submit(&store, "doomed");
+        submit(&store, "done-b");
+        let (id, case, _, _) = store.take_next().unwrap();
+        store.finish(id, Ok(done_for(&case, 1)));
+        assert_eq!(store.cancel(1), CancelOutcome::Cancelled);
+        let (id, case, _, _) = store.take_next().unwrap();
+        store.finish(id, Ok(done_for(&case, 1)));
+
+        // The cancelled job aged out of the snapshot, so its inline-target
+        // side file is orphaned and swept; live jobs keep all their files.
+        assert!(!exists("job-1-target.pgm"), "cancelled target must be GCed");
+        assert!(!exists(&mask_file_name(1)), "never produced, never present");
+        for name in ["job-0-target.pgm", "job-2-target.pgm"] {
+            assert!(exists(name), "{name} is still referenced");
+        }
+        for id in [0, 2] {
+            assert!(exists(&mask_file_name(id)), "mask {id} is still referenced");
+        }
+
+        // Evicting a resident mask drops its job from the next snapshot,
+        // which orphans BOTH its files.
+        assert_eq!(store.sweep(None, 1), 1, "oldest finished mask evicted");
+        submit(&store, "tail"); // grows the log past the threshold again
+        assert!(store.maybe_compact());
+        assert!(!exists(&mask_file_name(0)), "evicted mask file must be GCed");
+        assert!(!exists("job-0-target.pgm"), "dropped job keeps no side files");
+        assert!(exists(&mask_file_name(2)));
+        assert!(exists("job-2-target.pgm"));
+        assert!(exists("job-3-target.pgm"), "queued job keeps its target");
+        drop(store);
+
+        // Recovery agrees: the GCed id is gone, the kept one restores
+        // byte-identically.
+        let (store, _) =
+            JobStore::recover(8, StateLog::open(&dir).unwrap(), &ExecPolicy::default()).unwrap();
+        assert!(store.render_detail(0, false).is_none(), "GCed id answers 404");
+        assert!(matches!(store.mask_pgm(2), MaskFetch::Ready(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stale_untruncated_log_after_snapshot_replays_idempotently() {
         // A crash exactly between snapshot installation and log truncation
         // leaves the snapshot AND the full pre-compaction log. Recovery
@@ -1948,7 +1661,7 @@ mod tests {
             let store = JobStore::with_state(8, Some(StateLog::open(&dir).unwrap()));
             store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
             store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
-            let (id, case, _) = store.take_next().unwrap();
+            let (id, case, _, _) = store.take_next().unwrap();
             store.finish(id, Ok(done_for(&case, 1)));
             pre_compaction_log = std::fs::read_to_string(dir.join("state.jsonl")).unwrap();
         }
@@ -1987,7 +1700,7 @@ mod tests {
                 store.submit_persisted(&params, c.clone(), cfg.clone()).unwrap();
             }
             for _ in 0..2 {
-                let (id, case, _) = store.take_next().unwrap();
+                let (id, case, _, _) = store.take_next().unwrap();
                 store.finish(id, Ok(done_for(&case, 1)));
             }
             store.cancel(2);

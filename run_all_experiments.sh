@@ -4,6 +4,7 @@ set -e
 ./verify_runtime.sh
 ./verify_resume.sh
 ./verify_server.sh
+./verify_cluster.sh
 ./verify_perf.sh
 BIN=./target/release/tables
 OUT=bench-out

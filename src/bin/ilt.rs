@@ -14,6 +14,10 @@
 //!              [--cache 16] [--state-dir DIR] [--result-ttl-s 0]
 //!              [--max-masks 0] [--allow-inject] [--compact-bytes 0]
 //!              [--keep-alive 32] [--idle-timeout-s 5]
+//!              [--workers host:port,host:port] [--heartbeat-ms 500]
+//!              [--heartbeat-failures 3] [--cancel-grace-s 10]
+//! ilt worker   [--addr 127.0.0.1:8080] [--threads 4] [--state-dir DIR]
+//!              [--retries 1] [--timeout-s 0] [--inject SPEC[,SPEC...]]
 //! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
 //! ilt fracture --mask mask.pgm
 //! ilt kernels  [--grid 512] [--kernels 10]
@@ -44,7 +48,16 @@
 //! the state-log size past which live jobs are snapshotted and the log
 //! truncated (0 = never compact); `--keep-alive` caps requests served per
 //! connection and `--idle-timeout-s` bounds how long a persistent
-//! connection may sit idle. `bench-fft` is the hermetic,
+//! connection may sit idle. With `--workers`, `serve` becomes a cluster
+//! coordinator: each job's tile plan is sharded across the listed
+//! `ilt worker` replicas and reassembled centrally (byte-identical to a
+//! local run); `--heartbeat-ms`/`--heartbeat-failures` tune worker-death
+//! detection (dead workers get their shards re-dispatched) and
+//! `--cancel-grace-s` bounds how long a job cancellation waits for worker
+//! acknowledgements. `worker` starts one such replica; its `--inject`
+//! fault plan is deliberately local (never forwarded by a coordinator),
+//! and `--state-dir` keeps per-shard checkpoint WALs so a restarted worker
+//! resumes a re-dispatched shard instead of recomputing it. `bench-fft` is the hermetic,
 //! std-only spectral micro-benchmark: it times the dense pad+inverse path
 //! against the pruned [`ilt_fft::Fft2d::inverse_padded`] path and the
 //! complex forward against the real-input forward at N in {256, 512, 1024,
@@ -92,6 +105,10 @@ struct Cli {
     compact_bytes: u64,
     keep_alive: usize,
     idle_timeout_s: f64,
+    workers: Option<String>,
+    heartbeat_ms: u64,
+    heartbeat_failures: u32,
+    cancel_grace_s: f64,
     json: Option<String>,
     reps: usize,
     bench_p: usize,
@@ -101,7 +118,7 @@ struct Cli {
 impl Cli {
     fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Cli), Box<dyn Error>> {
         let command =
-            args.next().ok_or("usage: ilt <run|batch|serve|evaluate|fracture|kernels|bench-fft> ...")?;
+            args.next().ok_or("usage: ilt <run|batch|serve|worker|evaluate|fracture|kernels|bench-fft> ...")?;
         let mut cli = Cli {
             grid: 512,
             kernels: 10,
@@ -136,6 +153,10 @@ impl Cli {
             compact_bytes: 0,
             keep_alive: 32,
             idle_timeout_s: 5.0,
+            workers: None,
+            heartbeat_ms: 500,
+            heartbeat_failures: 3,
+            cancel_grace_s: 10.0,
             json: None,
             reps: 5,
             bench_p: 25,
@@ -177,6 +198,10 @@ impl Cli {
                 "--compact-bytes" => cli.compact_bytes = value()?.parse()?,
                 "--keep-alive" => cli.keep_alive = value()?.parse()?,
                 "--idle-timeout-s" => cli.idle_timeout_s = value()?.parse()?,
+                "--workers" => cli.workers = Some(value()?),
+                "--heartbeat-ms" => cli.heartbeat_ms = value()?.parse()?,
+                "--heartbeat-failures" => cli.heartbeat_failures = value()?.parse()?,
+                "--cancel-grace-s" => cli.cancel_grace_s = value()?.parse()?,
                 "--json" => cli.json = Some(value()?),
                 "--reps" => cli.reps = value()?.parse()?,
                 "--p" => cli.bench_p = value()?.parse()?,
@@ -432,6 +457,23 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let cluster = match &cli.workers {
+        None => None,
+        Some(list) => {
+            let workers: Vec<String> =
+                list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Into::into).collect();
+            if workers.is_empty() {
+                return Err("--workers needs at least one host:port".into());
+            }
+            Some(ClusterConfig {
+                workers,
+                heartbeat: std::time::Duration::from_millis(cli.heartbeat_ms.max(10)),
+                heartbeat_failures: cli.heartbeat_failures.max(1),
+                cancel_grace: std::time::Duration::from_secs_f64(cli.cancel_grace_s.max(0.1)),
+                ..ClusterConfig::default()
+            })
+        }
+    };
     let config = ServerConfig {
         addr: cli.addr.clone(),
         workers: cli.threads.max(1),
@@ -451,6 +493,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
         compact_state_bytes: cli.compact_bytes,
         keep_alive_requests: cli.keep_alive.max(1),
         idle_timeout: std::time::Duration::from_secs_f64(cli.idle_timeout_s.max(0.05)),
+        cluster,
         ..ServerConfig::default()
     };
     let workers = config.workers;
@@ -458,14 +501,51 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
     if let Some(dir) = &config.state_dir {
         println!("state: {}", dir.display());
     }
+    let replicas = config.cluster.as_ref().map(|c| c.workers.clone());
     let server = Server::bind(config)?;
     // The verify script parses this line to find the ephemeral port.
     println!("listening on http://{}", server.local_addr());
     println!(
         "{workers} worker(s), queue capacity {queue}; POST /v1/shutdown to drain"
     );
+    if let Some(replicas) = replicas {
+        println!(
+            "coordinating {} cluster replica(s): {}",
+            replicas.len(),
+            replicas.join(", ")
+        );
+    }
     server.run()?;
     println!("drained");
+    Ok(())
+}
+
+fn cmd_worker(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let faults = match &cli.inject {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("bad --inject {spec}: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    let config = WorkerConfig {
+        addr: cli.addr.clone(),
+        state_dir: cli.state_dir.clone().map(Into::into),
+        faults,
+        policy: multilevel_ilt::cluster::ExecPolicy {
+            default_timeout_s: cli.timeout_s,
+            default_retries: cli.retries,
+            max_threads_per_job: cli.threads.max(1),
+            ..multilevel_ilt::cluster::ExecPolicy::default()
+        },
+        ..WorkerConfig::default()
+    };
+    if let Some(dir) = &config.state_dir {
+        println!("state: {}", dir.display());
+    }
+    let worker = Worker::bind(config)?;
+    // The verify script parses this line to find the ephemeral port.
+    println!("worker listening on http://{}", worker.local_addr()?);
+    println!("POST /v1/shutdown to stop");
+    worker.run();
+    println!("stopped");
     Ok(())
 }
 
@@ -685,12 +765,13 @@ fn main() {
         "run" => cmd_run(&cli),
         "batch" => cmd_batch(&cli),
         "serve" => cmd_serve(&cli),
+        "worker" => cmd_worker(&cli),
         "evaluate" => cmd_evaluate(&cli),
         "fracture" => cmd_fracture(&cli),
         "kernels" => cmd_kernels(&cli),
         "bench-fft" => cmd_bench_fft(&cli),
         other => Err(format!(
-            "unknown command {other} (run|batch|serve|evaluate|fracture|kernels|bench-fft)"
+            "unknown command {other} (run|batch|serve|worker|evaluate|fracture|kernels|bench-fft)"
         )
         .into()),
     };

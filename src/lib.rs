@@ -40,6 +40,7 @@
 
 pub use ilt_autodiff as autodiff;
 pub use ilt_baselines as baselines;
+pub use ilt_cluster as cluster;
 pub use ilt_core as core;
 pub use ilt_fft as fft;
 pub use ilt_field as field;
@@ -70,5 +71,6 @@ pub mod prelude {
         run_batch, run_batch_resume, BatchCase, BatchConfig, FaultPlan, RunReport, SeamPolicy,
         SimulatorCache,
     };
+    pub use ilt_cluster::{ClusterConfig, Worker, WorkerConfig};
     pub use ilt_server::{Server, ServerConfig};
 }

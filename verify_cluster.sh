@@ -1,0 +1,137 @@
+#!/bin/bash
+# Smoke-verifies sharded cluster execution end to end, loopback-only and
+# offline. The deterministic coverage — 1/2/3-replica shard-boundary
+# byte-identity, dead-replica re-dispatch, cancellation fan-out, and the
+# injected process-crash chaos run — lives in-tree
+# (crates/ilt-cluster/tests/cluster.rs, tests/cluster_e2e.rs); this script
+# is a thin wrapper that runs those tests first and then exercises the
+# *release binary* through real curl:
+#   1. two `ilt worker` replicas and an `ilt serve --workers` coordinator
+#      start on ephemeral loopback ports;
+#   2. a sharded job produces a mask byte-identical to the same
+#      configuration run through `ilt batch`;
+#   3. a second run with worker A armed with `--inject crash@0` (process
+#      abort mid-shard) still finishes byte-identically, the re-dispatch
+#      counter moves, and the heartbeat monitor reports one live replica.
+set -e
+BIN=./target/release/ilt
+OUT=bench-out/cluster
+mkdir -p "$OUT"
+CURL="curl -sS --max-time 30"
+# The batch CLI has no --iters override, so the served query must omit
+# `iters=` too for the byte-identity comparison to be apples-to-apples.
+Q='via=7&grid=128&kernels=3&tile=64&halo=8&threads=1&eval=0'
+
+# --- The in-tree port of these scenarios is the source of truth. ---------
+cargo test -q -p ilt-cluster --test cluster > "$OUT/cargo-test.log" 2>&1 \
+    || { echo "CLUSTER_FAILED: in-tree ilt-cluster tests"; tail -40 "$OUT/cargo-test.log"; exit 1; }
+cargo test -q --test cluster_e2e >> "$OUT/cargo-test.log" 2>&1 \
+    || { echo "CLUSTER_FAILED: in-tree cluster_e2e chaos test"; tail -40 "$OUT/cargo-test.log"; exit 1; }
+echo "in-tree cluster tests passed"
+
+# --- Reference: the batch CLI on the same configuration. -----------------
+"$BIN" batch --threads 1 --grid 128 --kernels 3 --tile 64 --halo 8 \
+    --no-eval --out "$OUT/ref" --journal "$OUT/ref.jsonl" via7 \
+    > "$OUT/ref.log" 2>&1
+
+listen_line() { sed -n 's#^.*listening on \(http://.*\)$#\1#p' "$1"; }
+await_listen() { # logfile pid
+    for _ in $(seq 50); do
+        ADDR=$(listen_line "$1")
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$2" 2>/dev/null || { cat "$1"; return 1; }
+        sleep 0.1
+    done
+    return 1
+}
+
+start_cluster() { # worker_a_extra_args...
+    rm -f "$OUT"/worker-a.log "$OUT"/worker-b.log "$OUT"/serve.log
+    rm -rf "$OUT/state-a"
+    # shellcheck disable=SC2086
+    "$BIN" worker --addr 127.0.0.1:0 --state-dir "$OUT/state-a" "$@" \
+        > "$OUT/worker-a.log" 2>&1 &
+    WA_PID=$!
+    "$BIN" worker --addr 127.0.0.1:0 > "$OUT/worker-b.log" 2>&1 &
+    WB_PID=$!
+    await_listen "$OUT/worker-a.log" "$WA_PID" \
+        || { echo "CLUSTER_FAILED: worker A never listened"; exit 1; }
+    WA=$(listen_line "$OUT/worker-a.log"); WA=${WA#http://}
+    await_listen "$OUT/worker-b.log" "$WB_PID" \
+        || { echo "CLUSTER_FAILED: worker B never listened"; exit 1; }
+    WB=$(listen_line "$OUT/worker-b.log"); WB=${WB#http://}
+    "$BIN" serve --addr 127.0.0.1:0 --threads 1 --workers "$WA,$WB" \
+        --heartbeat-ms 100 > "$OUT/serve.log" 2>&1 &
+    CO_PID=$!
+    await_listen "$OUT/serve.log" "$CO_PID" \
+        || { echo "CLUSTER_FAILED: coordinator never listened"; exit 1; }
+    BASE=$(listen_line "$OUT/serve.log")
+    grep -q 'coordinating 2 cluster replica' "$OUT/serve.log" \
+        || { echo "CLUSTER_FAILED: no coordinator banner"; cat "$OUT/serve.log"; exit 1; }
+}
+
+cleanup() {
+    kill "$CO_PID" "$WA_PID" "$WB_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+run_job_and_fetch_mask() { # output_mask_path
+    ACCEPT=$($CURL -X POST "$BASE/v1/jobs?$Q")
+    echo "$ACCEPT" | grep -q '"state":"queued"' \
+        || { echo "CLUSTER_FAILED: submit: $ACCEPT"; exit 1; }
+    JOB_ID=$(echo "$ACCEPT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+    STATE=queued
+    for _ in $(seq 600); do
+        DETAIL=$($CURL "$BASE/v1/jobs/$JOB_ID")
+        STATE=$(echo "$DETAIL" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+        [ "$STATE" = done ] && break
+        [ "$STATE" = failed ] && { echo "CLUSTER_FAILED: job failed: $DETAIL"; exit 1; }
+        sleep 0.5
+    done
+    [ "$STATE" = done ] || { echo "CLUSTER_FAILED: job stuck in $STATE"; exit 1; }
+    $CURL -o "$1" "$BASE/v1/jobs/$JOB_ID/mask"
+}
+
+# --- Scenario 1: healthy two-replica cluster, byte-identical mask. -------
+start_cluster
+run_job_and_fetch_mask "$OUT/cluster_mask.pgm"
+if ! cmp -s "$OUT/ref_via7_mask.pgm" "$OUT/cluster_mask.pgm"; then
+    echo "CLUSTER_MISMATCH: sharded mask differs from 'ilt batch' output"
+    exit 1
+fi
+echo "sharded mask is byte-identical to the batch CLI mask"
+cleanup
+
+# --- Scenario 2: worker A crashes mid-job; shard re-dispatches cleanly. --
+start_cluster --inject crash@0
+run_job_and_fetch_mask "$OUT/cluster_mask_crash.pgm"
+if ! cmp -s "$OUT/ref_via7_mask.pgm" "$OUT/cluster_mask_crash.pgm"; then
+    echo "CLUSTER_MISMATCH: mask after worker crash differs from reference"
+    exit 1
+fi
+# The injected abort must really have killed worker A (non-zero exit).
+set +e; wait "$WA_PID"; WA_STATUS=$?; set -e
+[ "$WA_STATUS" -ne 0 ] \
+    || { echo "CLUSTER_FAILED: worker A survived its injected crash"; exit 1; }
+$CURL "$BASE/metrics" > "$OUT/metrics.txt"
+metric() { awk -v m="$1" '$1 == m { print $2 }' "$OUT/metrics.txt"; }
+REDISPATCHED=$(metric ilt_shards_redispatched_total)
+[ "${REDISPATCHED:-0}" -ge 1 ] \
+    || { echo "CLUSTER_FAILED: no re-dispatch recorded after the crash"; exit 1; }
+ALIVE=$(metric ilt_workers_alive)
+[ "${ALIVE:-2}" = 1 ] \
+    || { echo "CLUSTER_FAILED: workers_alive=$ALIVE after one crash"; exit 1; }
+grep -q 'ilt_shard_latency_ms_bucket{stage="shard",le="+Inf"}' "$OUT/metrics.txt" \
+    || { echo "CLUSTER_FAILED: shard latency histogram missing"; exit 1; }
+echo "crash chaos: mask byte-identical, redispatched=$REDISPATCHED, workers_alive=$ALIVE"
+
+# --- Graceful teardown. --------------------------------------------------
+$CURL -X POST "$BASE/v1/shutdown" > /dev/null
+for _ in $(seq 100); do
+    kill -0 "$CO_PID" 2>/dev/null || break
+    sleep 0.1
+done
+$CURL -X POST "http://$WB/v1/shutdown" > /dev/null 2>&1 || true
+trap - EXIT
+cleanup
+echo CLUSTER_VERIFIED
