@@ -1,0 +1,278 @@
+//! The regression gate: compare a fresh run against checked-in baselines.
+//!
+//! Entirely in-tree — no python, no external diff tool. A workload
+//! regresses when its fresh median exceeds the baseline median by more
+//! than the baseline's recorded threshold; everything else (torn files,
+//! schema bumps, smoke results, missing baselines, unit changes) is a
+//! typed [`PerfError`], never a silent pass.
+
+use std::path::Path;
+
+use crate::registry::{registry, Selection};
+use crate::result::{BenchResult, PerfError};
+
+/// One workload's baseline-vs-fresh comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline median, microseconds.
+    pub baseline_us: f64,
+    /// Fresh median, microseconds.
+    pub fresh_us: f64,
+    /// `fresh / baseline` (1.0 = unchanged, above 1 = slower).
+    pub ratio: f64,
+    /// Allowed fractional slowdown applied to this row.
+    pub threshold: f64,
+    /// True when `fresh > baseline * (1 + threshold)`.
+    pub regressed: bool,
+}
+
+/// The full comparison across selected workloads.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiffReport {
+    /// Per-workload rows, in fresh-file order (sorted by name).
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Number of regressed rows.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Human-readable table, one row per workload.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>14} {:>14} {:>8} {:>10}  verdict\n",
+            "workload", "baseline (us)", "fresh (us)", "ratio", "threshold"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>14.1} {:>14.1} {:>7.2}x {:>9.2}x  {}\n",
+                r.workload,
+                r.baseline_us,
+                r.fresh_us,
+                r.ratio,
+                1.0 + r.threshold,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        out
+    }
+}
+
+/// Compares one fresh result against its baseline.
+///
+/// The regression threshold comes from the *baseline* file (the checked-in
+/// number is the contract) unless `threshold_override` is given. The
+/// boundary is exclusive: a fresh median exactly at
+/// `baseline * (1 + threshold)` still passes.
+///
+/// # Errors
+///
+/// [`PerfError::SmokeResult`] if either side was recorded in smoke mode
+/// (labelled with the offending side's path via `baseline_path` /
+/// `fresh_path`), [`PerfError::UnitsMismatch`] when the two measure
+/// different units.
+pub fn diff_result(
+    baseline: &BenchResult,
+    fresh: &BenchResult,
+    baseline_path: &Path,
+    fresh_path: &Path,
+    threshold_override: Option<f64>,
+) -> Result<DiffRow, PerfError> {
+    if baseline.smoke {
+        return Err(PerfError::SmokeResult { path: baseline_path.to_path_buf() });
+    }
+    if fresh.smoke {
+        return Err(PerfError::SmokeResult { path: fresh_path.to_path_buf() });
+    }
+    if baseline.units != fresh.units {
+        return Err(PerfError::UnitsMismatch {
+            workload: fresh.workload.clone(),
+            baseline: baseline.units.clone(),
+            fresh: fresh.units.clone(),
+        });
+    }
+    let threshold = threshold_override.unwrap_or(baseline.threshold);
+    let limit = baseline.median_us * (1.0 + threshold);
+    let ratio = if baseline.median_us > 0.0 {
+        fresh.median_us / baseline.median_us
+    } else {
+        f64::INFINITY
+    };
+    Ok(DiffRow {
+        workload: fresh.workload.clone(),
+        baseline_us: baseline.median_us,
+        fresh_us: fresh.median_us,
+        ratio,
+        threshold,
+        regressed: fresh.median_us > limit,
+    })
+}
+
+/// Diffs every `BENCH_*.json` under `fresh_dir` (filtered by `selection`)
+/// against its namesake in `baseline_dir`.
+///
+/// Tag filtering consults the registry; a fresh result whose workload has
+/// left the registry still diffs by name. A selected fresh result without
+/// a baseline is a [`PerfError::MissingBaseline`] — new workloads must
+/// check in a number before they can ride the gate.
+///
+/// # Errors
+///
+/// Any load error from either side, plus everything [`diff_result`]
+/// raises. An empty selection (no fresh results matched) errors too: a
+/// gate that checked nothing must not look green.
+pub fn diff_dirs(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    selection: &Selection,
+    threshold_override: Option<f64>,
+) -> Result<DiffReport, PerfError> {
+    let reg = registry();
+    let mut names: Vec<String> = std::fs::read_dir(fresh_dir)
+        .map_err(|source| PerfError::Io { path: fresh_dir.to_path_buf(), source })?
+        .filter_map(|entry| {
+            let file = entry.ok()?.file_name().into_string().ok()?;
+            let workload = file.strip_prefix("BENCH_")?.strip_suffix(".json")?.to_string();
+            Some(workload)
+        })
+        .filter(|name| {
+            let tags = reg.iter().find(|w| w.name == name).map(|w| w.tags).unwrap_or(&[]);
+            selection.matches_parts(name, tags)
+        })
+        .collect();
+    names.sort_unstable();
+    if names.is_empty() {
+        return Err(PerfError::Malformed {
+            path: fresh_dir.to_path_buf(),
+            detail: "no fresh BENCH_*.json results match the selection".into(),
+        });
+    }
+    let mut rows = Vec::with_capacity(names.len());
+    for name in names {
+        let fresh_path = fresh_dir.join(BenchResult::file_name(&name));
+        let fresh = BenchResult::load(&fresh_path)?;
+        let baseline_path = baseline_dir.join(BenchResult::file_name(&name));
+        if !baseline_path.exists() {
+            return Err(PerfError::MissingBaseline { workload: name, path: baseline_path });
+        }
+        let baseline = BenchResult::load(&baseline_path)?;
+        rows.push(diff_result(&baseline, &fresh, &baseline_path, &fresh_path, threshold_override)?);
+    }
+    Ok(DiffReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(median: f64, threshold: f64) -> BenchResult {
+        BenchResult {
+            workload: "w".into(),
+            units: "us_per_op".into(),
+            threshold,
+            reps: 5,
+            median_us: median,
+            mad_us: 1.0,
+            smoke: false,
+            git_rev: "deadbeef".into(),
+            threads: 4,
+            extra: vec![],
+        }
+    }
+
+    fn row(baseline: &BenchResult, fresh: &BenchResult) -> DiffRow {
+        diff_result(baseline, fresh, Path::new("b.json"), Path::new("f.json"), None)
+            .expect("comparable results")
+    }
+
+    #[test]
+    fn threshold_boundary_is_exclusive() {
+        let baseline = result(100.0, 0.5);
+        // Exactly at the limit: passes.
+        assert!(!row(&baseline, &result(150.0, 0.5)).regressed);
+        // A hair past: regresses.
+        assert!(row(&baseline, &result(150.0 + 1e-9, 0.5)).regressed);
+        // Well under: passes, ratio below 1.
+        let fast = row(&baseline, &result(50.0, 0.5));
+        assert!(!fast.regressed);
+        assert!(fast.ratio < 1.0);
+    }
+
+    #[test]
+    fn threshold_comes_from_the_baseline_unless_overridden() {
+        let baseline = result(100.0, 0.1);
+        let fresh = result(120.0, 9.9); // fresh file's threshold is ignored
+        assert!(row(&baseline, &fresh).regressed);
+        let relaxed =
+            diff_result(&baseline, &fresh, Path::new("b"), Path::new("f"), Some(0.5)).unwrap();
+        assert!(!relaxed.regressed);
+    }
+
+    #[test]
+    fn smoke_results_are_refused_on_either_side() {
+        let mut smoke = result(100.0, 0.5);
+        smoke.smoke = true;
+        let full = result(100.0, 0.5);
+        assert!(matches!(
+            diff_result(&smoke, &full, Path::new("b"), Path::new("f"), None),
+            Err(PerfError::SmokeResult { .. })
+        ));
+        assert!(matches!(
+            diff_result(&full, &smoke, Path::new("b"), Path::new("f"), None),
+            Err(PerfError::SmokeResult { .. })
+        ));
+    }
+
+    #[test]
+    fn units_mismatch_is_an_error() {
+        let baseline = result(100.0, 0.5);
+        let mut fresh = result(100.0, 0.5);
+        fresh.units = "jobs_per_s".into();
+        assert!(matches!(
+            diff_result(&baseline, &fresh, Path::new("b"), Path::new("f"), None),
+            Err(PerfError::UnitsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dir_diff_surfaces_missing_baselines_and_torn_files() {
+        let dir = std::env::temp_dir().join(format!("ilt_perf_diff_{}", std::process::id()));
+        let baselines = dir.join("baselines");
+        let fresh = dir.join("fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+
+        // Fresh result with no baseline: MissingBaseline.
+        result(100.0, 0.5).write(&fresh).unwrap();
+        assert!(matches!(
+            diff_dirs(&baselines, &fresh, &Selection::all(), None),
+            Err(PerfError::MissingBaseline { .. })
+        ));
+
+        // Torn baseline: Malformed, not a pass.
+        let json = result(100.0, 0.5).to_json();
+        std::fs::write(baselines.join("BENCH_w.json"), &json[..json.len() / 3]).unwrap();
+        assert!(matches!(
+            diff_dirs(&baselines, &fresh, &Selection::all(), None),
+            Err(PerfError::Malformed { .. })
+        ));
+
+        // Intact baseline: one clean row.
+        result(100.0, 0.5).write(&baselines).unwrap();
+        let report = diff_dirs(&baselines, &fresh, &Selection::all(), None).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.regressions(), 0);
+        assert!(report.render().contains("ok"));
+
+        // Empty selection must not look green.
+        let none = Selection { tags: vec![], names: vec!["nomatch_*".into()] };
+        assert!(diff_dirs(&baselines, &fresh, &none, None).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ilt-perf — the performance barometer for the ILT stack
+//!
+//! Rebar-style perf coverage (`BurntSushi/rebar`, METHODOLOGY.md): many
+//! small, easy-to-add workloads spanning **every** performance-critical
+//! layer, because speeding up one path routinely slows another. The crate
+//! is hermetic and std-only — it runs on the same disconnected machines as
+//! tier-1 and needs no Criterion, no python, no registry crates.
+//!
+//! Three pieces:
+//!
+//! - **Registry** ([`registry`]): a flat list of [`Workload`]s — name,
+//!   tags, units, regression threshold, and a run function. Six families
+//!   ship in-tree: FFT variants, simulator aerial/vjp, autodiff backward,
+//!   the tiled runtime pipeline, HTTP server throughput (keep-alive +
+//!   cancellation mixed in, over the shared `ilt_server::harness`
+//!   loopback client), and cluster shard dispatch/assembly.
+//! - **Measurement engine** ([`measure`]): one untimed warmup, then
+//!   median-of-N wall times with MAD dispersion, stamped with the
+//!   environment (git revision, hardware thread count) so a checked-in
+//!   number can be traced to the machine that produced it.
+//! - **Schema + diff** ([`result`], [`diff`]): every run writes one
+//!   `BENCH_<workload>.json` in the `ilt-bench/v2` schema; [`diff`]
+//!   compares a fresh run against checked-in baselines entirely in-tree
+//!   and reports a regression when a fresh median exceeds the baseline by
+//!   more than the workload's threshold.
+//!
+//! The CLI front end is `ilt bench list|run|diff`; `verify_perf.sh` and
+//! `verify_bench.sh` wire it into the standing regression gate.
+//!
+//! ## Adding a workload (~20 lines)
+//!
+//! Write a `fn my_workload(cfg: &MeasureConfig) -> Result<Sample, PerfError>`
+//! in the right `workloads` family module that builds its fixture (sized
+//! down when `cfg.smoke` is set), calls [`measure::measure`] around the
+//! hot operation, and returns the sample with any extra scalars attached.
+//! Then append one [`Workload`] literal to [`registry::registry`] and
+//! check in a baseline with `ilt bench run --name my_workload --out .`.
+//! The smoke test in `tests/smoke.rs` picks it up automatically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod measure;
+pub mod registry;
+pub mod result;
+pub mod workloads;
+
+pub use diff::{diff_dirs, diff_result, DiffReport, DiffRow};
+pub use measure::{env_stamp, injected_delay, measure, EnvStamp, MeasureConfig, Sample};
+pub use registry::{glob_match, registry, select, Selection, Workload};
+pub use result::{BenchResult, PerfError, SCHEMA_V2};

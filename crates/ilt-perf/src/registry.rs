@@ -1,0 +1,211 @@
+//! The workload registry: every benchmark the barometer knows, as data.
+//!
+//! A [`Workload`] is one named, tagged measurement with its own regression
+//! threshold; [`registry`] returns the full list and [`select`] filters it
+//! by tag and name glob — the shapes `ilt bench run --tag fft` and
+//! `ilt bench run --name 'sim_*'` need.
+
+use crate::measure::{MeasureConfig, Sample};
+use crate::result::PerfError;
+use crate::workloads;
+
+/// One benchmark in the registry.
+pub struct Workload {
+    /// Unique registry name; also names the baseline file
+    /// (`BENCH_<name>.json`).
+    pub name: &'static str,
+    /// Family tags for `--tag` selection (`fft`, `simulator`, …).
+    pub tags: &'static [&'static str],
+    /// What one operation is; diff refuses to compare mismatched units.
+    pub units: &'static str,
+    /// Allowed fractional slowdown vs. the checked-in baseline before
+    /// `diff` reports a regression (0.5 = fail past 1.5x). Noisier
+    /// workloads (socket round trips, thread pools) get wider thresholds.
+    pub threshold: f64,
+    /// One-line description for `ilt bench list`.
+    pub notes: &'static str,
+    /// Runs the workload: builds fixtures (sized down in smoke mode),
+    /// measures the hot operation, self-checks where a reference path
+    /// exists, and returns the sample.
+    pub run: fn(&MeasureConfig) -> Result<Sample, PerfError>,
+}
+
+/// Every workload the barometer ships, covering each layer of the stack.
+pub fn registry() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fft_dense_inverse",
+            tags: &["fft"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "dense pad-then-invert of a PxP kernel spectrum at N=1024 (the slow reference path)",
+            run: workloads::fft::dense_inverse,
+        },
+        Workload {
+            name: "fft_pruned_inverse",
+            tags: &["fft"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "pruned padded inverse (inverse_padded_with) at N=1024, P=25; carries the injected-delay hook",
+            run: workloads::fft::pruned_inverse,
+        },
+        Workload {
+            name: "fft_real_forward",
+            tags: &["fft"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "Hermitian real-input forward (forward_real_with) at N=1024",
+            run: workloads::fft::real_forward,
+        },
+        Workload {
+            name: "sim_aerial",
+            tags: &["simulator"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "one aerial image (SOCS sum over 10 kernels) of ICCAD case 1 at grid 512",
+            run: workloads::simulator::aerial,
+        },
+        Workload {
+            name: "sim_vjp",
+            tags: &["simulator"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "one aerial vector-Jacobian product (the backward hot path) at grid 512",
+            run: workloads::simulator::vjp,
+        },
+        Workload {
+            name: "autodiff_backward",
+            tags: &["autodiff"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "reverse sweep of the full ILT pipeline graph (pool-sigmoid-Hopkins-resist-loss) at grid 256",
+            run: workloads::autodiff::backward,
+        },
+        Workload {
+            name: "runtime_tile_pipeline",
+            tags: &["runtime"],
+            units: "us_per_op",
+            threshold: 0.8,
+            notes: "tiled batch end-to-end via run_batch: 256 px via clip, 9 tiles, 2 worker threads",
+            run: workloads::runtime::tile_pipeline,
+        },
+        Workload {
+            name: "server_jobs",
+            tags: &["server"],
+            units: "us_per_op",
+            threshold: 1.0,
+            notes: "loopback HTTP: submit+poll 3 jobs on one keep-alive connection with a cancellation mixed in",
+            run: workloads::server::jobs,
+        },
+        Workload {
+            name: "cluster_shard",
+            tags: &["cluster"],
+            units: "us_per_op",
+            threshold: 1.0,
+            notes: "coordinator shard dispatch + reassembly of a 9-tile job across 2 loopback workers",
+            run: workloads::cluster::shard_roundtrip,
+        },
+    ]
+}
+
+/// Matches `name` against a glob with `*` wildcards (no other metachars —
+/// registry names are flat identifiers).
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn rec(p: &[u8], n: &[u8]) -> bool {
+        match (p.first(), n.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => rec(&p[1..], n) || (!n.is_empty() && rec(p, &n[1..])),
+            (Some(pc), Some(nc)) if pc == nc => rec(&p[1..], &n[1..]),
+            _ => false,
+        }
+    }
+    rec(pattern.as_bytes(), name.as_bytes())
+}
+
+/// A tag/name filter over the registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Selection {
+    /// Keep workloads carrying any of these tags (empty = all tags).
+    pub tags: Vec<String>,
+    /// Keep workloads whose name matches any of these globs (empty = all).
+    pub names: Vec<String>,
+}
+
+impl Selection {
+    /// The match-everything selection.
+    pub fn all() -> Selection {
+        Selection::default()
+    }
+
+    /// True when the selection has no constraints.
+    pub fn is_all(&self) -> bool {
+        self.tags.is_empty() && self.names.is_empty()
+    }
+
+    /// Does `w` pass both filters?
+    pub fn matches(&self, w: &Workload) -> bool {
+        self.matches_parts(w.name, w.tags)
+    }
+
+    /// [`Selection::matches`] on raw name/tags (for results whose workload
+    /// is no longer in the registry).
+    pub fn matches_parts(&self, name: &str, tags: &[&str]) -> bool {
+        let tag_ok = self.tags.is_empty() || tags.iter().any(|t| self.tags.iter().any(|q| q == t));
+        let name_ok =
+            self.names.is_empty() || self.names.iter().any(|g| glob_match(g, name));
+        tag_ok && name_ok
+    }
+}
+
+/// Filters the full registry through `selection`.
+pub fn select(selection: &Selection) -> Vec<Workload> {
+    registry().into_iter().filter(|w| selection.matches(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_cover_every_layer() {
+        let all = registry();
+        let mut names: Vec<_> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate workload names");
+        for family in ["fft", "simulator", "autodiff", "runtime", "server", "cluster"] {
+            assert!(
+                all.iter().any(|w| w.tags.contains(&family)),
+                "no workload tagged {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("fft_*", "fft_pruned_inverse"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("sim_aerial", "sim_aerial"));
+        assert!(glob_match("*_inverse", "fft_dense_inverse"));
+        assert!(!glob_match("fft_*", "sim_aerial"));
+        assert!(!glob_match("fft", "fft_real_forward"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("**", "x"));
+    }
+
+    #[test]
+    fn selection_filters_by_tag_and_name() {
+        let fft = select(&Selection { tags: vec!["fft".into()], names: vec![] });
+        assert_eq!(fft.len(), 3);
+        let one = select(&Selection { tags: vec![], names: vec!["sim_*".into()] });
+        assert_eq!(one.len(), 2);
+        let both = select(&Selection {
+            tags: vec!["fft".into()],
+            names: vec!["*_forward".into()],
+        });
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].name, "fft_real_forward");
+        assert_eq!(select(&Selection::all()).len(), registry().len());
+    }
+}

@@ -1,0 +1,575 @@
+//! The `ilt-bench/v2` result schema: one JSON document per workload,
+//! hand-rolled both ways (hermetic — no serde), with typed load errors so
+//! the diff gate can tell a torn baseline from a schema bump from a
+//! genuine regression.
+
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::measure::{EnvStamp, MeasureConfig, Sample};
+use crate::registry::Workload;
+
+/// Schema identifier written to and required from every v2 result file.
+pub const SCHEMA_V2: &str = "ilt-bench/v2";
+
+/// Everything `ilt bench diff` can get wrong while loading or comparing
+/// results, as a typed error (not a silent pass, not a panic).
+#[derive(Debug)]
+pub enum PerfError {
+    /// A result file could not be read or written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A result file exists but is not a well-formed v2 document (torn
+    /// write, truncation, hand-edit gone wrong…).
+    Malformed {
+        /// The file involved.
+        path: PathBuf,
+        /// What the parser objected to.
+        detail: String,
+    },
+    /// A result file declares a schema other than [`SCHEMA_V2`].
+    SchemaMismatch {
+        /// The file involved.
+        path: PathBuf,
+        /// The schema string the file declares.
+        found: String,
+    },
+    /// A result recorded in smoke mode reached the diff gate; smoke
+    /// numbers come from tiny fixtures and must never gate anything.
+    SmokeResult {
+        /// The file involved.
+        path: PathBuf,
+    },
+    /// A fresh result has no checked-in baseline to compare against.
+    MissingBaseline {
+        /// The workload lacking a baseline.
+        workload: String,
+        /// Where the baseline was expected.
+        path: PathBuf,
+    },
+    /// Baseline and fresh results measure different units — the numbers
+    /// are not comparable.
+    UnitsMismatch {
+        /// The workload involved.
+        workload: String,
+        /// Units recorded in the baseline.
+        baseline: String,
+        /// Units recorded in the fresh result.
+        fresh: String,
+    },
+    /// A workload's own setup or self-check failed (e.g. a fast path
+    /// diverged from its reference output).
+    Workload {
+        /// The workload that failed.
+        workload: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl PerfError {
+    /// Shorthand for a [`PerfError::Workload`].
+    pub fn workload(name: &str, detail: impl Into<String>) -> PerfError {
+        PerfError::Workload { workload: name.to_string(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            PerfError::Malformed { path, detail } => {
+                write!(f, "{}: malformed bench result: {detail}", path.display())
+            }
+            PerfError::SchemaMismatch { path, found } => write!(
+                f,
+                "{}: schema {found:?} is not {SCHEMA_V2:?} — regenerate with `ilt bench run`",
+                path.display()
+            ),
+            PerfError::SmokeResult { path } => write!(
+                f,
+                "{}: recorded in smoke mode; smoke numbers never gate — rerun without --smoke",
+                path.display()
+            ),
+            PerfError::MissingBaseline { workload, path } => write!(
+                f,
+                "{workload}: no baseline at {} — check one in with `ilt bench run --name {workload} --out <baseline dir>`",
+                path.display()
+            ),
+            PerfError::UnitsMismatch { workload, baseline, fresh } => write!(
+                f,
+                "{workload}: baseline measures {baseline:?} but fresh run measures {fresh:?}"
+            ),
+            PerfError::Workload { workload, detail } => {
+                write!(f, "workload {workload}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for PerfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PerfError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One workload's measurement in the `ilt-bench/v2` schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Registry name of the workload.
+    pub workload: String,
+    /// What one operation is (informational; must match to diff).
+    pub units: String,
+    /// Allowed fractional slowdown vs. this result when it serves as the
+    /// baseline (0.5 = fail past 1.5x).
+    pub threshold: f64,
+    /// Timed reps behind the median.
+    pub reps: usize,
+    /// Median wall time per operation, microseconds.
+    pub median_us: f64,
+    /// Median absolute deviation of the rep times, microseconds.
+    pub mad_us: f64,
+    /// True when measured in smoke mode (tiny fixtures, 1 rep).
+    pub smoke: bool,
+    /// Git revision of the tree that produced the number.
+    pub git_rev: String,
+    /// Hardware threads on the measuring machine.
+    pub threads: usize,
+    /// Workload-specific scalars (grid sizes, tile counts, speedups…).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchResult {
+    /// Assembles a result from a workload's sample and the environment.
+    pub fn new(w: &Workload, sample: &Sample, cfg: &MeasureConfig, env: &EnvStamp) -> BenchResult {
+        BenchResult {
+            workload: w.name.to_string(),
+            units: w.units.to_string(),
+            threshold: w.threshold,
+            reps: sample.reps,
+            median_us: sample.median_us,
+            mad_us: sample.mad_us,
+            smoke: cfg.smoke,
+            git_rev: env.git_rev.clone(),
+            threads: env.threads,
+            extra: sample.extra.clone(),
+        }
+    }
+
+    /// Canonical file name for a workload's result: `BENCH_<name>.json`.
+    pub fn file_name(workload: &str) -> String {
+        format!("BENCH_{workload}.json")
+    }
+
+    /// Serializes to the v2 JSON document (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut extra = String::new();
+        for (i, (k, v)) in self.extra.iter().enumerate() {
+            if i > 0 {
+                extra.push_str(", ");
+            }
+            extra.push_str(&format!("\"{}\": {}", json_escape(k), json_num(*v)));
+        }
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA_V2}\",\n  \"workload\": \"{}\",\n  \"units\": \"{}\",\n  \
+             \"threshold\": {},\n  \"reps\": {},\n  \"median_us\": {},\n  \"mad_us\": {},\n  \
+             \"smoke\": {},\n  \"git_rev\": \"{}\",\n  \"threads\": {},\n  \"extra\": {{{extra}}}\n}}\n",
+            json_escape(&self.workload),
+            json_escape(&self.units),
+            json_num(self.threshold),
+            self.reps,
+            json_num(self.median_us),
+            json_num(self.mad_us),
+            self.smoke,
+            json_escape(&self.git_rev),
+            self.threads,
+        )
+    }
+
+    /// Parses a v2 JSON document. `path` is only used to label errors.
+    pub fn from_json(text: &str, path: &Path) -> Result<BenchResult, PerfError> {
+        let doc = JsonDoc::parse(text).map_err(|detail| PerfError::Malformed {
+            path: path.to_path_buf(),
+            detail,
+        })?;
+        let field = |key: &str| {
+            doc.get(key).ok_or_else(|| PerfError::Malformed {
+                path: path.to_path_buf(),
+                detail: format!("missing field {key:?}"),
+            })
+        };
+        let str_field = |key: &str| {
+            field(key).and_then(|v| {
+                v.as_str().ok_or_else(|| PerfError::Malformed {
+                    path: path.to_path_buf(),
+                    detail: format!("field {key:?} is not a string"),
+                })
+            })
+        };
+        let num_field = |key: &str| {
+            field(key).and_then(|v| {
+                v.as_num().ok_or_else(|| PerfError::Malformed {
+                    path: path.to_path_buf(),
+                    detail: format!("field {key:?} is not a number"),
+                })
+            })
+        };
+        let schema = str_field("schema")?;
+        if schema != SCHEMA_V2 {
+            return Err(PerfError::SchemaMismatch { path: path.to_path_buf(), found: schema });
+        }
+        let smoke = match field("smoke")? {
+            JsonValue::Bool(b) => *b,
+            _ => {
+                return Err(PerfError::Malformed {
+                    path: path.to_path_buf(),
+                    detail: "field \"smoke\" is not a boolean".into(),
+                })
+            }
+        };
+        let extra = match field("extra")? {
+            JsonValue::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_num().map(|n| (k.clone(), n)).ok_or_else(|| PerfError::Malformed {
+                        path: path.to_path_buf(),
+                        detail: format!("extra field {k:?} is not a number"),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(PerfError::Malformed {
+                    path: path.to_path_buf(),
+                    detail: "field \"extra\" is not an object".into(),
+                })
+            }
+        };
+        Ok(BenchResult {
+            workload: str_field("workload")?,
+            units: str_field("units")?,
+            threshold: num_field("threshold")?,
+            reps: num_field("reps")? as usize,
+            median_us: num_field("median_us")?,
+            mad_us: num_field("mad_us")?,
+            smoke,
+            git_rev: str_field("git_rev")?,
+            threads: num_field("threads")? as usize,
+            extra,
+        })
+    }
+
+    /// Loads `BENCH_<workload>.json` content from `path`.
+    pub fn load(path: &Path) -> Result<BenchResult, PerfError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|source| PerfError::Io { path: path.to_path_buf(), source })?;
+        BenchResult::from_json(&text, path)
+    }
+
+    /// Writes this result to `dir/BENCH_<workload>.json`.
+    pub fn write(&self, dir: &Path) -> Result<PathBuf, PerfError> {
+        let path = dir.join(BenchResult::file_name(&self.workload));
+        std::fs::write(&path, self.to_json())
+            .map_err(|source| PerfError::Io { path: path.clone(), source })?;
+        Ok(path)
+    }
+}
+
+/// Formats a float without trailing noise: integers stay integral, the
+/// rest keep three decimals (microsecond resolution is below timer noise).
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".into(); // defensively mapped, like the journal does
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value — just the shapes the v2 schema uses.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<String> {
+        match self {
+            JsonValue::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A whitespace-tolerant recursive-descent parser for one JSON object.
+/// Small by design: strings, numbers, booleans, and nested objects cover
+/// the whole v2 schema; anything else is a malformed document.
+struct JsonDoc {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonDoc {
+    fn parse(text: &str) -> Result<JsonDoc, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        match value {
+            JsonValue::Object(fields) => Ok(JsonDoc { fields }),
+            _ => Err("top level is not an object".into()),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of document".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!("expected {:?} at byte {}", b as char, self.pos));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' | b'f' => self.boolean(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = match self.peek()? {
+                b'"' => self.string()?,
+                _ => return Err(format!("expected a key string at byte {}", self.pos)),
+            };
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(JsonValue::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(JsonValue::Bool(false))
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        raw.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("bad number {raw:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> BenchResult {
+        BenchResult {
+            workload: "fft_pruned_inverse".into(),
+            units: "us_per_op".into(),
+            threshold: 0.5,
+            reps: 5,
+            median_us: 11430.926,
+            mad_us: 52.0,
+            smoke: false,
+            git_rev: "abc123def456".into(),
+            threads: 8,
+            extra: vec![("n".into(), 1024.0), ("p".into(), 25.0)],
+        }
+    }
+
+    #[test]
+    fn v2_round_trips() {
+        let r = sample_result();
+        let json = r.to_json();
+        let back = BenchResult::from_json(&json, Path::new("x.json")).expect("parse");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn torn_document_is_a_typed_malformed_error() {
+        let r = sample_result();
+        let json = r.to_json();
+        let torn = &json[..json.len() / 2];
+        match BenchResult::from_json(torn, Path::new("torn.json")) {
+            Err(PerfError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_schema_is_surfaced_not_silently_passed() {
+        let v1 = r#"{"schema": "ilt-bench-fft/v1", "p": 25, "reps": 5, "extra": {}}"#;
+        match BenchResult::from_json(v1, Path::new("BENCH_fft.json")) {
+            Err(PerfError::SchemaMismatch { found, .. }) => {
+                assert_eq!(found, "ilt-bench-fft/v1");
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_and_non_objects_are_malformed() {
+        for bad in ["", "[1,2]", "nonsense", "{\"a\": }", "{\"a\": 1} trailing"] {
+            assert!(
+                matches!(
+                    BenchResult::from_json(bad, Path::new("bad.json")),
+                    Err(PerfError::Malformed { .. })
+                ),
+                "{bad:?} should be malformed"
+            );
+        }
+    }
+}

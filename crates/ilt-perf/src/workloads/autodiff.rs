@@ -1,0 +1,54 @@
+//! Autodiff workload: the reverse sweep through the full ILT forward
+//! pipeline graph — smoothing pool, sigmoid binarization, Hopkins imaging,
+//! sigmoid resist, and the L2 loss — the per-iteration gradient cost.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use ilt_autodiff::Graph;
+use ilt_field::Field2D;
+use ilt_layouts::iccad2013_case;
+use ilt_optics::{LithoSimulator, OpticsConfig};
+
+use crate::measure::{measure, MeasureConfig, Sample};
+use crate::result::PerfError;
+
+/// One backward sweep over the pipeline graph. The graph is built once in
+/// setup; `Graph::backward` is pure per call, so reps time exactly the
+/// reverse traversal (the thing each gradient iteration pays).
+pub fn backward(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (grid, kernels) = if cfg.smoke { (32, 3) } else { (256, 6) };
+    let layout = iccad2013_case(1);
+    let target = layout.rasterize(grid);
+    let optics = OpticsConfig {
+        grid,
+        nm_per_px: layout.nm_per_px(grid),
+        num_kernels: kernels,
+        ..OpticsConfig::default()
+    };
+    let sim =
+        Arc::new(LithoSimulator::new(optics).map_err(|e| PerfError::workload("autodiff_backward", e))?);
+
+    // A smooth, non-binary initial mask so every node sees generic values.
+    let mask = Field2D::from_fn(grid, grid, |r, c| {
+        0.5 + 0.35 * ((r as f64 * 0.7).sin() * (c as f64 * 0.45 + 0.2).cos())
+    });
+
+    let mut g = Graph::new(sim);
+    let m_raw = g.leaf(mask);
+    let smoothed = g.avg_pool_same(m_raw, 3);
+    let m = g.sigmoid(smoothed, 4.0, 0.5);
+    let i_out = g.hopkins(m, false);
+    let z_out = g.resist_sigmoid(i_out, 50.0, 1.0, 0.225);
+    let t = g.leaf(target);
+    let loss = g.sq_diff_sum(z_out, t);
+
+    let sample = measure(cfg, || {
+        let grads = g.backward(loss);
+        black_box(grads.wrt(m_raw).is_some());
+    });
+    Ok(sample
+        .with_extra("grid", grid as f64)
+        .with_extra("kernels", kernels as f64)
+        .with_extra("nodes", g.len() as f64))
+}

@@ -1,0 +1,205 @@
+//! FFT workloads: the per-iteration spectral hot paths of the simulator.
+//!
+//! Three variants — the dense pad-then-invert reference, the pruned padded
+//! inverse that replaced it, and the Hermitian real-input forward. The
+//! fast paths cross-check against their references once per run, so a
+//! kernel change that breaks numerics fails the bench before it can post
+//! a "speedup". This module also hosts [`run_v1`], the deprecated
+//! `ilt bench-fft` alias that still emits the `ilt-bench-fft/v1` schema.
+
+use ilt_fft::{pad_centered_into, Complex64, Fft2d, Fft2dScratch};
+use ilt_layouts::Xorshift64Star;
+
+use crate::measure::{injected_delay, measure, MeasureConfig, Sample};
+use crate::result::PerfError;
+
+use super::noise;
+
+/// Grid and kernel-support sizes: the full-chip serving grid in full mode,
+/// a tiny transform in smoke mode.
+fn sizes(cfg: &MeasureConfig) -> (usize, usize) {
+    if cfg.smoke {
+        (64, 5)
+    } else {
+        (1024, 25)
+    }
+}
+
+/// A deterministic `p x p` kernel spectrum.
+fn random_spec(p: usize) -> Vec<Complex64> {
+    let mut rng = Xorshift64Star::new(0x5EED_F00D);
+    (0..p * p).map(|_| Complex64::new(noise(&mut rng), noise(&mut rng))).collect()
+}
+
+/// A deterministic real mask image of side `n`.
+fn random_image(n: usize) -> Vec<f64> {
+    let mut rng = Xorshift64Star::new(0xCAFE_D00D);
+    (0..n * n).map(|_| noise(&mut rng)).collect()
+}
+
+/// Fails unless `got` matches `want` to 1e-12 relative to the largest
+/// reference magnitude (floored at 1, so small-amplitude outputs are held
+/// to 1e-12 absolute). Unnormalized forward spectra grow like O(N), so a
+/// purely absolute bound would get tighter than f64 rounding at large N.
+fn check_agreement(
+    got: &[Complex64],
+    want: &[Complex64],
+    workload: &str,
+    want_name: &str,
+    n: usize,
+) -> Result<(), PerfError> {
+    let scale = want.iter().map(|z| z.abs()).fold(1.0, f64::max);
+    let worst = got.iter().zip(want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+    if worst > 1e-12 * scale {
+        return Err(PerfError::workload(
+            workload,
+            format!("diverged from {want_name} at N={n}: |diff| {worst:e} vs scale {scale:e}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Dense pad + inverse of a `P x P` kernel spectrum: the per-kernel cost
+/// of every simulator iteration before the pruned path existed. Kept as a
+/// workload so the pruned path's advantage stays an *observed* number.
+pub fn dense_inverse(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (n, p) = sizes(cfg);
+    let fft = Fft2d::new(n, n);
+    let mut scratch = Fft2dScratch::new();
+    let spec = random_spec(p);
+    let mut buf = vec![Complex64::ZERO; n * n];
+    let sample = measure(cfg, || {
+        pad_centered_into(&spec, p, &mut buf, n);
+        fft.inverse_with(&mut buf, &mut scratch);
+    });
+    Ok(sample.with_extra("n", n as f64).with_extra("p", p as f64))
+}
+
+/// The pruned padded inverse ([`Fft2d::inverse_padded_with`]) — the path
+/// every simulator iteration actually runs. Cross-checked against the
+/// dense reference; carries the `ILT_BENCH_DELAY_US` injection hook the
+/// verify scripts use to prove the diff gate trips.
+pub fn pruned_inverse(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (n, p) = sizes(cfg);
+    let fft = Fft2d::new(n, n);
+    let mut scratch = Fft2dScratch::new();
+    let spec = random_spec(p);
+
+    let mut reference = vec![Complex64::ZERO; n * n];
+    pad_centered_into(&spec, p, &mut reference, n);
+    fft.inverse_with(&mut reference, &mut scratch);
+
+    let mut buf = vec![Complex64::ZERO; n * n];
+    let sample = measure(cfg, || {
+        fft.inverse_padded_with(&spec, p, &mut buf, &mut scratch);
+        injected_delay();
+    });
+    check_agreement(&buf, &reference, "fft_pruned_inverse", "dense inverse", n)?;
+    Ok(sample.with_extra("n", n as f64).with_extra("p", p as f64))
+}
+
+/// The Hermitian real-input forward ([`Fft2d::forward_real_with`]) that
+/// opens every iteration, cross-checked against the complex forward.
+pub fn real_forward(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (n, _) = sizes(cfg);
+    let fft = Fft2d::new(n, n);
+    let mut scratch = Fft2dScratch::new();
+    let img = random_image(n);
+
+    let mut reference = vec![Complex64::ZERO; n * n];
+    for (z, &x) in reference.iter_mut().zip(&img) {
+        *z = Complex64::from_real(x);
+    }
+    fft.forward_with(&mut reference, &mut scratch);
+
+    let mut out = vec![Complex64::ZERO; n * n];
+    let sample = measure(cfg, || {
+        fft.forward_real_with(&img, &mut out, &mut scratch);
+    });
+    check_agreement(&out, &reference, "fft_real_forward", "complex forward", n)?;
+    Ok(sample.with_extra("n", n as f64))
+}
+
+/// The deprecated `ilt bench-fft` flow: dense vs pruned inverse and
+/// complex vs real forward at N in {256, 512, 1024, 2048}, cross-checked,
+/// printed as a table, and written in the **v1** schema
+/// (`ilt-bench-fft/v1`) for consumers that still parse it. New tooling
+/// should run the registry (`ilt bench run --tag fft`) instead; this alias
+/// is kept for one release.
+pub fn run_v1(reps: usize, p: usize, path: &str) -> Result<(), PerfError> {
+    if p == 0 {
+        return Err(PerfError::workload("bench-fft", "--p must be at least 1"));
+    }
+    let cfg = MeasureConfig { smoke: false, reps: reps.max(1) };
+    let sizes = [256usize, 512, 1024, 2048];
+    let spec = random_spec(p);
+
+    println!("bench-fft: P = {p}, median of {} rep(s) per path", cfg.reps);
+    println!(
+        "{:>6} {:>16} {:>16} {:>9} {:>16} {:>16} {:>9}",
+        "N", "dense inv (us)", "pruned inv (us)", "speedup", "cplx fwd (us)", "real fwd (us)", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for n in sizes {
+        if p > n {
+            return Err(PerfError::workload(
+                "bench-fft",
+                format!("--p {p} exceeds benchmark size {n}"),
+            ));
+        }
+        let fft = Fft2d::new(n, n);
+        let mut scratch = Fft2dScratch::new();
+        let img = random_image(n);
+        let mut buf = vec![Complex64::ZERO; n * n];
+
+        let dense_inv = measure(&cfg, || {
+            pad_centered_into(&spec, p, &mut buf, n);
+            fft.inverse_with(&mut buf, &mut scratch);
+        })
+        .median_us;
+        let dense_out = buf.clone();
+        let pruned_inv = measure(&cfg, || {
+            fft.inverse_padded_with(&spec, p, &mut buf, &mut scratch);
+        })
+        .median_us;
+        check_agreement(&buf, &dense_out, "bench-fft", "dense inverse", n)?;
+
+        let fwd_complex = measure(&cfg, || {
+            for (z, &x) in buf.iter_mut().zip(&img) {
+                *z = Complex64::from_real(x);
+            }
+            fft.forward_with(&mut buf, &mut scratch);
+        })
+        .median_us;
+        let complex_out = buf.clone();
+        let mut real_out = vec![Complex64::ZERO; n * n];
+        let fwd_real = measure(&cfg, || {
+            fft.forward_real_with(&img, &mut real_out, &mut scratch);
+        })
+        .median_us;
+        check_agreement(&real_out, &complex_out, "bench-fft", "complex forward", n)?;
+
+        let inv_speedup = dense_inv / pruned_inv;
+        let fwd_speedup = fwd_complex / fwd_real;
+        println!(
+            "{n:>6} {dense_inv:>16.1} {pruned_inv:>16.1} {inv_speedup:>8.2}x {fwd_complex:>16.1} {fwd_real:>16.1} {fwd_speedup:>8.2}x"
+        );
+        rows.push(format!(
+            "    {{\"n\": {n}, \"dense_pad_inverse_us\": {dense_inv:.3}, \
+             \"pruned_inverse_us\": {pruned_inv:.3}, \"pruned_speedup\": {inv_speedup:.3}, \
+             \"forward_complex_us\": {fwd_complex:.3}, \"forward_real_us\": {fwd_real:.3}, \
+             \"real_speedup\": {fwd_speedup:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"ilt-bench-fft/v1\",\n  \"p\": {p},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cfg.reps,
+        rows.join(",\n")
+    );
+    std::fs::write(path, json)
+        .map_err(|source| PerfError::Io { path: path.into(), source })?;
+    println!("wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Server workload: loopback HTTP throughput over one keep-alive
+//! connection — submit, poll-to-done, and a cancellation mixed in, the
+//! request mix a production client actually produces.
+//!
+//! Drives the same `ilt_server::harness` client the integration suites
+//! use (promoted out of `tests/util` precisely so this workload would not
+//! duplicate it).
+
+use std::net::SocketAddr;
+
+use ilt_server::harness::{self, Conn};
+use ilt_server::ServerConfig;
+
+use crate::measure::{measure, MeasureConfig, Sample};
+use crate::result::PerfError;
+
+const NAME: &str = "server_jobs";
+
+/// Parses the job id out of a `Location: /v1/jobs/{id}` header.
+fn job_id(reply: &harness::Reply) -> Result<usize, String> {
+    let loc = reply.header("location").ok_or("submit reply lacks a Location header")?;
+    loc.rsplit('/').next().and_then(|s| s.parse().ok()).ok_or(format!("bad Location {loc}"))
+}
+
+/// One rep: submit `jobs` fast jobs on a single persistent connection,
+/// poll each to `done` on that same connection, then submit one more and
+/// cancel it. Exercises admission, the worker pool, keep-alive framing,
+/// progress polling, and the cancellation path together.
+fn rep(addr: SocketAddr, jobs: usize, pgm: &[u8]) -> Result<(), String> {
+    let mut conn = Conn::open(addr);
+    let mut ids = Vec::with_capacity(jobs);
+    for _ in 0..jobs {
+        let reply = conn
+            .request("POST", &format!("/v1/jobs?{}", harness::FAST_JOB), pgm)
+            .map_err(|e| format!("submit: {e}"))?;
+        if reply.status != 202 {
+            return Err(format!("submit answered {}: {}", reply.status, reply.text()));
+        }
+        ids.push(job_id(&reply)?);
+    }
+    for id in ids {
+        loop {
+            let reply = conn
+                .request("GET", &format!("/v1/jobs/{id}"), b"")
+                .map_err(|e| format!("poll: {e}"))?;
+            if reply.status != 200 {
+                return Err(format!("poll answered {}: {}", reply.status, reply.text()));
+            }
+            let text = reply.text();
+            if text.contains("\"state\":\"done\"") {
+                break;
+            }
+            if text.contains("\"state\":\"failed\"") || text.contains("\"state\":\"cancelled\"") {
+                return Err(format!("job {id} terminal without done: {text}"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    // Cancellation mixed into the steady flow: submit and delete. The job
+    // may already be running — either a 202 (cancelled) or a 409 (raced to
+    // terminal) is a correct server answer; anything else is a bug.
+    let reply = conn
+        .request("POST", &format!("/v1/jobs?{}", harness::FAST_JOB), pgm)
+        .map_err(|e| format!("cancel submit: {e}"))?;
+    if reply.status != 202 {
+        return Err(format!("cancel submit answered {}", reply.status));
+    }
+    let id = job_id(&reply)?;
+    let reply = conn
+        .request("DELETE", &format!("/v1/jobs/{id}"), b"")
+        .map_err(|e| format!("cancel: {e}"))?;
+    if reply.status != 202 && reply.status != 409 {
+        return Err(format!("cancel answered {}: {}", reply.status, reply.text()));
+    }
+    Ok(())
+}
+
+/// The server throughput/latency workload. One op = one [`rep`].
+pub fn jobs(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let jobs_per_rep = if cfg.smoke { 1 } else { 3 };
+    let workers = 2;
+    let (addr, handle) = harness::start(ServerConfig {
+        workers,
+        queue_cap: 64,
+        // Polling drives many requests down one connection; the cap is a
+        // production guard, not something this workload measures.
+        keep_alive_requests: 100_000,
+        ..ServerConfig::default()
+    });
+    let pgm = harness::tiny_pgm();
+
+    let mut failure: Option<String> = None;
+    let sample = measure(cfg, || {
+        if failure.is_some() {
+            return;
+        }
+        if let Err(e) = rep(addr, jobs_per_rep, &pgm) {
+            failure = Some(e);
+        }
+    });
+    harness::shutdown(addr, handle);
+    if let Some(detail) = failure {
+        return Err(PerfError::workload(NAME, detail));
+    }
+    Ok(sample
+        .with_extra("jobs_per_op", jobs_per_rep as f64)
+        .with_extra("workers", workers as f64))
+}

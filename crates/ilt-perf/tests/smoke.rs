@@ -1,0 +1,129 @@
+//! Tier-1 smoke leg for the performance barometer: every registry
+//! workload's setup path must compile and run on a plain `cargo test -q`.
+//!
+//! Runs the full registry in smoke mode (1 rep, tiny fixtures) in-process,
+//! then round-trips each result through the on-disk v2 schema. A workload
+//! whose fixtures break, whose self-check diverges, or whose JSON stops
+//! parsing fails here — long before a nightly `ilt bench run` would see it.
+
+use std::path::Path;
+
+use ilt_perf::{registry, BenchResult, EnvStamp, MeasureConfig, PerfError, Selection, SCHEMA_V2};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ilt_perf_smoke_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn every_workload_runs_in_smoke_mode_and_round_trips() {
+    let cfg = MeasureConfig { smoke: true, reps: 1 };
+    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1 };
+    let dir = temp_dir("all");
+    let workloads = registry();
+    assert!(workloads.len() >= 6, "registry shrank below six workloads");
+
+    for w in &workloads {
+        let sample = (w.run)(&cfg).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        assert!(sample.median_us >= 0.0, "{}: negative median", w.name);
+        assert_eq!(sample.reps, 1, "{}: smoke mode must run one rep", w.name);
+
+        let result = BenchResult::new(w, &sample, &cfg, &env);
+        assert!(result.to_json().contains(SCHEMA_V2), "{}: wrong schema stamp", w.name);
+        assert!(result.smoke, "{}: smoke run must be stamped smoke", w.name);
+        let path = result.write(&dir).unwrap_or_else(|e| panic!("{}: write: {e}", w.name));
+        let back = BenchResult::load(&path).unwrap_or_else(|e| panic!("{}: load: {e}", w.name));
+        assert_eq!(back.workload, w.name);
+        assert_eq!(back.units, w.units);
+        assert!((back.median_us - sample.median_us).abs() < 1e-3, "{}: median drifted", w.name);
+        assert!(back.smoke, "{}: smoke flag lost in round trip", w.name);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn smoke_results_never_gate() {
+    // The FFT workload is the cheapest; one smoke result on both sides of a
+    // diff must be refused, whatever the numbers say.
+    let cfg = MeasureConfig { smoke: true, reps: 1 };
+    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1 };
+    let w = registry().into_iter().find(|w| w.name == "fft_pruned_inverse").expect("workload");
+    let sample = (w.run)(&cfg).expect("smoke run");
+    let result = BenchResult::new(&w, &sample, &cfg, &env);
+
+    let dir = temp_dir("gate");
+    result.write(&dir).expect("write");
+    let err = ilt_perf::diff_dirs(&dir, &dir, &Selection::all(), None)
+        .expect_err("smoke results must be refused");
+    assert!(matches!(err, PerfError::SmokeResult { .. }), "got {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn selection_filters_reach_every_family() {
+    for tag in ["fft", "simulator", "autodiff", "runtime", "server", "cluster"] {
+        let selection = Selection { tags: vec![tag.into()], names: Vec::new() };
+        let picked = ilt_perf::select(&selection);
+        assert!(!picked.is_empty(), "tag {tag} selects nothing");
+        assert!(
+            picked.iter().all(|w| w.tags.contains(&tag)),
+            "tag {tag} selected a foreign workload"
+        );
+    }
+    let missing = ilt_perf::select(&Selection {
+        tags: Vec::new(),
+        names: vec!["no_such_workload_*".into()],
+    });
+    assert!(missing.is_empty(), "bogus glob matched something");
+}
+
+#[test]
+fn injected_delay_hook_slows_the_pruned_inverse() {
+    // The end-to-end gate proof relies on this hook; pin its contract here
+    // so a refactor cannot silently drop it. 20ms against a sub-10ms smoke
+    // op is unmissable even on a noisy machine.
+    let cfg = MeasureConfig { smoke: true, reps: 1 };
+    let w = registry().into_iter().find(|w| w.name == "fft_pruned_inverse").expect("workload");
+    let quiet = (w.run)(&cfg).expect("baseline run").median_us;
+    std::env::set_var("ILT_BENCH_DELAY_US", "20000");
+    let slowed = (w.run)(&cfg).expect("delayed run").median_us;
+    std::env::remove_var("ILT_BENCH_DELAY_US");
+    assert!(
+        slowed > quiet + 10_000.0,
+        "delay hook had no effect: quiet {quiet} us, slowed {slowed} us"
+    );
+}
+
+#[test]
+fn baseline_dir_without_file_is_a_hard_error() {
+    let cfg = MeasureConfig { smoke: false, reps: 1 };
+    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1 };
+    // A real (non-smoke) result diffed against an empty baseline dir: the
+    // gate must demand a checked-in number, not skip the workload.
+    let w = registry().into_iter().find(|w| w.name == "fft_pruned_inverse").expect("workload");
+    let mut cfg_smoke_fixtures = cfg;
+    cfg_smoke_fixtures.smoke = false;
+    // Full fixtures are too slow for tier-1; fabricate the result instead.
+    let sample = ilt_perf::Sample {
+        median_us: 123.0,
+        mad_us: 1.0,
+        reps: 1,
+        extra: Vec::new(),
+    };
+    let result = BenchResult::new(&w, &sample, &cfg_smoke_fixtures, &env);
+    let fresh = temp_dir("fresh");
+    let baselines = temp_dir("baselines");
+    result.write(&fresh).expect("write");
+    let err = ilt_perf::diff_dirs(&baselines, &fresh, &Selection::all(), None)
+        .expect_err("missing baseline must error");
+    assert!(matches!(err, PerfError::MissingBaseline { .. }), "got {err}");
+    assert!(!Path::new(&baselines).join("BENCH_fft_pruned_inverse.json").exists());
+    let _ = std::fs::remove_dir_all(&fresh);
+    let _ = std::fs::remove_dir_all(&baselines);
+}

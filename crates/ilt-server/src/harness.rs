@@ -1,6 +1,11 @@
-//! Shared loopback harness for the ilt-server integration suites.
+//! Shared loopback harness for integration tests and benchmarks.
 //!
-//! Two client shapes, matching the two things the tests need to exercise:
+//! Started life as `tests/util`; promoted into the crate proper so the
+//! `ilt-perf` server workloads and the integration suites drive the exact
+//! same client instead of duplicating it. Everything here panics on
+//! protocol violations — it is a dev tool, not production code.
+//!
+//! Two client shapes, matching the two things callers need to exercise:
 //!
 //! - [`exchange`] / [`get`] / [`post`] / [`delete`]: one fresh connection
 //!   per request. The convenience verbs send `Connection: close` so the
@@ -8,10 +13,9 @@
 //!   even though the server defaults to keep-alive. [`exchange`] sends raw
 //!   bytes verbatim — the tool for malformed-request tests.
 //! - [`Conn`]: one persistent connection, responses framed by their
-//!   `Content-Length` — the tool for keep-alive, pipelining, and idle
-//!   timeout tests, where reading to EOF would deadlock or lie.
-
-#![allow(dead_code)]
+//!   `Content-Length` — the tool for keep-alive, pipelining, idle timeout,
+//!   and throughput measurement, where reading to EOF would deadlock or
+//!   lie.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -21,20 +25,26 @@ use std::time::{Duration, Instant};
 
 use ilt_field::Field2D;
 use ilt_runtime::SeamPolicy;
-use ilt_server::{JobParams, JobSource, Server, ServerConfig};
+
+use crate::{JobParams, JobSource, Server, ServerConfig};
 
 /// One parsed HTTP response.
 pub struct Reply {
+    /// Status code from the response line.
     pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
+    /// Raw response body.
     pub body: Vec<u8>,
 }
 
 impl Reply {
+    /// First header with the given (lower-case) name.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
+    /// Body as lossy UTF-8.
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
@@ -72,6 +82,7 @@ pub fn exchange(addr: SocketAddr, raw: &[u8]) -> Reply {
     Reply { status, headers, body: response[split + 4..].to_vec() }
 }
 
+/// `GET path` on a fresh close-delimited connection.
 pub fn get(addr: SocketAddr, path: &str) -> Reply {
     exchange(
         addr,
@@ -79,6 +90,7 @@ pub fn get(addr: SocketAddr, path: &str) -> Reply {
     )
 }
 
+/// `POST path` with `body` on a fresh close-delimited connection.
 pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> Reply {
     let mut raw = format!(
         "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
@@ -89,6 +101,7 @@ pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> Reply {
     exchange(addr, &raw)
 }
 
+/// `DELETE path` on a fresh close-delimited connection.
 pub fn delete(addr: SocketAddr, path: &str) -> Reply {
     exchange(
         addr,
@@ -103,6 +116,7 @@ pub struct Conn {
 }
 
 impl Conn {
+    /// Connects to `addr`; responses time out after 30 s.
     pub fn open(addr: SocketAddr) -> Conn {
         let stream = TcpStream::connect(addr).expect("connect");
         stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -176,6 +190,8 @@ impl Conn {
     }
 }
 
+/// Binds a [`Server`] and runs it on a background thread; returns its
+/// (ephemeral) address and the join handle [`shutdown`] consumes.
 pub fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<io::Result<()>>) {
     let server = Server::bind(config).expect("bind loopback");
     let addr = server.local_addr();
@@ -183,18 +199,21 @@ pub fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<io::Result<()>>) {
     (addr, handle)
 }
 
+/// Drains the server via `POST /v1/shutdown` and joins its thread.
 pub fn shutdown(addr: SocketAddr, handle: JoinHandle<io::Result<()>>) {
     let reply = post(addr, "/v1/shutdown", b"");
     assert_eq!(reply.status, 202);
     handle.join().expect("server thread").expect("clean drain");
 }
 
+/// A 64 px clip with one rectangle — the smallest interesting target.
 pub fn tiny_target() -> Field2D {
     Field2D::from_fn(64, 64, |r, c| {
         if (24..40).contains(&r) && (16..48).contains(&c) { 1.0 } else { 0.0 }
     })
 }
 
+/// [`tiny_target`] encoded as binary PGM, ready to POST.
 pub fn tiny_pgm() -> Vec<u8> {
     ilt_field::pgm_bytes(&tiny_target(), 0.0, 1.0)
 }
@@ -202,6 +221,7 @@ pub fn tiny_pgm() -> Vec<u8> {
 /// Query params for a job small enough to finish in well under a second.
 pub const FAST_JOB: &str = "clip_nm=512&kernels=3&iters=2";
 
+/// The [`JobParams`] equivalent of [`FAST_JOB`] for an inline target.
 pub fn fast_params(target: Field2D) -> JobParams {
     JobParams {
         source: JobSource::Inline(target),

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub use ilt_cluster::transport as http;
+pub mod harness;
 pub mod metrics;
 mod server;
 mod store;

@@ -1,11 +1,11 @@
 //! Loopback integration tests: the server is exercised through real TCP
-//! sockets with a tiny hand-rolled HTTP client (shared with the lifecycle
-//! suite in `util`), covering the robustness paths (malformed requests,
-//! oversized bodies, queue-full backpressure) and the full submit → poll →
-//! fetch-mask round trip, whose result must be byte-identical to running
-//! the batch engine in-process.
+//! sockets with the shared `ilt_server::harness` client (also used by the
+//! lifecycle suite and the `ilt-perf` server workloads), covering the
+//! robustness paths (malformed requests, oversized bodies, queue-full
+//! backpressure) and the full submit → poll → fetch-mask round trip, whose
+//! result must be byte-identical to running the batch engine in-process.
 
-mod util;
+use ilt_server::harness as util;
 
 use std::time::Duration;
 

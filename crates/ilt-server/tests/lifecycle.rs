@@ -3,7 +3,7 @@
 //! connection limits, streaming progress, and malformed-HTTP robustness —
 //! all over real loopback sockets via the shared `util` harness.
 
-mod util;
+use ilt_server::harness as util;
 
 use std::io::Write;
 use std::net::TcpStream;

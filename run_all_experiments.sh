@@ -6,6 +6,7 @@ set -e
 ./verify_server.sh
 ./verify_cluster.sh
 ./verify_perf.sh
+./verify_bench.sh
 BIN=./target/release/tables
 OUT=bench-out
 mkdir -p $OUT

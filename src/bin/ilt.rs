@@ -21,7 +21,10 @@
 //! ilt evaluate --target design.pgm --mask mask.pgm [--grid 512] [--clip-nm 2048]
 //! ilt fracture --mask mask.pgm
 //! ilt kernels  [--grid 512] [--kernels 10]
-//! ilt bench-fft [--json BENCH_fft.json] [--reps 5] [--p 25]
+//! ilt bench    <list|run|diff> [NAME_GLOB ...] [--tag TAG] [--name GLOB]
+//!              [--smoke] [--reps 5] [--out bench-out/perf] [--baselines .]
+//!              [--threshold F]
+//! ilt bench-fft [--json BENCH_fft.json] [--reps 5] [--p 25]   (deprecated)
 //! ```
 //!
 //! Targets may come from the built-in benchmark generators (`--case`,
@@ -57,13 +60,15 @@
 //! acknowledgements. `worker` starts one such replica; its `--inject`
 //! fault plan is deliberately local (never forwarded by a coordinator),
 //! and `--state-dir` keeps per-shard checkpoint WALs so a restarted worker
-//! resumes a re-dispatched shard instead of recomputing it. `bench-fft` is the hermetic,
-//! std-only spectral micro-benchmark: it times the dense pad+inverse path
-//! against the pruned [`ilt_fft::Fft2d::inverse_padded`] path and the
-//! complex forward against the real-input forward at N in {256, 512, 1024,
-//! 2048}, cross-checks that the fast and reference paths agree, and writes
-//! a machine-readable JSON trajectory for `verify_perf.sh` to regress
-//! against.
+//! resumes a re-dispatched shard instead of recomputing it. `bench` is the
+//! hermetic, std-only performance barometer (the `ilt-perf` crate): `list`
+//! shows the workload registry (FFT, simulator, autodiff, runtime, server,
+//! cluster families), `run` measures the selected workloads and writes one
+//! `BENCH_<name>.json` (schema `ilt-bench/v2`) per workload, and `diff`
+//! compares a fresh run against the checked-in baselines, exiting non-zero
+//! past each workload's regression threshold — the standing perf gate,
+//! with no python or Criterion anywhere. `bench-fft` is the deprecated v1
+//! alias of the FFT family and will be removed next release.
 
 use std::error::Error;
 use std::sync::Arc;
@@ -112,13 +117,19 @@ struct Cli {
     json: Option<String>,
     reps: usize,
     bench_p: usize,
+    tags: Vec<String>,
+    names: Vec<String>,
+    baselines: String,
+    smoke: bool,
+    threshold: Option<f64>,
+    out_flag: Option<String>,
     cases: Vec<String>,
 }
 
 impl Cli {
     fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Cli), Box<dyn Error>> {
         let command =
-            args.next().ok_or("usage: ilt <run|batch|serve|worker|evaluate|fracture|kernels|bench-fft> ...")?;
+            args.next().ok_or("usage: ilt <run|batch|serve|worker|evaluate|fracture|kernels|bench|bench-fft> ...")?;
         let mut cli = Cli {
             grid: 512,
             kernels: 10,
@@ -160,6 +171,12 @@ impl Cli {
             json: None,
             reps: 5,
             bench_p: 25,
+            tags: Vec::new(),
+            names: Vec::new(),
+            baselines: ".".into(),
+            smoke: false,
+            threshold: None,
+            out_flag: None,
             cases: Vec::new(),
         };
         while let Some(flag) = args.next() {
@@ -173,7 +190,10 @@ impl Cli {
                 "--via" => cli.via = Some(value()?.parse()?),
                 "--target" => cli.target = Some(value()?),
                 "--mask" => cli.mask = Some(value()?),
-                "--out" => cli.out = value()?,
+                "--out" => {
+                    cli.out = value()?;
+                    cli.out_flag = Some(cli.out.clone());
+                }
                 "--max-eff-nm" => cli.max_eff_nm = value()?.parse()?,
                 "--threads" => cli.threads = value()?.parse()?,
                 "--tile" => cli.tile = value()?.parse()?,
@@ -205,6 +225,11 @@ impl Cli {
                 "--json" => cli.json = Some(value()?),
                 "--reps" => cli.reps = value()?.parse()?,
                 "--p" => cli.bench_p = value()?.parse()?,
+                "--tag" => cli.tags.push(value()?),
+                "--name" => cli.names.push(value()?),
+                "--baselines" => cli.baselines = value()?,
+                "--smoke" => cli.smoke = true,
+                "--threshold" => cli.threshold = Some(value()?.parse()?),
                 other if flag.starts_with("--") => {
                     return Err(format!("unknown flag {other}").into())
                 }
@@ -620,137 +645,116 @@ fn cmd_kernels(cli: &Cli) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Times `op` (after one untimed warmup) and returns the median over
-/// `reps` runs, in microseconds.
-fn median_us(reps: usize, mut op: impl FnMut()) -> f64 {
-    op(); // warmup: faults in buffers, fills plan/scratch caches
-    let mut times: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t = std::time::Instant::now();
-            op();
-            t.elapsed().as_secs_f64() * 1e6
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
-}
-
-/// Fails unless `got` matches `want` to 1e-12 relative to the largest
-/// reference magnitude (floored at 1, so small-amplitude outputs are held to
-/// 1e-12 absolute). Unnormalized forward spectra grow like O(N), so a purely
-/// absolute bound would get tighter than f64 rounding at large N.
-fn check_agreement(
-    got: &[multilevel_ilt::fft::Complex64],
-    want: &[multilevel_ilt::fft::Complex64],
-    got_name: &str,
-    want_name: &str,
-    n: usize,
-) -> Result<(), Box<dyn Error>> {
-    let scale = want.iter().map(|z| z.abs()).fold(1.0, f64::max);
-    let worst = got
-        .iter()
-        .zip(want)
-        .map(|(a, b)| (*a - *b).abs())
-        .fold(0.0, f64::max);
-    if worst > 1e-12 * scale {
-        return Err(format!(
-            "{got_name} diverged from {want_name} at N={n}: |diff| {worst:e} vs scale {scale:e}"
-        )
-        .into());
-    }
-    Ok(())
-}
-
-/// Hermetic spectral micro-benchmark: dense vs pruned padded inverse and
-/// complex vs real-input forward, at the sizes the serving stack runs.
-///
-/// Uses only `std::time::Instant` (no Criterion, no registry crates) so it
-/// runs on the same disconnected machines as tier-1, and writes a
-/// hand-rolled JSON file future PRs can regress against.
+/// Deprecated alias for `ilt bench run --tag fft`: the original spectral
+/// micro-benchmark, still emitting the `ilt-bench-fft/v1` schema for one
+/// release so external scripts keyed to that file can migrate.
 fn cmd_bench_fft(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    use multilevel_ilt::fft::{
-        pad_centered_into, Complex64, Fft2d, Fft2dScratch,
-    };
-
-    let p = cli.bench_p;
-    if p == 0 {
+    if cli.bench_p == 0 {
         return Err("--p must be at least 1".into());
     }
-    let reps = cli.reps.max(1);
-    let sizes = [256usize, 512, 1024, 2048];
+    eprintln!(
+        "note: `ilt bench-fft` is deprecated; use `ilt bench run --tag fft` \
+         (ilt-bench/v2 schema). The v1 alias will be removed next release."
+    );
     let path = cli.json.clone().unwrap_or_else(|| "BENCH_fft.json".into());
-
-    // Deterministic pseudo-random data (splitmix-style LCG): a p x p kernel
-    // spectrum and a real mask image per size.
-    let mut state = 0x9E3779B97F4A7C15u64;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-    };
-    let spec: Vec<Complex64> = (0..p * p).map(|_| Complex64::new(next(), next())).collect();
-
-    println!("bench-fft: P = {p}, median of {reps} rep(s) per path");
-    println!(
-        "{:>6} {:>16} {:>16} {:>9} {:>16} {:>16} {:>9}",
-        "N", "dense inv (us)", "pruned inv (us)", "speedup", "cplx fwd (us)", "real fwd (us)", "speedup"
-    );
-
-    let mut rows = Vec::new();
-    for n in sizes {
-        if p > n {
-            return Err(format!("--p {p} exceeds benchmark size {n}").into());
-        }
-        let fft = Fft2d::new(n, n);
-        let mut scratch = Fft2dScratch::new();
-        let img: Vec<f64> = (0..n * n).map(|_| next()).collect();
-        let mut buf = vec![Complex64::ZERO; n * n];
-
-        // Inverse of a padded P x P kernel spectrum: the per-kernel cost of
-        // every simulator iteration (Eq. 3 of the paper).
-        let dense_inv = median_us(reps, || {
-            pad_centered_into(&spec, p, &mut buf, n);
-            fft.inverse_with(&mut buf, &mut scratch);
-        });
-        let dense_out = buf.clone();
-        let pruned_inv = median_us(reps, || {
-            fft.inverse_padded_with(&spec, p, &mut buf, &mut scratch);
-        });
-        check_agreement(&buf, &dense_out, "pruned inverse", "dense", n)?;
-
-        // Forward FFT of the (real) mask: opens every iteration.
-        let fwd_complex = median_us(reps, || {
-            for (z, &x) in buf.iter_mut().zip(&img) {
-                *z = Complex64::from_real(x);
-            }
-            fft.forward_with(&mut buf, &mut scratch);
-        });
-        let complex_out = buf.clone();
-        let mut real_out = vec![Complex64::ZERO; n * n];
-        let fwd_real = median_us(reps, || {
-            fft.forward_real_with(&img, &mut real_out, &mut scratch);
-        });
-        check_agreement(&real_out, &complex_out, "real forward", "complex", n)?;
-
-        let inv_speedup = dense_inv / pruned_inv;
-        let fwd_speedup = fwd_complex / fwd_real;
-        println!(
-            "{n:>6} {dense_inv:>16.1} {pruned_inv:>16.1} {inv_speedup:>8.2}x {fwd_complex:>16.1} {fwd_real:>16.1} {fwd_speedup:>8.2}x"
-        );
-        rows.push(format!(
-            "    {{\"n\": {n}, \"dense_pad_inverse_us\": {dense_inv:.3}, \
-             \"pruned_inverse_us\": {pruned_inv:.3}, \"pruned_speedup\": {inv_speedup:.3}, \
-             \"forward_complex_us\": {fwd_complex:.3}, \"forward_real_us\": {fwd_real:.3}, \
-             \"real_speedup\": {fwd_speedup:.3}}}"
-        ));
-    }
-
-    let json = format!(
-        "{{\n  \"schema\": \"ilt-bench-fft/v1\",\n  \"p\": {p},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
-    std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
-    println!("wrote {path}");
+    multilevel_ilt::perf::workloads::fft::run_v1(cli.reps.max(1), cli.bench_p, &path)?;
     Ok(())
+}
+
+/// The performance barometer: `ilt bench <list|run|diff>` over the
+/// [`multilevel_ilt::perf`] workload registry.
+///
+/// `run` executes the selected workloads and writes one `BENCH_<name>.json`
+/// (schema `ilt-bench/v2`) per workload into `--out`; `diff` compares a
+/// fresh run directory against the checked-in baselines in `--baselines`
+/// and exits non-zero past each workload's regression threshold. Entirely
+/// std-only: no Criterion, no python, no network.
+fn cmd_bench(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    use multilevel_ilt::perf::{
+        diff_dirs, env_stamp, select, BenchResult, MeasureConfig, Selection,
+    };
+    use std::path::Path;
+
+    let usage = "usage: ilt bench <list|run|diff> [NAME_GLOB ...] \
+                 [--tag TAG] [--name GLOB] [--smoke] [--reps N] \
+                 [--out DIR] [--baselines DIR] [--threshold F]";
+    let sub = cli.cases.first().map(String::as_str).ok_or(usage)?;
+    // Positionals after the subcommand are name globs, same as --name.
+    let mut selection = Selection { tags: cli.tags.clone(), names: cli.names.clone() };
+    selection.names.extend(cli.cases[1..].iter().cloned());
+    // Fresh results live out of the way by default; baselines are the
+    // checked-in BENCH_*.json at the repo root.
+    let out_dir = cli.out_flag.clone().unwrap_or_else(|| "bench-out/perf".into());
+
+    match sub {
+        "list" => {
+            let workloads = select(&selection);
+            if workloads.is_empty() {
+                return Err("no workloads match the selection".into());
+            }
+            println!("{:<22} {:<11} {:>10} {:>10}  notes", "workload", "tags", "units", "threshold");
+            for w in &workloads {
+                println!(
+                    "{:<22} {:<11} {:>10} {:>9.0}%  {}",
+                    w.name,
+                    w.tags.join(","),
+                    w.units,
+                    w.threshold * 100.0,
+                    w.notes
+                );
+            }
+            Ok(())
+        }
+        "run" => {
+            let workloads = select(&selection);
+            if workloads.is_empty() {
+                return Err("no workloads match the selection".into());
+            }
+            let cfg = MeasureConfig { smoke: cli.smoke, reps: cli.reps.max(1) };
+            let env = env_stamp();
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+            println!(
+                "bench run: {} workload(s), median of {} rep(s){}",
+                workloads.len(),
+                cfg.effective_reps(),
+                if cfg.smoke { ", smoke fixtures" } else { "" }
+            );
+            for w in &workloads {
+                let sample = (w.run)(&cfg)?;
+                let result = BenchResult::new(w, &sample, &cfg, &env);
+                let path = result.write(Path::new(&out_dir))?;
+                println!(
+                    "{:<22} {:>12.1} {} (mad {:.1})  -> {}",
+                    w.name,
+                    sample.median_us,
+                    w.units,
+                    sample.mad_us,
+                    path.display()
+                );
+            }
+            Ok(())
+        }
+        "diff" => {
+            let report = diff_dirs(
+                Path::new(&cli.baselines),
+                Path::new(&out_dir),
+                &selection,
+                cli.threshold,
+            )?;
+            print!("{}", report.render());
+            let regressions = report.regressions();
+            if regressions > 0 {
+                return Err(format!(
+                    "{regressions} workload(s) regressed past threshold"
+                )
+                .into());
+            }
+            println!("bench diff: {} workload(s) within threshold", report.rows.len());
+            Ok(())
+        }
+        other => Err(format!("unknown bench subcommand {other}\n{usage}").into()),
+    }
 }
 
 fn main() {
@@ -769,9 +773,10 @@ fn main() {
         "evaluate" => cmd_evaluate(&cli),
         "fracture" => cmd_fracture(&cli),
         "kernels" => cmd_kernels(&cli),
+        "bench" => cmd_bench(&cli),
         "bench-fft" => cmd_bench_fft(&cli),
         other => Err(format!(
-            "unknown command {other} (run|batch|serve|worker|evaluate|fracture|kernels|bench-fft)"
+            "unknown command {other} (run|batch|serve|worker|evaluate|fracture|kernels|bench|bench-fft)"
         )
         .into()),
     };

@@ -48,6 +48,7 @@ pub use ilt_geom as geom;
 pub use ilt_layouts as layouts;
 pub use ilt_metrics as metrics;
 pub use ilt_optics as optics;
+pub use ilt_perf as perf;
 pub use ilt_runtime as runtime;
 pub use ilt_server as server;
 

@@ -1,41 +1,19 @@
 #!/bin/bash
-# Verifies the spectral-engine fast paths hold their performance claims:
-#   1. `ilt bench-fft` completes — it cross-checks the pruned inverse and
-#      real-input forward against the dense transforms internally and exits
+# Verifies the spectral-engine fast paths hold their performance claims via
+# the in-tree barometer (`ilt bench`, crates/ilt-perf) — no python anywhere:
+#   1. `ilt bench run --tag fft` completes — each FFT workload cross-checks
+#      its fast path against the dense reference internally and exits
 #      non-zero on any divergence, so this doubles as a correctness gate;
-#   2. the emitted JSON is well-formed and, at N=1024 (the full-chip serving
-#      grid), the pruned padded inverse is no slower than the dense
-#      pad-then-invert path it replaces.
-# Speedup *targets* (2x pruned, 1.3x real) are recorded in BENCH_fft.json at
-# the repo root; this gate only enforces "never a regression below 1x" so it
-# stays robust on noisy shared machines.
+#   2. `ilt bench diff --tag fft` compares the fresh medians against the
+#      checked-in BENCH_<workload>.json baselines at the repo root and exits
+#      non-zero past a workload's regression threshold (50% for the FFT
+#      family — generous enough to stay robust on noisy shared machines).
 set -e
 BIN=./target/release/ilt
-OUT=bench-out/fft
+OUT=bench-out/perf
 mkdir -p "$OUT"
 
-"$BIN" bench-fft --json "$OUT/BENCH_fft.json" | tee "$OUT/bench-fft.log"
-
-python3 - "$OUT/BENCH_fft.json" <<'EOF'
-import json, sys
-
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-
-assert doc["schema"] == "ilt-bench-fft/v1", doc.get("schema")
-rows = {r["n"]: r for r in doc["results"]}
-assert set(rows) == {256, 512, 1024, 2048}, sorted(rows)
-
-r = rows[1024]
-if r["pruned_inverse_us"] > r["dense_pad_inverse_us"]:
-    sys.exit(
-        f"PERF_REGRESSION: pruned inverse ({r['pruned_inverse_us']:.0f} us) slower "
-        f"than dense ({r['dense_pad_inverse_us']:.0f} us) at N=1024"
-    )
-print(
-    f"N=1024: pruned inverse {r['pruned_speedup']:.2f}x, "
-    f"real forward {r['real_speedup']:.2f}x vs dense"
-)
-EOF
+"$BIN" bench run --tag fft --out "$OUT" | tee bench-out/bench-fft.log
+"$BIN" bench diff --tag fft --out "$OUT" --baselines . | tee -a bench-out/bench-fft.log
 
 echo PERF_VERIFIED
