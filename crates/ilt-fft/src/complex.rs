@@ -19,6 +19,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

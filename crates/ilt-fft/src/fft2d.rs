@@ -24,6 +24,17 @@
 //!   separated through Hermitian symmetry, halving the row pass; the column
 //!   pass covers only the non-redundant half-spectrum, with the upper
 //!   columns filled by conjugate mirroring.
+//! * **Pruned forward** ([`Fft2d::forward_cropped`],
+//!   [`Fft2d::forward_real_cropped`]) — the mirror of the pruned inverse:
+//!   when only the centered `P x P` block of the spectrum is kept, the
+//!   column pass runs first and folds each column into `q`-point transforms
+//!   plus a phase twist, so only the `P` surviving rows are ever
+//!   row-transformed. The real variant packs column pairs and separates them
+//!   through Hermitian symmetry over the closure of the retained set.
+//! * **Batched transforms** ([`Fft2d::forward_real_batch`],
+//!   [`Fft2d::inverse_padded_batch`]) — many-tile/many-kernel shapes share
+//!   one workspace, so twiddle tables, memoized twist tables and grown
+//!   buffers are warm for everything after the first item.
 //!
 //! All paths are exact restructurings of the same sums, so they agree with
 //! the dense transforms to f64 rounding (~1e-15 relative).
@@ -43,9 +54,11 @@ const PANEL_COLS: usize = 8;
 
 /// Runs `plan` down every column of the row-major `rows x cols` buffer.
 ///
-/// Columns are gathered into contiguous panels of [`PANEL_COLS`] transposed
-/// columns, transformed, and scattered back, so the row-major buffer is
-/// streamed a full cache line at a time in both directions.
+/// Columns are copied into row-major panels of [`PANEL_COLS`] columns and
+/// transformed side by side by [`FftPlan::process_cols`]: each panel row is
+/// one contiguous 128-byte copy in and out, and the butterflies vectorize
+/// *across* the panel's columns with one twiddle broadcast per butterfly
+/// row.
 fn col_pass(
     data: &mut [Complex64],
     rows: usize,
@@ -75,19 +88,13 @@ fn col_pass_limit(
     while c0 < limit {
         let w = PANEL_COLS.min(limit - c0);
         for r in 0..rows {
-            let src = &data[r * cols + c0..r * cols + c0 + w];
-            for (k, &v) in src.iter().enumerate() {
-                panel[k * rows + r] = v;
-            }
+            panel[r * w..(r + 1) * w]
+                .copy_from_slice(&data[r * cols + c0..r * cols + c0 + w]);
         }
-        for col in panel[..w * rows].chunks_exact_mut(rows) {
-            plan.process(col);
-        }
+        plan.process_cols(&mut panel[..rows * w], w);
         for r in 0..rows {
-            let dst = &mut data[r * cols + c0..r * cols + c0 + w];
-            for (k, d) in dst.iter_mut().enumerate() {
-                *d = panel[k * rows + r];
-            }
+            data[r * cols + c0..r * cols + c0 + w]
+                .copy_from_slice(&panel[r * w..(r + 1) * w]);
         }
         c0 += w;
     }
@@ -392,6 +399,24 @@ impl Fft2d {
         let s = n / q;
         let qplan = FftPlanner::global(|planner| planner.plan(q, Direction::Inverse));
         let amp = q as f64 / n as f64;
+        // Twist table `e^{+2 pi i f r0 / n} * q/n`, memoized per (n, p): a
+        // multi-level simulator replays the same shapes thousands of times,
+        // so the p * s sin_cos calls happen once per scratch, not per call.
+        let twist = scratch.twist.get_or_build((n, p, false), || {
+            let mut table = Vec::with_capacity(p * s);
+            for i in 0..p {
+                let f = signed_freq(i, p);
+                for r0 in 0..s {
+                    table.push(
+                        Complex64::from_polar_angle(
+                            std::f64::consts::TAU * f as f64 * r0 as f64 / n as f64,
+                        )
+                        .scale(amp),
+                    );
+                }
+            }
+            table
+        });
         let grid = grown(&mut scratch.grid, q * n);
         for r0 in 0..s {
             // Band rows land at q-grid rows 0..ph and q-pl..q, each fully
@@ -400,10 +425,7 @@ impl Fft2d {
             grid[ph * n..(q - pl) * n].fill(Complex64::ZERO);
             for i in 0..p {
                 let f = signed_freq(i, p);
-                let phase = Complex64::from_polar_angle(
-                    std::f64::consts::TAU * f as f64 * r0 as f64 / n as f64,
-                )
-                .scale(amp);
+                let phase = twist[i * s + r0];
                 let dst = &mut grid[freq_index(f, q) * n..][..n];
                 for (d, &v) in dst.iter_mut().zip(&band[i * n..(i + 1) * n]) {
                     *d = v * phase;
@@ -415,6 +437,352 @@ impl Fft2d {
             }
         }
     }
+
+    /// Forward transform of an `n x n` complex buffer, fused with the crop
+    /// to the centered `p x p` low-frequency block.
+    ///
+    /// Equivalent to [`Fft2d::forward`] followed by
+    /// [`crate::crop_centered`], but prunes all work on the discarded
+    /// frequencies — the mirror of [`Fft2d::inverse_padded`]. The column
+    /// pass runs first and computes only the `p` retained row frequencies by
+    /// residue folding: each length-`n` column is decimated into `s = n/q`
+    /// interleaved length-`q` segments (`q = p.next_power_of_two()`), the
+    /// segments are `q`-point transformed, and the retained frequencies are
+    /// recombined with a phase twist (`X[f] = sum_b e^{-2 pi i f b / n}
+    /// V_b[f mod q]`). Only the `p` surviving rows are then row-transformed,
+    /// so the row pass shrinks from `n` to `p` transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transform is not square, `p` is zero or exceeds `n`,
+    /// `data.len() != n * n`, or `out.len() != p * p`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilt_fft::{crop_centered, Complex64, Fft2d};
+    ///
+    /// let fft = Fft2d::new(16, 16);
+    /// let data: Vec<Complex64> =
+    ///     (0..256).map(|i| Complex64::new((i as f64 * 0.3).sin(), 0.1)).collect();
+    /// // Dense reference: full forward, then crop.
+    /// let mut dense = data.clone();
+    /// fft.forward(&mut dense);
+    /// let want = crop_centered(&dense, 16, 5);
+    /// // Pruned path.
+    /// let mut got = vec![Complex64::ZERO; 25];
+    /// fft.forward_cropped(&data, 5, &mut got);
+    /// for (a, b) in got.iter().zip(&want) {
+    ///     assert!((*a - *b).abs() < 1e-9);
+    /// }
+    /// ```
+    pub fn forward_cropped(&self, data: &[Complex64], p: usize, out: &mut [Complex64]) {
+        with_thread_scratch(|scratch| self.forward_cropped_with(data, p, out, scratch));
+    }
+
+    /// [`Fft2d::forward_cropped`] with an explicit reusable workspace.
+    pub fn forward_cropped_with(
+        &self,
+        data: &[Complex64],
+        p: usize,
+        out: &mut [Complex64],
+        scratch: &mut Fft2dScratch,
+    ) {
+        let n = self.rows;
+        assert_eq!(self.rows, self.cols, "forward_cropped requires a square transform");
+        assert!(p >= 1 && p <= n, "support {p} must be within 1..={n}");
+        assert_eq!(data.len(), n * n, "input must be n*n");
+        assert_eq!(out.len(), p * p, "output must be p*p");
+
+        if n == 1 {
+            out[0] = data[0];
+            return;
+        }
+
+        let (ph, pl) = (p - p / 2, p / 2);
+        let q = p.next_power_of_two();
+        let s = n / q;
+        let qplan = FftPlanner::global(|planner| planner.plan(q, Direction::Forward));
+        let twist = scratch.twist.get_or_build((n, p, true), || build_forward_twist(n, p));
+        let band = grown(&mut scratch.band, p * n);
+        let fold = grown(&mut scratch.fold, n * PANEL_COLS.min(n));
+
+        // Column pass in panels of PANEL_COLS columns. A panel viewed as a
+        // `q x (s*w)` block *is* the stride-s decimation of its columns
+        // (row a, sub-column (b, j) sits at fold[(a*s + b)*w + j] =
+        // col_j[a*s + b]), so one `process_cols` call runs every length-q
+        // segment transform of the whole panel.
+        let mut c0 = 0;
+        while c0 < n {
+            let w = PANEL_COLS.min(n - c0);
+            for r in 0..n {
+                fold[r * w..(r + 1) * w]
+                    .copy_from_slice(&data[r * n + c0..r * n + c0 + w]);
+            }
+            qplan.process_cols(&mut fold[..n * w], s * w);
+            // Recombine the retained frequencies only:
+            // X[f] = sum_b e^{-2 pi i f b / n} V_b[f mod q].
+            for i in 0..p {
+                let fi = freq_index(signed_freq(i, p), q);
+                if s == 1 {
+                    band[i * n + c0..i * n + c0 + w]
+                        .copy_from_slice(&fold[fi * w..(fi + 1) * w]);
+                    continue;
+                }
+                let trow = &twist[i * s..(i + 1) * s];
+                for j in 0..w {
+                    let mut acc = Complex64::ZERO;
+                    for (b, &tw) in trow.iter().enumerate() {
+                        acc += tw * fold[(fi * s + b) * w + j];
+                    }
+                    band[i * n + c0 + j] = acc;
+                }
+            }
+            c0 += w;
+        }
+
+        // Row pass over the p retained rows only, cropping columns on the
+        // way out.
+        for (i, brow) in band.chunks_exact_mut(n).enumerate() {
+            self.row_fwd.process(brow);
+            let orow = &mut out[i * p..(i + 1) * p];
+            orow[..ph].copy_from_slice(&brow[..ph]);
+            orow[ph..].copy_from_slice(&brow[n - pl..]);
+        }
+    }
+
+    /// Forward transform of a real-valued image, fused with the crop to the
+    /// centered `p x p` low-frequency block.
+    ///
+    /// Combines both pruning tricks: adjacent *columns* are packed into one
+    /// complex column (the column pass runs first here), folded and
+    /// recombined as in [`Fft2d::forward_cropped`], then separated through
+    /// Hermitian symmetry. Because separation at frequency `f` needs the
+    /// packed spectrum at `-f`, the recombination covers the symmetric
+    /// closure of the retained set (at most one extra frequency, `+p/2` for
+    /// even `p`). Only the `p` retained rows are ever row-transformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transform is not square, `p` is zero or exceeds `n`,
+    /// `img.len() != n * n`, or `out.len() != p * p`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilt_fft::{crop_centered, Complex64, Fft2d};
+    ///
+    /// let fft = Fft2d::new(16, 16);
+    /// let img: Vec<f64> = (0..256).map(|i| (i as f64 * 0.17).cos()).collect();
+    /// let want = crop_centered(&fft.forward_real(&img), 16, 6);
+    /// let mut got = vec![Complex64::ZERO; 36];
+    /// fft.forward_real_cropped(&img, 6, &mut got);
+    /// for (a, b) in got.iter().zip(&want) {
+    ///     assert!((*a - *b).abs() < 1e-9);
+    /// }
+    /// ```
+    pub fn forward_real_cropped(&self, img: &[f64], p: usize, out: &mut [Complex64]) {
+        with_thread_scratch(|scratch| self.forward_real_cropped_with(img, p, out, scratch));
+    }
+
+    /// [`Fft2d::forward_real_cropped`] with an explicit reusable workspace.
+    pub fn forward_real_cropped_with(
+        &self,
+        img: &[f64],
+        p: usize,
+        out: &mut [Complex64],
+        scratch: &mut Fft2dScratch,
+    ) {
+        let n = self.rows;
+        assert_eq!(self.rows, self.cols, "forward_real_cropped requires a square transform");
+        assert!(p >= 1 && p <= n, "support {p} must be within 1..={n}");
+        assert_eq!(img.len(), n * n, "image must be n*n");
+        assert_eq!(out.len(), p * p, "output must be p*p");
+
+        if n == 1 {
+            out[0] = Complex64::from_real(img[0]);
+            return;
+        }
+
+        let (ph, pl) = (p - p / 2, p / 2);
+        let q = p.next_power_of_two();
+        let s = n / q;
+        let pc = closure_len(n, p);
+        let qplan = FftPlanner::global(|planner| planner.plan(q, Direction::Forward));
+        let twist = scratch.twist.get_or_build((n, p, true), || build_forward_twist(n, p));
+        let band = grown(&mut scratch.band, p * n);
+        let half_cols = n / 2;
+        let panel_w = PANEL_COLS.min(half_cols);
+        let fold = grown(&mut scratch.fold, n * panel_w);
+        let xz = grown(&mut scratch.xz, pc * panel_w);
+
+        // Packed column pass in panels: each packed column pairs two real
+        // columns, and the panel viewed as `q x (s*w)` is the stride-s
+        // decimation of its packed columns (see `forward_cropped_with`).
+        let mut cp0 = 0;
+        while cp0 < half_cols {
+            let w = panel_w.min(half_cols - cp0);
+            for r in 0..n {
+                let src = &img[r * n + 2 * cp0..r * n + 2 * (cp0 + w)];
+                for (v, pair) in fold[r * w..(r + 1) * w].iter_mut().zip(src.chunks_exact(2)) {
+                    *v = Complex64::new(pair[0], pair[1]);
+                }
+            }
+            qplan.process_cols(&mut fold[..n * w], s * w);
+            // Packed spectra over the symmetric closure of the retained set.
+            for ci in 0..pc {
+                let fi = freq_index(closure_freq(ci, p), q);
+                if s == 1 {
+                    xz[ci * w..(ci + 1) * w].copy_from_slice(&fold[fi * w..(fi + 1) * w]);
+                    continue;
+                }
+                let trow = &twist[ci * s..(ci + 1) * s];
+                for j in 0..w {
+                    let mut acc = Complex64::ZERO;
+                    for (b, &tw) in trow.iter().enumerate() {
+                        acc += tw * fold[(fi * s + b) * w + j];
+                    }
+                    xz[ci * w + j] = acc;
+                }
+            }
+            // Hermitian separation: the even (real) part of a packed column
+            // is its first real column, the odd part the second.
+            for i in 0..p {
+                let ni = closure_neg_index(i, p, n);
+                for j in 0..w {
+                    let a = xz[i * w + j];
+                    let b = xz[ni * w + j].conj();
+                    let c = 2 * (cp0 + j);
+                    band[i * n + c] = (a + b).scale(0.5);
+                    let d = a - b;
+                    band[i * n + c + 1] = Complex64::new(d.im * 0.5, -d.re * 0.5);
+                }
+            }
+            cp0 += w;
+        }
+
+        for (i, brow) in band.chunks_exact_mut(n).enumerate() {
+            self.row_fwd.process(brow);
+            let orow = &mut out[i * p..(i + 1) * p];
+            orow[..ph].copy_from_slice(&brow[..ph]);
+            orow[ph..].copy_from_slice(&brow[n - pl..]);
+        }
+    }
+
+    /// [`Fft2d::forward_real`] over many images, reusing one workspace (and
+    /// therefore one set of twiddle/twist tables) across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any image length differs from `rows * cols`.
+    pub fn forward_real_batch(&self, imgs: &[&[f64]]) -> Vec<Vec<Complex64>> {
+        with_thread_scratch(|scratch| self.forward_real_batch_with(imgs, scratch))
+    }
+
+    /// [`Fft2d::forward_real_batch`] with an explicit reusable workspace.
+    pub fn forward_real_batch_with(
+        &self,
+        imgs: &[&[f64]],
+        scratch: &mut Fft2dScratch,
+    ) -> Vec<Vec<Complex64>> {
+        imgs.iter()
+            .map(|img| {
+                let mut out = vec![Complex64::ZERO; self.rows * self.cols];
+                self.forward_real_with(img, &mut out, scratch);
+                out
+            })
+            .collect()
+    }
+
+    /// [`Fft2d::inverse_padded`] over many spectra sharing one support `p`,
+    /// streaming each full-grid result to `each(index, grid)` from a single
+    /// reused buffer.
+    ///
+    /// This is the shape of the Hopkins aerial accumulation (Eq. 3): `N_k`
+    /// kernel spectra inverted back-to-back, each consumed immediately. The
+    /// batch shares one workspace, so the twiddle tables, twist tables and
+    /// grown buffers are warm for every spectrum after the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Fft2d::inverse_padded`] for any spectrum in the batch.
+    pub fn inverse_padded_batch(
+        &self,
+        specs: &[&[Complex64]],
+        p: usize,
+        each: impl FnMut(usize, &[Complex64]),
+    ) {
+        with_thread_scratch(|scratch| self.inverse_padded_batch_with(specs, p, each, scratch));
+    }
+
+    /// [`Fft2d::inverse_padded_batch`] with an explicit reusable workspace.
+    pub fn inverse_padded_batch_with(
+        &self,
+        specs: &[&[Complex64]],
+        p: usize,
+        mut each: impl FnMut(usize, &[Complex64]),
+        scratch: &mut Fft2dScratch,
+    ) {
+        let n = self.rows * self.cols;
+        let mut buf = std::mem::take(&mut scratch.batch_out);
+        grown(&mut buf, n);
+        for (k, spec) in specs.iter().enumerate() {
+            self.inverse_padded_with(spec, p, &mut buf[..n], scratch);
+            each(k, &buf[..n]);
+        }
+        scratch.batch_out = buf;
+    }
+}
+
+/// Number of frequencies in the symmetric closure of the retained set: even
+/// `p` needs one extra (`+p/2`, the mirror of `-p/2`) unless `p == n`, where
+/// `+p/2` and `-p/2` alias to the same bin.
+fn closure_len(n: usize, p: usize) -> usize {
+    if p % 2 == 0 && p < n {
+        p + 1
+    } else {
+        p
+    }
+}
+
+/// Signed frequency of closure index `ci`: indices `0..p` are the retained
+/// set in [`signed_freq`] order; index `p` (even `p` only) is `+p/2`.
+fn closure_freq(ci: usize, p: usize) -> isize {
+    if ci < p {
+        signed_freq(ci, p)
+    } else {
+        (p / 2) as isize
+    }
+}
+
+/// Closure index holding frequency `-f` for retained index `i`.
+fn closure_neg_index(i: usize, p: usize, n: usize) -> usize {
+    let g = -signed_freq(i, p);
+    if g < (p - p / 2) as isize {
+        freq_index(g, p)
+    } else if p < n {
+        p // the extra +p/2 closure row
+    } else {
+        i // +p/2 aliases -p/2 when p == n: the bin is self-conjugate
+    }
+}
+
+/// Twist table of the pruned forward: `e^{-2 pi i f b / n}` for every
+/// closure frequency `f` (rows) and fold offset `b in 0..s` (columns).
+fn build_forward_twist(n: usize, p: usize) -> Vec<Complex64> {
+    let q = p.next_power_of_two();
+    let s = n / q;
+    let rows = closure_len(n, p);
+    let mut table = Vec::with_capacity(rows * s);
+    for ci in 0..rows {
+        let f = closure_freq(ci, p);
+        for b in 0..s {
+            table.push(Complex64::from_polar_angle(
+                -std::f64::consts::TAU * f as f64 * b as f64 / n as f64,
+            ));
+        }
+    }
+    table
 }
 
 /// Computes the forward 2-D FFT of a real-valued row-major image into a new
@@ -614,6 +982,76 @@ mod tests {
             let diff = max_abs_diff(&pruned, &dense);
             assert!(diff <= 1e-12, "n={n} p={p}: max |diff| = {diff:e}");
         }
+    }
+
+    #[test]
+    fn forward_cropped_matches_dense_forward_plus_crop() {
+        use crate::spectrum::crop_centered;
+        for (seed, (n, p)) in [
+            (41u64, (8usize, 1usize)),
+            (42, (16, 7)),
+            (43, (64, 25)),
+            (44, (64, 64)),
+            (45, (128, 6)),
+        ] {
+            let input = lcg_complex(seed, n * n);
+            let fft = Fft2d::new(n, n);
+            let mut dense = input.clone();
+            fft.forward(&mut dense);
+            let want = crop_centered(&dense, n, p);
+            let mut got = vec![Complex64::ZERO; p * p];
+            fft.forward_cropped(&input, p, &mut got);
+            let scale: f64 = want.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            let diff = max_abs_diff(&got, &want);
+            assert!(diff <= 1e-12 * scale, "n={n} p={p}: max |diff| = {diff:e}");
+        }
+    }
+
+    #[test]
+    fn forward_real_cropped_matches_dense_forward_plus_crop() {
+        use crate::spectrum::crop_centered;
+        for (seed, (n, p)) in [
+            (51u64, (8usize, 1usize)),
+            (52, (16, 7)),
+            (53, (64, 25)),
+            (54, (64, 64)),
+            (55, (128, 6)),
+            (56, (32, 2)),
+        ] {
+            let img = lcg_vals(seed, n * n);
+            let fft = Fft2d::new(n, n);
+            let want = crop_centered(&fft.forward_real(&img), n, p);
+            let mut got = vec![Complex64::ZERO; p * p];
+            fft.forward_real_cropped(&img, p, &mut got);
+            let scale: f64 = want.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            let diff = max_abs_diff(&got, &want);
+            assert!(diff <= 1e-12 * scale, "n={n} p={p}: max |diff| = {diff:e}");
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_sequential_calls() {
+        let n = 32;
+        let p = 7;
+        let fft = Fft2d::new(n, n);
+        let imgs: Vec<Vec<f64>> = (0..3).map(|k| lcg_vals(60 + k, n * n)).collect();
+        let img_refs: Vec<&[f64]> = imgs.iter().map(|v| v.as_slice()).collect();
+        let batched = fft.forward_real_batch(&img_refs);
+        for (img, got) in imgs.iter().zip(&batched) {
+            let want = fft.forward_real(img);
+            assert_eq!(got, &want, "batched forward must equal the sequential path");
+        }
+
+        let specs: Vec<Vec<Complex64>> = (0..3).map(|k| lcg_complex(70 + k, p * p)).collect();
+        let spec_refs: Vec<&[Complex64]> = specs.iter().map(|v| v.as_slice()).collect();
+        let mut seen = 0;
+        fft.inverse_padded_batch(&spec_refs, p, |k, grid| {
+            let mut want = vec![Complex64::ZERO; n * n];
+            fft.inverse_padded(&specs[k], p, &mut want);
+            assert_eq!(grid, want.as_slice(), "batched inverse must equal the sequential path");
+            seen += 1;
+        });
+        assert_eq!(seen, specs.len());
     }
 
     #[test]

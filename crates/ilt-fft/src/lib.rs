@@ -34,18 +34,25 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 mod complex;
 mod fft2d;
 mod plan;
 mod scratch;
+// The one module allowed to use `unsafe`: `std::arch` SIMD butterflies,
+// runtime-dispatched and pinned bit-for-bit against the scalar path.
+#[allow(unsafe_code)]
+mod simd;
 mod spectrum;
 
 pub use complex::Complex64;
 pub use fft2d::{fft2_real, Fft2d};
 pub use plan::{Direction, FftPlan, FftPlanner};
-pub use scratch::{with_thread_scratch, Fft2dScratch};
+pub use scratch::{
+    with_installed_scratch, with_thread_scratch, Fft2dScratch, ScratchPool,
+};
+pub use simd::active_kernel;
 pub use spectrum::{
     crop_centered, fftshift, freq_index, ifftshift, pad_centered, pad_centered_into,
     signed_freq,

@@ -1,19 +1,31 @@
 //! Reusable FFT workspaces.
 //!
 //! Every 2-D transform needs temporary storage: a column panel for the
-//! cache-blocked column pass, a band-row buffer for the pruned padded
-//! inverse, and a packing buffer for the real-input forward path. The batch
-//! runtime calls the simulator millions of times from long-lived worker
-//! threads, so allocating that storage per transform would put `malloc` in
-//! the innermost loop. [`Fft2dScratch`] owns the buffers and grows them
-//! monotonically; once warm it allocates nothing.
+//! cache-blocked column pass, a band-row buffer for the pruned paths, a
+//! fold buffer for the pruned forward, and a packing buffer for the
+//! real-input forward path. The batch runtime calls the simulator millions
+//! of times from long-lived worker threads, so allocating that storage per
+//! transform would put `malloc` in the innermost loop. [`Fft2dScratch`] owns
+//! the buffers and grows them monotonically; once warm it allocates nothing.
+//! It also memoizes the phase-twist tables of the pruned paths
+//! ([`TwistCache`]), which would otherwise cost `p * n / q` trig calls per
+//! transform.
 //!
 //! Callers that cannot conveniently thread a scratch value through (the
 //! plain [`crate::Fft2d::forward`] / [`crate::Fft2d::inverse`] API) are
 //! served by a thread-local arena via [`with_thread_scratch`], which is also
 //! non-allocating on repeat calls.
+//!
+//! Execution layers that spawn short-lived threads (the runtime pool runs
+//! each job attempt on a fresh thread for panic/timeout isolation) would
+//! lose the thread-local arena on every attempt; [`ScratchPool`] +
+//! [`with_installed_scratch`] let them keep a set of warm workspaces alive
+//! across attempts and temporarily install one as the current thread's
+//! arena, so every transform down the call stack reuses it without
+//! signature changes.
 
 use std::cell::RefCell;
+use std::sync::Mutex;
 
 use crate::complex::Complex64;
 
@@ -27,6 +39,48 @@ pub(crate) fn grown(buf: &mut Vec<Complex64>, len: usize) -> &mut [Complex64] {
     &mut buf[..len]
 }
 
+/// Key of a memoized phase-twist table: `(n, p, forward)`.
+pub(crate) type TwistKey = (usize, usize, bool);
+
+/// Bound on distinct twist tables kept per scratch; a multi-level simulator
+/// touches a handful of `(n, p)` pairs, far below this.
+const TWIST_CACHE_CAP: usize = 8;
+
+/// Memoized phase-twist tables for the pruned transforms.
+///
+/// The pruned inverse needs `e^{+2 pi i f r0 / n} * q/n` for every retained
+/// frequency `f` and residue `r0` (a `p x n/q` table); the pruned forward
+/// needs `e^{-2 pi i f b / n}` over the Hermitian closure of the retained
+/// set. Both are pure functions of `(n, p)`, so they are built once per
+/// scratch and replayed — removing `p * n / q` `sin_cos` calls from every
+/// transform.
+#[derive(Debug, Default)]
+pub(crate) struct TwistCache {
+    entries: Vec<(TwistKey, Vec<Complex64>)>,
+}
+
+impl TwistCache {
+    /// Returns the table for `key`, building it on first use.
+    pub(crate) fn get_or_build(
+        &mut self,
+        key: TwistKey,
+        build: impl FnOnce() -> Vec<Complex64>,
+    ) -> &[Complex64] {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &self.entries[pos].1;
+        }
+        if self.entries.len() >= TWIST_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, build()));
+        &self.entries.last().expect("just pushed").1
+    }
+
+    fn stored_values(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.len()).sum()
+    }
+}
+
 /// Reusable workspace for [`crate::Fft2d`] transforms.
 ///
 /// One scratch serves transforms of any size: buffers grow to the largest
@@ -34,6 +88,10 @@ pub(crate) fn grown(buf: &mut Vec<Complex64>, len: usize) -> &mut [Complex64] {
 /// per-call construction is correct (just slower on the first transforms);
 /// the intended pattern is one scratch per worker thread or per batch of
 /// transforms.
+///
+/// Results never depend on scratch history: every path fully overwrites the
+/// regions it reads, and the memoized twist tables are keyed by exact
+/// transform shape.
 ///
 /// # Examples
 ///
@@ -51,11 +109,20 @@ pub(crate) fn grown(buf: &mut Vec<Complex64>, len: usize) -> &mut [Complex64] {
 pub struct Fft2dScratch {
     /// Transposed column panels for the blocked column pass.
     pub(crate) panel: Vec<Complex64>,
-    /// Row-transformed band rows (`p x n`) of the pruned padded inverse.
+    /// Row-transformed band rows (`p x n`) of the pruned paths.
     pub(crate) band: Vec<Complex64>,
     /// Residue grid (`q x n`) of the pruned padded inverse, and the packed
     /// row-pair buffer of the real-input forward pass.
     pub(crate) grid: Vec<Complex64>,
+    /// Fold buffer (`s` contiguous length-`q` segments) of the pruned
+    /// forward column pass, plus its per-column gathered input.
+    pub(crate) fold: Vec<Complex64>,
+    /// Per-column retained/closure spectrum values of the pruned forward.
+    pub(crate) xz: Vec<Complex64>,
+    /// Full-grid output buffer loaned out by the batched inverse.
+    pub(crate) batch_out: Vec<Complex64>,
+    /// Memoized phase-twist tables of the pruned paths.
+    pub(crate) twist: TwistCache,
 }
 
 impl Fft2dScratch {
@@ -64,11 +131,67 @@ impl Fft2dScratch {
         Self::default()
     }
 
-    /// Total complex values currently held across all buffers.
+    /// Total complex values currently held across all buffers and memoized
+    /// tables.
     pub fn capacity(&self) -> usize {
-        self.panel.len() + self.band.len() + self.grid.len()
+        self.panel.len()
+            + self.band.len()
+            + self.grid.len()
+            + self.fold.len()
+            + self.xz.len()
+            + self.batch_out.len()
+            + self.twist.stored_values()
+    }
+}
+
+/// A mutex-guarded free list of warm [`Fft2dScratch`] workspaces.
+///
+/// Execution layers that run work on short-lived threads (one thread per job
+/// attempt in the runtime pool) check a workspace out, install it with
+/// [`with_installed_scratch`] for the duration of the attempt, and restore
+/// it afterwards — so grown buffers, twiddle-table `Arc`s resolved through
+/// the planner, and memoized twist tables survive across attempts instead of
+/// dying with each thread.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::ScratchPool;
+///
+/// let pool = ScratchPool::new();
+/// let scratch = pool.checkout(); // empty on first use
+/// pool.restore(scratch);
+/// assert_eq!(pool.idle(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<Fft2dScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
     }
 
+    /// Takes a workspace from the free list, or creates an empty one.
+    pub fn checkout(&self) -> Fft2dScratch {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a workspace to the free list for the next checkout.
+    pub fn restore(&self, scratch: Fft2dScratch) {
+        self.free.lock().expect("scratch pool lock poisoned").push(scratch);
+    }
+
+    /// Number of idle workspaces currently in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("scratch pool lock poisoned").len()
+    }
 }
 
 thread_local! {
@@ -98,6 +221,58 @@ pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Fft2dScratch) -> R) -> R {
     })
 }
 
+/// Swaps `s` with the thread arena; returns `false` (and does nothing) if
+/// the arena is currently borrowed by an enclosing transform.
+fn swap_with_arena(s: &mut Fft2dScratch) -> bool {
+    ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => {
+            std::mem::swap(&mut *arena, s);
+            true
+        }
+        Err(_) => false,
+    })
+}
+
+/// Runs `f` with `scratch` installed as the current thread's FFT arena.
+///
+/// Every transform reached through [`with_thread_scratch`] during `f` — the
+/// whole simulator/optimizer stack — then reuses `scratch`'s warm buffers.
+/// The previous arena contents are restored on exit, including on panic, so
+/// the caller gets the (possibly further grown) workspace back in `scratch`
+/// and can return it to a [`ScratchPool`].
+///
+/// If the arena is already borrowed by an enclosing transform (re-entrant
+/// use), `f` simply runs without the installation.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{fft2_real, with_installed_scratch, Fft2dScratch};
+///
+/// let mut scratch = Fft2dScratch::new();
+/// let img = vec![1.0; 64 * 64];
+/// with_installed_scratch(&mut scratch, || {
+///     let _ = fft2_real(&img, 64, 64); // warms `scratch`, not the arena
+/// });
+/// assert!(scratch.capacity() > 0);
+/// ```
+pub fn with_installed_scratch<R>(scratch: &mut Fft2dScratch, f: impl FnOnce() -> R) -> R {
+    struct Restore<'a>(&'a mut Fft2dScratch);
+    impl Drop for Restore<'_> {
+        fn drop(&mut self) {
+            swap_with_arena(self.0);
+        }
+    }
+
+    if !swap_with_arena(scratch) {
+        return f();
+    }
+    let restore = Restore(scratch);
+    let result = f();
+    drop(restore);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +299,66 @@ mod tests {
             })
         });
         assert_eq!(nested, 0);
+    }
+
+    #[test]
+    fn twist_cache_memoizes_and_bounds_entries() {
+        let mut cache = TwistCache::default();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let t = cache.get_or_build((64, 5, true), || {
+                builds += 1;
+                vec![Complex64::ONE; 4]
+            });
+            assert_eq!(t.len(), 4);
+        }
+        assert_eq!(builds, 1, "same key must not rebuild");
+        for n in 0..2 * TWIST_CACHE_CAP {
+            cache.get_or_build((128 + n, 5, false), || vec![Complex64::ONE; 1]);
+        }
+        assert!(cache.entries.len() <= TWIST_CACHE_CAP);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_workspaces() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut s = pool.checkout();
+        grown(&mut s.panel, 256);
+        let warmed = s.capacity();
+        pool.restore(s);
+        assert_eq!(pool.idle(), 1);
+        let back = pool.checkout();
+        assert_eq!(back.capacity(), warmed, "checkout must return the warm workspace");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn installed_scratch_captures_arena_growth() {
+        let mut scratch = Fft2dScratch::new();
+        with_installed_scratch(&mut scratch, || {
+            with_thread_scratch(|arena| {
+                grown(&mut arena.band, 512);
+            });
+        });
+        assert!(scratch.capacity() >= 512, "growth must land in the installed scratch");
+    }
+
+    #[test]
+    fn installed_scratch_restores_arena_on_panic() {
+        let before = with_thread_scratch(|arena| arena.capacity());
+        let mut scratch = Fft2dScratch::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_installed_scratch(&mut scratch, || {
+                with_thread_scratch(|arena| {
+                    grown(&mut arena.grid, 64);
+                });
+                panic!("boom");
+            })
+        }));
+        assert!(caught.is_err());
+        assert!(scratch.capacity() >= 64, "panicked work still lands in the scratch");
+        let after = with_thread_scratch(|arena| arena.capacity());
+        assert_eq!(before, after, "arena must be restored after a panic");
     }
 }

@@ -1,0 +1,550 @@
+//! Runtime-dispatched SIMD butterfly kernels.
+//!
+//! The kernel is selected **once per process** from CPU feature detection
+//! (`is_x86_feature_detected!`) and the `ILT_FFT_FORCE_SCALAR` environment
+//! variable, then cached; every [`crate::FftPlan::process`] call dispatches
+//! through the cached choice with zero per-call detection cost.
+//!
+//! ## Bit-compatibility contract
+//!
+//! Every SIMD kernel performs **exactly the same IEEE-754 operations in the
+//! same order** as the scalar reference in `plan.rs`:
+//!
+//! * complex multiply uses separate `mul`/`addsub` (or `mul`/`xor`/`add` on
+//!   SSE2) — never FMA, which would contract `a*c - b*d` into a differently
+//!   rounded result;
+//! * the imaginary part exploits only the bitwise-safe commutativity of IEEE
+//!   addition (`x.re*w.im + x.im*w.re` vs `x.im*w.re + x.re*w.im`);
+//! * the `±i` rotation is a lane swap plus a sign-bit XOR, exact in both
+//!   paths;
+//! * subtraction via `a + (-b)` (SSE2 path) is bitwise equal to `a - b`.
+//!
+//! Consequently `process` and `process_scalar` agree bit-for-bit, printed
+//! masks do not depend on the host CPU, and `ILT_FFT_FORCE_SCALAR=1` runs
+//! reproduce SIMD runs exactly. `crates/ilt-fft/tests/kernel_guard.rs` pins
+//! this contract.
+
+use std::sync::OnceLock;
+
+/// Which butterfly implementation `FftPlan::process` dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Kernel {
+    /// 256-bit lanes, two complex values per butterfly step.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    Avx2,
+    /// 128-bit lanes, one complex value per butterfly step.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    Sse2,
+    /// Portable reference path.
+    Scalar,
+}
+
+impl Kernel {
+    fn name(self) -> &'static str {
+        match self {
+            Kernel::Avx2 => "avx2",
+            Kernel::Sse2 => "sse2",
+            Kernel::Scalar => "scalar",
+        }
+    }
+}
+
+/// The process-wide kernel choice, computed once.
+pub(crate) fn active() -> Kernel {
+    static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+    *ACTIVE.get_or_init(detect)
+}
+
+/// Name of the butterfly kernel selected for this process: `"avx2"`,
+/// `"sse2"`, or `"scalar"`.
+///
+/// Benchmark environment stamps record this so baselines from different
+/// machines are comparable; set `ILT_FFT_FORCE_SCALAR=1` before the first
+/// transform to pin `"scalar"`.
+///
+/// # Examples
+///
+/// ```
+/// let k = ilt_fft::active_kernel();
+/// assert!(["avx2", "sse2", "scalar"].contains(&k));
+/// ```
+pub fn active_kernel() -> &'static str {
+    active().name()
+}
+
+fn detect() -> Kernel {
+    if std::env::var("ILT_FFT_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+    {
+        return Kernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return Kernel::Avx2;
+        }
+        if is_x86_feature_detected!("sse2") {
+            return Kernel::Sse2;
+        }
+    }
+    Kernel::Scalar
+}
+
+/// Runs one fused radix-4 stage (`t >= 2`) with the given kernel. The safe
+/// boundary of the crate's only unsafe code: the SIMD paths require the CPU
+/// features verified once by [`detect`].
+pub(crate) fn radix4_stage(
+    data: &mut [crate::complex::Complex64],
+    stage: &crate::plan::Radix4Stage,
+    forward: bool,
+    kernel: Kernel,
+) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::radix4_stage_avx2(data, stage, forward) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::radix4_stage_sse2(data, stage, forward) },
+        _ => crate::plan::radix4_stage_scalar(data, stage, forward),
+    }
+}
+
+/// Runs the twiddle-free leading radix-2 pass with the given kernel.
+pub(crate) fn radix2_pairs(data: &mut [crate::complex::Complex64], kernel: Kernel) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::radix2_pairs_avx(data) },
+        _ => crate::plan::radix2_pairs_scalar(data),
+    }
+}
+
+/// Runs the twiddle-free `t == 1` fused radix-4 stage with the given kernel.
+pub(crate) fn radix4_stage1(
+    data: &mut [crate::complex::Complex64],
+    forward: bool,
+    kernel: Kernel,
+) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::radix4_stage1_avx(data, forward) },
+        _ => crate::plan::radix4_stage1_scalar(data, forward),
+    }
+}
+
+/// Runs the twiddle-free leading radix-2 pass across the rows of a
+/// `rows x width` panel ([`crate::FftPlan::process_cols`]).
+pub(crate) fn radix2_rows(panel: &mut [crate::complex::Complex64], width: usize, kernel: Kernel) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 if width % 2 == 0 => unsafe { x86::radix2_rows_avx(panel, width) },
+        _ => crate::plan::radix2_rows_scalar(panel, width),
+    }
+}
+
+/// Runs the `t == 1` fused radix-4 stage across panel columns.
+pub(crate) fn radix4_stage1_cols(
+    panel: &mut [crate::complex::Complex64],
+    width: usize,
+    forward: bool,
+    kernel: Kernel,
+) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 if width % 2 == 0 => unsafe {
+            x86::radix4_stage1_cols_avx(panel, width, forward)
+        },
+        _ => crate::plan::radix4_stage1_cols_scalar(panel, width, forward),
+    }
+}
+
+/// Runs a fused radix-4 stage (`t >= 2`) across panel columns: the twiddles
+/// are broadcast once per butterfly row, and the vectors are unit-stride.
+pub(crate) fn radix4_stage_cols(
+    panel: &mut [crate::complex::Complex64],
+    width: usize,
+    stage: &crate::plan::Radix4Stage,
+    forward: bool,
+    kernel: Kernel,
+) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 if width % 2 == 0 => unsafe {
+            x86::radix4_stage_cols_avx(panel, width, stage, forward)
+        },
+        _ => crate::plan::radix4_stage_cols_scalar(panel, width, stage, forward),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    use crate::complex::Complex64;
+    use crate::plan::Radix4Stage;
+
+    /// Complex multiply of two packed pairs `x * w`, matching the scalar
+    /// `re = x.re*w.re - x.im*w.im; im = x.re*w.im + x.im*w.re` bit-for-bit.
+    #[inline(always)]
+    unsafe fn cmul256(x: __m256d, w: __m256d) -> __m256d {
+        let wr = _mm256_movedup_pd(w); // [w0.re, w0.re, w1.re, w1.re]
+        let wi = _mm256_permute_pd(w, 0b1111); // [w0.im, w0.im, w1.im, w1.im]
+        let xs = _mm256_permute_pd(x, 0b0101); // [x0.im, x0.re, x1.im, x1.re]
+        _mm256_addsub_pd(_mm256_mul_pd(x, wr), _mm256_mul_pd(xs, wi))
+    }
+
+    /// Fused radix-4 stage over 256-bit lanes (two complex values per step).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available (checked once by `detect`).
+    /// Requires `stage.t >= 2` so the inner loop advances two twiddles at a
+    /// time; `data.len()` is a multiple of `4 * stage.t` by plan
+    /// construction.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn radix4_stage_avx2(
+        data: &mut [Complex64],
+        stage: &Radix4Stage,
+        forward: bool,
+    ) {
+        let t = stage.t;
+        debug_assert!(t >= 2 && t % 2 == 0);
+        let stride = 4 * t;
+        let n = data.len();
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let w1 = stage.w1.as_ptr() as *const f64;
+        let w2 = stage.w2.as_ptr() as *const f64;
+        let w3 = stage.w3.as_ptr() as *const f64;
+        // Sign mask implementing s*z (s = -i forward / +i inverse) as a lane
+        // swap plus XOR: forward negates the post-swap imaginary lanes,
+        // inverse the real lanes. `_mm256_set_pd` takes lanes high-to-low.
+        let sigma_mask = if forward {
+            _mm256_set_pd(-0.0, 0.0, -0.0, 0.0)
+        } else {
+            _mm256_set_pd(0.0, -0.0, 0.0, -0.0)
+        };
+
+        let mut base = 0usize;
+        while base < n {
+            let mut j = 0usize;
+            while j < t {
+                let pa = ptr.add(2 * (base + j));
+                let pb = ptr.add(2 * (base + j + t));
+                let pc = ptr.add(2 * (base + j + 2 * t));
+                let pd = ptr.add(2 * (base + j + 3 * t));
+                let a = _mm256_loadu_pd(pa);
+                let u1 = cmul256(_mm256_loadu_pd(pb), _mm256_loadu_pd(w2.add(2 * j)));
+                let u2 = cmul256(_mm256_loadu_pd(pc), _mm256_loadu_pd(w1.add(2 * j)));
+                let u3 = cmul256(_mm256_loadu_pd(pd), _mm256_loadu_pd(w3.add(2 * j)));
+                let t0 = _mm256_add_pd(a, u1);
+                let t1 = _mm256_sub_pd(a, u1);
+                let t2 = _mm256_add_pd(u2, u3);
+                let t3 = _mm256_sub_pd(u2, u3);
+                let s3 = _mm256_xor_pd(_mm256_permute_pd(t3, 0b0101), sigma_mask);
+                _mm256_storeu_pd(pa, _mm256_add_pd(t0, t2));
+                _mm256_storeu_pd(pb, _mm256_add_pd(t1, s3));
+                _mm256_storeu_pd(pc, _mm256_sub_pd(t0, t2));
+                _mm256_storeu_pd(pd, _mm256_sub_pd(t1, s3));
+                j += 2;
+            }
+            base += stride;
+        }
+    }
+
+    /// Leading radix-2 pass: two adjacent pairs per iteration, recombined
+    /// across 128-bit halves so the adds happen 2-wide. Pure add/sub, so
+    /// trivially bit-identical to the scalar pass.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn radix2_pairs_avx(data: &mut [Complex64]) {
+        let n = data.len();
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v01 = _mm256_loadu_pd(ptr.add(2 * i)); // [a0, b0]
+            let v23 = _mm256_loadu_pd(ptr.add(2 * i + 4)); // [a1, b1]
+            let a = _mm256_permute2f128_pd(v01, v23, 0x20); // [a0, a1]
+            let b = _mm256_permute2f128_pd(v01, v23, 0x31); // [b0, b1]
+            let sum = _mm256_add_pd(a, b);
+            let dif = _mm256_sub_pd(a, b);
+            _mm256_storeu_pd(ptr.add(2 * i), _mm256_permute2f128_pd(sum, dif, 0x20));
+            _mm256_storeu_pd(ptr.add(2 * i + 4), _mm256_permute2f128_pd(sum, dif, 0x31));
+            i += 4;
+        }
+        while i < n {
+            let a = data[i];
+            let b = data[i + 1];
+            data[i] = a + b;
+            data[i + 1] = a - b;
+            i += 2;
+        }
+    }
+
+    /// The `t == 1` fused radix-4 stage: four adjacent complexes per block,
+    /// no twiddle multiplies; cross-lane recombination keeps every add/sub
+    /// and the sigma sign flip identical to the scalar stage.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available. `data.len()` is a multiple of 4
+    /// by plan construction.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn radix4_stage1_avx(data: &mut [Complex64], forward: bool) {
+        let n = data.len();
+        let ptr = data.as_mut_ptr() as *mut f64;
+        // After the [t1, t3] -> [t1, swap(t3)] permute, forward negates the
+        // new imaginary lane of t3 (element 3), inverse its real lane
+        // (element 2).
+        let sigma = if forward {
+            _mm256_set_pd(-0.0, 0.0, 0.0, 0.0)
+        } else {
+            _mm256_set_pd(0.0, -0.0, 0.0, 0.0)
+        };
+        let mut i = 0usize;
+        while i < n {
+            let v01 = _mm256_loadu_pd(ptr.add(2 * i)); // [a, b]
+            let v23 = _mm256_loadu_pd(ptr.add(2 * i + 4)); // [c, d]
+            let ac = _mm256_permute2f128_pd(v01, v23, 0x20); // [a, c]
+            let bd = _mm256_permute2f128_pd(v01, v23, 0x31); // [b, d]
+            let sum = _mm256_add_pd(ac, bd); // [t0, t2]
+            let dif = _mm256_sub_pd(ac, bd); // [t1, t3]
+            // [t1, s*t3]: identity low lane, swap + sign flip high lane.
+            let sdif = _mm256_xor_pd(_mm256_permute_pd(dif, 0b0110), sigma);
+            let lows = _mm256_permute2f128_pd(sum, sdif, 0x20); // [t0, t1]
+            let highs = _mm256_permute2f128_pd(sum, sdif, 0x31); // [t2, s*t3]
+            _mm256_storeu_pd(ptr.add(2 * i), _mm256_add_pd(lows, highs)); // [A, B]
+            _mm256_storeu_pd(ptr.add(2 * i + 4), _mm256_sub_pd(lows, highs)); // [C, D]
+            i += 4;
+        }
+    }
+
+    /// Complex multiply of two packed values by one broadcast twiddle
+    /// (`wr = [w.re; 4]`, `wi = [w.im; 4]`), bit-identical to the scalar
+    /// formula by the same argument as [`cmul256`].
+    #[inline(always)]
+    unsafe fn cmul_bcast(x: __m256d, wr: __m256d, wi: __m256d) -> __m256d {
+        let xs = _mm256_permute_pd(x, 0b0101); // [x0.im, x0.re, x1.im, x1.re]
+        _mm256_addsub_pd(_mm256_mul_pd(x, wr), _mm256_mul_pd(xs, wi))
+    }
+
+    /// Leading radix-2 pass across adjacent rows of a `rows x width` panel:
+    /// the two butterfly inputs sit in different rows, so the vectors are
+    /// unit-stride and no cross-lane shuffles are needed at all.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available and `width` is even.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn radix2_rows_avx(panel: &mut [Complex64], width: usize) {
+        let ptr = panel.as_mut_ptr() as *mut f64;
+        let n = panel.len();
+        let mut r0 = 0usize;
+        while r0 < n {
+            let top = ptr.add(2 * r0);
+            let bot = ptr.add(2 * (r0 + width));
+            let mut k = 0usize;
+            while k < width {
+                let a = _mm256_loadu_pd(top.add(2 * k));
+                let b = _mm256_loadu_pd(bot.add(2 * k));
+                _mm256_storeu_pd(top.add(2 * k), _mm256_add_pd(a, b));
+                _mm256_storeu_pd(bot.add(2 * k), _mm256_sub_pd(a, b));
+                k += 2;
+            }
+            r0 += 2 * width;
+        }
+    }
+
+    /// The `t == 1` fused stage across columns: inputs live in four adjacent
+    /// rows, so unlike [`radix4_stage1_avx`] no half-lane recombination is
+    /// needed — just the sigma swap-and-flip on `t3`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available and `width` is even.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn radix4_stage1_cols_avx(
+        panel: &mut [Complex64],
+        width: usize,
+        forward: bool,
+    ) {
+        let ptr = panel.as_mut_ptr() as *mut f64;
+        let n = panel.len();
+        let sigma_mask = if forward {
+            _mm256_set_pd(-0.0, 0.0, -0.0, 0.0)
+        } else {
+            _mm256_set_pd(0.0, -0.0, 0.0, -0.0)
+        };
+        let mut r0 = 0usize;
+        while r0 < n {
+            let pa = ptr.add(2 * r0);
+            let pb = ptr.add(2 * (r0 + width));
+            let pc = ptr.add(2 * (r0 + 2 * width));
+            let pd = ptr.add(2 * (r0 + 3 * width));
+            let mut k = 0usize;
+            while k < width {
+                let o = 2 * k;
+                let a = _mm256_loadu_pd(pa.add(o));
+                let b = _mm256_loadu_pd(pb.add(o));
+                let c = _mm256_loadu_pd(pc.add(o));
+                let d = _mm256_loadu_pd(pd.add(o));
+                let t0 = _mm256_add_pd(a, b);
+                let t1 = _mm256_sub_pd(a, b);
+                let t2 = _mm256_add_pd(c, d);
+                let t3 = _mm256_sub_pd(c, d);
+                let s3 = _mm256_xor_pd(_mm256_permute_pd(t3, 0b0101), sigma_mask);
+                _mm256_storeu_pd(pa.add(o), _mm256_add_pd(t0, t2));
+                _mm256_storeu_pd(pb.add(o), _mm256_add_pd(t1, s3));
+                _mm256_storeu_pd(pc.add(o), _mm256_sub_pd(t0, t2));
+                _mm256_storeu_pd(pd.add(o), _mm256_sub_pd(t1, s3));
+                k += 2;
+            }
+            r0 += 4 * width;
+        }
+    }
+
+    /// Fused radix-4 stage (`t >= 2`) across panel columns. Each butterfly
+    /// row broadcasts its three twiddles once (six registers) and streams
+    /// four unit-stride rows — the highest-throughput shape of the kernel
+    /// family, used by the blocked 2-D column pass.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available and `width` is even.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn radix4_stage_cols_avx(
+        panel: &mut [Complex64],
+        width: usize,
+        stage: &Radix4Stage,
+        forward: bool,
+    ) {
+        let t = stage.t;
+        let stride = 4 * t * width;
+        let n = panel.len();
+        let ptr = panel.as_mut_ptr() as *mut f64;
+        let sigma_mask = if forward {
+            _mm256_set_pd(-0.0, 0.0, -0.0, 0.0)
+        } else {
+            _mm256_set_pd(0.0, -0.0, 0.0, -0.0)
+        };
+
+        let mut base = 0usize;
+        while base < n {
+            for j in 0..t {
+                let w1 = stage.w1[j];
+                let w2 = stage.w2[j];
+                let w3 = stage.w3[j];
+                let w1r = _mm256_set1_pd(w1.re);
+                let w1i = _mm256_set1_pd(w1.im);
+                let w2r = _mm256_set1_pd(w2.re);
+                let w2i = _mm256_set1_pd(w2.im);
+                let w3r = _mm256_set1_pd(w3.re);
+                let w3i = _mm256_set1_pd(w3.im);
+                let pa = ptr.add(2 * (base + j * width));
+                let pb = ptr.add(2 * (base + (j + t) * width));
+                let pc = ptr.add(2 * (base + (j + 2 * t) * width));
+                let pd = ptr.add(2 * (base + (j + 3 * t) * width));
+                let mut k = 0usize;
+                while k < width {
+                    let o = 2 * k;
+                    let a = _mm256_loadu_pd(pa.add(o));
+                    let u1 = cmul_bcast(_mm256_loadu_pd(pb.add(o)), w2r, w2i);
+                    let u2 = cmul_bcast(_mm256_loadu_pd(pc.add(o)), w1r, w1i);
+                    let u3 = cmul_bcast(_mm256_loadu_pd(pd.add(o)), w3r, w3i);
+                    let t0 = _mm256_add_pd(a, u1);
+                    let t1 = _mm256_sub_pd(a, u1);
+                    let t2 = _mm256_add_pd(u2, u3);
+                    let t3 = _mm256_sub_pd(u2, u3);
+                    let s3 = _mm256_xor_pd(_mm256_permute_pd(t3, 0b0101), sigma_mask);
+                    _mm256_storeu_pd(pa.add(o), _mm256_add_pd(t0, t2));
+                    _mm256_storeu_pd(pb.add(o), _mm256_add_pd(t1, s3));
+                    _mm256_storeu_pd(pc.add(o), _mm256_sub_pd(t0, t2));
+                    _mm256_storeu_pd(pd.add(o), _mm256_sub_pd(t1, s3));
+                    k += 2;
+                }
+            }
+            base += stride;
+        }
+    }
+
+    /// Complex multiply on one 128-bit lane. Subtraction of the `im*im`
+    /// cross term is realized as `xor` of the sign bit plus `add`, which is
+    /// bitwise equal to `sub` (SSE2 has no `addsub`; that arrived in SSE3).
+    #[inline(always)]
+    unsafe fn cmul128(x: __m128d, w: __m128d, neg_lo: __m128d) -> __m128d {
+        let wr = _mm_shuffle_pd(w, w, 0b00); // [w.re, w.re]
+        let wi = _mm_shuffle_pd(w, w, 0b11); // [w.im, w.im]
+        let xs = _mm_shuffle_pd(x, x, 0b01); // [x.im, x.re]
+        let prod = _mm_mul_pd(x, wr);
+        let cross = _mm_xor_pd(_mm_mul_pd(xs, wi), neg_lo); // [-x.im*w.im, x.re*w.im]
+        _mm_add_pd(prod, cross)
+    }
+
+    /// Fused radix-4 stage over 128-bit lanes (one complex value per step).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure SSE2 is available (always true on x86_64; checked
+    /// once by `detect`). Requires `stage.t >= 2`.
+    #[target_feature(enable = "sse2")]
+    pub(crate) unsafe fn radix4_stage_sse2(
+        data: &mut [Complex64],
+        stage: &Radix4Stage,
+        forward: bool,
+    ) {
+        let t = stage.t;
+        debug_assert!(t >= 2);
+        let stride = 4 * t;
+        let n = data.len();
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let w1 = stage.w1.as_ptr() as *const f64;
+        let w2 = stage.w2.as_ptr() as *const f64;
+        let w3 = stage.w3.as_ptr() as *const f64;
+        let neg_lo = _mm_set_pd(0.0, -0.0);
+        let sigma_mask = if forward {
+            _mm_set_pd(-0.0, 0.0)
+        } else {
+            _mm_set_pd(0.0, -0.0)
+        };
+
+        let mut base = 0usize;
+        while base < n {
+            for j in 0..t {
+                let pa = ptr.add(2 * (base + j));
+                let pb = ptr.add(2 * (base + j + t));
+                let pc = ptr.add(2 * (base + j + 2 * t));
+                let pd = ptr.add(2 * (base + j + 3 * t));
+                let a = _mm_loadu_pd(pa);
+                let u1 = cmul128(_mm_loadu_pd(pb), _mm_loadu_pd(w2.add(2 * j)), neg_lo);
+                let u2 = cmul128(_mm_loadu_pd(pc), _mm_loadu_pd(w1.add(2 * j)), neg_lo);
+                let u3 = cmul128(_mm_loadu_pd(pd), _mm_loadu_pd(w3.add(2 * j)), neg_lo);
+                let t0 = _mm_add_pd(a, u1);
+                let t1 = _mm_sub_pd(a, u1);
+                let t2 = _mm_add_pd(u2, u3);
+                let t3 = _mm_sub_pd(u2, u3);
+                let s3 = _mm_xor_pd(_mm_shuffle_pd(t3, t3, 0b01), sigma_mask);
+                _mm_storeu_pd(pa, _mm_add_pd(t0, t2));
+                _mm_storeu_pd(pb, _mm_add_pd(t1, s3));
+                _mm_storeu_pd(pc, _mm_sub_pd(t0, t2));
+                _mm_storeu_pd(pd, _mm_sub_pd(t1, s3));
+            }
+            base += stride;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_kernel_is_a_known_name() {
+        assert!(["avx2", "sse2", "scalar"].contains(&active_kernel()));
+    }
+
+    #[test]
+    fn active_is_cached() {
+        assert_eq!(active(), active());
+    }
+}

@@ -1,0 +1,220 @@
+//! Guard for the rebuilt spectral kernels: the radix-4 plan, the SIMD
+//! butterflies, the pruned (crop-fused) forward, and the batched 2-D paths
+//! are all pinned here against dense scalar references through the public
+//! API, across sizes 8..=1024 and kernel supports P in {1, 7, 25, N}.
+//!
+//! Two kinds of pin. Paths that re-associate the arithmetic (pruned
+//! transforms compute the same spectrum through a different factorization)
+//! are held to 1e-12 relative to the reference scale. Paths that promise
+//! the *same* arithmetic (SIMD vs. scalar, batch vs. sequential) are held
+//! to bit identity via `to_bits` — no tolerance at all.
+
+use ilt_fft::{
+    crop_centered, pad_centered_into, Complex64, Direction, Fft2d, FftPlan,
+};
+
+/// xorshift64* — deterministic fixtures without pulling in another crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        let bits = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (bits >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn complex_buf(&mut self, len: usize) -> Vec<Complex64> {
+        (0..len).map(|_| Complex64::new(self.next_f64(), self.next_f64())).collect()
+    }
+
+    fn real_buf(&mut self, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.next_f64()).collect()
+    }
+}
+
+/// O(n^2) textbook DFT: the ground truth no factorization shares.
+fn naive_dft(data: &[Complex64], direction: Direction) -> Vec<Complex64> {
+    let n = data.len();
+    let sign = direction.sign();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &x) in data.iter().enumerate() {
+            let angle = sign * std::f64::consts::TAU * (k as f64) * (j as f64) / n as f64;
+            acc = acc + x * Complex64::new(angle.cos(), angle.sin());
+        }
+        *slot = acc;
+    }
+    if direction == Direction::Inverse {
+        let scale = 1.0 / n as f64;
+        for z in &mut out {
+            *z = z.scale(scale);
+        }
+    }
+    out
+}
+
+fn assert_close(got: &[Complex64], want: &[Complex64], tol: f64, what: &str) {
+    let scale = want.iter().map(|z| z.abs()).fold(1.0, f64::max);
+    let worst = got.iter().zip(want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+    assert!(
+        worst <= tol * scale,
+        "{what}: |diff| {worst:e} exceeds {tol:e} * scale {scale:e}"
+    );
+}
+
+fn assert_bits(got: &[Complex64], want: &[Complex64], what: &str) {
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "{what}: bit divergence at {i}: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// The supports the pruned paths are pinned at: degenerate (1), odd and
+/// coprime with 4 (7), the production kernel support (25), and the
+/// no-pruning edge P == N.
+fn supports(n: usize) -> Vec<usize> {
+    let mut ps: Vec<usize> = [1, 7, 25, n].into_iter().filter(|&p| p <= n).collect();
+    ps.dedup();
+    ps
+}
+
+#[test]
+fn radix4_plan_matches_the_naive_dft() {
+    // Both parities of log2(n) — odd hits the leading radix-2 pass.
+    for bits in 3..=8 {
+        let n = 1usize << bits;
+        let mut rng = Rng(0x9E37_79B9 ^ n as u64);
+        let input = rng.complex_buf(n);
+        for direction in [Direction::Forward, Direction::Inverse] {
+            let want = naive_dft(&input, direction);
+            let mut got = input.clone();
+            FftPlan::new(n, direction).process(&mut got);
+            // The naive sum's own rounding dominates this bound.
+            assert_close(&got, &want, 1e-10, &format!("radix-4 {direction:?} n={n}"));
+        }
+    }
+}
+
+#[test]
+fn simd_paths_are_bit_identical_to_scalar_through_1024() {
+    for bits in 3..=10 {
+        let n = 1usize << bits;
+        let mut rng = Rng(0xDEAD_BEEF ^ n as u64);
+        let input = rng.complex_buf(n);
+        for direction in [Direction::Forward, Direction::Inverse] {
+            let plan = FftPlan::new(n, direction);
+            let mut scalar = input.clone();
+            plan.process_scalar(&mut scalar);
+            let mut fast = input.clone();
+            plan.process(&mut fast);
+            assert_bits(&fast, &scalar, &format!("process {direction:?} n={n}"));
+
+            // The column-parallel kernel: every column must get exactly
+            // the single-column transform, whatever the panel width.
+            for width in [1usize, 2, 5, 8] {
+                let panel: Vec<Complex64> = rng.complex_buf(n * width);
+                let mut want = panel.clone();
+                for c in 0..width {
+                    let mut col: Vec<Complex64> =
+                        (0..n).map(|r| panel[r * width + c]).collect();
+                    plan.process_scalar(&mut col);
+                    for (r, z) in col.into_iter().enumerate() {
+                        want[r * width + c] = z;
+                    }
+                }
+                let mut fast = panel.clone();
+                plan.process_cols(&mut fast, width);
+                assert_bits(
+                    &fast,
+                    &want,
+                    &format!("process_cols {direction:?} n={n} width={width}"),
+                );
+                let mut scalar_cols = panel.clone();
+                plan.process_cols_scalar(&mut scalar_cols, width);
+                assert_bits(
+                    &scalar_cols,
+                    &want,
+                    &format!("process_cols_scalar {direction:?} n={n} width={width}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_forward_matches_dense_crop_across_sizes_and_supports() {
+    for n in [8usize, 16, 64, 256, 1024] {
+        let fft = Fft2d::new(n, n);
+        let mut rng = Rng(0x5EED ^ n as u64);
+        let img = rng.real_buf(n * n);
+
+        let mut dense: Vec<Complex64> =
+            img.iter().map(|&x| Complex64::from_real(x)).collect();
+        fft.forward(&mut dense);
+
+        for p in supports(n) {
+            let want = crop_centered(&dense, n, p);
+            let label = format!("n={n} p={p}");
+
+            let complex_input: Vec<Complex64> =
+                img.iter().map(|&x| Complex64::from_real(x)).collect();
+            let mut got = vec![Complex64::ZERO; p * p];
+            fft.forward_cropped(&complex_input, p, &mut got);
+            assert_close(&got, &want, 1e-12, &format!("forward_cropped {label}"));
+
+            let mut got_real = vec![Complex64::ZERO; p * p];
+            fft.forward_real_cropped(&img, p, &mut got_real);
+            assert_close(&got_real, &want, 1e-12, &format!("forward_real_cropped {label}"));
+        }
+    }
+}
+
+#[test]
+fn pruned_inverse_matches_dense_pad_across_sizes_and_supports() {
+    for n in [8usize, 16, 64, 256, 1024] {
+        let fft = Fft2d::new(n, n);
+        let mut rng = Rng(0xBADC_0FFE ^ n as u64);
+        for p in supports(n) {
+            let spec = rng.complex_buf(p * p);
+            let mut want = vec![Complex64::ZERO; n * n];
+            pad_centered_into(&spec, p, &mut want, n);
+            fft.inverse(&mut want);
+
+            let mut got = vec![Complex64::ZERO; n * n];
+            fft.inverse_padded(&spec, p, &mut got);
+            assert_close(&got, &want, 1e-12, &format!("inverse_padded n={n} p={p}"));
+        }
+    }
+}
+
+#[test]
+fn batched_paths_are_bit_identical_to_sequential() {
+    let (n, p, k) = (64usize, 7usize, 3usize);
+    let fft = Fft2d::new(n, n);
+    let mut rng = Rng(0xB47C_4ED5);
+
+    let imgs: Vec<Vec<f64>> = (0..k).map(|_| rng.real_buf(n * n)).collect();
+    let img_refs: Vec<&[f64]> = imgs.iter().map(|v| v.as_slice()).collect();
+    let batch = fft.forward_real_batch(&img_refs);
+    assert_eq!(batch.len(), k);
+    for (i, img) in imgs.iter().enumerate() {
+        let want = fft.forward_real(img);
+        assert_bits(&batch[i], &want, &format!("forward_real_batch item {i}"));
+    }
+
+    let specs: Vec<Vec<Complex64>> = (0..k).map(|_| rng.complex_buf(p * p)).collect();
+    let spec_refs: Vec<&[Complex64]> = specs.iter().map(|v| v.as_slice()).collect();
+    let mut seen = vec![false; k];
+    fft.inverse_padded_batch(&spec_refs, p, |i, z| {
+        let mut want = vec![Complex64::ZERO; n * n];
+        fft.inverse_padded(&specs[i], p, &mut want);
+        assert_bits(z, &want, &format!("inverse_padded_batch item {i}"));
+        seen[i] = true;
+    });
+    assert!(seen.iter().all(|&s| s), "batch skipped a spectrum");
+}

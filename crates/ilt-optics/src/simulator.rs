@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use ilt_fft::{crop_centered, with_thread_scratch, Complex64, Fft2d, Fft2dScratch};
+use ilt_fft::{with_thread_scratch, Complex64, Fft2d, Fft2dScratch};
 use ilt_field::Field2D;
 
 use crate::config::OpticsConfig;
@@ -226,11 +226,12 @@ impl LithoSimulator {
 
     /// Like [`LithoSimulator::aerial`], returning the adjoint cache as well.
     ///
-    /// The hot path: one real-input forward FFT of the mask (Hermitian row
-    /// packing) plus one **pruned** padded inverse per kernel
-    /// ([`Fft2d::inverse_padded_with`]), all running on the calling thread's
-    /// reusable FFT workspace so batch workers never allocate scratch in the
-    /// per-kernel loop.
+    /// The hot path: one **pruned** real-input forward FFT of the mask
+    /// ([`Fft2d::forward_real_cropped_with`] — only the retained `P x P`
+    /// band is ever computed) plus one batch of pruned padded inverses over
+    /// the kernels ([`Fft2d::inverse_padded_batch_with`]), all running on
+    /// the calling thread's reusable FFT workspace so batch workers never
+    /// allocate scratch in the per-kernel loop.
     pub fn aerial_with_cache(&self, mask: &Field2D, defocus: bool) -> (Field2D, AerialCache) {
         with_thread_scratch(|scratch| self.aerial_with_cache_scratch(mask, defocus, scratch))
     }
@@ -246,27 +247,72 @@ impl LithoSimulator {
         let p = kernels.p();
         let fft = self.fft(m);
 
-        let mut spec = vec![Complex64::ZERO; m * m];
-        fft.forward_real_with(mask.as_slice(), &mut spec, scratch);
-        let low = crop_centered(&spec, m, p);
-
-        let mut intensity = vec![0.0; m * m];
-        let mut buf = spec; // reuse the spectrum buffer for the inverses
-        let mut cached = Vec::with_capacity(kernels.num_kernels());
-        for k in 0..kernels.num_kernels() {
-            let w = kernels.weights()[k];
-            let hk = kernels.spectrum(k);
-            let sk: Vec<Complex64> = hk.iter().zip(&low).map(|(&h, &f)| h * f).collect();
-            fft.inverse_padded_with(&sk, p, &mut buf, scratch);
-            for (i, z) in buf.iter().enumerate() {
-                intensity[i] += w * z.norm_sqr();
-            }
-            cached.push(sk);
-        }
+        let mut low = vec![Complex64::ZERO; p * p];
+        fft.forward_real_cropped_with(mask.as_slice(), p, &mut low, scratch);
+        let (intensity, cached) = self.aerial_from_low(&fft, kernels, &low, m, scratch);
         (
             Field2D::from_vec(m, m, intensity),
             AerialCache { m, defocus, spectra: cached },
         )
+    }
+
+    /// Shared tail of every aerial evaluation: weight the cropped mask
+    /// spectrum by each kernel, invert the whole batch through one warm
+    /// workspace, and accumulate `sum_k w_k |z_k|^2`.
+    fn aerial_from_low(
+        &self,
+        fft: &Fft2d,
+        kernels: &KernelSet,
+        low: &[Complex64],
+        m: usize,
+        scratch: &mut Fft2dScratch,
+    ) -> (Vec<f64>, Vec<Vec<Complex64>>) {
+        let p = kernels.p();
+        let cached: Vec<Vec<Complex64>> = (0..kernels.num_kernels())
+            .map(|k| {
+                kernels.spectrum(k).iter().zip(low).map(|(&h, &f)| h * f).collect()
+            })
+            .collect();
+        let refs: Vec<&[Complex64]> = cached.iter().map(|v| v.as_slice()).collect();
+        let weights = kernels.weights();
+        let mut intensity = vec![0.0; m * m];
+        fft.inverse_padded_batch_with(
+            &refs,
+            p,
+            |k, z| {
+                let w = weights[k];
+                for (acc, zv) in intensity.iter_mut().zip(z) {
+                    *acc += w * zv.norm_sqr();
+                }
+            },
+            scratch,
+        );
+        (intensity, cached)
+    }
+
+    /// Focused and defocused aerial images sharing a single pruned forward
+    /// transform of the mask (both kernel sets use the same `P`).
+    ///
+    /// This is the shape [`LithoSimulator::print_corners`] needs: the mask
+    /// spectrum is computed once instead of once per focus condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is not square/power-of-two or smaller than `P`.
+    pub fn aerial_pair(&self, mask: &Field2D) -> (Field2D, Field2D) {
+        with_thread_scratch(|scratch| {
+            let m = self.check_mask(mask);
+            let p = self.nominal.p();
+            let fft = self.fft(m);
+            let mut low = vec![Complex64::ZERO; p * p];
+            fft.forward_real_cropped_with(mask.as_slice(), p, &mut low, scratch);
+            let (focused, _) = self.aerial_from_low(&fft, &self.nominal, &low, m, scratch);
+            let (defocused, _) = self.aerial_from_low(&fft, &self.defocused, &low, m, scratch);
+            (
+                Field2D::from_vec(m, m, focused),
+                Field2D::from_vec(m, m, defocused),
+            )
+        })
     }
 
     /// Vector–Jacobian product of the aerial-image map: given
@@ -298,20 +344,20 @@ impl LithoSimulator {
         let g = grad.as_slice();
         let mut acc = vec![Complex64::ZERO; p * p];
         let mut buf = vec![Complex64::ZERO; m * m];
+        let mut cropped = vec![Complex64::ZERO; p * p];
         for (k, sk) in cache.spectra.iter().enumerate() {
             let w = kernels.weights()[k];
             let hk = kernels.spectrum(k);
             // Recompute z_k from the tiny cached spectrum (pruned inverse).
             fft.inverse_padded_with(sk, p, &mut buf, scratch);
             // u = g .* z_k, then back through the adjoint convolution. The
-            // forward here stays on the dense complex path: its input is a
-            // full-band complex product, so neither pruning nor the real
-            // row packing applies.
+            // input is a full-band complex product, so the real row packing
+            // does not apply — but the adjoint immediately crops to P x P,
+            // so the pruned forward skips every discarded frequency.
             for (z, &gi) in buf.iter_mut().zip(g) {
                 *z = z.scale(gi);
             }
-            fft.forward_with(&mut buf, scratch);
-            let cropped = crop_centered(&buf, m, p);
+            fft.forward_cropped_with(&buf, p, &mut cropped, scratch);
             let scale = 2.0 * w;
             for ((a, &h), &c) in acc.iter_mut().zip(hk).zip(&cropped) {
                 *a += (h.conj() * c).scale(scale);
@@ -343,23 +389,13 @@ impl LithoSimulator {
         let fft_n = self.fft(n);
         let fft_m = self.fft(m);
         with_thread_scratch(|scratch| {
-            let mut spec = vec![Complex64::ZERO; n * n];
-            fft_n.forward_real_with(mask.as_slice(), &mut spec, scratch);
-            let low = crop_centered(&spec, n, p);
+            let mut low = vec![Complex64::ZERO; p * p];
+            fft_n.forward_real_cropped_with(mask.as_slice(), p, &mut low, scratch);
             let bridge = 1.0 / (s * s) as f64; // normalization change N -> N/s
-
-            let mut intensity = vec![0.0; m * m];
-            let mut buf = vec![Complex64::ZERO; m * m];
-            for k in 0..kernels.num_kernels() {
-                let w = kernels.weights()[k];
-                let hk = kernels.spectrum(k);
-                let sk: Vec<Complex64> =
-                    hk.iter().zip(&low).map(|(&h, &f)| (h * f).scale(bridge)).collect();
-                fft_m.inverse_padded_with(&sk, p, &mut buf, scratch);
-                for (i, z) in buf.iter().enumerate() {
-                    intensity[i] += w * z.norm_sqr();
-                }
+            for z in &mut low {
+                *z = z.scale(bridge);
             }
+            let (intensity, _) = self.aerial_from_low(&fft_m, kernels, &low, m, scratch);
             Field2D::from_vec(m, m, intensity)
         })
     }
@@ -387,9 +423,8 @@ impl LithoSimulator {
     /// Prints at the three process corners (Definitions 1 and 2).
     pub fn print_corners(&self, mask: &Field2D) -> CornerPrints {
         // Nominal and outer share the focused aerial image; inner needs the
-        // defocused one. Two aerial evaluations, three prints.
-        let focused = self.aerial(mask, false);
-        let defocused = self.aerial(mask, true);
+        // defocused one. One mask transform, two kernel sweeps, three prints.
+        let (focused, defocused) = self.aerial_pair(mask);
         CornerPrints {
             nominal: self.resist_hard(&focused, ProcessCondition::nominal().dose),
             inner: self.resist_hard(&defocused, ProcessCondition::inner().dose),

@@ -180,6 +180,7 @@ mod tests {
             smoke: false,
             git_rev: "deadbeef".into(),
             threads: 4,
+            simd: "scalar".into(),
             extra: vec![],
         }
     }

@@ -85,6 +85,10 @@ pub struct EnvStamp {
     pub git_rev: String,
     /// Hardware threads available to the process.
     pub threads: usize,
+    /// Active FFT kernel (`avx2`, `sse2`, or `scalar`), as detected at
+    /// runtime — records whether a number was produced with SIMD
+    /// butterflies or the forced-scalar fallback.
+    pub simd: String,
 }
 
 /// Stamps the current environment. Never fails: a missing `git` binary or
@@ -100,7 +104,8 @@ pub fn env_stamp() -> EnvStamp {
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
     let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    EnvStamp { git_rev, threads }
+    let simd = ilt_fft::active_kernel().to_string();
+    EnvStamp { git_rev, threads, simd }
 }
 
 /// Chaos hook for the regression gate itself: sleeps for
@@ -146,5 +151,10 @@ mod tests {
         let env = env_stamp();
         assert!(env.threads >= 1);
         assert!(!env.git_rev.is_empty());
+        assert!(
+            ["avx2", "sse2", "scalar"].contains(&env.simd.as_str()),
+            "unexpected kernel stamp {:?}",
+            env.simd
+        );
     }
 }

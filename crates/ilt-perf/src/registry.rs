@@ -58,6 +58,33 @@ pub fn registry() -> Vec<Workload> {
             run: workloads::fft::real_forward,
         },
         Workload {
+            name: "fft_pruned_forward",
+            tags: &["fft"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "pruned real forward (forward_real_cropped_with) at N=1024, P=25 — crop fused into the column pass",
+            run: workloads::fft::pruned_forward,
+        },
+        Workload {
+            name: "fft_batch_forward",
+            tags: &["fft"],
+            units: "us_per_op",
+            // Allocates its full batch of output spectra per op, so page
+            // faults dominate the dispersion; gets the wider threshold the
+            // other allocation-heavy workloads use.
+            threshold: 0.8,
+            notes: "batched real forward (forward_real_batch_with): 4 images at N=1024 through one plan and scratch arena",
+            run: workloads::fft::batch_forward,
+        },
+        Workload {
+            name: "fft_batch_inverse",
+            tags: &["fft"],
+            units: "us_per_op",
+            threshold: 0.5,
+            notes: "batched pruned inverse (inverse_padded_batch_with): 4 spectra at N=1024, P=25 sharing one twist cache",
+            run: workloads::fft::batch_inverse,
+        },
+        Workload {
             name: "sim_aerial",
             tags: &["simulator"],
             units: "us_per_op",
@@ -197,15 +224,15 @@ mod tests {
     #[test]
     fn selection_filters_by_tag_and_name() {
         let fft = select(&Selection { tags: vec!["fft".into()], names: vec![] });
-        assert_eq!(fft.len(), 3);
+        assert_eq!(fft.len(), 6);
         let one = select(&Selection { tags: vec![], names: vec!["sim_*".into()] });
         assert_eq!(one.len(), 2);
         let both = select(&Selection {
             tags: vec!["fft".into()],
             names: vec!["*_forward".into()],
         });
-        assert_eq!(both.len(), 1);
-        assert_eq!(both[0].name, "fft_real_forward");
+        let names: Vec<_> = both.iter().map(|w| w.name).collect();
+        assert_eq!(names, ["fft_real_forward", "fft_pruned_forward", "fft_batch_forward"]);
         assert_eq!(select(&Selection::all()).len(), registry().len());
     }
 }

@@ -145,6 +145,10 @@ pub struct BenchResult {
     pub git_rev: String,
     /// Hardware threads on the measuring machine.
     pub threads: usize,
+    /// FFT kernel active during the measurement (`avx2`, `sse2`,
+    /// `scalar`); `unknown` when loading results written before the stamp
+    /// existed.
+    pub simd: String,
     /// Workload-specific scalars (grid sizes, tile counts, speedups…).
     pub extra: Vec<(String, f64)>,
 }
@@ -162,6 +166,7 @@ impl BenchResult {
             smoke: cfg.smoke,
             git_rev: env.git_rev.clone(),
             threads: env.threads,
+            simd: env.simd.clone(),
             extra: sample.extra.clone(),
         }
     }
@@ -183,7 +188,8 @@ impl BenchResult {
         format!(
             "{{\n  \"schema\": \"{SCHEMA_V2}\",\n  \"workload\": \"{}\",\n  \"units\": \"{}\",\n  \
              \"threshold\": {},\n  \"reps\": {},\n  \"median_us\": {},\n  \"mad_us\": {},\n  \
-             \"smoke\": {},\n  \"git_rev\": \"{}\",\n  \"threads\": {},\n  \"extra\": {{{extra}}}\n}}\n",
+             \"smoke\": {},\n  \"git_rev\": \"{}\",\n  \"threads\": {},\n  \"simd\": \"{}\",\n  \
+             \"extra\": {{{extra}}}\n}}\n",
             json_escape(&self.workload),
             json_escape(&self.units),
             json_num(self.threshold),
@@ -193,6 +199,7 @@ impl BenchResult {
             self.smoke,
             json_escape(&self.git_rev),
             self.threads,
+            json_escape(&self.simd),
         )
     }
 
@@ -254,6 +261,15 @@ impl BenchResult {
                 })
             }
         };
+        // Optional: results written before the kernel stamp existed load
+        // as "unknown" rather than failing the whole diff.
+        let simd = match doc.get("simd") {
+            Some(v) => v.as_str().ok_or_else(|| PerfError::Malformed {
+                path: path.to_path_buf(),
+                detail: "field \"simd\" is not a string".into(),
+            })?,
+            None => "unknown".to_string(),
+        };
         Ok(BenchResult {
             workload: str_field("workload")?,
             units: str_field("units")?,
@@ -264,6 +280,7 @@ impl BenchResult {
             smoke,
             git_rev: str_field("git_rev")?,
             threads: num_field("threads")? as usize,
+            simd,
             extra,
         })
     }
@@ -526,8 +543,20 @@ mod tests {
             smoke: false,
             git_rev: "abc123def456".into(),
             threads: 8,
+            simd: "avx2".into(),
             extra: vec![("n".into(), 1024.0), ("p".into(), 25.0)],
         }
+    }
+
+    #[test]
+    fn missing_simd_field_defaults_to_unknown() {
+        // A result written before the kernel stamp existed still loads.
+        let mut r = sample_result();
+        r.simd = "unknown".into();
+        let json = r.to_json().replace("  \"simd\": \"unknown\",\n", "");
+        assert!(!json.contains("simd"));
+        let back = BenchResult::from_json(&json, Path::new("old.json")).expect("parse");
+        assert_eq!(back, r);
     }
 
     #[test]

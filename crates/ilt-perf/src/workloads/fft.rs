@@ -1,13 +1,13 @@
 //! FFT workloads: the per-iteration spectral hot paths of the simulator.
 //!
-//! Three variants — the dense pad-then-invert reference, the pruned padded
-//! inverse that replaced it, and the Hermitian real-input forward. The
-//! fast paths cross-check against their references once per run, so a
-//! kernel change that breaks numerics fails the bench before it can post
-//! a "speedup". This module also hosts [`run_v1`], the deprecated
-//! `ilt bench-fft` alias that still emits the `ilt-bench-fft/v1` schema.
+//! Six variants — the dense pad-then-invert reference, the pruned padded
+//! inverse that replaced it, the Hermitian real-input forward, the pruned
+//! real forward (crop fused into the column pass), and the batched
+//! forward/inverse used by the SOCS kernel sum. The fast paths cross-check
+//! against their references once per run, so a kernel change that breaks
+//! numerics fails the bench before it can post a "speedup".
 
-use ilt_fft::{pad_centered_into, Complex64, Fft2d, Fft2dScratch};
+use ilt_fft::{crop_centered, pad_centered_into, Complex64, Fft2d, Fft2dScratch};
 use ilt_layouts::Xorshift64Star;
 
 use crate::measure::{injected_delay, measure, MeasureConfig, Sample};
@@ -27,8 +27,25 @@ fn sizes(cfg: &MeasureConfig) -> (usize, usize) {
 
 /// A deterministic `p x p` kernel spectrum.
 fn random_spec(p: usize) -> Vec<Complex64> {
-    let mut rng = Xorshift64Star::new(0x5EED_F00D);
+    random_spec_seeded(p, 0x5EED_F00D)
+}
+
+/// A deterministic `p x p` kernel spectrum with an explicit seed, so the
+/// batch workloads can build several distinct spectra.
+fn random_spec_seeded(p: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = Xorshift64Star::new(seed);
     (0..p * p).map(|_| Complex64::new(noise(&mut rng), noise(&mut rng))).collect()
+}
+
+/// How many transforms the batch workloads run per operation: enough to
+/// amortize twiddle/scratch sharing, small enough to keep full-mode runs
+/// in the tens of milliseconds.
+fn batch_len(cfg: &MeasureConfig) -> usize {
+    if cfg.smoke {
+        2
+    } else {
+        4
+    }
 }
 
 /// A deterministic real mask image of side `n`.
@@ -120,86 +137,96 @@ pub fn real_forward(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
     Ok(sample.with_extra("n", n as f64))
 }
 
-/// The deprecated `ilt bench-fft` flow: dense vs pruned inverse and
-/// complex vs real forward at N in {256, 512, 1024, 2048}, cross-checked,
-/// printed as a table, and written in the **v1** schema
-/// (`ilt-bench-fft/v1`) for consumers that still parse it. New tooling
-/// should run the registry (`ilt bench run --tag fft`) instead; this alias
-/// is kept for one release.
-pub fn run_v1(reps: usize, p: usize, path: &str) -> Result<(), PerfError> {
-    if p == 0 {
-        return Err(PerfError::workload("bench-fft", "--p must be at least 1"));
+/// The pruned real forward ([`Fft2d::forward_real_cropped_with`]): crop to
+/// the `P x P` kernel support fused into the column pass, so only the
+/// retained band of rows is ever column-transformed. Cross-checked against
+/// the dense complex forward followed by a centered crop.
+pub fn pruned_forward(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (n, p) = sizes(cfg);
+    let fft = Fft2d::new(n, n);
+    let mut scratch = Fft2dScratch::new();
+    let img = random_image(n);
+
+    let mut dense = vec![Complex64::ZERO; n * n];
+    for (z, &x) in dense.iter_mut().zip(&img) {
+        *z = Complex64::from_real(x);
     }
-    let cfg = MeasureConfig { smoke: false, reps: reps.max(1) };
-    let sizes = [256usize, 512, 1024, 2048];
-    let spec = random_spec(p);
+    fft.forward_with(&mut dense, &mut scratch);
+    let reference = crop_centered(&dense, n, p);
 
-    println!("bench-fft: P = {p}, median of {} rep(s) per path", cfg.reps);
-    println!(
-        "{:>6} {:>16} {:>16} {:>9} {:>16} {:>16} {:>9}",
-        "N", "dense inv (us)", "pruned inv (us)", "speedup", "cplx fwd (us)", "real fwd (us)", "speedup"
-    );
+    let mut out = vec![Complex64::ZERO; p * p];
+    let sample = measure(cfg, || {
+        fft.forward_real_cropped_with(&img, p, &mut out, &mut scratch);
+    });
+    check_agreement(&out, &reference, "fft_pruned_forward", "dense forward + crop", n)?;
+    Ok(sample.with_extra("n", n as f64).with_extra("p", p as f64))
+}
 
-    let mut rows = Vec::new();
-    for n in sizes {
-        if p > n {
-            return Err(PerfError::workload(
-                "bench-fft",
-                format!("--p {p} exceeds benchmark size {n}"),
-            ));
-        }
-        let fft = Fft2d::new(n, n);
-        let mut scratch = Fft2dScratch::new();
-        let img = random_image(n);
+/// The batched real forward ([`Fft2d::forward_real_batch_with`]): several
+/// mask images through one plan and one scratch arena, the shape the tile
+/// worker pool runs. Cross-checked against per-image forwards.
+pub fn batch_forward(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (n, _) = sizes(cfg);
+    let k = batch_len(cfg);
+    let fft = Fft2d::new(n, n);
+    let mut scratch = Fft2dScratch::new();
+    let imgs: Vec<Vec<f64>> = (0..k)
+        .map(|i| {
+            let mut rng = Xorshift64Star::new(0xCAFE_D00D ^ (i as u64 + 1));
+            (0..n * n).map(|_| noise(&mut rng)).collect()
+        })
+        .collect();
+    let img_refs: Vec<&[f64]> = imgs.iter().map(|v| v.as_slice()).collect();
+
+    let mut reference = Vec::with_capacity(k);
+    for img in &imgs {
+        let mut out = vec![Complex64::ZERO; n * n];
+        fft.forward_real_with(img, &mut out, &mut scratch);
+        reference.push(out);
+    }
+
+    let mut batch_out = Vec::new();
+    let sample = measure(cfg, || {
+        batch_out = fft.forward_real_batch_with(&img_refs, &mut scratch);
+    });
+    for (got, want) in batch_out.iter().zip(&reference) {
+        check_agreement(got, want, "fft_batch_forward", "per-image real forward", n)?;
+    }
+    Ok(sample.with_extra("n", n as f64).with_extra("batch", k as f64))
+}
+
+/// The batched pruned inverse ([`Fft2d::inverse_padded_batch_with`]): the
+/// SOCS kernel sum's shape — every kernel spectrum through one shared
+/// twist cache and scratch arena, results streamed to a callback.
+/// Cross-checked against sequential pruned inverses.
+pub fn batch_inverse(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let (n, p) = sizes(cfg);
+    let k = batch_len(cfg);
+    let fft = Fft2d::new(n, n);
+    let mut scratch = Fft2dScratch::new();
+    let specs: Vec<Vec<Complex64>> =
+        (0..k).map(|i| random_spec_seeded(p, 0x5EED_F00D ^ (i as u64 + 1))).collect();
+    let spec_refs: Vec<&[Complex64]> = specs.iter().map(|v| v.as_slice()).collect();
+
+    let mut reference = vec![Complex64::ZERO; k * n * n];
+    for (i, spec) in specs.iter().enumerate() {
         let mut buf = vec![Complex64::ZERO; n * n];
-
-        let dense_inv = measure(&cfg, || {
-            pad_centered_into(&spec, p, &mut buf, n);
-            fft.inverse_with(&mut buf, &mut scratch);
-        })
-        .median_us;
-        let dense_out = buf.clone();
-        let pruned_inv = measure(&cfg, || {
-            fft.inverse_padded_with(&spec, p, &mut buf, &mut scratch);
-        })
-        .median_us;
-        check_agreement(&buf, &dense_out, "bench-fft", "dense inverse", n)?;
-
-        let fwd_complex = measure(&cfg, || {
-            for (z, &x) in buf.iter_mut().zip(&img) {
-                *z = Complex64::from_real(x);
-            }
-            fft.forward_with(&mut buf, &mut scratch);
-        })
-        .median_us;
-        let complex_out = buf.clone();
-        let mut real_out = vec![Complex64::ZERO; n * n];
-        let fwd_real = measure(&cfg, || {
-            fft.forward_real_with(&img, &mut real_out, &mut scratch);
-        })
-        .median_us;
-        check_agreement(&real_out, &complex_out, "bench-fft", "complex forward", n)?;
-
-        let inv_speedup = dense_inv / pruned_inv;
-        let fwd_speedup = fwd_complex / fwd_real;
-        println!(
-            "{n:>6} {dense_inv:>16.1} {pruned_inv:>16.1} {inv_speedup:>8.2}x {fwd_complex:>16.1} {fwd_real:>16.1} {fwd_speedup:>8.2}x"
-        );
-        rows.push(format!(
-            "    {{\"n\": {n}, \"dense_pad_inverse_us\": {dense_inv:.3}, \
-             \"pruned_inverse_us\": {pruned_inv:.3}, \"pruned_speedup\": {inv_speedup:.3}, \
-             \"forward_complex_us\": {fwd_complex:.3}, \"forward_real_us\": {fwd_real:.3}, \
-             \"real_speedup\": {fwd_speedup:.3}}}"
-        ));
+        fft.inverse_padded_with(spec, p, &mut buf, &mut scratch);
+        reference[i * n * n..(i + 1) * n * n].copy_from_slice(&buf);
     }
 
-    let json = format!(
-        "{{\n  \"schema\": \"ilt-bench-fft/v1\",\n  \"p\": {p},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
-        cfg.reps,
-        rows.join(",\n")
-    );
-    std::fs::write(path, json)
-        .map_err(|source| PerfError::Io { path: path.into(), source })?;
-    println!("wrote {path}");
-    Ok(())
+    let mut got = vec![Complex64::ZERO; k * n * n];
+    let sample = measure(cfg, || {
+        fft.inverse_padded_batch_with(
+            &spec_refs,
+            p,
+            |i, z| got[i * n * n..(i + 1) * n * n].copy_from_slice(z),
+            &mut scratch,
+        );
+    });
+    check_agreement(&got, &reference, "fft_batch_inverse", "sequential pruned inverse", n)?;
+    Ok(sample
+        .with_extra("n", n as f64)
+        .with_extra("p", p as f64)
+        .with_extra("batch", k as f64))
 }

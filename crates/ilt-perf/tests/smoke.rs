@@ -24,7 +24,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 #[test]
 fn every_workload_runs_in_smoke_mode_and_round_trips() {
     let cfg = MeasureConfig { smoke: true, reps: 1 };
-    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1 };
+    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1, simd: "scalar".into() };
     let dir = temp_dir("all");
     let workloads = registry();
     assert!(workloads.len() >= 6, "registry shrank below six workloads");
@@ -52,7 +52,7 @@ fn smoke_results_never_gate() {
     // The FFT workload is the cheapest; one smoke result on both sides of a
     // diff must be refused, whatever the numbers say.
     let cfg = MeasureConfig { smoke: true, reps: 1 };
-    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1 };
+    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1, simd: "scalar".into() };
     let w = registry().into_iter().find(|w| w.name == "fft_pruned_inverse").expect("workload");
     let sample = (w.run)(&cfg).expect("smoke run");
     let result = BenchResult::new(&w, &sample, &cfg, &env);
@@ -103,7 +103,7 @@ fn injected_delay_hook_slows_the_pruned_inverse() {
 #[test]
 fn baseline_dir_without_file_is_a_hard_error() {
     let cfg = MeasureConfig { smoke: false, reps: 1 };
-    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1 };
+    let env = EnvStamp { git_rev: "smoketest".into(), threads: 1, simd: "scalar".into() };
     // A real (non-smoke) result diffed against an empty baseline dir: the
     // gate must demand a checked-in number, not skip the workload.
     let w = registry().into_iter().find(|w| w.name == "fft_pruned_inverse").expect("workload");

@@ -25,10 +25,11 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use ilt_fft::{with_installed_scratch, ScratchPool};
 use ilt_field::Field2D;
 
 use crate::cache::SimulatorCache;
@@ -257,6 +258,21 @@ fn worker_loop(
     }
 }
 
+/// Process-wide recycling of FFT workspaces across attempt threads.
+///
+/// Every attempt runs on a fresh short-lived thread, whose thread-local FFT
+/// arena would start cold: grown buffers gone, memoized twist tables gone.
+/// Checking a workspace out of this pool and installing it for the attempt's
+/// duration makes the warm state survive thread turnover — a workspace that
+/// simulated a given tile shape once carries its tables to every later
+/// attempt of that shape. A timed-out attempt's abandoned thread simply
+/// never returns its workspace; the pool grows a new one on the next
+/// checkout.
+fn scratch_pool() -> &'static ScratchPool {
+    static POOL: OnceLock<ScratchPool> = OnceLock::new();
+    POOL.get_or_init(ScratchPool::new)
+}
+
 /// Runs one attempt on its own thread so panics and overruns stay contained.
 fn execute_attempt(
     job: &IltJob,
@@ -273,14 +289,21 @@ fn execute_attempt(
     thread::Builder::new()
         .name(format!("ilt-job-{id}-a{attempt}"))
         .spawn(move || {
+            let pool = scratch_pool();
+            let mut workspace = pool.checkout();
             let result = catch_unwind(AssertUnwindSafe(|| {
-                if degraded {
-                    run_degraded_attempt(&job, attempt, &cache, &faults)
-                        .unwrap_or_else(|| Err("no degraded recipe for this job".into()))
-                } else {
-                    run_attempt(&job, attempt, &cache, &faults)
-                }
+                with_installed_scratch(&mut workspace, || {
+                    if degraded {
+                        run_degraded_attempt(&job, attempt, &cache, &faults)
+                            .unwrap_or_else(|| Err("no degraded recipe for this job".into()))
+                    } else {
+                        run_attempt(&job, attempt, &cache, &faults)
+                    }
+                })
             }));
+            // Recycle the workspace even after a panic: the installed-scratch
+            // guard has already swapped the (grown) arena state back into it.
+            pool.restore(workspace);
             let flattened = match result {
                 Ok(run) => run,
                 Err(payload) => Err(format!("panic: {}", panic_message(payload.as_ref()))),

@@ -24,7 +24,6 @@
 //! ilt bench    <list|run|diff> [NAME_GLOB ...] [--tag TAG] [--name GLOB]
 //!              [--smoke] [--reps 5] [--out bench-out/perf] [--baselines .]
 //!              [--threshold F]
-//! ilt bench-fft [--json BENCH_fft.json] [--reps 5] [--p 25]   (deprecated)
 //! ```
 //!
 //! Targets may come from the built-in benchmark generators (`--case`,
@@ -67,8 +66,7 @@
 //! `BENCH_<name>.json` (schema `ilt-bench/v2`) per workload, and `diff`
 //! compares a fresh run against the checked-in baselines, exiting non-zero
 //! past each workload's regression threshold — the standing perf gate,
-//! with no python or Criterion anywhere. `bench-fft` is the deprecated v1
-//! alias of the FFT family and will be removed next release.
+//! with no python or Criterion anywhere.
 
 use std::error::Error;
 use std::sync::Arc;
@@ -114,9 +112,7 @@ struct Cli {
     heartbeat_ms: u64,
     heartbeat_failures: u32,
     cancel_grace_s: f64,
-    json: Option<String>,
     reps: usize,
-    bench_p: usize,
     tags: Vec<String>,
     names: Vec<String>,
     baselines: String,
@@ -129,7 +125,7 @@ struct Cli {
 impl Cli {
     fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Cli), Box<dyn Error>> {
         let command =
-            args.next().ok_or("usage: ilt <run|batch|serve|worker|evaluate|fracture|kernels|bench|bench-fft> ...")?;
+            args.next().ok_or("usage: ilt <run|batch|serve|worker|evaluate|fracture|kernels|bench> ...")?;
         let mut cli = Cli {
             grid: 512,
             kernels: 10,
@@ -168,9 +164,7 @@ impl Cli {
             heartbeat_ms: 500,
             heartbeat_failures: 3,
             cancel_grace_s: 10.0,
-            json: None,
             reps: 5,
-            bench_p: 25,
             tags: Vec::new(),
             names: Vec::new(),
             baselines: ".".into(),
@@ -222,9 +216,7 @@ impl Cli {
                 "--heartbeat-ms" => cli.heartbeat_ms = value()?.parse()?,
                 "--heartbeat-failures" => cli.heartbeat_failures = value()?.parse()?,
                 "--cancel-grace-s" => cli.cancel_grace_s = value()?.parse()?,
-                "--json" => cli.json = Some(value()?),
                 "--reps" => cli.reps = value()?.parse()?,
-                "--p" => cli.bench_p = value()?.parse()?,
                 "--tag" => cli.tags.push(value()?),
                 "--name" => cli.names.push(value()?),
                 "--baselines" => cli.baselines = value()?,
@@ -645,22 +637,6 @@ fn cmd_kernels(cli: &Cli) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Deprecated alias for `ilt bench run --tag fft`: the original spectral
-/// micro-benchmark, still emitting the `ilt-bench-fft/v1` schema for one
-/// release so external scripts keyed to that file can migrate.
-fn cmd_bench_fft(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    if cli.bench_p == 0 {
-        return Err("--p must be at least 1".into());
-    }
-    eprintln!(
-        "note: `ilt bench-fft` is deprecated; use `ilt bench run --tag fft` \
-         (ilt-bench/v2 schema). The v1 alias will be removed next release."
-    );
-    let path = cli.json.clone().unwrap_or_else(|| "BENCH_fft.json".into());
-    multilevel_ilt::perf::workloads::fft::run_v1(cli.reps.max(1), cli.bench_p, &path)?;
-    Ok(())
-}
-
 /// The performance barometer: `ilt bench <list|run|diff>` over the
 /// [`multilevel_ilt::perf`] workload registry.
 ///
@@ -774,9 +750,8 @@ fn main() {
         "fracture" => cmd_fracture(&cli),
         "kernels" => cmd_kernels(&cli),
         "bench" => cmd_bench(&cli),
-        "bench-fft" => cmd_bench_fft(&cli),
         other => Err(format!(
-            "unknown command {other} (run|batch|serve|worker|evaluate|fracture|kernels|bench|bench-fft)"
+            "unknown command {other} (run|batch|serve|worker|evaluate|fracture|kernels|bench)"
         )
         .into()),
     };

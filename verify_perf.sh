@@ -4,16 +4,35 @@
 #   1. `ilt bench run --tag fft` completes — each FFT workload cross-checks
 #      its fast path against the dense reference internally and exits
 #      non-zero on any divergence, so this doubles as a correctness gate;
-#   2. `ilt bench diff --tag fft` compares the fresh medians against the
+#   2. every fresh result carries the runtime-detected SIMD kernel stamp
+#      (`"simd": "avx2" | "sse2" | "scalar"`), so a checked-in number can
+#      never be compared against a run on mystery hardware;
+#   3. `ilt bench diff --tag fft` compares the fresh medians against the
 #      checked-in BENCH_<workload>.json baselines at the repo root and exits
 #      non-zero past a workload's regression threshold (50% for the FFT
-#      family — generous enough to stay robust on noisy shared machines).
+#      family — generous enough to stay robust on noisy shared machines);
+#   4. with ILT_FFT_FORCE_SCALAR=1 the scalar fallback passes the same
+#      bit-identity guard tests as the SIMD kernels, proving the forced
+#      path stays live and numerically identical.
 set -e
 BIN=./target/release/ilt
 OUT=bench-out/perf
 mkdir -p "$OUT"
 
 "$BIN" bench run --tag fft --out "$OUT" | tee bench-out/bench-fft.log
+
+# Every fresh FFT result must carry a recognized kernel stamp.
+for f in "$OUT"/BENCH_fft_*.json; do
+  grep -Eq '"simd": "(avx2|sse2|scalar)"' "$f" \
+    || { echo "missing/unknown simd stamp in $f"; exit 1; }
+done
+echo "simd stamp: $(grep -Eo '"simd": "[a-z0-9]+"' "$OUT"/BENCH_fft_real_forward.json)"
+
 "$BIN" bench diff --tag fft --out "$OUT" --baselines . | tee -a bench-out/bench-fft.log
+
+# The forced-scalar fallback must stay bit-identical to the reference
+# paths: run the kernel guard suite with SIMD disabled.
+ILT_FFT_FORCE_SCALAR=1 cargo test -q -p ilt-fft --test kernel_guard \
+  | tee bench-out/scalar-guard.log
 
 echo PERF_VERIFIED
