@@ -15,10 +15,18 @@
 //! - [`worker`] — the `ilt worker` service: executes designated tile
 //!   subsets via [`ilt_runtime::run_shard`], checkpoints them to the
 //!   standard WAL, and honors cooperative cancellation per shard.
-//! - [`coordinator`] — shards a job's tile plan across replicas,
-//!   supervises them with heartbeats, re-dispatches shards of dead
-//!   workers, fans out cancellation, and merges outputs for central
-//!   stitching via [`ilt_runtime::assemble_batch`].
+//! - [`membership`] — the dynamic worker registry (join/drain/leave at
+//!   runtime) and the scheduler that admits dispatches: least-loaded
+//!   first, breaker-gated, condvar-parked until capacity appears.
+//! - [`breaker`] — the per-worker circuit breaker (closed → open →
+//!   half-open with decorrelated-jitter backoff) that quarantines
+//!   flaky-but-alive replicas.
+//! - [`coordinator`] — shards a job's tile plan across the live
+//!   membership, supervises shards with heartbeats and attempt budgets,
+//!   re-dispatches on failure, speculatively re-executes stragglers
+//!   (first result wins, results must agree), fans out cancellation, and
+//!   merges outputs for central stitching via
+//!   [`ilt_runtime::assemble_batch`].
 //! - [`stats`] — lock-free counters/histograms (shared with the server's
 //!   `/metrics`) plus the cluster-health families.
 //!
@@ -27,19 +35,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod coordinator;
+pub mod membership;
 pub mod params;
 pub mod stats;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use coordinator::{ClusterConfig, Coordinator};
+pub use breaker::{Breaker, BreakerConfig, BreakerState};
+pub use coordinator::{post_membership, ClusterConfig, Coordinator};
+pub use membership::{MemberView, Membership};
 pub use params::{query_decode, query_encode, ExecPolicy, JobParams, JobSource};
 pub use stats::{ClusterStats, Counter, FailureKinds, Histogram, FAILURE_KINDS, LATENCY_BUCKETS_MS};
 pub use transport::{
     base64_decode, base64_encode, serve_connection, ConnOptions, HttpError, Limits, Request,
-    Response,
+    Response, WireFault,
 };
 pub use wire::{ShardHeader, SHARD_PATH};
 pub use worker::{Worker, WorkerConfig};

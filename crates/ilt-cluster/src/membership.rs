@@ -1,0 +1,387 @@
+//! Dynamic worker membership: the live, mutable set of replicas.
+//!
+//! PR 6's coordinator took a fixed `--workers` list at construction; this
+//! module replaces it with a registry workers can join, drain, and leave at
+//! runtime (the `POST /v1/members` wire call). Shard supervisors draw
+//! workers from the *current* set through [`Membership::acquire`], which is
+//! where the scheduling policy lives: least-loaded first, draining workers
+//! excluded, and every candidate gated by its circuit [`Breaker`] — so a
+//! quarantined worker receives no dispatches even while its heartbeats
+//! pass. Blocked supervisors park on a condvar and wake when a worker
+//! joins, a shard completes, or a backoff elapses, which is exactly how a
+//! late-joining worker picks up queued shards mid-job.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ilt_runtime::CancelToken;
+
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
+
+/// One registered worker replica and its health ledger.
+pub struct WorkerSlot {
+    /// Dispatch address, `host:port`.
+    pub addr: String,
+    alive: AtomicBool,
+    consecutive_fails: AtomicU32,
+    draining: AtomicBool,
+    inflight: AtomicU32,
+    dispatches: AtomicU64,
+    completed: AtomicU64,
+    /// This worker's circuit breaker (quarantine state machine).
+    pub breaker: Breaker,
+}
+
+impl WorkerSlot {
+    fn new(addr: String, breaker_cfg: BreakerConfig) -> Self {
+        // Salt the jitter stream with the address so replicas sharing one
+        // config seed do not back off in lockstep.
+        let salt = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        WorkerSlot {
+            addr,
+            alive: AtomicBool::new(true),
+            consecutive_fails: AtomicU32::new(0),
+            draining: AtomicBool::new(false),
+            inflight: AtomicU32::new(0),
+            dispatches: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            breaker: Breaker::new(breaker_cfg, salt),
+        }
+    }
+
+    /// Is the worker considered up (heartbeats within the failure budget)?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_alive(&self, v: bool) {
+        self.alive.store(v, Ordering::SeqCst);
+    }
+
+    pub(crate) fn heartbeat_fails(&self) -> &AtomicU32 {
+        &self.consecutive_fails
+    }
+
+    /// Is the worker draining (finishing in-flight shards, no new work)?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Shards currently dispatched to this worker.
+    pub fn inflight(&self) -> u32 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Total dispatches ever sent to this worker.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::SeqCst)
+    }
+
+    /// Total shards this worker completed successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+}
+
+/// How a dispatch settled, for the breaker's ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Settle {
+    /// The shard finished: closes the breaker, counts as completed.
+    Success,
+    /// The worker flaked (transport error, death mid-shard): breaker
+    /// failure.
+    Failure,
+    /// Neither credit nor blame — the dispatch was superseded by a
+    /// speculative winner, or refused for reasons that are not the
+    /// worker's health (4xx rejection, cancellation).
+    Neutral,
+}
+
+/// The outcome of asking for a worker to dispatch to.
+pub enum Acquire {
+    /// A worker was admitted; release it with [`Membership::release`].
+    Ok(Arc<WorkerSlot>),
+    /// No live worker exists (empty set, or every member dead).
+    NoWorkers,
+    /// The job was cancelled while waiting.
+    Cancelled,
+}
+
+/// The live membership set plus the scheduler's wait/wake machinery.
+pub struct Membership {
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    changed: Condvar,
+    breaker_cfg: BreakerConfig,
+}
+
+impl Membership {
+    /// A membership seeded with `addrs` (the `--workers` list; may be
+    /// empty — workers can join later).
+    pub fn new(addrs: &[String], breaker_cfg: BreakerConfig) -> Self {
+        let m = Membership { slots: Mutex::new(Vec::new()), changed: Condvar::new(), breaker_cfg };
+        for a in addrs {
+            m.join(a);
+        }
+        m
+    }
+
+    /// Registers a worker. Returns `false` (and changes nothing) when the
+    /// address is already a member.
+    pub fn join(&self, addr: &str) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.iter().any(|s| s.addr == addr) {
+            return false;
+        }
+        slots.push(Arc::new(WorkerSlot::new(addr.to_string(), self.breaker_cfg)));
+        self.changed.notify_all();
+        true
+    }
+
+    /// Marks a worker as draining: in-flight shards finish, no new
+    /// dispatches. Returns `false` for unknown addresses.
+    pub fn drain(&self, addr: &str) -> bool {
+        let slots = self.slots.lock().unwrap();
+        match slots.iter().find(|s| s.addr == addr) {
+            Some(s) => {
+                s.draining.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a worker from the set. In-flight dispatches keep their
+    /// `Arc` and settle normally; the worker just stops being a
+    /// candidate. Returns `false` for unknown addresses.
+    pub fn leave(&self, addr: &str) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        let before = slots.len();
+        slots.retain(|s| s.addr != addr);
+        let removed = slots.len() != before;
+        if removed {
+            self.changed.notify_all();
+        }
+        removed
+    }
+
+    /// The current member slots (order = join order).
+    pub fn snapshot(&self) -> Vec<Arc<WorkerSlot>> {
+        self.slots.lock().unwrap().clone()
+    }
+
+    /// Current member count.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// True when no worker is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Members currently passing heartbeats.
+    pub fn alive_count(&self) -> usize {
+        self.slots.lock().unwrap().iter().filter(|s| s.is_alive()).count()
+    }
+
+    /// Wakes every parked supervisor (membership or health changed).
+    pub fn notify(&self) {
+        let _guard = self.slots.lock().unwrap();
+        self.changed.notify_all();
+    }
+
+    /// Blocks until a worker is admitted, every member is dead/gone, or
+    /// the job is cancelled. Candidates are live, non-draining members
+    /// under `max_inflight`, least-loaded first, each gated by its
+    /// breaker; when all candidates are quarantined or saturated the
+    /// caller parks (bounded 25 ms re-check so breaker backoffs expire).
+    pub fn acquire(&self, max_inflight: u32, cancel: &CancelToken) -> Acquire {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if !slots.iter().any(|s| s.is_alive()) {
+                return Acquire::NoWorkers;
+            }
+            if cancel.is_cancelled() {
+                return Acquire::Cancelled;
+            }
+            if let Some(slot) = Self::admit_one(&slots, max_inflight, &[]) {
+                return Acquire::Ok(slot);
+            }
+            let (guard, _) =
+                self.changed.wait_timeout(slots, Duration::from_millis(25)).unwrap();
+            slots = guard;
+        }
+    }
+
+    /// Non-blocking acquire for speculative copies: like
+    /// [`Membership::acquire`] but never waits and skips `avoid`
+    /// addresses (the primary's worker). `None` when nothing is
+    /// admissible right now.
+    pub fn try_acquire(&self, max_inflight: u32, avoid: &[&str]) -> Option<Arc<WorkerSlot>> {
+        let slots = self.slots.lock().unwrap();
+        Self::admit_one(&slots, max_inflight, avoid)
+    }
+
+    fn admit_one(
+        slots: &[Arc<WorkerSlot>],
+        max_inflight: u32,
+        avoid: &[&str],
+    ) -> Option<Arc<WorkerSlot>> {
+        let mut cands: Vec<&Arc<WorkerSlot>> = slots
+            .iter()
+            .filter(|s| {
+                s.is_alive()
+                    && !s.is_draining()
+                    && s.inflight() < max_inflight.max(1)
+                    && !avoid.contains(&s.addr.as_str())
+            })
+            .collect();
+        // Least-loaded first; join order breaks ties (sort is stable).
+        cands.sort_by_key(|s| s.inflight());
+        for s in cands {
+            if s.breaker.admit() {
+                s.inflight.fetch_add(1, Ordering::SeqCst);
+                s.dispatches.fetch_add(1, Ordering::SeqCst);
+                return Some((*s).clone());
+            }
+        }
+        None
+    }
+
+    /// Returns a worker acquired via [`Membership::acquire`] /
+    /// [`Membership::try_acquire`] and settles its breaker ledger.
+    pub fn release(&self, slot: &WorkerSlot, settle: Settle) {
+        slot.inflight.fetch_sub(1, Ordering::SeqCst);
+        match settle {
+            Settle::Success => {
+                slot.completed.fetch_add(1, Ordering::SeqCst);
+                slot.breaker.on_success();
+            }
+            Settle::Failure => slot.breaker.on_failure(),
+            Settle::Neutral => {}
+        }
+        self.notify();
+    }
+}
+
+/// A point-in-time, externally-consumable view of one member (the
+/// `GET /v1/members` row and the breaker-state metric source).
+#[derive(Clone, Debug)]
+pub struct MemberView {
+    /// Dispatch address.
+    pub addr: String,
+    /// Heartbeats within the failure budget?
+    pub alive: bool,
+    /// Draining (no new dispatches)?
+    pub draining: bool,
+    /// Breaker state label: `closed`, `half-open`, `open`.
+    pub breaker: &'static str,
+    /// Breaker state as the metric gauge (0/1/2).
+    pub breaker_gauge: u64,
+    /// Shards currently dispatched to this worker.
+    pub inflight: u32,
+    /// Total dispatches ever sent.
+    pub dispatches: u64,
+    /// Total shards completed.
+    pub completed: u64,
+}
+
+impl MemberView {
+    pub(crate) fn of(slot: &WorkerSlot) -> MemberView {
+        let state: BreakerState = slot.breaker.state();
+        MemberView {
+            addr: slot.addr.clone(),
+            alive: slot.is_alive(),
+            draining: slot.is_draining(),
+            breaker: state.label(),
+            breaker_gauge: state.gauge(),
+            inflight: slot.inflight(),
+            dispatches: slot.dispatches(),
+            completed: slot.completed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(addrs: &[&str]) -> Membership {
+        let list: Vec<String> = addrs.iter().map(|s| s.to_string()).collect();
+        Membership::new(&list, BreakerConfig::default())
+    }
+
+    #[test]
+    fn join_drain_leave_lifecycle() {
+        let m = members(&["a:1"]);
+        assert_eq!(m.len(), 1);
+        assert!(m.join("b:2"));
+        assert!(!m.join("b:2"), "duplicate join refused");
+        assert_eq!(m.len(), 2);
+        assert!(m.drain("b:2"));
+        assert!(m.snapshot().iter().find(|s| s.addr == "b:2").unwrap().is_draining());
+        assert!(m.leave("b:2"));
+        assert!(!m.leave("b:2"), "double leave refused");
+        assert!(!m.drain("b:2"), "unknown address refused");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn acquire_prefers_least_loaded_and_skips_draining() {
+        let m = members(&["a:1", "b:2"]);
+        let cancel = CancelToken::new();
+        let first = match m.acquire(2, &cancel) {
+            Acquire::Ok(s) => s,
+            _ => panic!("expected a worker"),
+        };
+        assert_eq!(first.addr, "a:1", "tie broken by join order");
+        let second = match m.acquire(2, &cancel) {
+            Acquire::Ok(s) => s,
+            _ => panic!("expected a worker"),
+        };
+        assert_eq!(second.addr, "b:2", "least-loaded wins");
+        m.drain("a:1");
+        m.release(&first, Settle::Success);
+        let third = match m.acquire(2, &cancel) {
+            Acquire::Ok(s) => s,
+            _ => panic!("expected a worker"),
+        };
+        assert_eq!(third.addr, "b:2", "draining worker gets nothing");
+    }
+
+    #[test]
+    fn acquire_reports_no_workers_and_cancellation() {
+        let empty = members(&[]);
+        let cancel = CancelToken::new();
+        assert!(matches!(empty.acquire(2, &cancel), Acquire::NoWorkers));
+
+        let m = members(&["a:1"]);
+        m.snapshot()[0].set_alive(false);
+        assert!(matches!(m.acquire(2, &cancel), Acquire::NoWorkers), "all dead");
+
+        m.snapshot()[0].set_alive(true);
+        let held = match m.acquire(1, &cancel) {
+            Acquire::Ok(s) => s,
+            _ => panic!("expected a worker"),
+        };
+        cancel.cancel();
+        assert!(
+            matches!(m.acquire(1, &cancel), Acquire::Cancelled),
+            "saturated + cancelled unparks as Cancelled"
+        );
+        m.release(&held, Settle::Neutral);
+    }
+
+    #[test]
+    fn try_acquire_avoids_and_never_blocks() {
+        let m = members(&["a:1", "b:2"]);
+        let got = m.try_acquire(1, &["a:1"]).expect("b admissible");
+        assert_eq!(got.addr, "b:2");
+        assert!(m.try_acquire(1, &["a:1"]).is_none(), "b saturated, a avoided");
+        m.release(&got, Settle::Success);
+        assert_eq!(got.completed(), 1);
+    }
+}

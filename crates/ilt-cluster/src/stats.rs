@@ -162,13 +162,22 @@ pub struct ClusterStats {
     /// End-to-end shard round-trip latency (dispatch to fully parsed
     /// response), labeled `stage="shard"`.
     pub shard_ms: Histogram,
+    /// Straggler shards speculatively re-executed on a second worker.
+    pub shards_speculated: Counter,
+    /// Speculative copies that finished before their straggling original.
+    pub speculation_wins: Counter,
+    /// Workers ever registered (the initial `--workers` list plus every
+    /// `POST /v1/members` join).
+    pub members_joined: Counter,
+    /// Workers that left the membership.
+    pub members_left: Counter,
 }
 
 impl ClusterStats {
     /// Appends the cluster families to a Prometheus text exposition.
     pub fn render(&self, workers_configured: usize, out: &mut String) {
         out.push_str(&format!(
-            "# HELP ilt_workers_configured Worker replicas configured at startup.\n# TYPE ilt_workers_configured gauge\nilt_workers_configured {workers_configured}\n"
+            "# HELP ilt_workers_configured Worker replicas currently registered.\n# TYPE ilt_workers_configured gauge\nilt_workers_configured {workers_configured}\n"
         ));
         out.push_str(&format!(
             "# HELP ilt_workers_alive Worker replicas currently passing heartbeats.\n# TYPE ilt_workers_alive gauge\nilt_workers_alive {}\n",
@@ -181,6 +190,22 @@ impl ClusterStats {
         out.push_str(&format!(
             "# HELP ilt_worker_heartbeat_failures_total Failed worker heartbeat probes.\n# TYPE ilt_worker_heartbeat_failures_total counter\nilt_worker_heartbeat_failures_total {}\n",
             self.heartbeat_failures.get()
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_shards_speculated_total Straggler shards speculatively re-executed.\n# TYPE ilt_shards_speculated_total counter\nilt_shards_speculated_total {}\n",
+            self.shards_speculated.get()
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_speculation_wins_total Speculative copies that beat the straggler.\n# TYPE ilt_speculation_wins_total counter\nilt_speculation_wins_total {}\n",
+            self.speculation_wins.get()
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_members_joined_total Workers ever registered with the coordinator.\n# TYPE ilt_members_joined_total counter\nilt_members_joined_total {}\n",
+            self.members_joined.get()
+        ));
+        out.push_str(&format!(
+            "# HELP ilt_members_left_total Workers that left the membership.\n# TYPE ilt_members_left_total counter\nilt_members_left_total {}\n",
+            self.members_left.get()
         ));
         out.push_str(
             "# HELP ilt_shard_latency_ms Shard dispatch round-trip latency, milliseconds.\n# TYPE ilt_shard_latency_ms histogram\n",
@@ -200,12 +225,20 @@ mod tests {
         stats.shards_redispatched.inc();
         stats.heartbeat_failures.add(3);
         stats.shard_ms.observe(42.0);
+        stats.shards_speculated.inc();
+        stats.speculation_wins.inc();
+        stats.members_joined.add(2);
+        stats.members_left.inc();
         let mut out = String::new();
         stats.render(2, &mut out);
         assert!(out.contains("ilt_workers_configured 2\n"), "{out}");
         assert!(out.contains("ilt_workers_alive 2\n"), "{out}");
         assert!(out.contains("ilt_shards_redispatched_total 1\n"));
         assert!(out.contains("ilt_worker_heartbeat_failures_total 3\n"));
+        assert!(out.contains("ilt_shards_speculated_total 1\n"));
+        assert!(out.contains("ilt_speculation_wins_total 1\n"));
+        assert!(out.contains("ilt_members_joined_total 2\n"));
+        assert!(out.contains("ilt_members_left_total 1\n"));
         assert!(out.contains("ilt_shard_latency_ms_bucket{stage=\"shard\",le=\"50\"} 1\n"));
         assert!(out.contains("ilt_shard_latency_ms_count{stage=\"shard\"} 1\n"));
         // Prometheus text format: every line is either a comment or

@@ -278,6 +278,27 @@ fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, String> {
     String::from_utf8(out).map_err(|_| format!("non-utf8 after decoding {s:?}"))
 }
 
+/// A deterministic transport-level fault applied while *writing* a
+/// response — the worker-side half of the `conn_refuse` / `read_stall` /
+/// `torn_response` / `garble` chaos kinds in `FaultPlan`. The response is
+/// computed normally; only its trip over the wire is damaged, so the
+/// coordinator's retry/hash machinery is what gets exercised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// Write nothing at all and let the connection close (a refused or
+    /// reset dispatch).
+    ConnRefuse,
+    /// Write the head and half the body, stall this long, then finish
+    /// (a half-open, dribbling stream).
+    ReadStall(Duration),
+    /// Declare the full `Content-Length` but truncate the body at two
+    /// thirds (a torn JSONL stream).
+    TornResponse,
+    /// Flip a run of bytes in the middle of the body (corruption the
+    /// mask-hash verification must catch).
+    Garble,
+}
+
 /// One response, written with `Content-Length` and `Connection: close`.
 #[derive(Debug)]
 pub struct Response {
@@ -288,6 +309,7 @@ pub struct Response {
     /// Body bytes.
     pub body: Vec<u8>,
     content_type: &'static str,
+    wire_fault: Option<WireFault>,
 }
 
 impl Response {
@@ -302,6 +324,7 @@ impl Response {
             headers: Vec::new(),
             body: body.into_bytes(),
             content_type: "application/json",
+            wire_fault: None,
         }
     }
 
@@ -312,6 +335,7 @@ impl Response {
             headers: Vec::new(),
             body: body.into().into_bytes(),
             content_type: "text/plain; charset=utf-8",
+            wire_fault: None,
         }
     }
 
@@ -322,6 +346,7 @@ impl Response {
             headers: Vec::new(),
             body,
             content_type: "image/x-portable-graymap",
+            wire_fault: None,
         }
     }
 
@@ -332,6 +357,7 @@ impl Response {
             headers: Vec::new(),
             body: body.into().into_bytes(),
             content_type: "application/jsonl",
+            wire_fault: None,
         }
     }
 
@@ -345,6 +371,14 @@ impl Response {
     #[must_use]
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
         self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Arms a [`WireFault`] to be applied when this response is written
+    /// (`None` clears it). Used by the worker's chaos injection.
+    #[must_use]
+    pub fn with_wire_fault(mut self, fault: Option<WireFault>) -> Response {
+        self.wire_fault = fault;
         self
     }
 
@@ -366,6 +400,14 @@ impl Response {
     ///
     /// Propagates socket write errors (including write timeouts).
     pub fn write_with_connection(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        if self.wire_fault == Some(WireFault::ConnRefuse) {
+            // Write nothing; the caller's connection teardown delivers the
+            // refusal (the client sees EOF before any status line).
+            return Ok(());
+        }
+        // A faulted write always announces `Connection: close`: the stream
+        // is about to be damaged, so it must not be reused.
+        let keep_alive = keep_alive && self.wire_fault.is_none();
         let mut head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
@@ -379,7 +421,29 @@ impl Response {
         }
         head.push_str("\r\n");
         w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        match self.wire_fault {
+            None | Some(WireFault::ConnRefuse) => w.write_all(&self.body)?,
+            Some(WireFault::TornResponse) => {
+                // Full content-length declared above; deliver only two
+                // thirds and stop — a torn JSONL stream.
+                w.write_all(&self.body[..self.body.len() * 2 / 3])?;
+            }
+            Some(WireFault::ReadStall(stall)) => {
+                let half = self.body.len() / 2;
+                w.write_all(&self.body[..half])?;
+                w.flush()?;
+                std::thread::sleep(stall);
+                w.write_all(&self.body[half..])?;
+            }
+            Some(WireFault::Garble) => {
+                let mut garbled = self.body.clone();
+                let mid = garbled.len() / 2;
+                for b in garbled.iter_mut().skip(mid).take(16) {
+                    *b ^= 0xa5;
+                }
+                w.write_all(&garbled)?;
+            }
+        }
         w.flush()
     }
 }
@@ -715,6 +779,55 @@ mod tests {
         Response::text(200, "ok").write_with_connection(&mut out, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn wire_faults_damage_only_the_write() {
+        let body = "abcdefghijklmnopqrstuvwxyz0123456789";
+        let mut clean = Vec::new();
+        Response::jsonl(200, body).write_to(&mut clean).unwrap();
+
+        let mut refused = Vec::new();
+        Response::jsonl(200, body)
+            .with_wire_fault(Some(WireFault::ConnRefuse))
+            .write_to(&mut refused)
+            .unwrap();
+        assert!(refused.is_empty(), "conn_refuse writes nothing at all");
+
+        let mut torn = Vec::new();
+        Response::jsonl(200, body)
+            .with_wire_fault(Some(WireFault::TornResponse))
+            .write_to(&mut torn)
+            .unwrap();
+        let torn_text = String::from_utf8_lossy(&torn);
+        assert!(
+            torn_text.contains(&format!("content-length: {}\r\n", body.len())),
+            "torn response still declares the full length: {torn_text}"
+        );
+        assert_eq!(clean.len() - torn.len(), body.len() - body.len() * 2 / 3);
+
+        let mut garbled = Vec::new();
+        Response::jsonl(200, body)
+            .with_wire_fault(Some(WireFault::Garble))
+            .write_to(&mut garbled)
+            .unwrap();
+        assert_eq!(garbled.len(), clean.len(), "garble keeps the length");
+        assert_ne!(garbled, clean, "garble flips body bytes");
+
+        let mut stalled = Vec::new();
+        Response::jsonl(200, body)
+            .with_wire_fault(Some(WireFault::ReadStall(Duration::from_millis(1))))
+            .write_to(&mut stalled)
+            .unwrap();
+        assert_eq!(stalled, clean, "read_stall delivers identical bytes, just slowly");
+
+        // A faulted response never keeps the connection alive.
+        let mut ka = Vec::new();
+        Response::jsonl(200, body)
+            .with_wire_fault(Some(WireFault::Garble))
+            .write_with_connection(&mut ka, true)
+            .unwrap();
+        assert!(String::from_utf8_lossy(&ka).contains("connection: close\r\n"));
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! Fault injection is local by design: the coordinator strips `inject=`
 //! from dispatched queries, and a worker only injects the plan given on
 //! its own command line — so a crash fault kills one replica, not every
-//! replica the shard is re-dispatched to.
+//! replica the shard is re-dispatched to. Transport faults (`conn_refuse`,
+//! `read_stall`, `torn_response`, `garble`) damage the shard *response* on
+//! the wire instead of the compute, keyed by this replica's per-shard
+//! dispatch counter — the flaky-network regime where `/healthz` still
+//! passes.
 
 use std::collections::HashMap;
 use std::io;
@@ -32,11 +36,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ilt_runtime::{
-    config_fingerprint, run_shard, CancelToken, FaultPlan, SimulatorCache, WAL_FILE,
+    config_fingerprint, run_shard, CancelToken, FaultKind, FaultPlan, SimulatorCache, WAL_FILE,
 };
 
 use crate::params::{ExecPolicy, JobParams};
-use crate::transport::{serve_connection, ConnOptions, Request, Response};
+use crate::transport::{serve_connection, ConnOptions, Request, Response, WireFault};
 use crate::wire::{parse_job_ids, shard_header_line, shard_job_line, ShardHeader};
 
 /// Worker service configuration.
@@ -75,6 +79,9 @@ struct WorkerShared {
     cache: SimulatorCache,
     /// Cancel tokens of shards currently executing, by shard id.
     active: Mutex<HashMap<String, CancelToken>>,
+    /// How often each shard id has been dispatched to this replica — the
+    /// attempt counter transport faults (`conn_refuse@J:A` etc.) address.
+    dispatch_counts: Mutex<HashMap<String, u32>>,
     shutdown: AtomicBool,
 }
 
@@ -98,6 +105,7 @@ impl Worker {
                 config,
                 cache: SimulatorCache::new(),
                 active: Mutex::new(HashMap::new()),
+                dispatch_counts: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -196,6 +204,39 @@ fn run_dispatched_shard(shared: &WorkerShared, req: &Request) -> Response {
     if !shared.config.faults.is_empty() {
         params.faults = shared.config.faults.clone();
     }
+    // Transport-fault injection (chaos testing): faults address this
+    // replica's per-shard dispatch counter, so `conn_refuse@J:1` damages
+    // exactly the first dispatch of J's shard *to this worker* and a
+    // re-dispatch (or another replica) succeeds.
+    let wire_fault = if params.faults.has_transport_faults() {
+        let attempt = {
+            let mut counts = shared.dispatch_counts.lock().expect("dispatch counts poisoned");
+            if counts.len() > 4096 {
+                counts.clear();
+            }
+            let n = counts.entry(sid.clone()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        job_ids.iter().find_map(|&j| params.faults.transport_fault(j, attempt)).map(
+            |kind| match kind {
+                FaultKind::ConnRefuse => WireFault::ConnRefuse,
+                FaultKind::ReadStall { ms } => {
+                    WireFault::ReadStall(std::time::Duration::from_millis(ms))
+                }
+                FaultKind::TornResponse => WireFault::TornResponse,
+                FaultKind::Garble => WireFault::Garble,
+                _ => unreachable!("transport_fault only yields transport kinds"),
+            },
+        )
+    } else {
+        None
+    };
+    if wire_fault == Some(WireFault::ConnRefuse) {
+        // Simulated connection refusal: drop the request without computing
+        // (or writing a single byte — see `Response::with_wire_fault`).
+        return Response::error(503, "injected conn_refuse").with_wire_fault(wire_fault);
+    }
     let (case, mut config) = match params.plan() {
         Ok(planned) => planned,
         Err(e) => return Response::error(400, &e),
@@ -249,5 +290,8 @@ fn run_dispatched_shard(shared: &WorkerShared, req: &Request) -> Response {
         body.push_str(&shard_job_line(output));
         body.push('\n');
     }
-    finish(Response::jsonl(200, body))
+    // Non-refusal transport faults damage the successful response on the
+    // wire: the shard computed (and checkpointed) fine, the bytes did not
+    // survive the network.
+    finish(Response::jsonl(200, body).with_wire_fault(wire_fault))
 }

@@ -9,7 +9,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use ilt_cluster::{
-    ClusterConfig, Coordinator, ExecPolicy, JobParams, Worker, WorkerConfig,
+    BreakerConfig, ClusterConfig, Coordinator, ExecPolicy, JobParams, Worker, WorkerConfig,
 };
 use ilt_field::pgm_bytes;
 use ilt_runtime::{
@@ -190,6 +190,233 @@ fn cancellation_fans_out_to_workers() {
         outputs.iter().any(|o| o.record.status == JobStatus::Cancelled),
         "cancellation must reach the worker's tiles"
     );
+    shutdown(&addr);
+    handle.join().expect("worker thread");
+}
+
+/// A fault plan applying `kind` (with optional `=V` argument) to every job
+/// id in the plan, e.g. `conn_refuse@0,conn_refuse@1,...`.
+fn fault_for_all(kind: &str, ids: usize, arg: &str) -> FaultPlan {
+    let spec = (0..ids).map(|j| format!("{kind}@{j}{arg}")).collect::<Vec<_>>().join(",");
+    FaultPlan::parse(&spec).expect("fault plan")
+}
+
+#[test]
+fn quarantine_stops_dispatches_while_heartbeats_still_pass() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+    let cache = SimulatorCache::new();
+    let reference = run_batch(std::slice::from_ref(&case), &config, &cache).expect("local batch");
+    let reference_pgm = pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+
+    // Replica A refuses every shard dispatch at the transport layer but
+    // keeps answering /healthz: the flaky-but-alive regime heartbeats
+    // cannot catch. B is healthy.
+    let (flaky, flaky_handle) = spawn_worker(fault_for_all("conn_refuse", plan.len(), ""));
+    let (clean, clean_handle) = spawn_worker(FaultPlan::none());
+    let coordinator = Coordinator::new(ClusterConfig {
+        workers: vec![flaky.clone(), clean.clone()],
+        heartbeat: Duration::from_millis(50),
+        heartbeat_failures: 1000, // never declare death: quarantine must act alone
+        breaker: BreakerConfig {
+            threshold: 1,
+            base: Duration::from_secs(60),
+            cap: Duration::from_secs(60),
+            ..BreakerConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+    .expect("coordinator");
+
+    let outputs = coordinator
+        .run_job(1, &query, &[], &plan, &config.cancel, &config.progress)
+        .expect("clustered run despite a quarantined replica");
+    let outcome = assemble_batch(std::slice::from_ref(&case), &config, outputs, &cache, 0.0)
+        .expect("assemble");
+    assert_eq!(outcome.cases[0].failed_tiles, 0);
+    assert_eq!(
+        pgm_bytes(&outcome.cases[0].mask, 0.0, 1.0),
+        reference_pgm,
+        "quarantine re-routing must not change the mask"
+    );
+
+    let views = coordinator.member_views();
+    let flaky_view = views.iter().find(|v| v.addr == flaky).expect("flaky member");
+    let clean_view = views.iter().find(|v| v.addr == clean).expect("clean member");
+    assert_eq!(flaky_view.breaker, "open", "one refusal must open the breaker");
+    assert_eq!(flaky_view.completed, 0, "no shard ever completes on the flaky replica");
+    assert!(
+        flaky_view.dispatches >= 1 && flaky_view.dispatches <= 2,
+        "breaker must stop dispatches after the initial concurrent window, got {}",
+        flaky_view.dispatches
+    );
+    assert!(clean_view.completed >= 4, "every shard lands on the healthy replica");
+    assert!(coordinator.stats().shards_redispatched.get() >= 1);
+    let mut metrics = String::new();
+    coordinator.render_metrics(&mut metrics);
+    assert!(
+        metrics.contains(&format!("ilt_worker_breaker_state{{worker=\"{flaky}\"}} 2")),
+        "{metrics}"
+    );
+    // The quarantined replica still passes heartbeats: alive, just unused.
+    assert!(flaky_view.alive, "quarantine is not death");
+
+    shutdown(&flaky);
+    shutdown(&clean);
+    flaky_handle.join().expect("worker thread");
+    clean_handle.join().expect("worker thread");
+}
+
+#[test]
+fn open_breaker_re_earns_trust_through_half_open_probes() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+    let cache = SimulatorCache::new();
+    let reference = run_batch(std::slice::from_ref(&case), &config, &cache).expect("local batch");
+    let reference_pgm = pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+
+    // The only replica refuses the FIRST dispatch of every shard (the
+    // worker-side per-shard attempt counter), then behaves. The job can
+    // only finish if the open breaker admits half-open probes and the
+    // succeeding probes close it again.
+    let (addr, handle) = spawn_worker(fault_for_all("conn_refuse", plan.len(), ":1"));
+    let coordinator = Coordinator::new(ClusterConfig {
+        workers: vec![addr.clone()],
+        heartbeat: Duration::from_millis(50),
+        heartbeat_failures: 1000,
+        breaker: BreakerConfig {
+            threshold: 1,
+            base: Duration::from_millis(40),
+            cap: Duration::from_millis(40),
+            ..BreakerConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+    .expect("coordinator");
+
+    let outputs = coordinator
+        .run_job(1, &query, &[], &plan, &config.cancel, &config.progress)
+        .expect("half-open probes must let the job finish");
+    let outcome = assemble_batch(std::slice::from_ref(&case), &config, outputs, &cache, 0.0)
+        .expect("assemble");
+    assert_eq!(outcome.cases[0].failed_tiles, 0);
+    assert_eq!(pgm_bytes(&outcome.cases[0].mask, 0.0, 1.0), reference_pgm);
+    let view = &coordinator.member_views()[0];
+    assert_eq!(view.breaker, "closed", "successful probes re-earn a closed breaker");
+    assert!(view.completed >= 4, "every shard eventually completes here");
+    assert!(
+        coordinator.stats().shards_redispatched.get() >= plan.len().min(4) as u64,
+        "each shard's refused first attempt forces a re-dispatch"
+    );
+
+    shutdown(&addr);
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn late_joining_worker_picks_up_queued_shards_mid_job() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+    let cache = SimulatorCache::new();
+    let reference = run_batch(std::slice::from_ref(&case), &config, &cache).expect("local batch");
+    let reference_pgm = pgm_bytes(&reference.cases[0].mask, 0.0, 1.0);
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+
+    // One worker, serialized (max_inflight 1): the 4-way shard split
+    // leaves shards queued, which is what the late joiner picks up.
+    let (first, first_handle) = spawn_worker(FaultPlan::none());
+    let coordinator = std::sync::Arc::new(
+        Coordinator::new(ClusterConfig {
+            workers: vec![first.clone()],
+            heartbeat: Duration::from_millis(50),
+            max_inflight_per_worker: 1,
+            ..ClusterConfig::default()
+        })
+        .expect("coordinator"),
+    );
+
+    let runner = {
+        let coordinator = std::sync::Arc::clone(&coordinator);
+        let query = query.clone();
+        let plan = plan.clone();
+        let cancel = config.cancel.clone();
+        let progress = config.progress.clone();
+        std::thread::spawn(move || coordinator.run_job(1, &query, &[], &plan, &cancel, &progress))
+    };
+    // Wait until at least one shard finished (so the job is provably mid
+    // flight), then register the second replica.
+    let started = std::time::Instant::now();
+    while coordinator.stats().shard_ms.count() < 1 {
+        assert!(started.elapsed() < Duration::from_secs(60), "first shard never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (late, late_handle) = spawn_worker(FaultPlan::none());
+    assert!(coordinator.join(&late), "join is accepted mid-job");
+
+    let outputs = runner.join().expect("runner").expect("clustered run");
+    let outcome = assemble_batch(std::slice::from_ref(&case), &config, outputs, &cache, 0.0)
+        .expect("assemble");
+    assert_eq!(outcome.cases[0].failed_tiles, 0);
+    assert_eq!(
+        pgm_bytes(&outcome.cases[0].mask, 0.0, 1.0),
+        reference_pgm,
+        "a mid-job join must not change the mask"
+    );
+    let views = coordinator.member_views();
+    let late_view = views.iter().find(|v| v.addr == late).expect("late member");
+    assert!(
+        late_view.completed >= 1,
+        "the late joiner must execute at least one queued shard"
+    );
+    assert_eq!(coordinator.stats().members_joined.get(), 2);
+
+    shutdown(&first);
+    shutdown(&late);
+    first_handle.join().expect("worker thread");
+    late_handle.join().expect("worker thread");
+}
+
+#[test]
+fn lost_shard_records_carry_the_full_attempt_history() {
+    let params = tiny_params();
+    let (case, config) = params.plan().expect("plan");
+    let query = params.to_query();
+    let plan = planned_job_list(std::slice::from_ref(&case), &config).expect("plan list");
+
+    // Every dispatch is refused and the breaker never opens (threshold
+    // 1000), so each shard burns its full attempt budget on the same
+    // replica and the synthesized failure must tell that story.
+    let (addr, handle) = spawn_worker(fault_for_all("conn_refuse", plan.len(), ""));
+    let coordinator = Coordinator::new(ClusterConfig {
+        workers: vec![addr.clone()],
+        heartbeat: Duration::from_millis(50),
+        heartbeat_failures: 1000,
+        max_shard_attempts: 2,
+        breaker: BreakerConfig { threshold: 1000, ..BreakerConfig::default() },
+        ..ClusterConfig::default()
+    })
+    .expect("coordinator");
+
+    let outputs = coordinator
+        .run_job(1, &query, &[], &plan, &config.cancel, &config.progress)
+        .expect("lost shards synthesize records, not errors");
+    assert_eq!(outputs.len(), plan.len());
+    for output in &outputs {
+        let JobStatus::Failed(reason) = &output.record.status else {
+            panic!("expected every record failed, got {:?}", output.record.status);
+        };
+        assert!(reason.contains("shard lost"), "{reason}");
+        assert!(reason.contains("gave up after 2 dispatch attempts"), "{reason}");
+        assert!(reason.contains(&format!("attempt 1 on {addr}")), "{reason}");
+        assert!(reason.contains(&format!("attempt 2 on {addr}")), "{reason}");
+        assert!(reason.contains("ms)"), "per-attempt elapsed time: {reason}");
+    }
+
     shutdown(&addr);
     handle.join().expect("worker thread");
 }

@@ -132,6 +132,14 @@ pub fn registry() -> Vec<Workload> {
             notes: "coordinator shard dispatch + reassembly of a 9-tile job across 2 loopback workers",
             run: workloads::cluster::shard_roundtrip,
         },
+        Workload {
+            name: "cluster_speculation",
+            tags: &["cluster"],
+            units: "us_per_op",
+            threshold: 1.0,
+            notes: "straggler speculation: one of 2 replicas stalls every shard on the wire; detection + re-execution race, first result wins",
+            run: workloads::cluster::speculation_race,
+        },
     ]
 }
 

@@ -355,6 +355,60 @@ fn strip_query_param(query: &str, key: &str) -> String {
         .join("&")
 }
 
+/// `GET /v1/members`: the live membership with per-worker health —
+/// liveness, drain flag, breaker state, and dispatch ledgers.
+fn render_members(coordinator: &Coordinator) -> String {
+    let mut body = String::from("{\"members\":[");
+    for (i, view) in coordinator.member_views().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"addr\":\"{}\",\"alive\":{},\"draining\":{},\"breaker\":\"{}\",\
+             \"inflight\":{},\"dispatches\":{},\"completed\":{}}}",
+            view.addr, view.alive, view.draining, view.breaker, view.inflight,
+            view.dispatches, view.completed
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+/// Worker addresses travel into metric labels and JSON unescaped; keep
+/// them to the `host:port` alphabet.
+fn valid_member_addr(addr: &str) -> bool {
+    !addr.is_empty()
+        && addr.len() <= 256
+        && addr
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b':' | b'-' | b'_' | b'['| b']'))
+}
+
+/// `POST /v1/members?addr=H:P&action=join|leave|drain`: mutates the live
+/// membership. Join is what `ilt worker --register` calls after binding;
+/// drain then leave is the graceful decommission sequence.
+fn member_action(coordinator: &Coordinator, req: &Request) -> Response {
+    let Some(addr) = req.query_param("addr") else {
+        return Response::error(400, "missing addr= parameter");
+    };
+    if !valid_member_addr(addr) {
+        return Response::error(400, &format!("bad member address {addr:?}"));
+    }
+    let action = req.query_param("action").unwrap_or("join");
+    let (changed, verb) = match action {
+        "join" => (coordinator.join(addr), "joined"),
+        "leave" => (coordinator.leave(addr), "left"),
+        "drain" => (coordinator.drain(addr), "draining"),
+        other => return Response::error(400, &format!("unknown member action {other:?}")),
+    };
+    if changed {
+        Response::json(200, format!("{{\"addr\":\"{addr}\",\"state\":\"{verb}\"}}"))
+    } else {
+        let why = if action == "join" { "already a member" } else { "not a member" };
+        Response::error(409, &format!("{action} {addr}: {why}"))
+    }
+}
+
 /// Applies the TTL / residency eviction policy; called after every finished
 /// job and on every metrics scrape (the only moments residency can change
 /// or expiry becomes observable).
@@ -427,7 +481,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
             };
             let mut body = shared.metrics.render(&gauges);
             if let Some(coordinator) = &shared.coordinator {
-                coordinator.stats().render(coordinator.workers_configured(), &mut body);
+                coordinator.render_metrics(&mut body);
             }
             Response::text(200, body)
         }
@@ -469,6 +523,16 @@ fn route(shared: &Shared, req: &Request) -> Response {
             },
         },
         (_, ["v1", "jobs", _, "mask"]) => method_not_allowed("GET"),
+
+        ("GET", ["v1", "members"]) => match &shared.coordinator {
+            None => Response::error(409, "not a cluster coordinator (no workers configured)"),
+            Some(coordinator) => Response::json(200, render_members(coordinator)),
+        },
+        ("POST", ["v1", "members"]) => match &shared.coordinator {
+            None => Response::error(409, "not a cluster coordinator (no workers configured)"),
+            Some(coordinator) => member_action(coordinator, req),
+        },
+        (_, ["v1", "members"]) => method_not_allowed("GET, POST"),
 
         ("POST", ["v1", "shutdown"]) => {
             start_drain(shared);

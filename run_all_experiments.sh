@@ -5,6 +5,7 @@ set -e
 ./verify_resume.sh
 ./verify_server.sh
 ./verify_cluster.sh
+./verify_chaos.sh
 ./verify_perf.sh
 ./verify_bench.sh
 BIN=./target/release/tables

@@ -50,16 +50,31 @@
 //! the state-log size past which live jobs are snapshotted and the log
 //! truncated (0 = never compact); `--keep-alive` caps requests served per
 //! connection and `--idle-timeout-s` bounds how long a persistent
-//! connection may sit idle. With `--workers`, `serve` becomes a cluster
-//! coordinator: each job's tile plan is sharded across the listed
-//! `ilt worker` replicas and reassembled centrally (byte-identical to a
-//! local run); `--heartbeat-ms`/`--heartbeat-failures` tune worker-death
-//! detection (dead workers get their shards re-dispatched) and
-//! `--cancel-grace-s` bounds how long a job cancellation waits for worker
-//! acknowledgements. `worker` starts one such replica; its `--inject`
-//! fault plan is deliberately local (never forwarded by a coordinator),
-//! and `--state-dir` keeps per-shard checkpoint WALs so a restarted worker
-//! resumes a re-dispatched shard instead of recomputing it. `bench` is the
+//! connection may sit idle. With `--workers` (or `--cluster` for an
+//! initially empty membership), `serve` becomes a cluster coordinator:
+//! each job's tile plan is sharded across the live `ilt worker` replicas
+//! and reassembled centrally (byte-identical to a local run). Membership
+//! is dynamic — `POST /v1/members` joins, drains, or removes replicas at
+//! runtime — and supervision is self-healing: `--heartbeat-ms`/
+//! `--heartbeat-failures` tune worker-death detection (dead workers get
+//! their shards re-dispatched), `--breaker-failures`/`--breaker-base-ms`/
+//! `--breaker-cap-ms` tune the per-worker circuit breaker that
+//! quarantines flaky-but-alive replicas, `--speculate-factor`/
+//! `--speculate-after` govern straggler speculation (a shard running
+//! longer than factor × the job's median latency races a second replica;
+//! first result wins, and both results must agree bit-exactly),
+//! `--max-inflight` caps concurrent shards per worker, and
+//! `--max-shard-attempts` bounds dispatch attempts before a shard is
+//! declared lost. `--cancel-grace-s` bounds how long a job cancellation
+//! waits for worker acknowledgements. `worker` starts one replica;
+//! `--register HOST:PORT` makes it announce itself to that coordinator
+//! after binding (and deregister on shutdown); its `--inject` fault plan
+//! is deliberately local (never forwarded by a coordinator) and now
+//! includes transport faults (`conn_refuse@J[:A]`, `read_stall@J[:A]=MS`,
+//! `torn_response@J[:A]`, `garble@J[:A]`) that damage shard responses on
+//! the wire while `/healthz` stays green; `--state-dir` keeps per-shard
+//! checkpoint WALs so a restarted worker resumes a re-dispatched shard
+//! instead of recomputing it. `bench` is the
 //! hermetic, std-only performance barometer (the `ilt-perf` crate): `list`
 //! shows the workload registry (FFT, simulator, autodiff, runtime, server,
 //! cluster families), `run` measures the selected workloads and writes one
@@ -109,9 +124,18 @@ struct Cli {
     keep_alive: usize,
     idle_timeout_s: f64,
     workers: Option<String>,
+    cluster: bool,
     heartbeat_ms: u64,
     heartbeat_failures: u32,
     cancel_grace_s: f64,
+    max_inflight: u32,
+    max_shard_attempts: u32,
+    breaker_failures: u32,
+    breaker_base_ms: u64,
+    breaker_cap_ms: u64,
+    speculate_factor: f64,
+    speculate_after: usize,
+    register: Option<String>,
     reps: usize,
     tags: Vec<String>,
     names: Vec<String>,
@@ -161,9 +185,18 @@ impl Cli {
             keep_alive: 32,
             idle_timeout_s: 5.0,
             workers: None,
+            cluster: false,
             heartbeat_ms: 500,
             heartbeat_failures: 3,
             cancel_grace_s: 10.0,
+            max_inflight: 2,
+            max_shard_attempts: 0,
+            breaker_failures: 3,
+            breaker_base_ms: 500,
+            breaker_cap_ms: 30_000,
+            speculate_factor: 3.0,
+            speculate_after: 3,
+            register: None,
             reps: 5,
             tags: Vec::new(),
             names: Vec::new(),
@@ -213,9 +246,18 @@ impl Cli {
                 "--keep-alive" => cli.keep_alive = value()?.parse()?,
                 "--idle-timeout-s" => cli.idle_timeout_s = value()?.parse()?,
                 "--workers" => cli.workers = Some(value()?),
+                "--cluster" => cli.cluster = true,
                 "--heartbeat-ms" => cli.heartbeat_ms = value()?.parse()?,
                 "--heartbeat-failures" => cli.heartbeat_failures = value()?.parse()?,
                 "--cancel-grace-s" => cli.cancel_grace_s = value()?.parse()?,
+                "--max-inflight" => cli.max_inflight = value()?.parse()?,
+                "--max-shard-attempts" => cli.max_shard_attempts = value()?.parse()?,
+                "--breaker-failures" => cli.breaker_failures = value()?.parse()?,
+                "--breaker-base-ms" => cli.breaker_base_ms = value()?.parse()?,
+                "--breaker-cap-ms" => cli.breaker_cap_ms = value()?.parse()?,
+                "--speculate-factor" => cli.speculate_factor = value()?.parse()?,
+                "--speculate-after" => cli.speculate_after = value()?.parse()?,
+                "--register" => cli.register = Some(value()?),
                 "--reps" => cli.reps = value()?.parse()?,
                 "--tag" => cli.tags.push(value()?),
                 "--name" => cli.names.push(value()?),
@@ -474,23 +516,34 @@ fn cmd_batch(cli: &Cli) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    let cluster = match &cli.workers {
-        None => None,
+    let workers: Vec<String> = match &cli.workers {
+        None => Vec::new(),
         Some(list) => {
-            let workers: Vec<String> =
-                list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Into::into).collect();
-            if workers.is_empty() {
-                return Err("--workers needs at least one host:port".into());
-            }
-            Some(ClusterConfig {
-                workers,
-                heartbeat: std::time::Duration::from_millis(cli.heartbeat_ms.max(10)),
-                heartbeat_failures: cli.heartbeat_failures.max(1),
-                cancel_grace: std::time::Duration::from_secs_f64(cli.cancel_grace_s.max(0.1)),
-                ..ClusterConfig::default()
-            })
+            list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Into::into).collect()
         }
     };
+    if cli.workers.is_some() && workers.is_empty() {
+        return Err("--workers needs at least one host:port".into());
+    }
+    // `--workers` lists initial replicas; `--cluster` alone starts an empty
+    // coordinator that workers register with (`ilt worker --register`).
+    let cluster = (cli.cluster || !workers.is_empty()).then(|| ClusterConfig {
+        workers,
+        heartbeat: std::time::Duration::from_millis(cli.heartbeat_ms.max(10)),
+        heartbeat_failures: cli.heartbeat_failures.max(1),
+        cancel_grace: std::time::Duration::from_secs_f64(cli.cancel_grace_s.max(0.1)),
+        max_inflight_per_worker: cli.max_inflight.max(1),
+        max_shard_attempts: cli.max_shard_attempts,
+        breaker: multilevel_ilt::cluster::BreakerConfig {
+            threshold: cli.breaker_failures.max(1),
+            base: std::time::Duration::from_millis(cli.breaker_base_ms.max(1)),
+            cap: std::time::Duration::from_millis(cli.breaker_cap_ms.max(1)),
+            ..multilevel_ilt::cluster::BreakerConfig::default()
+        },
+        speculate_factor: cli.speculate_factor.max(0.0),
+        speculate_min_samples: cli.speculate_after.max(1),
+        ..ClusterConfig::default()
+    });
     let config = ServerConfig {
         addr: cli.addr.clone(),
         workers: cli.threads.max(1),
@@ -526,11 +579,15 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
         "{workers} worker(s), queue capacity {queue}; POST /v1/shutdown to drain"
     );
     if let Some(replicas) = replicas {
-        println!(
-            "coordinating {} cluster replica(s): {}",
-            replicas.len(),
-            replicas.join(", ")
-        );
+        if replicas.is_empty() {
+            println!("coordinating an empty cluster; workers register via POST /v1/members");
+        } else {
+            println!(
+                "coordinating {} cluster replica(s): {}",
+                replicas.len(),
+                replicas.join(", ")
+            );
+        }
     }
     server.run()?;
     println!("drained");
@@ -558,10 +615,40 @@ fn cmd_worker(cli: &Cli) -> Result<(), Box<dyn Error>> {
         println!("state: {}", dir.display());
     }
     let worker = Worker::bind(config)?;
+    let local = worker.local_addr()?;
     // The verify script parses this line to find the ephemeral port.
-    println!("worker listening on http://{}", worker.local_addr()?);
+    println!("worker listening on http://{local}");
     println!("POST /v1/shutdown to stop");
+    // Self-registration: announce this replica to the coordinator once the
+    // socket is bound. Retried in the background so a worker started
+    // moments before its coordinator still joins.
+    if let Some(coordinator) = cli.register.clone() {
+        let me = local.to_string();
+        std::thread::spawn(move || {
+            let timeout = std::time::Duration::from_secs(2);
+            for attempt in 0..40u32 {
+                match multilevel_ilt::cluster::post_membership(&coordinator, &me, "join", timeout)
+                {
+                    Ok(()) => {
+                        println!("registered with coordinator {coordinator}");
+                        return;
+                    }
+                    Err(e) if attempt == 39 => eprintln!("registration failed: {e}"),
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(250)),
+                }
+            }
+        });
+    }
     worker.run();
+    if let Some(coordinator) = &cli.register {
+        // Best-effort goodbye so the coordinator stops dispatching here.
+        let _ = multilevel_ilt::cluster::post_membership(
+            coordinator,
+            &local.to_string(),
+            "leave",
+            std::time::Duration::from_secs(2),
+        );
+    }
     println!("stopped");
     Ok(())
 }
