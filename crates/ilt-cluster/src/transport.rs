@@ -460,6 +460,7 @@ fn reason(status: u16) -> &'static str {
         410 => "Gone",
         411 => "Length Required",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",

@@ -125,6 +125,14 @@ pub fn registry() -> Vec<Workload> {
             run: workloads::server::jobs,
         },
         Workload {
+            name: "server_fairness",
+            tags: &["server"],
+            units: "us_per_op",
+            threshold: 1.0,
+            notes: "multi-tenant admission: 3 clients at 3 priority classes submit interleaved and poll to done through the weighted class queues",
+            run: workloads::server::fairness,
+        },
+        Workload {
             name: "cluster_shard",
             tags: &["cluster"],
             units: "us_per_op",

@@ -16,11 +16,7 @@ use crate::result::PerfError;
 
 const NAME: &str = "server_jobs";
 
-/// Parses the job id out of a `Location: /v1/jobs/{id}` header.
-fn job_id(reply: &harness::Reply) -> Result<usize, String> {
-    let loc = reply.header("location").ok_or("submit reply lacks a Location header")?;
-    loc.rsplit('/').next().and_then(|s| s.parse().ok()).ok_or(format!("bad Location {loc}"))
-}
+use harness::job_id;
 
 /// One rep: submit `jobs` fast jobs on a single persistent connection,
 /// poll each to `done` on that same connection, then submit one more and
@@ -104,5 +100,90 @@ pub fn jobs(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
     }
     Ok(sample
         .with_extra("jobs_per_op", jobs_per_rep as f64)
+        .with_extra("workers", workers as f64))
+}
+
+const FAIRNESS_NAME: &str = "server_fairness";
+
+/// The tenants the fairness workload interleaves: one client per priority
+/// class, so every rep exercises the weighted class-queue dequeue.
+const TENANTS: [(&str, &str); 3] = [("alice", "high"), ("bob", "normal"), ("carol", "low")];
+
+/// One rep: each tenant submits `jobs` jobs (interleaved across clients so
+/// the class queues are genuinely mixed), then every job is polled to
+/// `done`. Measures the multi-tenant admission path end to end: header
+/// parsing, per-client accounting, and the weighted round-robin pop.
+fn fairness_rep(addr: SocketAddr, jobs: usize, pgm: &[u8]) -> Result<(), String> {
+    let mut conn = Conn::open(addr);
+    let mut ids = Vec::with_capacity(jobs * TENANTS.len());
+    for _ in 0..jobs {
+        for (client, class) in TENANTS {
+            let headers = [("x-ilt-client", client), ("x-ilt-priority", class)];
+            let reply = conn
+                .request_with_headers(
+                    "POST",
+                    &format!("/v1/jobs?{}", harness::FAST_JOB),
+                    &headers,
+                    pgm,
+                )
+                .map_err(|e| format!("submit as {client}: {e}"))?;
+            if reply.status != 202 {
+                return Err(format!("submit as {client} answered {}: {}", reply.status, reply.text()));
+            }
+            ids.push(job_id(&reply)?);
+        }
+    }
+    for id in ids {
+        loop {
+            let reply = conn
+                .request("GET", &format!("/v1/jobs/{id}"), b"")
+                .map_err(|e| format!("poll: {e}"))?;
+            if reply.status != 200 {
+                return Err(format!("poll answered {}: {}", reply.status, reply.text()));
+            }
+            let text = reply.text();
+            if text.contains("\"state\":\"done\"") {
+                break;
+            }
+            if text.contains("\"state\":\"failed\"") || text.contains("\"state\":\"cancelled\"") {
+                return Err(format!("job {id} terminal without done: {text}"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    Ok(())
+}
+
+/// The multi-tenant fairness workload. One op = one [`fairness_rep`].
+pub fn fairness(cfg: &MeasureConfig) -> Result<Sample, PerfError> {
+    let jobs_per_client = if cfg.smoke { 1 } else { 2 };
+    let workers = 2;
+    let (addr, handle) = harness::start(ServerConfig {
+        workers,
+        queue_cap: 64,
+        keep_alive_requests: 100_000,
+        // Wide enough that the workload never trips a 429 (quota behavior
+        // is pinned by the fairness test suite, not measured here).
+        quota_inflight: 32,
+        quota_queued: 16,
+        ..ServerConfig::default()
+    });
+    let pgm = harness::tiny_pgm();
+
+    let mut failure: Option<String> = None;
+    let sample = measure(cfg, || {
+        if failure.is_some() {
+            return;
+        }
+        if let Err(e) = fairness_rep(addr, jobs_per_client, &pgm) {
+            failure = Some(e);
+        }
+    });
+    harness::shutdown(addr, handle);
+    if let Some(detail) = failure {
+        return Err(PerfError::workload(FAIRNESS_NAME, detail));
+    }
+    Ok(sample
+        .with_extra("jobs_per_op", (jobs_per_client * TENANTS.len()) as f64)
         .with_extra("workers", workers as f64))
 }

@@ -73,5 +73,7 @@ pub use journal::{
     failure_kind, field_hash, fnv1a64, json_escape, json_f64, JobMetrics, JobRecord, JobStatus,
     RunReport, StageTimes,
 };
-pub use pool::{run_jobs, run_jobs_checkpointed, JobOutput, PoolConfig};
+pub use pool::{
+    run_jobs, run_jobs_checkpointed, ClassQueues, JobOutput, PoolConfig, PriorityClass,
+};
 pub use tiler::{SeamPolicy, TileGrid, TileSpec};

@@ -92,11 +92,23 @@ pub fn get(addr: SocketAddr, path: &str) -> Reply {
 
 /// `POST path` with `body` on a fresh close-delimited connection.
 pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> Reply {
-    let mut raw = format!(
-        "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
-        body.len()
-    )
-    .into_bytes();
+    post_with_headers(addr, path, &[], body)
+}
+
+/// [`post`] with extra request headers — the tool for multi-tenant tests
+/// that need to speak as a particular client (`X-Ilt-Client`) or priority
+/// class (`X-Ilt-Priority`).
+pub fn post_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Reply {
+    let mut raw = format!("POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n").into_bytes();
+    for (name, value) in headers {
+        raw.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
     raw.extend_from_slice(body);
     exchange(addr, &raw)
 }
@@ -131,11 +143,22 @@ impl Conn {
     /// Sends one framed request (no `Connection` header: HTTP/1.1 default
     /// keep-alive applies) and reads its reply.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Reply> {
-        let mut raw = format!(
-            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        )
-        .into_bytes();
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`Conn::request`] with extra request headers (e.g. `X-Ilt-Client`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Reply> {
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: t\r\n").into_bytes();
+        for (name, value) in headers {
+            raw.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
         raw.extend_from_slice(body);
         self.send_raw(&raw)?;
         self.read_reply()
@@ -240,6 +263,34 @@ pub fn fast_params(target: Field2D) -> JobParams {
         retries: 1,
         evaluate: true,
         faults: ilt_runtime::FaultPlan::none(),
+    }
+}
+
+/// Parses the job id out of a submit reply's `Location: /v1/jobs/{id}`
+/// header. Shared by the integration suites and the `ilt-perf` server
+/// workloads so every client agrees on where the id lives.
+pub fn job_id(reply: &Reply) -> Result<usize, String> {
+    let loc = reply.header("location").ok_or("submit reply lacks a Location header")?;
+    loc.rsplit('/').next().and_then(|s| s.parse().ok()).ok_or(format!("bad Location {loc}"))
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job reaches any terminal state;
+/// returns `(state, detail_json)`. Panics only on HTTP errors or if the
+/// deadline passes — racing tests decide for themselves which terminal
+/// states are acceptable.
+pub fn wait_for_terminal(addr: SocketAddr, id: usize) -> (String, String) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = get(addr, &format!("/v1/jobs/{id}"));
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let text = reply.text();
+        for terminal in ["done", "failed", "cancelled"] {
+            if text.contains(&format!("\"state\":\"{terminal}\"")) {
+                return (terminal.to_string(), text);
+            }
+        }
+        assert!(Instant::now() < deadline, "job {id} never landed terminal: {text}");
+        std::thread::sleep(std::time::Duration::from_millis(10));
     }
 }
 

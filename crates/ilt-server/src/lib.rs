@@ -59,9 +59,10 @@ mod store;
 
 pub use http::{base64_encode, HttpError, Limits, Request, Response};
 pub use ilt_cluster::params::{ExecPolicy, JobParams, JobSource};
-pub use metrics::{Counter, FailureKinds, Gauges, Histogram, Metrics, FAILURE_KINDS};
+pub use ilt_runtime::PriorityClass;
+pub use metrics::{ClientCounters, Counter, FailureKinds, Gauges, Histogram, Metrics, FAILURE_KINDS};
 pub use server::{Server, ServerConfig};
 pub use store::{
-    CancelOutcome, JobDone, JobState, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
-    SNAPSHOT_FILE,
+    Admission, CancelOutcome, ClientUsage, JobDone, JobState, JobStore, MaskFetch, RecoveryStats,
+    StateLog, SubmitError, SNAPSHOT_FILE,
 };

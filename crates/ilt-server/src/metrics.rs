@@ -7,12 +7,44 @@
 //! run journal's `StageTimes`, so batch CLI runs and served jobs measure
 //! the same quantities with the same code.
 
-use ilt_runtime::StageTimes;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use ilt_runtime::{PriorityClass, StageTimes};
 
 // The primitive instruments moved to `ilt-cluster` (the coordinator
 // observes shard health with them); re-exported here so every existing
 // `ilt_server::metrics::*` import keeps working.
 pub use ilt_cluster::stats::{Counter, FailureKinds, Histogram, FAILURE_KINDS, LATENCY_BUCKETS_MS};
+
+/// A counter family labeled by client id — one Prometheus series per
+/// client that has tripped it. Mutex-backed rather than atomic: it only
+/// ticks on the quota-rejection path, which is cold by definition.
+#[derive(Debug, Default)]
+pub struct ClientCounters {
+    counts: Mutex<BTreeMap<String, u64>>,
+}
+
+impl ClientCounters {
+    /// Increments `client`'s series.
+    pub fn inc(&self, client: &str) {
+        let mut counts = self.counts.lock().expect("client counter lock poisoned");
+        *counts.entry(client.to_string()).or_insert(0) += 1;
+    }
+
+    /// Current count for `client` (0 when never incremented).
+    pub fn get(&self, client: &str) -> u64 {
+        self.counts.lock().expect("client counter lock poisoned").get(client).copied().unwrap_or(0)
+    }
+
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        // Client ids were validated at admission to a label-safe alphabet.
+        for (client, count) in self.counts.lock().expect("client counter lock poisoned").iter() {
+            out.push_str(&format!("{name}{{client=\"{client}\"}} {count}\n"));
+        }
+    }
+}
 
 /// Every live metric the server exports.
 #[derive(Debug, Default)]
@@ -34,6 +66,11 @@ pub struct Metrics {
     pub degraded_tiles: Counter,
     /// Result masks evicted by the TTL / residency sweep.
     pub evicted: Counter,
+    /// Evicted masks served again after a hash-verified reload from the
+    /// state directory.
+    pub rehydrated: Counter,
+    /// Submissions refused 429 for breaching a per-client quota, by client.
+    pub rejected_quota: ClientCounters,
     /// Failed tile jobs, by failure classification.
     pub tile_failures: FailureKinds,
     /// Simulator-acquisition latency per job (cache hit ≈ 0).
@@ -50,8 +87,9 @@ pub struct Metrics {
 /// simulator cache, not by [`Metrics`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Gauges {
-    /// Jobs waiting in the admission queue.
-    pub queue_depth: usize,
+    /// Jobs waiting in the admission queue, per priority class, indexed
+    /// like [`PriorityClass::ALL`].
+    pub queue_depth: [usize; 3],
     /// Jobs currently executing on workers.
     pub running: usize,
     /// Simulators resident in the cache.
@@ -94,8 +132,23 @@ impl Metrics {
         counter(&mut out, "ilt_jobs_recovered_total", "Jobs reconstructed from the state log at startup.", self.recovered.get());
         counter(&mut out, "ilt_tiles_degraded_total", "Tiles rescued by the degraded low-res fallback.", self.degraded_tiles.get());
         counter(&mut out, "ilt_masks_evicted_total", "Result masks evicted by the TTL/residency sweep.", self.evicted.get());
+        counter(&mut out, "ilt_masks_rehydrated_total", "Evicted masks reloaded (hash-verified) from the state directory.", self.rehydrated.get());
+        self.rejected_quota.render(
+            &mut out,
+            "ilt_jobs_rejected_quota_total",
+            "Submissions refused 429 for breaching a per-client quota.",
+        );
         self.tile_failures.render(&mut out);
-        gauge(&mut out, "ilt_queue_depth", "Jobs waiting in the admission queue.", gauges.queue_depth);
+        out.push_str(
+            "# HELP ilt_queue_depth Jobs waiting in the admission queue, by priority class.\n# TYPE ilt_queue_depth gauge\n",
+        );
+        for class in PriorityClass::ALL {
+            out.push_str(&format!(
+                "ilt_queue_depth{{class=\"{}\"}} {}\n",
+                class.as_str(),
+                gauges.queue_depth[class.index()]
+            ));
+        }
         gauge(&mut out, "ilt_jobs_running", "Jobs currently executing.", gauges.running);
         gauge(&mut out, "ilt_cache_simulators", "Simulators resident in the cache.", gauges.cache_entries);
         counter(&mut out, "ilt_cache_hits_total", "Simulator cache hits.", gauges.cache_hits as u64);
@@ -142,10 +195,14 @@ mod tests {
         m.accepted.inc();
         m.rejected.inc();
         m.observe_stages(&StageTimes { sim_ms: 2.0, optimize_ms: 700.0, evaluate_ms: 30.0 }, 750.0);
-        let text = m.render(&Gauges { queue_depth: 3, running: 1, ..Gauges::default() });
+        let text = m.render(&Gauges { queue_depth: [1, 3, 0], running: 1, ..Gauges::default() });
         assert!(text.contains("ilt_jobs_accepted_total 2\n"));
         assert!(text.contains("ilt_jobs_rejected_total 1\n"));
-        assert!(text.contains("ilt_queue_depth 3\n"));
+        assert!(text.contains("ilt_queue_depth{class=\"high\"} 1\n"), "{text}");
+        assert!(text.contains("ilt_queue_depth{class=\"normal\"} 3\n"));
+        assert!(text.contains("ilt_queue_depth{class=\"low\"} 0\n"));
+        assert!(text.contains("ilt_masks_rehydrated_total 0\n"));
+        assert!(text.contains("# TYPE ilt_jobs_rejected_quota_total counter\n"));
         assert!(text.contains("ilt_jobs_running 1\n"));
         assert!(text.contains("ilt_stage_latency_ms_bucket{stage=\"optimize\",le=\"1000\"} 1\n"));
         assert!(text.contains("ilt_stage_latency_ms_count{stage=\"wall\"} 1\n"));
@@ -167,7 +224,16 @@ mod tests {
         m.degraded_tiles.inc();
         m.evicted.add(3);
         m.recovered.add(2);
+        m.rehydrated.inc();
+        m.rejected_quota.inc("alice");
+        m.rejected_quota.inc("alice");
+        m.rejected_quota.inc("bob");
+        assert_eq!(m.rejected_quota.get("alice"), 2);
+        assert_eq!(m.rejected_quota.get("nobody"), 0);
         let text = m.render(&Gauges::default());
+        assert!(text.contains("ilt_masks_rehydrated_total 1\n"), "{text}");
+        assert!(text.contains("ilt_jobs_rejected_quota_total{client=\"alice\"} 2\n"), "{text}");
+        assert!(text.contains("ilt_jobs_rejected_quota_total{client=\"bob\"} 1\n"));
         assert!(text.contains("ilt_tile_failures_total{kind=\"panic\"} 2\n"), "{text}");
         assert!(text.contains("ilt_tile_failures_total{kind=\"numeric\"} 1\n"));
         assert!(text.contains("ilt_tile_failures_total{kind=\"timeout\"} 0\n"));

@@ -21,13 +21,13 @@ use ilt_cluster::{ClusterConfig, Coordinator, ExecPolicy, JobParams};
 use ilt_field::pgm_bytes;
 use ilt_runtime::{
     assemble_batch, failure_kind, field_hash, planned_job_list, run_batch, BatchCase, BatchConfig,
-    BatchOutcome, JobStatus, SimulatorCache,
+    BatchOutcome, JobStatus, PriorityClass, SimulatorCache,
 };
 
 use crate::http::{ConnOptions, Limits, Request, Response};
 use crate::metrics::{Gauges, Metrics};
 use crate::store::{
-    CancelOutcome, JobDone, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
+    Admission, CancelOutcome, JobDone, JobStore, MaskFetch, RecoveryStats, StateLog, SubmitError,
 };
 
 /// Everything tunable about a server instance.
@@ -71,6 +71,11 @@ pub struct ServerConfig {
     /// Compact the state log (snapshot live jobs, truncate `state.jsonl`)
     /// once it exceeds this many bytes; 0 disables compaction.
     pub compact_state_bytes: u64,
+    /// Per-client cap on non-terminal jobs (queued + running); breaches
+    /// answer `429 Too Many Requests`. 0 = unlimited.
+    pub quota_inflight: usize,
+    /// Per-client cap on queued jobs; breaches answer `429`. 0 = unlimited.
+    pub quota_queued: usize,
     /// When set, this instance is a cluster coordinator: each job's tile
     /// plan is sharded across the configured `ilt worker` replicas and the
     /// per-tile results are reassembled centrally (byte-identical stitching
@@ -97,6 +102,8 @@ impl Default for ServerConfig {
             keep_alive_requests: 32,
             idle_timeout: Duration::from_secs(5),
             compact_state_bytes: 0,
+            quota_inflight: 0,
+            quota_queued: 0,
             cluster: None,
         }
     }
@@ -137,7 +144,7 @@ impl Server {
             Some(path) => Some(std::fs::File::create(path)?),
             None => None,
         };
-        let (store, recovered) = match &config.state_dir {
+        let (mut store, recovered) = match &config.state_dir {
             None => (JobStore::new(config.queue_cap), RecoveryStats::default()),
             Some(dir) => {
                 let state = StateLog::open_with_compaction(dir, config.compact_state_bytes)?;
@@ -145,6 +152,7 @@ impl Server {
                     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
             }
         };
+        store.set_quotas(config.quota_inflight, config.quota_queued);
         let metrics = Metrics::default();
         metrics.recovered.add((recovered.restored + recovered.requeued) as u64);
         let coordinator = match &config.cluster {
@@ -472,7 +480,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("GET", ["metrics"]) => {
             sweep_results(shared);
             let gauges = Gauges {
-                queue_depth: shared.store.queue_depth(),
+                queue_depth: shared.store.queue_depth_by_class(),
                 running: shared.store.running(),
                 cache_entries: shared.cache.len(),
                 cache_hits: shared.cache.hits(),
@@ -511,13 +519,19 @@ fn route(shared: &Shared, req: &Request) -> Response {
             Err(_) => Response::error(400, &format!("bad job id {id:?}")),
             Ok(id) => match shared.store.mask_pgm(id) {
                 MaskFetch::Ready(bytes) => Response::pgm(bytes),
+                MaskFetch::Rehydrated(bytes) => {
+                    shared.metrics.rehydrated.inc();
+                    Response::pgm(bytes)
+                }
                 MaskFetch::NotReady(state) => Response::error(
                     409,
                     &format!("job {id} has no mask yet (state: {state:?})"),
                 ),
                 MaskFetch::Gone => Response::error(
                     410,
-                    &format!("job {id} finished but its mask was evicted (TTL/residency)"),
+                    &format!(
+                        "job {id} finished but its mask was evicted and is not recoverable"
+                    ),
                 ),
                 MaskFetch::NoSuchJob => Response::error(404, &format!("no job {id}")),
             },
@@ -569,7 +583,43 @@ fn cancel_job(shared: &Shared, id: usize) -> Response {
     }
 }
 
+/// Client ids travel into metric labels and state-log JSON unescaped; keep
+/// them to a flat identifier alphabet, bounded.
+fn valid_client_id(client: &str) -> bool {
+    !client.is_empty()
+        && client.len() <= 64
+        && client
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Extracts the multi-tenant carriers from a submission: `X-Ilt-Client`
+/// (default `anonymous`) and `X-Ilt-Priority` (`high`/`normal`/`low`,
+/// default `normal`).
+fn admission_from(req: &Request) -> Result<Admission, String> {
+    let client = req.header("x-ilt-client").unwrap_or("anonymous");
+    if !valid_client_id(client) {
+        return Err(format!(
+            "bad X-Ilt-Client {client:?}: expected 1-64 chars of [A-Za-z0-9._-]"
+        ));
+    }
+    let class = match req.header("x-ilt-priority") {
+        None => PriorityClass::Normal,
+        Some(p) => PriorityClass::parse(p).ok_or_else(|| {
+            format!("bad X-Ilt-Priority {p:?}: expected high, normal, or low")
+        })?,
+    };
+    Ok(Admission { client: client.to_string(), class })
+}
+
 fn submit_job(shared: &Shared, req: &Request) -> Response {
+    let admission = match admission_from(req) {
+        Ok(a) => a,
+        Err(why) => {
+            shared.metrics.rejected.inc();
+            return Response::error(400, &why);
+        }
+    };
     let params = match JobParams::from_request(req, &shared.config.policy) {
         Ok(p) => p,
         Err(why) => {
@@ -584,7 +634,7 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
             return Response::error(400, &why);
         }
     };
-    match shared.store.submit_persisted(&params, case, config) {
+    match shared.store.submit_persisted_as(&params, case, config, admission) {
         Ok(id) => {
             shared.metrics.accepted.inc();
             Response::json(
@@ -605,6 +655,14 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
         Err(SubmitError::Draining) => {
             shared.metrics.rejected.inc();
             Response::error(503, "server is draining").with_header("retry-after", "5")
+        }
+        Err(SubmitError::Quota { client, scope, limit }) => {
+            shared.metrics.rejected_quota.inc(&client);
+            Response::error(
+                429,
+                &format!("client {client:?} is over its {scope} quota ({limit}); retry later"),
+            )
+            .with_header("retry-after", "1")
         }
     }
 }

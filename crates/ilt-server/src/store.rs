@@ -8,7 +8,15 @@
 //! instead of costing the server memory. Completed masks (the only large
 //! retained objects) are bounded too: [`JobStore::sweep`] evicts masks past
 //! their TTL or beyond the residency cap, after which the mask endpoint
-//! answers `410 Gone` while the job's metadata stays queryable.
+//! re-hydrates from the state directory when it can (hash-verified) and
+//! answers `410 Gone` only when the durable copy is truly unusable.
+//!
+//! Admission is multi-tenant: every submission carries an [`Admission`]
+//! (client id + [`PriorityClass`]), the queue is per-class FIFOs drained by
+//! smooth weighted round-robin ([`ilt_runtime::ClassQueues`], weights
+//! 4/2/1 — high never starves, low always eventually runs), and per-client
+//! queued/in-flight quotas refuse a flooding client with
+//! [`SubmitError::Quota`] (a 429 upstream) while other clients proceed.
 //!
 //! With a state directory configured, the store doubles as a write-ahead
 //! log: every admission and every terminal outcome is appended to
@@ -32,7 +40,7 @@
 //!   the next restart. A crash between snapshot and truncate is safe:
 //!   recovery replays the snapshot first, then the log, idempotently.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -44,8 +52,8 @@ use ilt_field::{pgm_bytes, Field2D};
 use ilt_metrics::EvalReport;
 use ilt_runtime::{
     field_hash, json_escape, json_f64, json_field_str, json_field_u64, load_mask,
-    mask_file_name, planned_jobs, write_atomic, BatchCase, BatchConfig, CancelToken, JobRecord,
-    Progress,
+    mask_file_name, planned_jobs, write_atomic, BatchCase, BatchConfig, CancelToken, ClassQueues,
+    JobRecord, PriorityClass, Progress,
 };
 
 use ilt_cluster::params::{ExecPolicy, JobParams, JobSource};
@@ -118,9 +126,40 @@ pub struct JobDone {
     pub wall_ms: f64,
 }
 
+/// Who submitted a job and at what priority — the multi-tenant carriers of
+/// every admission (`X-Ilt-Client` / `X-Ilt-Priority` over HTTP).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// Client identity; quotas and the rejection metric are keyed by it.
+    /// Validated upstream to `[A-Za-z0-9._-]{1,64}` because it travels into
+    /// metric labels and state-log JSON unescaped.
+    pub client: String,
+    /// Scheduling class of the job inside the admission queue.
+    pub class: PriorityClass,
+}
+
+impl Default for Admission {
+    fn default() -> Self {
+        Admission { client: "anonymous".into(), class: PriorityClass::Normal }
+    }
+}
+
+/// Live per-client admission counters backing the quota checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientUsage {
+    /// Jobs waiting in the class queues.
+    pub queued: usize,
+    /// Jobs claimed by a worker and not yet terminal.
+    pub active: usize,
+}
+
 struct JobEntry {
     id: usize,
     name: String,
+    /// Submitting client; owns this job's share of the quotas.
+    client: String,
+    /// Scheduling class the job was admitted under.
+    class: PriorityClass,
     state: JobState,
     error: Option<String>,
     /// Pending work, taken by the worker that starts the job.
@@ -147,10 +186,47 @@ struct Inner {
     /// holes (dropped ids answer 404).
     jobs: BTreeMap<usize, JobEntry>,
     next_id: usize,
-    queue: VecDeque<usize>,
+    /// Per-class FIFOs drained by smooth weighted round-robin — the pool
+    /// feed where priority takes effect.
+    queue: ClassQueues<usize>,
     accepting: bool,
     running: usize,
     evicted: usize,
+    /// Per-client queued/active counts; entries are dropped the moment both
+    /// hit zero, so a drained store reconciles to an empty map.
+    usage: BTreeMap<String, ClientUsage>,
+}
+
+impl Inner {
+    fn usage_add_queued(&mut self, client: &str) {
+        self.usage.entry(client.to_string()).or_default().queued += 1;
+    }
+
+    /// Moves one of `client`'s jobs from queued to active (worker claim).
+    fn usage_claim(&mut self, client: &str) {
+        let u = self.usage.get_mut(client).expect("claimed client has usage");
+        assert!(u.queued > 0, "claim with zero queued for {client:?}");
+        u.queued -= 1;
+        u.active += 1;
+    }
+
+    fn usage_drop_queued(&mut self, client: &str) {
+        let u = self.usage.get_mut(client).expect("dequeued client has usage");
+        assert!(u.queued > 0, "queued underflow for {client:?}");
+        u.queued -= 1;
+        if *u == ClientUsage::default() {
+            self.usage.remove(client);
+        }
+    }
+
+    fn usage_drop_active(&mut self, client: &str) {
+        let u = self.usage.get_mut(client).expect("finished client has usage");
+        assert!(u.active > 0, "active underflow for {client:?}");
+        u.active -= 1;
+        if *u == ClientUsage::default() {
+            self.usage.remove(client);
+        }
+    }
 }
 
 /// Why a submission was refused.
@@ -163,15 +239,30 @@ pub enum SubmitError {
     },
     /// The server is draining and accepts no new work.
     Draining,
+    /// The submitting client is over one of its per-client quotas; the
+    /// handler turns this into `429 Too Many Requests` + `Retry-After`.
+    Quota {
+        /// The client that breached its quota.
+        client: String,
+        /// Which quota tripped: `"queued"` or `"inflight"`.
+        scope: &'static str,
+        /// The configured limit, echoed into the error body.
+        limit: usize,
+    },
 }
 
 /// Result of asking for a finished job's mask.
 pub enum MaskFetch {
     /// The mask, serialized as an 8-bit binary PGM.
     Ready(Vec<u8>),
+    /// The mask, reloaded (hash-verified) from the state directory after a
+    /// TTL/residency eviction; byte-identical to [`MaskFetch::Ready`].
+    Rehydrated(Vec<u8>),
     /// The job exists but has not produced a mask yet.
     NotReady(JobState),
-    /// The job finished but its mask was evicted (TTL / residency cap).
+    /// The job finished but its mask was evicted and is not recoverable:
+    /// no state directory, the file is gone (compaction GC), or its bits
+    /// no longer hash to what the log recorded.
     Gone,
     /// No job with that id.
     NoSuchJob,
@@ -278,10 +369,11 @@ impl StateLog {
         Ok(())
     }
 
-    fn log_submit(&self, id: usize, params: &JobParams) {
+    fn log_submit(&self, id: usize, params: &JobParams, admission: &Admission) {
         let mut line = format!(
-            "{{\"kind\":\"submit\",\"id\":{id},\"query\":\"{}\"",
-            json_escape(&params.to_query())
+            "{{\"kind\":\"submit\",\"id\":{id},\"query\":\"{}\"{}",
+            json_escape(&params.to_query()),
+            admission_fields(admission)
         );
         if let JobSource::Inline(img) = &params.source {
             let name = format!("job-{id}-target.pgm");
@@ -317,6 +409,17 @@ impl StateLog {
     fn log_cancel(&self, id: usize) {
         self.append(&format!("{{\"kind\":\"cancel\",\"id\":{id}}}"));
     }
+}
+
+/// The `client`/`class` tail of a submit record (state log and compaction
+/// snapshot write the identical shape). The client id was validated at
+/// admission to a JSON-safe alphabet; `json_escape` is belt and braces.
+fn admission_fields(admission: &Admission) -> String {
+    format!(
+        ",\"client\":\"{}\",\"class\":\"{}\"",
+        json_escape(&admission.client),
+        admission.class.as_str()
+    )
 }
 
 /// The `finish` record of a successful job; `mask_file` references a PGM
@@ -361,6 +464,10 @@ pub struct JobStore {
     inner: Mutex<Inner>,
     wakeup: Condvar,
     queue_cap: usize,
+    /// Per-client cap on non-terminal jobs (queued + active); 0 = unlimited.
+    quota_inflight: usize,
+    /// Per-client cap on queued jobs; 0 = unlimited.
+    quota_queued: usize,
     state: Option<StateLog>,
 }
 
@@ -377,15 +484,26 @@ impl JobStore {
             inner: Mutex::new(Inner {
                 jobs: BTreeMap::new(),
                 next_id: 0,
-                queue: VecDeque::new(),
+                queue: ClassQueues::new(),
                 accepting: true,
                 running: 0,
                 evicted: 0,
+                usage: BTreeMap::new(),
             }),
             wakeup: Condvar::new(),
             queue_cap: queue_cap.max(1),
+            quota_inflight: 0,
+            quota_queued: 0,
             state,
         }
+    }
+
+    /// Sets the per-client quotas (0 = unlimited). Takes `&mut self`
+    /// because quotas are fixed before the store is shared — the server
+    /// applies its `--quota-*` flags between recovery and serving.
+    pub fn set_quotas(&mut self, max_inflight: usize, max_queued: usize) {
+        self.quota_inflight = max_inflight;
+        self.quota_queued = max_queued;
     }
 
     /// Rebuilds a store from `state`'s snapshot + log: jobs with a recorded
@@ -420,7 +538,7 @@ impl JobStore {
         // Replay: submissions in record order (first submit per id wins, so
         // the snapshot takes precedence over a stale untruncated log),
         // outcomes and cancellations folded in by id.
-        let mut submits: Vec<(usize, String, Option<String>)> = Vec::new();
+        let mut submits: Vec<(usize, String, Option<String>, Admission)> = Vec::new();
         let mut seen: BTreeSet<usize> = BTreeSet::new();
         let mut finishes: BTreeMap<usize, String> = BTreeMap::new();
         let mut cancels: BTreeSet<usize> = BTreeSet::new();
@@ -438,8 +556,18 @@ impl JobStore {
                             let id = json_field_u64(line, "id").ok()? as usize;
                             let query = json_field_str(line, "query").ok()?;
                             let target = json_field_str(line, "target").ok();
+                            // Pre-multi-tenant logs have no client/class;
+                            // they replay under the defaults.
+                            let admission = Admission {
+                                client: json_field_str(line, "client")
+                                    .unwrap_or_else(|_| "anonymous".into()),
+                                class: json_field_str(line, "class")
+                                    .ok()
+                                    .and_then(|c| PriorityClass::parse(&c))
+                                    .unwrap_or(PriorityClass::Normal),
+                            };
                             if seen.insert(id) {
-                                submits.push((id, query, target));
+                                submits.push((id, query, target, admission));
                             }
                         }
                         "finish" => {
@@ -471,7 +599,7 @@ impl JobStore {
         {
             let dir = store.state.as_ref().expect("state is set").dir.clone();
             let mut inner = store.lock();
-            for (id, query, target) in submits {
+            for (id, query, target, admission) in submits {
                 let body = match &target {
                     Some(t) => std::fs::read(dir.join(t)).unwrap_or_default(),
                     None => Vec::new(),
@@ -504,10 +632,12 @@ impl JobStore {
                                 terminal_entry(id, params.name, JobState::Cancelled, None)
                             }
                             // No durable outcome (or an unverifiable mask):
-                            // the job runs again with its original id.
+                            // the job runs again with its original id, in
+                            // its original class, on its client's quota.
                             None => {
                                 stats.requeued += 1;
-                                inner.queue.push_back(id);
+                                inner.queue.push(admission.class, id);
+                                inner.usage_add_queued(&admission.client);
                                 let cancel = CancelToken::new();
                                 let progress = Progress::new();
                                 config.cancel = cancel.clone();
@@ -516,6 +646,8 @@ impl JobStore {
                                 JobEntry {
                                     id,
                                     name: params.name,
+                                    client: admission.client.clone(),
+                                    class: admission.class,
                                     state: JobState::Queued,
                                     error: None,
                                     work: Some((case, config)),
@@ -533,6 +665,8 @@ impl JobStore {
                 };
                 entry.query = Some(query);
                 entry.target_file = target;
+                entry.client = admission.client;
+                entry.class = admission.class;
                 inner.jobs.insert(id, entry);
             }
             inner.next_id =
@@ -545,31 +679,69 @@ impl JobStore {
         self.inner.lock().expect("job store lock poisoned")
     }
 
-    /// Admits a job, or refuses it with the reason the handler turns into
-    /// a 503.
+    /// Admits a job under the default admission (anonymous client, normal
+    /// priority), or refuses it with the reason the handler turns into a
+    /// 503/429.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Full`] when the queue is at capacity,
-    /// [`SubmitError::Draining`] after shutdown started.
+    /// [`SubmitError::Draining`] after shutdown started,
+    /// [`SubmitError::Quota`] when the client is over a per-client quota.
     pub fn submit(
         &self,
         name: String,
         case: BatchCase,
         config: BatchConfig,
     ) -> Result<usize, SubmitError> {
-        self.submit_inner(name, case, config, None)
+        self.submit_inner(name, case, config, None, Admission::default())
+    }
+
+    /// [`JobStore::submit`] with an explicit client identity and priority
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStore::submit`].
+    pub fn submit_as(
+        &self,
+        name: String,
+        case: BatchCase,
+        config: BatchConfig,
+        admission: Admission,
+    ) -> Result<usize, SubmitError> {
+        self.submit_inner(name, case, config, None, admission)
     }
 
     /// [`JobStore::submit`], additionally persisting the submission to the
     /// state log (when one is configured) so it survives a restart.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStore::submit`].
     pub fn submit_persisted(
         &self,
         params: &JobParams,
         case: BatchCase,
         config: BatchConfig,
     ) -> Result<usize, SubmitError> {
-        self.submit_inner(params.name.clone(), case, config, Some(params))
+        self.submit_inner(params.name.clone(), case, config, Some(params), Admission::default())
+    }
+
+    /// [`JobStore::submit_persisted`] with an explicit admission — the HTTP
+    /// submission path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStore::submit`].
+    pub fn submit_persisted_as(
+        &self,
+        params: &JobParams,
+        case: BatchCase,
+        config: BatchConfig,
+        admission: Admission,
+    ) -> Result<usize, SubmitError> {
+        self.submit_inner(params.name.clone(), case, config, Some(params), admission)
     }
 
     fn submit_inner(
@@ -578,10 +750,29 @@ impl JobStore {
         case: BatchCase,
         mut config: BatchConfig,
         params: Option<&JobParams>,
+        admission: Admission,
     ) -> Result<usize, SubmitError> {
         let mut inner = self.lock();
         if !inner.accepting {
             return Err(SubmitError::Draining);
+        }
+        // Per-client verdicts come before the global one: a flooding client
+        // is told it is over *its* quota (429) rather than blamed on shared
+        // capacity (503).
+        let usage = inner.usage.get(&admission.client).copied().unwrap_or_default();
+        if self.quota_queued > 0 && usage.queued >= self.quota_queued {
+            return Err(SubmitError::Quota {
+                client: admission.client,
+                scope: "queued",
+                limit: self.quota_queued,
+            });
+        }
+        if self.quota_inflight > 0 && usage.queued + usage.active >= self.quota_inflight {
+            return Err(SubmitError::Quota {
+                client: admission.client,
+                scope: "inflight",
+                limit: self.quota_inflight,
+            });
         }
         if inner.queue.len() >= self.queue_cap {
             return Err(SubmitError::Full { capacity: self.queue_cap });
@@ -590,7 +781,7 @@ impl JobStore {
         inner.next_id += 1;
         // Logged under the lock so state-log order matches id order.
         if let (Some(state), Some(params)) = (&self.state, params) {
-            state.log_submit(id, params);
+            state.log_submit(id, params, &admission);
         }
         // Every job gets its own cancel token and progress counter, wired
         // into the batch config the worker will execute.
@@ -608,6 +799,8 @@ impl JobStore {
             JobEntry {
                 id,
                 name,
+                client: admission.client.clone(),
+                class: admission.class,
                 state: JobState::Queued,
                 error: None,
                 work: Some((case, config)),
@@ -620,7 +813,8 @@ impl JobStore {
                 target_file,
             },
         );
-        inner.queue.push_back(id);
+        inner.queue.push(admission.class, id);
+        inner.usage_add_queued(&admission.client);
         drop(inner);
         self.wakeup.notify_one();
         Ok(id)
@@ -635,12 +829,14 @@ impl JobStore {
     pub fn take_next(&self) -> Option<(usize, BatchCase, BatchConfig, Option<String>)> {
         let mut inner = self.lock();
         loop {
-            if let Some(id) = inner.queue.pop_front() {
+            if let Some((_, id)) = inner.queue.pop() {
                 inner.running += 1;
                 let entry = inner.jobs.get_mut(&id).expect("queued id exists");
                 entry.state = JobState::Running;
                 let (case, config) = entry.work.take().expect("queued job retains its work");
                 let query = entry.query.clone();
+                let client = entry.client.clone();
+                inner.usage_claim(&client);
                 return Some((id, case, config, query));
             }
             if !inner.accepting {
@@ -663,6 +859,7 @@ impl JobStore {
         let mut inner = self.lock();
         inner.running -= 1;
         let entry = inner.jobs.get_mut(&id).expect("finished id exists");
+        let client = entry.client.clone();
         match outcome {
             Ok(done) => {
                 entry.state =
@@ -679,6 +876,7 @@ impl JobStore {
             }
         }
         entry.finished_at = Some(Instant::now());
+        inner.usage_drop_active(&client);
         drop(inner);
         if let Some(state) = &self.state {
             state.end_persist();
@@ -697,6 +895,8 @@ impl JobStore {
         let entry = inner.jobs.get_mut(&id).expect("cancelled id exists");
         entry.state = JobState::Cancelled;
         entry.finished_at = Some(Instant::now());
+        let client = entry.client.clone();
+        inner.usage_drop_active(&client);
         drop(inner);
         self.wakeup.notify_all();
         self.maybe_compact();
@@ -717,7 +917,9 @@ impl JobStore {
                 entry.state = JobState::Cancelled;
                 entry.work = None;
                 entry.finished_at = Some(Instant::now());
+                let client = entry.client.clone();
                 inner.queue.retain(|&q| q != id);
+                inner.usage_drop_queued(&client);
                 CancelOutcome::Cancelled
             }
             JobState::Running => {
@@ -768,9 +970,13 @@ impl JobStore {
                 continue; // mask evicted: not worth resurrecting either
             }
             snapshot.push_str(&format!(
-                "{{\"kind\":\"submit\",\"id\":{},\"query\":\"{}\"",
+                "{{\"kind\":\"submit\",\"id\":{},\"query\":\"{}\"{}",
                 entry.id,
-                json_escape(query)
+                json_escape(query),
+                admission_fields(&Admission {
+                    client: entry.client.clone(),
+                    class: entry.class
+                })
             ));
             if let Some(target) = &entry.target_file {
                 snapshot.push_str(&format!(",\"target\":\"{target}\""));
@@ -857,18 +1063,32 @@ impl JobStore {
     /// with zero workers, e.g. in admission tests).
     pub fn abandon_queued(&self) {
         let mut inner = self.lock();
-        while let Some(id) = inner.queue.pop_front() {
+        while let Some((_, id)) = inner.queue.pop() {
             let entry = inner.jobs.get_mut(&id).expect("queued id exists");
             entry.state = JobState::Failed;
             entry.error = Some("dropped at shutdown before a worker picked it up".into());
             entry.work = None;
             entry.finished_at = Some(Instant::now());
+            let client = entry.client.clone();
+            inner.usage_drop_queued(&client);
         }
     }
 
     /// Jobs waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         self.lock().queue.len()
+    }
+
+    /// Queue depth per priority class, indexed like [`PriorityClass::ALL`].
+    pub fn queue_depth_by_class(&self) -> [usize; 3] {
+        self.lock().queue.len_by_class()
+    }
+
+    /// Point-in-time per-client `(client, usage)` pairs. A fully drained
+    /// store returns an empty vector — the reconciliation invariant the
+    /// fairness fuzz test pins.
+    pub fn quota_usage(&self) -> Vec<(String, ClientUsage)> {
+        self.lock().usage.iter().map(|(c, u)| (c.clone(), *u)).collect()
     }
 
     /// Jobs currently executing.
@@ -932,18 +1152,51 @@ impl JobStore {
     }
 
     /// The finished mask as PGM bytes, for `GET /v1/jobs/{id}/mask`.
+    ///
+    /// An evicted mask is *re-hydrated* when a state directory is
+    /// configured: the durable `job-{id}.pgm` is reloaded, hash-verified
+    /// against the recorded `mask_hash`, re-installed as resident, and
+    /// served as [`MaskFetch::Rehydrated`] — byte-identical to the
+    /// pre-eviction bytes. Only a missing file (compaction GC'd it) or a
+    /// hash mismatch (on-disk corruption) answers [`MaskFetch::Gone`]; the
+    /// store never serves a mask the log can't vouch for.
     pub fn mask_pgm(&self, id: usize) -> MaskFetch {
-        let inner = self.lock();
-        match inner.jobs.get(&id) {
-            None => MaskFetch::NoSuchJob,
-            Some(entry) => match &entry.result {
-                Some(done) => match &done.mask {
-                    Some(mask) => MaskFetch::Ready(ilt_field::pgm_bytes(mask, 0.0, 1.0)),
-                    None => MaskFetch::Gone,
+        let (dir, expected_hash) = {
+            let inner = self.lock();
+            match inner.jobs.get(&id) {
+                None => return MaskFetch::NoSuchJob,
+                Some(entry) => match &entry.result {
+                    Some(done) => match &done.mask {
+                        Some(mask) => {
+                            return MaskFetch::Ready(ilt_field::pgm_bytes(mask, 0.0, 1.0))
+                        }
+                        None => {
+                            let Some(state) = &self.state else { return MaskFetch::Gone };
+                            (state.dir.clone(), done.mask_hash)
+                        }
+                    },
+                    None => return MaskFetch::NotReady(entry.state.clone()),
                 },
-                None => MaskFetch::NotReady(entry.state.clone()),
-            },
+            }
+        };
+        // Disk I/O and hashing run outside the lock; scrapes and submits
+        // are never blocked on a re-hydration.
+        let Ok(loaded) = load_mask(&dir, &mask_file_name(id)) else {
+            return MaskFetch::Gone;
+        };
+        if field_hash(&loaded) != expected_hash {
+            return MaskFetch::Gone;
         }
+        let bytes = pgm_bytes(&loaded, 0.0, 1.0);
+        let mut inner = self.lock();
+        if let Some(done) = inner.jobs.get_mut(&id).and_then(|e| e.result.as_mut()) {
+            // A concurrent fetch may have re-installed it already; either
+            // way the resident mask carries the verified hash.
+            if done.mask.is_none() {
+                done.mask = Some(loaded);
+            }
+        }
+        MaskFetch::Rehydrated(bytes)
     }
 }
 
@@ -968,6 +1221,8 @@ fn terminal_entry(id: usize, name: String, state: JobState, error: Option<String
     JobEntry {
         id,
         name,
+        client: "anonymous".into(),
+        class: PriorityClass::Normal,
         state,
         error,
         work: None,
@@ -1027,9 +1282,11 @@ fn restore_finished(dir: &Path, id: usize, name: String, line: &str) -> Option<J
 
 fn render_summary(entry: &JobEntry) -> String {
     let mut s = format!(
-        "{{\"id\":{},\"name\":\"{}\",\"state\":\"{}\"",
+        "{{\"id\":{},\"name\":\"{}\",\"client\":\"{}\",\"class\":\"{}\",\"state\":\"{}\"",
         entry.id,
         json_escape(&entry.name),
+        json_escape(&entry.client),
+        entry.class.as_str(),
         entry.state.as_str()
     );
     if let Some(done) = &entry.result {

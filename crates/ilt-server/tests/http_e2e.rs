@@ -96,7 +96,8 @@ fn queue_overflow_gets_503_with_retry_after_and_metrics_count_it() {
     let text = reply.text();
     assert!(text.contains("ilt_jobs_accepted_total 2\n"), "{text}");
     assert!(text.contains("ilt_jobs_rejected_total 3\n"), "{text}");
-    assert!(text.contains("ilt_queue_depth 2\n"), "{text}");
+    assert!(text.contains("ilt_queue_depth{class=\"normal\"} 2\n"), "{text}");
+    assert!(text.contains("ilt_queue_depth{class=\"high\"} 0\n"), "{text}");
 
     shutdown(addr, handle);
 }
@@ -170,8 +171,9 @@ fn end_to_end_round_trip_matches_the_batch_engine_bit_for_bit() {
 }
 
 /// Restarting with the same state directory must bring finished jobs back
-/// (mask byte-identical), and a TTL of zero must evict resident masks into
-/// `410 Gone` while their metadata stays queryable.
+/// (mask byte-identical), and a TTL of zero must evict resident masks —
+/// which the mask endpoint then re-hydrates from the durable copy
+/// (byte-identical again) rather than answering 410.
 #[test]
 fn restart_recovers_state_and_ttl_evicts_masks() {
     let state_dir = util::temp_dir("e2e_state");
@@ -207,7 +209,8 @@ fn restart_recovers_state_and_ttl_evicts_masks() {
     shutdown(addr, handle);
 
     // Third life: an aggressive TTL evicts the recovered mask on the first
-    // scrape; the mask endpoint answers 410, the metadata stays.
+    // scrape; the metadata stays, and the mask endpoint re-hydrates the
+    // durable copy instead of answering 410.
     let (addr, handle) = start(ServerConfig {
         workers: 1,
         state_dir: Some(state_dir.clone()),
@@ -216,13 +219,16 @@ fn restart_recovers_state_and_ttl_evicts_masks() {
     });
     let reply = get(addr, "/metrics");
     assert!(reply.text().contains("ilt_masks_evicted_total 1\n"), "{}", reply.text());
-    let reply = get(addr, "/v1/jobs/0/mask");
-    assert_eq!(reply.status, 410, "{}", reply.text());
     let reply = get(addr, "/v1/jobs/0");
     assert_eq!(reply.status, 200);
     let text = reply.text();
     assert!(text.contains("\"mask_resident\":false"), "{text}");
     assert!(text.contains("\"mask_hash\""), "{text}");
+    let reply = get(addr, "/v1/jobs/0/mask");
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    assert_eq!(reply.body, first_mask, "re-hydrated mask must be byte-identical");
+    let reply = get(addr, "/metrics");
+    assert!(reply.text().contains("ilt_masks_rehydrated_total 1\n"), "{}", reply.text());
     shutdown(addr, handle);
     let _ = std::fs::remove_dir_all(&state_dir);
 }

@@ -42,7 +42,7 @@ fn cancelling_a_queued_job_is_immediate_and_counted() {
 
     let text = get(addr, "/metrics").text();
     assert!(text.contains("ilt_jobs_cancelled_total 1\n"), "{text}");
-    assert!(text.contains("ilt_queue_depth 0\n"), "{text}");
+    assert!(text.contains("ilt_queue_depth{class=\"normal\"} 0\n"), "{text}");
 
     shutdown(addr, handle);
 }
@@ -131,22 +131,11 @@ fn cancel_vs_complete_races_stay_clean_across_restart() {
         statuses
     });
 
-    let deadline = Instant::now() + Duration::from_secs(120);
     let mut states = vec![String::new(); JOBS];
     for (id, state) in states.iter_mut().enumerate() {
-        loop {
-            let text = get(addr, &format!("/v1/jobs/{id}")).text();
-            if let Some(terminal) = ["\"state\":\"done\"", "\"state\":\"cancelled\""]
-                .iter()
-                .find(|s| text.contains(*s))
-            {
-                *state = (*terminal).to_string();
-                break;
-            }
-            assert!(!text.contains("\"state\":\"failed\""), "{text}");
-            assert!(Instant::now() < deadline, "job {id} never landed: {text}");
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        let (landed, text) = util::wait_for_terminal(addr, id);
+        assert_ne!(landed, "failed", "{text}");
+        *state = format!("\"state\":\"{landed}\"");
     }
     for status in canceller.join().expect("canceller thread") {
         assert!(

@@ -12,7 +12,8 @@
 //! ilt serve    [--addr 127.0.0.1:8080] [--threads 2] [--queue 16]
 //!              [--journal served.jsonl] [--retries 1] [--timeout-s 0]
 //!              [--cache 16] [--state-dir DIR] [--result-ttl-s 0]
-//!              [--max-masks 0] [--allow-inject] [--compact-bytes 0]
+//!              [--max-masks 0] [--quota-inflight 0] [--quota-queued 0]
+//!              [--allow-inject] [--compact-bytes 0]
 //!              [--keep-alive 32] [--idle-timeout-s 5]
 //!              [--workers host:port,host:port] [--heartbeat-ms 500]
 //!              [--heartbeat-failures 3] [--cancel-grace-s 10]
@@ -46,7 +47,12 @@
 //! `serve` turns the same engine into a long-lived HTTP job service (see
 //! the `ilt-server` crate docs for the API); `--state-dir` makes job state
 //! survive restarts, and `--result-ttl-s`/`--max-masks` bound how long
-//! finished masks stay resident before eviction. `--compact-bytes` sets
+//! finished masks stay resident before eviction (with a state directory,
+//! an evicted mask is re-hydrated from disk on demand instead of
+//! answering 410). Requests may carry `X-Ilt-Client` and `X-Ilt-Priority`
+//! (`high|normal|low`) headers; the queue serves classes by weighted
+//! round-robin and `--quota-inflight`/`--quota-queued` cap what one
+//! client may hold (0 = unlimited, breaches answer 429). `--compact-bytes` sets
 //! the state-log size past which live jobs are snapshotted and the log
 //! truncated (0 = never compact); `--keep-alive` caps requests served per
 //! connection and `--idle-timeout-s` bounds how long a persistent
@@ -119,6 +125,8 @@ struct Cli {
     state_dir: Option<String>,
     result_ttl_s: f64,
     max_masks: usize,
+    quota_inflight: usize,
+    quota_queued: usize,
     allow_inject: bool,
     compact_bytes: u64,
     keep_alive: usize,
@@ -180,6 +188,8 @@ impl Cli {
             state_dir: None,
             result_ttl_s: 0.0,
             max_masks: 0,
+            quota_inflight: 0,
+            quota_queued: 0,
             allow_inject: false,
             compact_bytes: 0,
             keep_alive: 32,
@@ -241,6 +251,8 @@ impl Cli {
                 "--state-dir" => cli.state_dir = Some(value()?),
                 "--result-ttl-s" => cli.result_ttl_s = value()?.parse()?,
                 "--max-masks" => cli.max_masks = value()?.parse()?,
+                "--quota-inflight" => cli.quota_inflight = value()?.parse()?,
+                "--quota-queued" => cli.quota_queued = value()?.parse()?,
                 "--allow-inject" => cli.allow_inject = true,
                 "--compact-bytes" => cli.compact_bytes = value()?.parse()?,
                 "--keep-alive" => cli.keep_alive = value()?.parse()?,
@@ -560,6 +572,8 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
         result_ttl: (cli.result_ttl_s > 0.0)
             .then(|| std::time::Duration::from_secs_f64(cli.result_ttl_s)),
         max_resident_masks: if cli.max_masks == 0 { usize::MAX } else { cli.max_masks },
+        quota_inflight: cli.quota_inflight,
+        quota_queued: cli.quota_queued,
         compact_state_bytes: cli.compact_bytes,
         keep_alive_requests: cli.keep_alive.max(1),
         idle_timeout: std::time::Duration::from_secs_f64(cli.idle_timeout_s.max(0.05)),

@@ -12,9 +12,13 @@
 #   3. /metrics is consistent: accepted == completed, nothing failed;
 #   4. a queued job dies on DELETE, the state log compacts to a snapshot,
 #      and a restart replays the live set (cancellation + compaction);
-#   5. flooding past the admission queue yields 503s (backpressure), never
+#   5. two tenants share one instance: the client over its queued quota
+#      gets 429 + Retry-After while the other client's job completes, and
+#      a residency-evicted mask re-hydrates from the state dir
+#      byte-identically (multi-tenancy + re-hydration);
+#   6. flooding past the admission queue yields 503s (backpressure), never
 #      a crash — the server still answers and drains cleanly afterwards;
-#   6. the server journal holds one line per completed job.
+#   7. the server journal holds one line per completed job.
 set -e
 BIN=./target/release/ilt
 OUT=bench-out/server
@@ -144,6 +148,75 @@ $CURL -X POST "$RBASE/v1/shutdown" > /dev/null
 wait "$LIFE_PID" || { echo "SERVER_FAILED: replay instance dirty exit"; exit 1; }
 trap cleanup EXIT
 echo "cancellation + compaction: queued job cancelled, log compacted, restart replayed the live set"
+
+# --- Multi-tenant quotas + mask re-hydration, on a third instance. -------
+# One worker, per-client queued quota of 1, one resident mask. Alice pins
+# the worker and fills her queued slot; her third submission must answer
+# 429 + Retry-After while bob's job is admitted and completes. Once all
+# jobs finish, the residency cap evicts the older masks and a re-GET must
+# re-hydrate the durable copy byte-identically.
+TSTATE="$OUT/tenants-state"
+rm -rf "$TSTATE"
+"$BIN" serve --addr 127.0.0.1:0 --threads 1 --queue 8 --quota-queued 1 \
+    --state-dir "$TSTATE" --max-masks 1 > "$OUT/serve-tenants.log" 2>&1 &
+TEN_PID=$!
+cleanup_ten() { kill "$TEN_PID" 2>/dev/null || true; cleanup; }
+trap cleanup_ten EXIT
+for _ in $(seq 50); do
+    TBASE=$(sed -n 's#^listening on \(http://.*\)$#\1#p' "$OUT/serve-tenants.log")
+    [ -n "$TBASE" ] && break
+    sleep 0.1
+done
+[ -n "$TBASE" ] || { echo "SERVER_FAILED: tenant instance never listened"; exit 1; }
+
+ALICE="-H X-Ilt-Client:alice"
+$CURL $ALICE -X POST "$TBASE/v1/jobs?case=case1&grid=128&kernels=4&iters=50" > /dev/null
+for _ in $(seq 600); do
+    TS=$($CURL "$TBASE/v1/jobs/0" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$TS" = running ] && break
+    sleep 0.1
+done
+[ "$TS" = running ] || { echo "SERVER_FAILED: tenant job 0 stuck in $TS"; exit 1; }
+
+CODE=$($CURL $ALICE -o /dev/null -w '%{http_code}' -X POST \
+    "$TBASE/v1/jobs?case=case1&grid=128&kernels=4")
+[ "$CODE" = 202 ] || { echo "SERVER_FAILED: alice's queued slot refused ($CODE)"; exit 1; }
+CODE=$($CURL $ALICE -D "$OUT/quota-429.headers" -o /dev/null -w '%{http_code}' -X POST \
+    "$TBASE/v1/jobs?case=case1&grid=128&kernels=4")
+[ "$CODE" = 429 ] || { echo "SERVER_FAILED: quota breach answered $CODE, want 429"; exit 1; }
+grep -qi '^retry-after:' "$OUT/quota-429.headers" \
+    || { echo "SERVER_FAILED: 429 without Retry-After"; exit 1; }
+CODE=$($CURL -H "X-Ilt-Client:bob" -o /dev/null -w '%{http_code}' -X POST \
+    "$TBASE/v1/jobs?case=case1&grid=128&kernels=4")
+[ "$CODE" = 202 ] || { echo "SERVER_FAILED: bob rejected alongside alice's flood ($CODE)"; exit 1; }
+$CURL "$TBASE/metrics" | grep -q 'ilt_jobs_rejected_quota_total{client="alice"} [1-9]' \
+    || { echo "SERVER_FAILED: quota rejection metric never moved"; exit 1; }
+
+# All three jobs (alice slow, alice fast, bob) run to completion; finish
+# order is submission order, so job 1's mask is evicted by the cap.
+for ID in 0 1 2; do
+    for _ in $(seq 600); do
+        TS=$($CURL "$TBASE/v1/jobs/$ID" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+        [ "$TS" = done ] && break
+        [ "$TS" = failed ] && { echo "SERVER_FAILED: tenant job $ID failed"; exit 1; }
+        sleep 0.5
+    done
+    [ "$TS" = done ] || { echo "SERVER_FAILED: tenant job $ID stuck in $TS"; exit 1; }
+done
+$CURL "$TBASE/metrics" > "$OUT/metrics_tenants.txt"
+EVICTED=$(metric ilt_masks_evicted_total "$OUT/metrics_tenants.txt")
+[ "$EVICTED" -ge 1 ] || { echo "SERVER_FAILED: residency cap never evicted"; exit 1; }
+$CURL -o "$OUT/rehydrated_mask.pgm" "$TBASE/v1/jobs/1/mask"
+cmp -s "$OUT/ref_case1_mask.pgm" "$OUT/rehydrated_mask.pgm" \
+    || { echo "SERVER_MISMATCH: re-hydrated mask differs from the batch mask"; exit 1; }
+$CURL "$TBASE/metrics" > "$OUT/metrics_tenants.txt"
+REHYDRATED=$(metric ilt_masks_rehydrated_total "$OUT/metrics_tenants.txt")
+[ "$REHYDRATED" -ge 1 ] || { echo "SERVER_FAILED: rehydrated counter never moved"; exit 1; }
+
+$CURL -X POST "$TBASE/v1/shutdown" > /dev/null
+wait "$TEN_PID" || { echo "SERVER_FAILED: tenant instance dirty exit"; exit 1; }
+trap cleanup EXIT
+echo "multi-tenancy: quota 429 with Retry-After, bob unaffected, evicted mask re-hydrated byte-identically"
 
 # --- Flood the bounded queue: expect 503s, no crash. ---------------------
 # Queue capacity is 4 with 2 workers on a slow job; 30 rapid submissions
